@@ -1,0 +1,95 @@
+// Command mbpbench regenerates the tables of the MBPlib paper's evaluation
+// (§VII) on synthetic trace suites and prints them as Markdown.
+//
+// Usage:
+//
+//	mbpbench -table 1             # trace-set size reduction (Table I)
+//	mbpbench -table 3             # simulation time vs CBP5 framework and ChampSim-style model
+//	mbpbench -table 4             # CBP5 framework with gzip vs MLZ traces
+//	mbpbench -table all -scale 50000
+//
+// Scale is the branch count of a short trace; the paper's absolute times
+// used 100M-instruction traces, far above what a quick run needs — the
+// shape of every table is scale-independent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mbplib/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", "table to regenerate: 1, 3, 4 or all")
+		scale    = flag.Uint64("scale", 50_000, "branches in a short trace")
+		dir      = flag.String("dir", "", "trace directory (default: a temporary one)")
+		maxInstr = flag.Uint64("champsim-instr", 0, "instruction cap for the cycle-level runs (0 = whole trace)")
+	)
+	flag.Parse()
+	if err := run(*table, *scale, *dir, *maxInstr); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, scale uint64, dir string, maxInstr uint64) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mbpbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	if table == "1" || table == "all" {
+		fmt.Println("## Table I: size reduction of the translated trace sets")
+		fmt.Println()
+		rows, err := bench.TableI(dir, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTableI(rows))
+	}
+	if table == "3" || table == "all" {
+		fmt.Println("## Table III (top): MBPlib vs the CBP5 framework")
+		fmt.Println()
+		ts, err := bench.PrepareSuite(dir, "cbp5-train", scale, bench.Formats{SBBT: true, BT9Gz: true})
+		if err != nil {
+			return err
+		}
+		rows, err := bench.TableIIITop(ts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTimingRows(rows, "CBP5", "MBPlib"))
+
+		fmt.Println("## Table III (bottom): MBPlib vs the ChampSim-style cycle-level model")
+		fmt.Println()
+		dp, err := bench.PrepareSuite(dir, "dpc3", scale, bench.Formats{SBBT: true, CSTGz: true})
+		if err != nil {
+			return err
+		}
+		rows, err = bench.TableIIIBottom(dp, maxInstr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTimingRows(rows, "ChampSim", "MBPlib"))
+	}
+	if table == "4" || table == "all" {
+		fmt.Println("## Table IV: speedup of the CBP5 framework from the compression method alone")
+		fmt.Println()
+		ts, err := bench.PrepareSuite(dir, "cbp5-train", scale, bench.Formats{BT9Gz: true, BT9MLZ: true})
+		if err != nil {
+			return err
+		}
+		rows, err := bench.TableIV(ts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTableIV(rows))
+	}
+	return nil
+}

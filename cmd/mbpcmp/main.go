@@ -1,0 +1,74 @@
+// Command mbpcmp runs two predictors in parallel over one SBBT trace (the
+// comparison simulator of §VI-C of the MBPlib paper) and prints a JSON
+// report whose most_failed section lists the branches with the biggest MPKI
+// difference — which branches the second predictor handles better, and
+// whether any got worse.
+//
+// Usage:
+//
+//	mbpcmp -trace t.sbbt.mlz -p0 tage -p1 batage
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mbplib/internal/compress"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/sim"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "SBBT trace file (raw, .gz or .mlz)")
+		spec0     = flag.String("p0", "bimodal", "first predictor spec")
+		spec1     = flag.String("p1", "gshare", "second predictor spec")
+		warmup    = flag.Uint64("warmup", 0, "warm-up instructions")
+		simInstr  = flag.Uint64("sim", 0, "instructions to simulate after warm-up (0 = whole trace)")
+		mostN     = flag.Int("most-failed", 20, "entries in the most_failed diff report")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "mbpcmp: -trace is required (see -help)")
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *spec0, *spec1, *warmup, *simInstr, *mostN); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, spec0, spec1 string, warmup, simInstr uint64, mostN int) error {
+	p0, err := registry.New(spec0)
+	if err != nil {
+		return fmt.Errorf("p0: %w", err)
+	}
+	p1, err := registry.New(spec1)
+	if err != nil {
+		return fmt.Errorf("p1: %w", err)
+	}
+	f, err := compress.OpenFile(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := sbbt.NewReader(f)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Compare(r, p0, p1, sim.Config{
+		TraceName:          tracePath,
+		WarmupInstructions: warmup,
+		SimInstructions:    simInstr,
+		MostFailedLimit:    mostN,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

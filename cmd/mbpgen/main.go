@@ -1,0 +1,70 @@
+// Command mbpgen materialises the synthetic trace suites on disk. It plays
+// the role of the PIN instrumentation module and the trace downloads of
+// §IV-D of the MBPlib paper: since the CBP5 and DPC3 sets are not
+// redistributable, the suites are regenerated deterministically.
+//
+// Usage:
+//
+//	mbpgen -suite cbp5-train -dir traces -scale 200000
+//	mbpgen -suite dpc3 -dir traces -formats sbbt,cst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mbplib/internal/bench"
+	"mbplib/internal/tracegen"
+)
+
+func main() {
+	var (
+		suite   = flag.String("suite", "cbp5-train", "suite to generate: "+strings.Join(tracegen.SuiteNames(), ", "))
+		dir     = flag.String("dir", "traces", "output directory")
+		scale   = flag.Uint64("scale", 200_000, "branches in a short trace (long traces are 8x)")
+		formats = flag.String("formats", "sbbt", "comma-separated: sbbt, bt9, bt9mlz, cst")
+	)
+	flag.Parse()
+	if err := run(*suite, *dir, *scale, *formats); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suite, dir string, scale uint64, formats string) error {
+	var f bench.Formats
+	for _, name := range strings.Split(formats, ",") {
+		switch strings.TrimSpace(name) {
+		case "sbbt":
+			f.SBBT = true
+		case "bt9":
+			f.BT9Gz = true
+		case "bt9mlz":
+			f.BT9MLZ = true
+		case "cst":
+			f.CSTGz = true
+		case "":
+		default:
+			return fmt.Errorf("unknown format %q", name)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ts, err := bench.PrepareSuite(dir, suite, scale, f)
+	if err != nil {
+		return err
+	}
+	for _, paths := range [][]string{ts.SBBT, ts.BT9Gz, ts.BT9MLZ, ts.CSTGz} {
+		for _, p := range paths {
+			fi, err := os.Stat(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%10s  %s\n", bench.HumanBytes(fi.Size()), p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command mbprun scores one predictor configuration over a whole trace set
+// in parallel — the championship evaluation workflow (§II of the MBPlib
+// paper: hundreds of traces per design). Each worker owns a fresh predictor
+// and its own trace reader, so throughput scales with cores.
+//
+// Usage:
+//
+//	mbprun -traces 'traces/*.sbbt.mlz' -predictor tage -workers 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/compress"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/sim"
+)
+
+func main() {
+	var (
+		globs    = flag.String("traces", "", "glob of SBBT trace files")
+		predSpec = flag.String("predictor", "gshare", "predictor spec (see mbpsim -list)")
+		warmup   = flag.Uint64("warmup", 0, "warm-up instructions per trace")
+		simInstr = flag.Uint64("sim", 0, "instructions to simulate per trace after warm-up (0 = all)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces")
+		jsonOut  = flag.Bool("json", false, "print the summary as JSON")
+	)
+	flag.Parse()
+	if *globs == "" {
+		fmt.Fprintln(os.Stderr, "mbprun: -traces is required (see -help)")
+		os.Exit(2)
+	}
+	if err := run(*globs, *predSpec, *warmup, *simInstr, *workers, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "mbprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(globs, predSpec string, warmup, simInstr uint64, workers int, jsonOut bool) error {
+	// Validate the spec once before fanning out.
+	if _, err := registry.New(predSpec); err != nil {
+		return err
+	}
+	paths, err := filepath.Glob(globs)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no traces match %q", globs)
+	}
+	sort.Strings(paths)
+
+	sources := make([]sim.TraceSource, len(paths))
+	for i, path := range paths {
+		sources[i] = sim.TraceSource{Name: path, Open: func() (bp.Reader, io.Closer, error) {
+			f, err := compress.OpenFile(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := sbbt.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return r, f, nil
+		}}
+	}
+	newPredictor := func() bp.Predictor {
+		p, err := registry.New(predSpec)
+		if err != nil {
+			panic(err) // validated above; specs are immutable strings
+		}
+		return p
+	}
+	cfg := sim.Config{WarmupInstructions: warmup, SimInstructions: simInstr}
+	results, err := sim.RunSet(sources, newPredictor, cfg, workers)
+	if err != nil {
+		return err
+	}
+	summary := sim.Summarize(results)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Predictor string         `json:"predictor"`
+			Summary   sim.SetSummary `json:"summary"`
+		}{predSpec, summary})
+	}
+	fmt.Printf("%-40s %10s %12s\n", "trace", "MPKI", "accuracy")
+	for _, r := range results {
+		fmt.Printf("%-40s %10.4f %12.4f\n", filepath.Base(r.Metadata.Trace), r.Metrics.MPKI, r.Metrics.Accuracy)
+	}
+	fmt.Printf("\n%d traces, %d instructions, %d mispredictions\n",
+		summary.Traces, summary.TotalInstructions, summary.TotalMispredictions)
+	fmt.Printf("mean MPKI %.4f | aggregate MPKI %.4f | aggregate accuracy %.4f\n",
+		summary.MeanMPKI, summary.AggregateMPKI, summary.AggregateAccuracy)
+	fmt.Printf("worst trace: %s (%.4f MPKI)\n", filepath.Base(summary.WorstTrace), summary.WorstMPKI)
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command mbpsim runs a branch predictor over an SBBT trace and prints the
+// simulation result as JSON in the layout of Listing 1 of the MBPlib paper.
+//
+// Being a library, MBPlib leaves main to the user; this command is the
+// reference example of such a main: open the (possibly compressed) trace,
+// build a predictor, call sim.Run, print the result.
+//
+// Usage:
+//
+//	mbpsim -trace traces/SHORT_SERVER-1.sbbt.mlz -predictor gshare:h=25,t=18
+//	mbpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"mbplib/internal/compress"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/sim"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "SBBT trace file (raw, .gz or .mlz)")
+		predSpec  = flag.String("predictor", "gshare", "predictor spec, e.g. gshare:h=25,t=18")
+		warmup    = flag.Uint64("warmup", 0, "warm-up instructions (mispredictions not counted)")
+		simInstr  = flag.Uint64("sim", 0, "instructions to simulate after warm-up (0 = whole trace)")
+		mostN     = flag.Int("most-failed", 0, "cap on most_failed entries (0 = half-of-mispredictions set)")
+		list      = flag.Bool("list", false, "list available predictors and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range registry.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "mbpsim: -trace is required (see -help)")
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *predSpec, *warmup, *simInstr, *mostN); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, predSpec string, warmup, simInstr uint64, mostN int) error {
+	p, err := registry.New(predSpec)
+	if err != nil {
+		return err
+	}
+	f, err := compress.OpenFile(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := sbbt.NewReader(f)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(r, p, sim.Config{
+		TraceName:          tracePath,
+		WarmupInstructions: warmup,
+		SimInstructions:    simInstr,
+		MostFailedLimit:    mostN,
+	})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,82 @@
+// Command mbpsweep measures how a predictor's MPKI varies with one integer
+// parameter across a set of traces — the parameter-optimization use case of
+// §VI-A of the MBPlib paper. The CMake for-loop of Listing 3, which builds
+// one executable per parameter value, becomes a flag:
+//
+//	mbpsweep -traces 'traces/*.sbbt.mlz' -predictor 'gshare:t=18,h=%d' -from 6 -to 30
+//
+// The predictor spec contains a %d placeholder that receives each swept
+// value; the output is one row per value with the average MPKI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mbplib/internal/sim"
+
+	"mbplib/internal/bench"
+)
+
+func main() {
+	var (
+		globs    = flag.String("traces", "", "glob of SBBT trace files")
+		predSpec = flag.String("predictor", "gshare:t=18,h=%d", "predictor spec with a %d placeholder")
+		from     = flag.Int("from", 6, "first swept value")
+		to       = flag.Int("to", 30, "last swept value")
+		step     = flag.Int("step", 1, "sweep step")
+	)
+	flag.Parse()
+	if *globs == "" {
+		fmt.Fprintln(os.Stderr, "mbpsweep: -traces is required (see -help)")
+		os.Exit(2)
+	}
+	if err := run(*globs, *predSpec, *from, *to, *step); err != nil {
+		fmt.Fprintln(os.Stderr, "mbpsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(globs, predSpec string, from, to, step int) error {
+	if !strings.Contains(predSpec, "%d") {
+		return fmt.Errorf("predictor spec %q has no %%d placeholder", predSpec)
+	}
+	if step <= 0 || to < from {
+		return fmt.Errorf("invalid sweep range [%d, %d] step %d", from, to, step)
+	}
+	paths, err := filepath.Glob(globs)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no traces match %q", globs)
+	}
+	sort.Strings(paths)
+
+	fmt.Printf("%-40s | avg MPKI over %d traces\n", "predictor", len(paths))
+	fmt.Println(strings.Repeat("-", 70))
+	bestSpec, bestMPKI := "", 0.0
+	for v := from; v <= to; v += step {
+		spec := fmt.Sprintf(predSpec, v)
+		var sum float64
+		for _, path := range paths {
+			res, err := bench.RunSBBT(path, spec, sim.Config{})
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", spec, path, err)
+			}
+			sum += res.Metrics.MPKI
+		}
+		avg := sum / float64(len(paths))
+		fmt.Printf("%-40s | %.4f\n", spec, avg)
+		if bestSpec == "" || avg < bestMPKI {
+			bestSpec, bestMPKI = spec, avg
+		}
+	}
+	fmt.Println(strings.Repeat("-", 70))
+	fmt.Printf("best: %s (%.4f MPKI)\n", bestSpec, bestMPKI)
+	return nil
+}

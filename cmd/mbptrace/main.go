@@ -1,0 +1,224 @@
+// Command mbptrace inspects, validates and converts branch traces: the
+// trace tooling of §IV-D of the MBPlib paper (the BT9↔SBBT translators are
+// what made the CBP5 sets usable with the new simulator).
+//
+// Usage:
+//
+//	mbptrace info    t.sbbt.mlz
+//	mbptrace convert in.bt9.gz out.sbbt.mlz
+//	mbptrace convert in.sbbt out.bt9.gz
+//	mbptrace verify  t.sbbt.mlz
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/bt9"
+	"mbplib/internal/compress"
+	"mbplib/internal/sbbt"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mbptrace info|verify <trace>\n       mbptrace convert <in> <out>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "info":
+		err = info(args[1])
+	case "verify":
+		err = verify(args[1])
+	case "convert":
+		if len(args) != 3 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = convert(args[1], args[2])
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbptrace:", err)
+		os.Exit(1)
+	}
+}
+
+// openTrace opens a trace of either format, decompressing transparently.
+func openTrace(path string) (bp.Reader, io.Closer, error) {
+	f, err := compress.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	prefix, err := br.Peek(5)
+	if err != nil && err != io.EOF {
+		f.Close()
+		return nil, nil, err
+	}
+	if len(prefix) >= 5 && string(prefix) == string(sbbt.Signature[:]) {
+		r, err := sbbt.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return r, f, nil
+	}
+	r, err := bt9.NewReader(br)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func info(path string) error {
+	r, c, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var (
+		branches, instr uint64
+		cond, taken     uint64
+		statics         = map[uint64]struct{}{}
+	)
+	for {
+		ev, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		branches++
+		instr += ev.InstrsSinceLastBranch + 1
+		statics[ev.Branch.IP] = struct{}{}
+		if ev.Branch.Opcode.IsConditional() {
+			cond++
+		}
+		if ev.Branch.Taken {
+			taken++
+		}
+	}
+	fmt.Printf("trace:                 %s\n", path)
+	fmt.Printf("instructions:          %d\n", instr)
+	fmt.Printf("branches:              %d (%.1f%% of instructions)\n", branches, 100*float64(branches)/float64(instr))
+	fmt.Printf("conditional branches:  %d\n", cond)
+	fmt.Printf("taken fraction:        %.3f\n", float64(taken)/float64(branches))
+	fmt.Printf("static branches:       %d\n", len(statics))
+	if s, ok := r.(bp.Sizer); ok {
+		fmt.Printf("header instructions:   %d\n", s.TotalInstructions())
+		fmt.Printf("header branches:       %d\n", s.TotalBranches())
+	}
+	return nil
+}
+
+func verify(path string) error {
+	r, c, err := openTrace(path)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var branches uint64
+	for {
+		ev, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("after %d branches: %w", branches, err)
+		}
+		if err := ev.Branch.Validate(); err != nil {
+			return fmt.Errorf("branch %d: %w", branches, err)
+		}
+		branches++
+	}
+	if s, ok := r.(bp.Sizer); ok && s.TotalBranches() != branches {
+		return fmt.Errorf("header promises %d branches, trace has %d", s.TotalBranches(), branches)
+	}
+	fmt.Printf("ok: %d branches\n", branches)
+	return nil
+}
+
+// convert reads any supported trace and writes it in the format implied by
+// the output file name (.sbbt* or .bt9*), compressed per extension.
+func convert(inPath, outPath string) error {
+	r, c, err := openTrace(inPath)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	out, err := compress.CreateFile(outPath, compress.LevelBest)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(strings.TrimSuffix(outPath, ".gz"), ".mlz")
+	switch {
+	case strings.HasSuffix(base, ".sbbt"):
+		err = convertToSBBT(r, out)
+	case strings.HasSuffix(base, ".bt9"):
+		err = convertToBT9(r, out)
+	default:
+		err = fmt.Errorf("cannot infer output format from %q (want .sbbt or .bt9, optionally compressed)", outPath)
+	}
+	if err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func convertToSBBT(r bp.Reader, out io.Writer) error {
+	// SBBT needs the totals up front. BT9 headers carry them; otherwise
+	// the trace would need buffering, which info-size traces never do.
+	s, ok := r.(bp.Sizer)
+	if !ok || s.TotalBranches() == 0 {
+		return fmt.Errorf("input does not declare totals; cannot write an SBBT header")
+	}
+	w, err := sbbt.NewWriter(out, s.TotalInstructions(), s.TotalBranches())
+	if err != nil {
+		return err
+	}
+	if err := pump(r, w.Write); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func convertToBT9(r bp.Reader, out io.Writer) error {
+	w := bt9.NewWriter(out)
+	if err := pump(r, w.Write); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+func pump(r bp.Reader, write func(bp.Event) error) error {
+	for {
+		ev, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := write(ev); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,24 @@
+// Package mbplib is a Go reproduction of MBPlib, the Modular Branch
+// Prediction Library (Domínguez-Sánchez and Ros, ISPASS 2023): a fast,
+// microarchitecture-agnostic branch-prediction simulation library built as
+// a library rather than a framework — user code calls the simulator, not
+// the other way around.
+//
+// The root package carries only documentation and the table-reproduction
+// benchmarks (bench_test.go). The implementation lives under internal/:
+//
+//   - internal/bp — the branch model and the Predict/Train/Track interface
+//   - internal/sim — the standard and comparison simulators (§IV, §VI-C)
+//   - internal/sbbt — the Simple Binary Branch Trace format (§IV-C)
+//   - internal/utils — the utilities library (§V)
+//   - internal/predictors — the examples library (Table II)
+//   - internal/bt9, internal/cbp5 — the CBP5-framework baseline (§VII)
+//   - internal/cst, internal/uarch — the ChampSim-style baseline (§VII)
+//   - internal/tracegen — synthetic stand-ins for the CBP5/DPC3 trace sets
+//   - internal/compress — gzip plus MLZ, the from-scratch zstd stand-in
+//   - internal/opt — parameter-space search (§VI-B)
+//   - internal/bench — the Table I/III/IV harness
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package mbplib

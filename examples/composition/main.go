@@ -1,0 +1,81 @@
+// Composition: predictors as components (§IV-B, §VI-C, §VI-D of the MBPlib
+// paper).
+//
+// The example builds the generalized tournament of Listing 4 — a bimodal
+// and a GShare base arbitrated by a bimodal meta-predictor — and uses the
+// comparison simulator to show per-branch where the tournament improves on
+// plain GShare and whether any branch got worse. The Train/Track split is
+// what makes the composition possible: the meta-predictor trains only when
+// its bases disagree but tracks every branch.
+//
+//	go run ./examples/composition
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/tournament"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+func workload() *tracegen.Generator {
+	g, err := tracegen.New(tracegen.Spec{
+		Name: "composition", Seed: 11, Branches: 400_000,
+		Kernels: []tracegen.KernelSpec{
+			// Noisy biased branches favour bimodal (history dilutes them)...
+			{Kind: tracegen.Biased, Branches: 900, Bias: 0.9, Weight: 3},
+			// ...while correlated branches need GShare's history.
+			{Kind: tracegen.Correlated, Feeders: 4, Weight: 2},
+			{Kind: tracegen.CallRet, Branches: 60},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func newGShare() bp.Predictor {
+	return gshare.New(gshare.WithHistoryLength(12), gshare.WithLogSize(14))
+}
+func newBimodal() bp.Predictor { return bimodal.New(bimodal.WithLogSize(14)) }
+
+func main() {
+	// Baselines.
+	for _, c := range []struct {
+		name string
+		p    bp.Predictor
+	}{
+		{"bimodal", newBimodal()},
+		{"gshare", newGShare()},
+		{"tournament", tournament.New(bimodal.New(bimodal.WithLogSize(12)), newBimodal(), newGShare())},
+	} {
+		res, err := sim.Run(workload(), c.p, sim.Config{TraceName: "composition"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %6.3f MPKI  (accuracy %.4f)\n", c.name, res.Metrics.MPKI, res.Metrics.Accuracy)
+	}
+
+	// The comparison simulator of §VI-C: which branches does the
+	// tournament predict better than plain GShare, and which worse?
+	tour := tournament.New(bimodal.New(bimodal.WithLogSize(12)), newBimodal(), newGShare())
+	cmp, err := sim.Compare(workload(), newGShare(), tour, sim.Config{TraceName: "composition", MostFailedLimit: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngshare %.3f MPKI vs tournament %.3f MPKI; biggest per-branch differences:\n",
+		cmp.Metrics0.MPKI, cmp.Metrics1.MPKI)
+	for _, mf := range cmp.MostFailed {
+		verdict := "improved"
+		if mf.MPKIDiff > 0 {
+			verdict = "worsened"
+		}
+		fmt.Printf("  branch %#x: %.4f -> %.4f MPKI (%s)\n", mf.IP, mf.MPKI0, mf.MPKI1, verdict)
+	}
+}

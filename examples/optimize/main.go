@@ -1,0 +1,75 @@
+// Optimize: searching the parameter space (§VI-B of the MBPlib paper).
+//
+// State-of-the-art predictors have dozens of parameters, so exhaustive
+// sweeps are out; because MBPlib is a library, an optimizer can simply call
+// the simulator inside its objective function. The example tunes a TAGE
+// geometry (number of tables, minimum and maximum history length) with
+// hill climbing and with a genetic algorithm, then compares both to the
+// default configuration.
+//
+//	go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbplib/internal/opt"
+	"mbplib/internal/predictors/tage"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+var spec = tracegen.Spec{
+	Name: "optimize", Seed: 23, Branches: 150_000,
+	Kernels: []tracegen.KernelSpec{
+		{Kind: tracegen.Biased, Branches: 400, Weight: 2},
+		{Kind: tracegen.Loop, Trips: []int{31}},
+		{Kind: tracegen.Pattern, PatternBits: "TTTTNNTN"},
+		{Kind: tracegen.Correlated, Feeders: 6},
+	},
+}
+
+// mpkiFor simulates one TAGE geometry. Every table has 2^9 entries so the
+// search trades history reach, not storage.
+func mpkiFor(pt opt.Point) float64 {
+	trace, err := tracegen.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := tage.New(tage.WithGeometric(pt["tables"], pt["minhist"], pt["minhist"]+pt["histspan"], 9, 10))
+	res, err := sim.Run(trace, p, sim.Config{TraceName: spec.Name})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Metrics.MPKI
+}
+
+func main() {
+	params := []opt.Param{
+		{Name: "tables", Min: 2, Max: 10},
+		{Name: "minhist", Min: 2, Max: 12},
+		{Name: "histspan", Min: 16, Max: 300},
+	}
+
+	defaultMPKI := mpkiFor(opt.Point{"tables": 8, "minhist": 4, "histspan": 316})
+	fmt.Printf("default geometry (8 tables, histories 4..320): %.4f MPKI\n\n", defaultMPKI)
+
+	hc, err := opt.HillClimb(params, opt.Point{"tables": 4, "minhist": 4, "histspan": 60}, mpkiFor, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hill climbing: %.4f MPKI after %d simulations at %v\n", hc.BestScore, hc.Evaluations, hc.Best)
+
+	ga, err := opt.Genetic(params, mpkiFor, opt.GeneticConfig{Population: 10, Generations: 6, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("genetic:       %.4f MPKI after %d simulations at %v\n", ga.BestScore, ga.Evaluations, ga.Best)
+
+	best := hc.BestScore
+	if ga.BestScore < best {
+		best = ga.BestScore
+	}
+	fmt.Printf("\nbest found vs default: %.4f vs %.4f MPKI\n", best, defaultMPKI)
+}

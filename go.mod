@@ -1,0 +1,3 @@
+module mbplib
+
+go 1.22

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// HumanBytes renders a byte count with a binary-ish unit, as the paper's
+// tables do (MB/GB).
+func HumanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f kB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// HumanDuration renders a duration the way the paper's Table III does
+// (h / min / s / ms).
+func HumanDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.2f h", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.2f min", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%d µs", d.Microseconds())
+	}
+}
+
+// RenderTableI renders Table I rows as a Markdown table.
+func RenderTableI(rows []SizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| Trace Set | Num. of Traces | Original Size | Translated Size | Size Ratio |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %d | %s | %s | %.1f× |\n",
+			r.Set, r.NumTraces, HumanBytes(r.OriginalBytes), HumanBytes(r.TranslatedBytes), r.Ratio)
+	}
+	return b.String()
+}
+
+// RenderTimingRows renders Table III/IV rows as a Markdown table with the
+// paper's slowest/average/fastest sub-rows. The column labels name the two
+// simulators compared.
+func RenderTimingRows(rows []TimingRow, baseline, ours string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| Predictor | Traces | %s | %s | Speedup |\n", baseline, ours)
+	fmt.Fprintf(&b, "|---|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | Slowest | %s | %s | %.2f× |\n",
+			r.Predictor, HumanDuration(r.Baseline.Slowest), HumanDuration(r.MBPlib.Slowest), r.SpeedupSlowest)
+		fmt.Fprintf(&b, "| | Average | %s | %s | %.2f× |\n",
+			HumanDuration(r.Baseline.Average), HumanDuration(r.MBPlib.Average), r.SpeedupAverage)
+		fmt.Fprintf(&b, "| | Fastest | %s | %s | %.2f× |\n",
+			HumanDuration(r.Baseline.Fastest), HumanDuration(r.MBPlib.Fastest), r.SpeedupFastest)
+	}
+	return b.String()
+}
+
+// RenderTableIV renders Table IV rows (averages only, as in the paper).
+func RenderTableIV(rows []TimingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| (Averages) | CBP5 Gzip | CBP5 MLZ | Speedup |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %.2f× |\n",
+			r.Predictor, HumanDuration(r.Baseline.Average), HumanDuration(r.MBPlib.Average), r.SpeedupAverage)
+	}
+	return b.String()
+}

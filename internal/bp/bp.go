@@ -1,0 +1,212 @@
+// Package bp defines the branch model shared by every component of the
+// library: branch opcodes, the Branch record that trace readers produce and
+// predictors consume, and the Predictor interface from §IV-A of the MBPlib
+// paper (Predict / Train / Track).
+//
+// The package is a leaf: trace formats, the simulator, the utilities library
+// and every predictor implementation depend on it, and it depends on nothing.
+package bp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BaseType is the 2-bit base type of a branch opcode. Branches that push or
+// pop from the return-address stack are labeled Call or Ret respectively;
+// every other branch is a Jump. The numeric values follow the SBBT format
+// specification (§IV-C): JUMP (00), RET (01), CALL (10).
+type BaseType uint8
+
+// Base types of a branch.
+const (
+	Jump BaseType = 0b00
+	Ret  BaseType = 0b01
+	Call BaseType = 0b10
+)
+
+// String returns the conventional upper-case name of the base type.
+func (t BaseType) String() string {
+	switch t {
+	case Jump:
+		return "JUMP"
+	case Ret:
+		return "RET"
+	case Call:
+		return "CALL"
+	}
+	return fmt.Sprintf("BaseType(%d)", uint8(t))
+}
+
+// Opcode encodes the static behaviour of a branch instruction in 4 bits,
+// closely following the opcode definition used by the BT9 traces (§IV-C):
+// bit 0 marks the branch as conditional, bit 1 as indirect, and bits 2-3
+// hold the BaseType.
+type Opcode uint8
+
+// Bit layout of an Opcode.
+const (
+	opcodeCondBit     Opcode = 1 << 0
+	opcodeIndirectBit Opcode = 1 << 1
+	opcodeBaseShift          = 2
+	opcodeMask        Opcode = 0xf
+)
+
+// NewOpcode assembles an Opcode from its three fields.
+func NewOpcode(base BaseType, conditional, indirect bool) Opcode {
+	op := Opcode(base&0b11) << opcodeBaseShift
+	if conditional {
+		op |= opcodeCondBit
+	}
+	if indirect {
+		op |= opcodeIndirectBit
+	}
+	return op
+}
+
+// Common opcodes.
+var (
+	OpJump     = NewOpcode(Jump, false, false) // unconditional direct jump
+	OpCondJump = NewOpcode(Jump, true, false)  // conditional direct jump
+	OpIndJump  = NewOpcode(Jump, false, true)  // indirect jump (e.g. jump table)
+	OpCall     = NewOpcode(Call, false, false) // direct call
+	OpIndCall  = NewOpcode(Call, false, true)  // indirect call
+	OpRet      = NewOpcode(Ret, false, true)   // return (indirect by nature)
+)
+
+// IsConditional reports whether the branch outcome depends on a condition.
+func (op Opcode) IsConditional() bool { return op&opcodeCondBit != 0 }
+
+// IsIndirect reports whether the branch target is computed at run time.
+func (op Opcode) IsIndirect() bool { return op&opcodeIndirectBit != 0 }
+
+// Base returns the base type (Jump, Call or Ret) of the opcode.
+func (op Opcode) Base() BaseType { return BaseType(op>>opcodeBaseShift) & 0b11 }
+
+// Valid reports whether the opcode uses a defined base-type encoding.
+func (op Opcode) Valid() bool { return op <= opcodeMask && op.Base() != 0b11 }
+
+// String renders the opcode as, for example, "COND JUMP" or "IND CALL".
+func (op Opcode) String() string {
+	s := ""
+	if op.IsConditional() {
+		s += "COND "
+	}
+	if op.IsIndirect() {
+		s += "IND "
+	}
+	return s + op.Base().String()
+}
+
+// Branch is a single dynamic branch record: the static description of the
+// instruction plus its outcome in this execution. It corresponds to
+// mbp::Branch in the paper.
+type Branch struct {
+	// IP is the virtual address of the branch instruction.
+	IP uint64
+	// Target is the virtual address the branch jumps to when taken. By the
+	// SBBT validity rules it is zero for a not-taken conditional indirect
+	// branch.
+	Target uint64
+	// Opcode describes the static behaviour of the branch.
+	Opcode Opcode
+	// Taken is the outcome. Non-conditional branches are always taken.
+	Taken bool
+}
+
+// IsTaken reports the branch outcome. It mirrors mbp::Branch::isTaken().
+func (b Branch) IsTaken() bool { return b.Taken }
+
+// IsConditional reports whether the branch is conditional.
+func (b Branch) IsConditional() bool { return b.Opcode.IsConditional() }
+
+// Validate checks the two SBBT validity rules (§IV-C): a non-conditional
+// branch must be taken, and a not-taken conditional indirect branch must
+// have a null target.
+func (b Branch) Validate() error {
+	if !b.Opcode.Valid() {
+		return fmt.Errorf("bp: invalid opcode %#x", uint8(b.Opcode))
+	}
+	if !b.Opcode.IsConditional() && !b.Taken {
+		return fmt.Errorf("bp: non-conditional branch at %#x marked not taken", b.IP)
+	}
+	if b.Opcode.IsConditional() && b.Opcode.IsIndirect() && !b.Taken && b.Target != 0 {
+		return fmt.Errorf("bp: not-taken conditional indirect branch at %#x has non-null target %#x", b.IP, b.Target)
+	}
+	return nil
+}
+
+// Event is one entry of a branch trace: a dynamic branch plus the number of
+// non-branch instructions executed since the previous branch (counting
+// neither branch). The instruction distance is what lets the simulator know
+// the instruction number of each branch, enabling warm-up runs (§IV-C).
+type Event struct {
+	Branch Branch
+	// InstrsSinceLastBranch is the number of instructions executed on the
+	// path to this branch, excluding both the previous branch and this one.
+	// SBBT stores it in 12 bits, so it is at most 4095.
+	InstrsSinceLastBranch uint64
+}
+
+// MaxInstrGap is the largest inter-branch instruction distance representable
+// by the SBBT packet format (12 bits).
+const MaxInstrGap = 1<<12 - 1
+
+// Predictor is the interface every branch predictor implements (§IV-A).
+//
+// Predict must not modify any state that would affect future predictions.
+// Train updates the prediction data structures given the resolved branch.
+// Track updates the "scenario" — the record of recent program behaviour,
+// such as global history — given the resolved branch.
+//
+// When driven by the simulator, Track is invoked for every branch while
+// Train is invoked (before Track) only for conditional branches. When a
+// predictor is used as a subcomponent of a meta-predictor, the owner decides
+// which of the two to call and with which Branch value (§IV-B, §VI-D).
+type Predictor interface {
+	// Predict returns the predicted outcome for the branch at ip.
+	Predict(ip uint64) bool
+	// Train updates the prediction structures with the resolved branch.
+	Train(b Branch)
+	// Track updates the scenario structures with the resolved branch.
+	Track(b Branch)
+}
+
+// MetadataProvider is optionally implemented by predictors that want a
+// description of themselves (name and parameters) embedded in the
+// "predictor" section of the simulator output metadata (Listing 1).
+type MetadataProvider interface {
+	Metadata() map[string]any
+}
+
+// StatsProvider is optionally implemented by predictors that record
+// execution statistics to be embedded in the "predictor_statistics" section
+// of the simulator output (Listing 1).
+type StatsProvider interface {
+	Statistics() map[string]any
+}
+
+// Reader streams branch events from a trace. Implementations are provided
+// by the sbbt and bt9 packages and by the synthetic trace generator.
+type Reader interface {
+	// Read returns the next event. It returns io.EOF after the last one.
+	Read() (Event, error)
+}
+
+// Sizer is optionally implemented by trace readers that know the totals
+// recorded in their header: the number of instructions executed during
+// tracing and the number of branch events in the trace.
+type Sizer interface {
+	TotalInstructions() uint64
+	TotalBranches() uint64
+}
+
+// Writer consumes branch events, typically encoding them to a trace file.
+type Writer interface {
+	// Write appends one event to the trace.
+	Write(Event) error
+}
+
+// ErrTruncated is returned by trace readers when the input ends in the
+// middle of a record.
+var ErrTruncated = errors.New("bp: truncated trace")

@@ -1,0 +1,107 @@
+package bp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewOpcodeFields(t *testing.T) {
+	cases := []struct {
+		base        BaseType
+		cond, indir bool
+	}{
+		{Jump, false, false},
+		{Jump, true, false},
+		{Jump, false, true},
+		{Jump, true, true},
+		{Call, false, false},
+		{Call, false, true},
+		{Ret, false, true},
+		{Ret, false, false},
+	}
+	for _, c := range cases {
+		op := NewOpcode(c.base, c.cond, c.indir)
+		if op.Base() != c.base {
+			t.Errorf("NewOpcode(%v,%v,%v).Base() = %v", c.base, c.cond, c.indir, op.Base())
+		}
+		if op.IsConditional() != c.cond {
+			t.Errorf("NewOpcode(%v,%v,%v).IsConditional() = %v", c.base, c.cond, c.indir, op.IsConditional())
+		}
+		if op.IsIndirect() != c.indir {
+			t.Errorf("NewOpcode(%v,%v,%v).IsIndirect() = %v", c.base, c.cond, c.indir, op.IsIndirect())
+		}
+		if !op.Valid() {
+			t.Errorf("NewOpcode(%v,%v,%v) not valid", c.base, c.cond, c.indir)
+		}
+	}
+}
+
+func TestOpcodeFieldsRoundTrip(t *testing.T) {
+	f := func(base uint8, cond, indir bool) bool {
+		bt := BaseType(base % 3) // Jump, Ret, Call
+		op := NewOpcode(bt, cond, indir)
+		return op.Base() == bt && op.IsConditional() == cond && op.IsIndirect() == indir
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeValid(t *testing.T) {
+	invalid := Opcode(0b11 << opcodeBaseShift) // base type 11 is undefined
+	if invalid.Valid() {
+		t.Errorf("opcode with base 0b11 reported valid")
+	}
+	if Opcode(0x1f).Valid() {
+		t.Errorf("opcode with out-of-range bits reported valid")
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	cases := map[Opcode]string{
+		OpJump:     "JUMP",
+		OpCondJump: "COND JUMP",
+		OpIndJump:  "IND JUMP",
+		OpCall:     "CALL",
+		OpIndCall:  "IND CALL",
+		OpRet:      "IND RET",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%#x.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
+
+func TestBranchValidate(t *testing.T) {
+	valid := []Branch{
+		{IP: 0x1000, Target: 0x2000, Opcode: OpCondJump, Taken: true},
+		{IP: 0x1000, Target: 0x2000, Opcode: OpCondJump, Taken: false},
+		{IP: 0x1000, Target: 0x2000, Opcode: OpJump, Taken: true},
+		{IP: 0x1000, Target: 0, Opcode: NewOpcode(Jump, true, true), Taken: false},
+		{IP: 0x1000, Target: 0x2000, Opcode: NewOpcode(Jump, true, true), Taken: true},
+		{IP: 0x1000, Target: 0x2000, Opcode: OpRet, Taken: true},
+	}
+	for _, b := range valid {
+		if err := b.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", b, err)
+		}
+	}
+	invalid := []Branch{
+		{IP: 0x1000, Target: 0x2000, Opcode: OpJump, Taken: false},
+		{IP: 0x1000, Target: 0x2000, Opcode: NewOpcode(Jump, true, true), Taken: false},
+		{IP: 0x1000, Target: 0x2000, Opcode: Opcode(0b1100), Taken: true},
+	}
+	for _, b := range invalid {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", b)
+		}
+	}
+}
+
+func TestBranchAccessors(t *testing.T) {
+	b := Branch{IP: 1, Target: 2, Opcode: OpCondJump, Taken: true}
+	if !b.IsTaken() || !b.IsConditional() {
+		t.Errorf("accessors disagree with fields: %+v", b)
+	}
+}

@@ -1,0 +1,441 @@
+// Package bt9 implements a plain-text branch-trace format modeled on BT9,
+// the format of the CBP5 framework that SBBT replaces (§IV of the MBPlib
+// paper). A BT9 trace starts by describing a graph in which the nodes are
+// the static branches of the program and the edges their dynamic outcomes,
+// and then lists the executed sequence of edge identifiers.
+//
+// The format exists in this repository as the evaluation baseline: parsing
+// it requires text scanning plus lookups into the (potentially large) node
+// and edge tables, the costs that §VII-D identifies as the source of most
+// of MBPlib's speedup. The layout is:
+//
+//	BT9_SPA_TRACE_FORMAT
+//	total_instruction_count: <n>
+//	branch_instruction_count: <n>
+//	BT9_NODES
+//	NODE <id> <ip-hex> <COND|UNCD> <DIR|IND> <JMP|CAL|RET>
+//	BT9_EDGES
+//	EDGE <id> <node-id> <T|N> <target-hex> <non-branch-instruction-count>
+//	BT9_EDGE_SEQUENCE
+//	<edge-id>
+//	...
+package bt9
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"mbplib/internal/bp"
+)
+
+// Magic is the first line of every trace in this format.
+const Magic = "BT9_SPA_TRACE_FORMAT"
+
+// Section markers.
+const (
+	nodesMark    = "BT9_NODES"
+	edgesMark    = "BT9_EDGES"
+	sequenceMark = "BT9_EDGE_SEQUENCE"
+)
+
+// Node is a static branch of the program graph.
+type Node struct {
+	IP     uint64
+	Opcode bp.Opcode
+}
+
+// Edge is one dynamic outcome of a node: the branch was taken or not toward
+// a target after executing InstrCount non-branch instructions.
+type Edge struct {
+	NodeID     int
+	Taken      bool
+	Target     uint64
+	InstrCount uint64
+}
+
+// Reader streams branch events from a BT9-format trace. It implements
+// bp.Reader and bp.Sizer.
+type Reader struct {
+	sc                *bufio.Scanner
+	nodes             []Node
+	edges             []Edge
+	totalInstructions uint64
+	totalBranches     uint64
+	read              uint64
+	err               error
+}
+
+// NewReader parses the header, node and edge sections of a BT9 trace and
+// returns a Reader positioned at the first sequence entry.
+func NewReader(r io.Reader) (*Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	rd := &Reader{sc: sc}
+	if err := rd.parsePreamble(); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+func (r *Reader) parsePreamble() error {
+	if !r.sc.Scan() {
+		return fmt.Errorf("bt9: empty input: %w", bp.ErrTruncated)
+	}
+	if r.sc.Text() != Magic {
+		return errors.New("bt9: bad magic line")
+	}
+	section := ""
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		if line == "" {
+			continue
+		}
+		switch line {
+		case nodesMark, edgesMark:
+			section = line
+			continue
+		case sequenceMark:
+			return nil
+		}
+		switch {
+		case section == "":
+			if err := r.parseHeaderLine(line); err != nil {
+				return err
+			}
+		case section == nodesMark:
+			if err := r.parseNodeLine(line); err != nil {
+				return err
+			}
+		case section == edgesMark:
+			if err := r.parseEdgeLine(line); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return fmt.Errorf("bt9: scanning preamble: %w", err)
+	}
+	return fmt.Errorf("bt9: missing %s section: %w", sequenceMark, bp.ErrTruncated)
+}
+
+func (r *Reader) parseHeaderLine(line string) error {
+	key, val, ok := cutField(line)
+	if !ok {
+		return fmt.Errorf("bt9: malformed header line %q", line)
+	}
+	n, err := strconv.ParseUint(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bt9: header line %q: %w", line, err)
+	}
+	switch key {
+	case "total_instruction_count:":
+		r.totalInstructions = n
+	case "branch_instruction_count:":
+		r.totalBranches = n
+	default:
+		// Unknown header keys are ignored for forward compatibility.
+	}
+	return nil
+}
+
+// cutField splits a line at the first run of spaces.
+func cutField(line string) (first, rest string, ok bool) {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' {
+			j := i
+			for j < len(line) && line[j] == ' ' {
+				j++
+			}
+			return line[:i], line[j:], true
+		}
+	}
+	return line, "", false
+}
+
+func fields(line string) []string {
+	var out []string
+	for line != "" {
+		f, rest, ok := cutField(line)
+		if f != "" {
+			out = append(out, f)
+		}
+		if !ok {
+			break
+		}
+		line = rest
+	}
+	return out
+}
+
+func (r *Reader) parseNodeLine(line string) error {
+	f := fields(line)
+	if len(f) != 6 || f[0] != "NODE" {
+		return fmt.Errorf("bt9: malformed node line %q", line)
+	}
+	id, err := strconv.Atoi(f[1])
+	if err != nil || id != len(r.nodes) {
+		return fmt.Errorf("bt9: node line %q: ids must be dense and ascending", line)
+	}
+	ip, err := strconv.ParseUint(f[2], 16, 64)
+	if err != nil {
+		return fmt.Errorf("bt9: node line %q: %w", line, err)
+	}
+	var cond, ind bool
+	switch f[3] {
+	case "COND":
+		cond = true
+	case "UNCD":
+	default:
+		return fmt.Errorf("bt9: node line %q: bad conditionality %q", line, f[3])
+	}
+	switch f[4] {
+	case "IND":
+		ind = true
+	case "DIR":
+	default:
+		return fmt.Errorf("bt9: node line %q: bad directness %q", line, f[4])
+	}
+	var base bp.BaseType
+	switch f[5] {
+	case "JMP":
+		base = bp.Jump
+	case "CAL":
+		base = bp.Call
+	case "RET":
+		base = bp.Ret
+	default:
+		return fmt.Errorf("bt9: node line %q: bad base type %q", line, f[5])
+	}
+	r.nodes = append(r.nodes, Node{IP: ip, Opcode: bp.NewOpcode(base, cond, ind)})
+	return nil
+}
+
+func (r *Reader) parseEdgeLine(line string) error {
+	f := fields(line)
+	if len(f) != 6 || f[0] != "EDGE" {
+		return fmt.Errorf("bt9: malformed edge line %q", line)
+	}
+	id, err := strconv.Atoi(f[1])
+	if err != nil || id != len(r.edges) {
+		return fmt.Errorf("bt9: edge line %q: ids must be dense and ascending", line)
+	}
+	nodeID, err := strconv.Atoi(f[2])
+	if err != nil || nodeID < 0 || nodeID >= len(r.nodes) {
+		return fmt.Errorf("bt9: edge line %q: bad node id", line)
+	}
+	var taken bool
+	switch f[3] {
+	case "T":
+		taken = true
+	case "N":
+	default:
+		return fmt.Errorf("bt9: edge line %q: bad outcome %q", line, f[3])
+	}
+	target, err := strconv.ParseUint(f[4], 16, 64)
+	if err != nil {
+		return fmt.Errorf("bt9: edge line %q: %w", line, err)
+	}
+	count, err := strconv.ParseUint(f[5], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bt9: edge line %q: %w", line, err)
+	}
+	r.edges = append(r.edges, Edge{NodeID: nodeID, Taken: taken, Target: target, InstrCount: count})
+	return nil
+}
+
+// TotalInstructions implements bp.Sizer.
+func (r *Reader) TotalInstructions() uint64 { return r.totalInstructions }
+
+// TotalBranches implements bp.Sizer.
+func (r *Reader) TotalBranches() uint64 { return r.totalBranches }
+
+// NumNodes returns the number of static branches in the trace graph.
+func (r *Reader) NumNodes() int { return len(r.nodes) }
+
+// NumEdges returns the number of distinct dynamic outcomes in the graph.
+func (r *Reader) NumEdges() int { return len(r.edges) }
+
+// Read returns the next branch event of the sequence. It returns io.EOF
+// after the last entry and bp.ErrTruncated if the sequence ends before the
+// branch count promised by the header.
+func (r *Reader) Read() (bp.Event, error) {
+	if r.err != nil {
+		return bp.Event{}, r.err
+	}
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		if line == "" {
+			continue
+		}
+		id, err := strconv.Atoi(line)
+		if err != nil || id < 0 || id >= len(r.edges) {
+			r.err = fmt.Errorf("bt9: bad sequence entry %q", line)
+			return bp.Event{}, r.err
+		}
+		edge := r.edges[id]
+		node := r.nodes[edge.NodeID]
+		r.read++
+		return bp.Event{
+			Branch: bp.Branch{
+				IP:     node.IP,
+				Target: edge.Target,
+				Opcode: node.Opcode,
+				Taken:  edge.Taken,
+			},
+			InstrsSinceLastBranch: edge.InstrCount,
+		}, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = fmt.Errorf("bt9: scanning sequence: %w", err)
+		return bp.Event{}, r.err
+	}
+	if r.read < r.totalBranches {
+		r.err = fmt.Errorf("bt9: sequence ends after %d of %d branches: %w", r.read, r.totalBranches, bp.ErrTruncated)
+		return bp.Event{}, r.err
+	}
+	r.err = io.EOF
+	return bp.Event{}, io.EOF
+}
+
+// edgeKey identifies a distinct dynamic outcome for the writer's graph.
+type edgeKey struct {
+	nodeID     int
+	taken      bool
+	target     uint64
+	instrCount uint64
+}
+
+// Writer builds a BT9 trace. Because the graph sections precede the edge
+// sequence, the writer accumulates the whole trace in memory and emits it
+// on Close. It implements bp.Writer.
+type Writer struct {
+	w        io.Writer
+	nodeIDs  map[uint64]int
+	nodes    []Node
+	edgeIDs  map[edgeKey]int
+	edges    []Edge
+	sequence []int32
+	instrs   uint64
+	closed   bool
+}
+
+// NewWriter returns a Writer that will emit the trace to w on Close.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{
+		w:       w,
+		nodeIDs: make(map[uint64]int),
+		edgeIDs: make(map[edgeKey]int),
+	}
+}
+
+// Write records one event. The event graph grows as new static branches and
+// outcomes appear.
+func (w *Writer) Write(ev bp.Event) error {
+	if w.closed {
+		return errors.New("bt9: writer closed")
+	}
+	if err := ev.Branch.Validate(); err != nil {
+		return err
+	}
+	nodeID, ok := w.nodeIDs[ev.Branch.IP]
+	if !ok {
+		nodeID = len(w.nodes)
+		w.nodeIDs[ev.Branch.IP] = nodeID
+		w.nodes = append(w.nodes, Node{IP: ev.Branch.IP, Opcode: ev.Branch.Opcode})
+	} else if w.nodes[nodeID].Opcode != ev.Branch.Opcode {
+		return fmt.Errorf("bt9: branch %#x changed opcode from %v to %v", ev.Branch.IP, w.nodes[nodeID].Opcode, ev.Branch.Opcode)
+	}
+	key := edgeKey{nodeID, ev.Branch.Taken, ev.Branch.Target, ev.InstrsSinceLastBranch}
+	edgeID, ok := w.edgeIDs[key]
+	if !ok {
+		edgeID = len(w.edges)
+		w.edgeIDs[key] = edgeID
+		w.edges = append(w.edges, Edge{NodeID: nodeID, Taken: ev.Branch.Taken, Target: ev.Branch.Target, InstrCount: ev.InstrsSinceLastBranch})
+	}
+	w.sequence = append(w.sequence, int32(edgeID))
+	w.instrs += ev.InstrsSinceLastBranch + 1
+	return nil
+}
+
+// Close emits the whole trace. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return errors.New("bt9: writer closed")
+	}
+	w.closed = true
+	bw := bufio.NewWriterSize(w.w, 1<<16)
+	fmt.Fprintln(bw, Magic)
+	fmt.Fprintf(bw, "total_instruction_count: %d\n", w.instrs)
+	fmt.Fprintf(bw, "branch_instruction_count: %d\n", len(w.sequence))
+	fmt.Fprintln(bw, nodesMark)
+	for id, n := range w.nodes {
+		cond, dir, base := "UNCD", "DIR", "JMP"
+		if n.Opcode.IsConditional() {
+			cond = "COND"
+		}
+		if n.Opcode.IsIndirect() {
+			dir = "IND"
+		}
+		switch n.Opcode.Base() {
+		case bp.Call:
+			base = "CAL"
+		case bp.Ret:
+			base = "RET"
+		}
+		fmt.Fprintf(bw, "NODE %d %x %s %s %s\n", id, n.IP, cond, dir, base)
+	}
+	fmt.Fprintln(bw, edgesMark)
+	for id, e := range w.edges {
+		outcome := "N"
+		if e.Taken {
+			outcome = "T"
+		}
+		fmt.Fprintf(bw, "EDGE %d %d %s %x %d\n", id, e.NodeID, outcome, e.Target, e.InstrCount)
+	}
+	fmt.Fprintln(bw, sequenceMark)
+	var itoa [20]byte
+	for _, id := range w.sequence {
+		buf := strconv.AppendInt(itoa[:0], int64(id), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("bt9: writing sequence: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("bt9: flushing: %w", err)
+	}
+	return nil
+}
+
+// Stats summarises a writer's graph, mirroring the statistics the BT9
+// header carries in the original format.
+type Stats struct {
+	Nodes, Edges, Sequence int
+	TotalInstructions      uint64
+	HottestNodeIP          uint64
+}
+
+// Stats reports graph statistics for the events written so far.
+func (w *Writer) Stats() Stats {
+	s := Stats{Nodes: len(w.nodes), Edges: len(w.edges), Sequence: len(w.sequence), TotalInstructions: w.instrs}
+	counts := make(map[int]int)
+	for _, e := range w.sequence {
+		counts[w.edges[e].NodeID]++
+	}
+	type nc struct {
+		id, n int
+	}
+	var all []nc
+	for id, n := range counts {
+		all = append(all, nc{id, n})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	if len(all) > 0 {
+		s.HottestNodeIP = w.nodes[all[0].id].IP
+	}
+	return s
+}

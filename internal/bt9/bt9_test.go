@@ -1,0 +1,209 @@
+package bt9
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+func sampleEvents(n int) []bp.Event {
+	evs := make([]bp.Event, n)
+	for i := range evs {
+		op := bp.OpCondJump
+		taken := i%3 != 0
+		target := uint64(0x500000 + (i%7)*16)
+		switch i % 11 {
+		case 9:
+			op, taken = bp.OpCall, true
+		case 10:
+			op, taken = bp.OpRet, true
+			target = 0x600000 + uint64(i%5)*8
+		}
+		evs[i] = bp.Event{
+			Branch: bp.Branch{
+				IP:     0x400000 + uint64(i%13)*4,
+				Target: target,
+				Opcode: op,
+				Taken:  taken,
+			},
+			InstrsSinceLastBranch: uint64(i % 6),
+		}
+	}
+	// Same IP must keep the same opcode: derive IP from opcode class too.
+	for i := range evs {
+		evs[i].Branch.IP += uint64(evs[i].Branch.Opcode) << 20
+	}
+	return evs
+}
+
+func writeTrace(t *testing.T, evs []bp.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	evs := sampleEvents(5000)
+	data := writeTrace(t, evs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.TotalBranches() != uint64(len(evs)) {
+		t.Errorf("TotalBranches = %d, want %d", r.TotalBranches(), len(evs))
+	}
+	var instrs uint64
+	for _, ev := range evs {
+		instrs += ev.InstrsSinceLastBranch + 1
+	}
+	if r.TotalInstructions() != instrs {
+		t.Errorf("TotalInstructions = %d, want %d", r.TotalInstructions(), instrs)
+	}
+	for i, want := range evs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("final Read err = %v, want io.EOF", err)
+	}
+}
+
+func TestGraphIsDeduplicated(t *testing.T) {
+	evs := sampleEvents(5000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ev := range evs {
+		_ = w.Write(ev)
+	}
+	s := w.Stats()
+	if s.Nodes >= 100 {
+		t.Errorf("expected few static nodes, got %d", s.Nodes)
+	}
+	if s.Edges >= 2000 {
+		t.Errorf("expected few distinct edges, got %d", s.Edges)
+	}
+	if s.Sequence != len(evs) {
+		t.Errorf("sequence length = %d, want %d", s.Sequence, len(evs))
+	}
+	if s.HottestNodeIP == 0 {
+		t.Errorf("hottest node not identified")
+	}
+}
+
+func TestHeaderFormat(t *testing.T) {
+	data := writeTrace(t, sampleEvents(10))
+	text := string(data)
+	if !strings.HasPrefix(text, Magic+"\n") {
+		t.Errorf("missing magic line")
+	}
+	for _, want := range []string{"total_instruction_count:", "branch_instruction_count: 10", "BT9_NODES", "BT9_EDGES", "BT9_EDGE_SEQUENCE"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestWriterRejectsOpcodeChange(t *testing.T) {
+	w := NewWriter(io.Discard)
+	ev := bp.Event{Branch: bp.Branch{IP: 0x400000, Target: 0x400040, Opcode: bp.OpCondJump, Taken: true}}
+	if err := w.Write(ev); err != nil {
+		t.Fatal(err)
+	}
+	ev.Branch.Opcode = bp.OpCall
+	if err := w.Write(ev); err == nil {
+		t.Errorf("opcode change for the same IP accepted")
+	}
+}
+
+func TestWriterRejectsInvalidEvent(t *testing.T) {
+	w := NewWriter(io.Discard)
+	bad := bp.Event{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpJump, Taken: false}}
+	if err := w.Write(bad); err == nil {
+		t.Errorf("invalid event accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	w := NewWriter(io.Discard)
+	_ = w.Close()
+	ev := bp.Event{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpCondJump, Taken: true}}
+	if err := w.Write(ev); err == nil {
+		t.Errorf("Write after Close succeeded")
+	}
+	if err := w.Close(); err == nil {
+		t.Errorf("double Close succeeded")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad magic":    "NOT_BT9\n",
+		"no sequence":  Magic + "\ntotal_instruction_count: 5\n",
+		"bad node":     Magic + "\nBT9_NODES\nNODE x\nBT9_EDGE_SEQUENCE\n",
+		"bad node id":  Magic + "\nBT9_NODES\nNODE 5 400000 COND DIR JMP\nBT9_EDGE_SEQUENCE\n",
+		"bad edge ref": Magic + "\nBT9_NODES\nBT9_EDGES\nEDGE 0 7 T 0 0\nBT9_EDGE_SEQUENCE\n",
+		"bad header":   Magic + "\ntotal_instruction_count: abc\nBT9_EDGE_SEQUENCE\n",
+	}
+	for name, text := range cases {
+		if _, err := NewReader(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: NewReader succeeded", name)
+		}
+	}
+}
+
+func TestReaderBadSequenceEntry(t *testing.T) {
+	text := Magic + "\nbranch_instruction_count: 1\nBT9_NODES\nNODE 0 400000 COND DIR JMP\nBT9_EDGES\nEDGE 0 0 T 400040 3\nBT9_EDGE_SEQUENCE\n99\n"
+	r, err := NewReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.Read(); err == nil {
+		t.Errorf("out-of-range edge id accepted")
+	}
+}
+
+func TestReaderDetectsShortSequence(t *testing.T) {
+	text := Magic + "\nbranch_instruction_count: 5\nBT9_NODES\nNODE 0 400000 COND DIR JMP\nBT9_EDGES\nEDGE 0 0 T 400040 3\nBT9_EDGE_SEQUENCE\n0\n0\n"
+	r, err := NewReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var lastErr error
+	for i := 0; i < 10; i++ {
+		if _, lastErr = r.Read(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil || lastErr == io.EOF {
+		t.Errorf("short sequence error = %v, want truncation", lastErr)
+	}
+}
+
+func TestUnknownHeaderKeysIgnored(t *testing.T) {
+	text := Magic + "\nsome_future_key: 42\nbranch_instruction_count: 0\nBT9_EDGE_SEQUENCE\n"
+	r, err := NewReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package cbp5 reproduces the evaluation framework of the 5th Championship
+// Branch Prediction, the baseline MBPlib is measured against in §VII of the
+// paper. It is deliberately everything the paper argues against:
+//
+//   - It is a framework, not a library: RunTrace owns the main loop and
+//     calls the user's predictor, not the other way around.
+//   - It has a single update entry point (UpdatePredictor) combining what
+//     MBPlib splits into Train and Track, which §VI-D shows prevents
+//     writing some meta-predictors without reimplementing the bases.
+//   - It reads the plain-text BT9-style trace format, paying text parsing
+//     and branch-graph lookups on every event — the costs that the SBBT
+//     stream format removes (§VII-D).
+//
+// The package exists so the Table III and Table IV comparisons run against
+// a faithful stand-in for the real framework, including its performance
+// characteristics.
+package cbp5
+
+import (
+	"fmt"
+	"io"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/compress"
+)
+
+// CondPredictor is the CBP5 conditional-branch predictor interface:
+// GetPrediction must not have side effects; UpdatePredictor both trains the
+// tables and updates the history (there is no separate Track).
+type CondPredictor interface {
+	// GetPrediction returns the predicted outcome for the branch at pc.
+	GetPrediction(pc uint64) bool
+	// UpdatePredictor is called for every conditional branch with the
+	// resolved outcome and the predicted direction.
+	UpdatePredictor(pc uint64, resolveDir, predDir bool, branchTarget uint64)
+	// TrackOtherInst is called for non-conditional branches so the
+	// predictor can keep its history consistent.
+	TrackOtherInst(pc uint64, opType OpType, branchTarget uint64)
+}
+
+// OpType mirrors the CBP5 opcode classification for TrackOtherInst.
+type OpType int
+
+// CBP5 operation types (subset relevant to branch history).
+const (
+	OpTypeJmpDirect OpType = iota
+	OpTypeJmpIndirect
+	OpTypeCallDirect
+	OpTypeCallIndirect
+	OpTypeRet
+)
+
+func opTypeOf(op bp.Opcode) OpType {
+	switch op.Base() {
+	case bp.Call:
+		if op.IsIndirect() {
+			return OpTypeCallIndirect
+		}
+		return OpTypeCallDirect
+	case bp.Ret:
+		return OpTypeRet
+	default:
+		if op.IsIndirect() {
+			return OpTypeJmpIndirect
+		}
+		return OpTypeJmpDirect
+	}
+}
+
+// Results mirrors the counters the CBP5 framework prints at the end of a
+// run.
+type Results struct {
+	TotalInstructions   uint64
+	TotalBranches       uint64
+	CondBranches        uint64
+	Mispredictions      uint64
+	MispredPerKiloInstr float64
+}
+
+// RunTrace is the framework entry point: it opens the (possibly
+// compressed) BT9 trace at path, drives the predictor over it and returns
+// the aggregate counters. The user code has no control over the loop.
+func RunTrace(path string, predictor CondPredictor) (*Results, error) {
+	f, err := compress.OpenFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cbp5: opening trace: %w", err)
+	}
+	defer f.Close()
+	return RunReader(f, predictor)
+}
+
+// RunReader is RunTrace over an already-open BT9 text stream.
+func RunReader(r io.Reader, predictor CondPredictor) (*Results, error) {
+	tr, err := newFrameworkReader(r)
+	if err != nil {
+		return nil, err
+	}
+	res := &Results{}
+	for {
+		ev, err := tr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.TotalInstructions += ev.InstrsSinceLastBranch + 1
+		res.TotalBranches++
+		b := ev.Branch
+		if b.Opcode.IsConditional() {
+			res.CondBranches++
+			pred := predictor.GetPrediction(b.IP)
+			if pred != b.Taken {
+				res.Mispredictions++
+			}
+			predictor.UpdatePredictor(b.IP, b.Taken, pred, b.Target)
+		} else {
+			predictor.TrackOtherInst(b.IP, opTypeOf(b.Opcode), b.Target)
+		}
+	}
+	if res.TotalInstructions > 0 {
+		res.MispredPerKiloInstr = float64(res.Mispredictions) / (float64(res.TotalInstructions) / 1000)
+	}
+	return res, nil
+}
+
+// Adapter wraps an MBPlib predictor for use inside the CBP5 framework,
+// merging Train and Track into the single update call — the direction of
+// reuse that works. (The reverse, using a CBP5 predictor as an MBPlib
+// subcomponent with partial updates, is what §VI-D shows to be impossible
+// without a Train/Track split.)
+type Adapter struct {
+	P bp.Predictor
+}
+
+// GetPrediction implements CondPredictor.
+func (a Adapter) GetPrediction(pc uint64) bool { return a.P.Predict(pc) }
+
+// UpdatePredictor implements CondPredictor: train then track, as the
+// standard simulator would.
+func (a Adapter) UpdatePredictor(pc uint64, resolveDir, predDir bool, branchTarget uint64) {
+	b := bp.Branch{IP: pc, Target: branchTarget, Opcode: bp.OpCondJump, Taken: resolveDir}
+	a.P.Train(b)
+	a.P.Track(b)
+}
+
+// TrackOtherInst implements CondPredictor.
+func (a Adapter) TrackOtherInst(pc uint64, opType OpType, branchTarget uint64) {
+	var op bp.Opcode
+	switch opType {
+	case OpTypeCallDirect:
+		op = bp.OpCall
+	case OpTypeCallIndirect:
+		op = bp.OpIndCall
+	case OpTypeRet:
+		op = bp.OpRet
+	case OpTypeJmpIndirect:
+		op = bp.OpIndJump
+	default:
+		op = bp.OpJump
+	}
+	a.P.Track(bp.Branch{IP: pc, Target: branchTarget, Opcode: op, Taken: true})
+}

@@ -1,0 +1,201 @@
+package cbp5
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/bt9"
+	"mbplib/internal/compress"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+// writeBT9 renders a spec as an in-memory BT9 trace.
+func writeBT9(t *testing.T, spec tracegen.Spec) []byte {
+	t.Helper()
+	g, err := tracegen.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := bt9.NewWriter(&buf)
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testSpec() tracegen.Spec {
+	return tracegen.Spec{
+		Name: "cbp5test", Seed: 21, Branches: 30000,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased}, {Kind: tracegen.Loop},
+			{Kind: tracegen.CallRet}, {Kind: tracegen.Correlated},
+		},
+	}
+}
+
+func TestRunReaderCounts(t *testing.T) {
+	data := writeBT9(t, testSpec())
+	res, err := RunReader(bytes.NewReader(data), Adapter{P: gshare.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBranches != 30000 {
+		t.Errorf("TotalBranches = %d", res.TotalBranches)
+	}
+	if res.CondBranches == 0 || res.CondBranches >= res.TotalBranches {
+		t.Errorf("CondBranches = %d of %d", res.CondBranches, res.TotalBranches)
+	}
+	if res.Mispredictions == 0 {
+		t.Errorf("no mispredictions on a noisy workload")
+	}
+	if res.MispredPerKiloInstr <= 0 {
+		t.Errorf("MPKI = %v", res.MispredPerKiloInstr)
+	}
+}
+
+// TestSimulatorsAgree is the §VII-C check: MBPlib's simulator and the CBP5
+// framework produce identical misprediction counts for the same predictor
+// and trace.
+func TestSimulatorsAgree(t *testing.T) {
+	spec := testSpec()
+	data := writeBT9(t, spec)
+
+	frameworkRes, err := RunReader(bytes.NewReader(data), Adapter{P: gshare.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tracegen.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libRes, err := sim.Run(g, gshare.New(), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frameworkRes.Mispredictions != libRes.Metrics.Mispredictions {
+		t.Errorf("mispredictions differ: framework %d, library %d",
+			frameworkRes.Mispredictions, libRes.Metrics.Mispredictions)
+	}
+	if frameworkRes.CondBranches != libRes.Metadata.NumConditionalBranches {
+		t.Errorf("conditional counts differ: framework %d, library %d",
+			frameworkRes.CondBranches, libRes.Metadata.NumConditionalBranches)
+	}
+	if frameworkRes.TotalInstructions != libRes.Metadata.SimulationInstr {
+		t.Errorf("instruction counts differ: framework %d, library %d",
+			frameworkRes.TotalInstructions, libRes.Metadata.SimulationInstr)
+	}
+	if frameworkRes.MispredPerKiloInstr != libRes.Metrics.MPKI {
+		t.Errorf("MPKI differs: framework %v, library %v",
+			frameworkRes.MispredPerKiloInstr, libRes.Metrics.MPKI)
+	}
+}
+
+func TestRunTraceCompressedFile(t *testing.T) {
+	data := writeBT9(t, testSpec())
+	dir := t.TempDir()
+	for _, name := range []string{"t.bt9", "t.bt9.gz", "t.bt9.mlz"} {
+		path := filepath.Join(dir, name)
+		f, err := compress.CreateFile(path, compress.LevelBest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunTrace(path, Adapter{P: gshare.New()})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalBranches != 30000 {
+			t.Errorf("%s: TotalBranches = %d", name, res.TotalBranches)
+		}
+	}
+}
+
+func TestRunTraceMissingFile(t *testing.T) {
+	if _, err := RunTrace(filepath.Join(t.TempDir(), "nope.bt9"), Adapter{P: gshare.New()}); err == nil {
+		t.Errorf("missing trace accepted")
+	}
+}
+
+// spyPredictor records the framework's calls.
+type spyPredictor struct {
+	predictions int
+	updates     int
+	others      []OpType
+}
+
+func (s *spyPredictor) GetPrediction(uint64) bool { s.predictions++; return true }
+func (s *spyPredictor) UpdatePredictor(pc uint64, resolveDir, predDir bool, target uint64) {
+	s.updates++
+}
+func (s *spyPredictor) TrackOtherInst(pc uint64, op OpType, target uint64) {
+	s.others = append(s.others, op)
+}
+
+func TestFrameworkCallPattern(t *testing.T) {
+	var buf bytes.Buffer
+	w := bt9.NewWriter(&buf)
+	evs := []bp.Event{
+		{Branch: bp.Branch{IP: 0x10, Target: 0x20, Opcode: bp.OpCondJump, Taken: true}},
+		{Branch: bp.Branch{IP: 0x30, Target: 0x40, Opcode: bp.OpCall, Taken: true}},
+		{Branch: bp.Branch{IP: 0x50, Target: 0x24, Opcode: bp.OpRet, Taken: true}},
+		{Branch: bp.Branch{IP: 0x10, Target: 0x20, Opcode: bp.OpCondJump, Taken: false}},
+	}
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Close()
+	spy := &spyPredictor{}
+	res, err := RunReader(&buf, spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spy.predictions != 2 || spy.updates != 2 {
+		t.Errorf("conditional path called %d/%d times, want 2/2", spy.predictions, spy.updates)
+	}
+	if len(spy.others) != 2 || spy.others[0] != OpTypeCallDirect || spy.others[1] != OpTypeRet {
+		t.Errorf("TrackOtherInst calls = %v", spy.others)
+	}
+	if res.Mispredictions != 1 {
+		t.Errorf("mispredictions = %d, want 1 (always-taken spy)", res.Mispredictions)
+	}
+}
+
+func TestOpTypeOf(t *testing.T) {
+	cases := map[bp.Opcode]OpType{
+		bp.OpJump:    OpTypeJmpDirect,
+		bp.OpIndJump: OpTypeJmpIndirect,
+		bp.OpCall:    OpTypeCallDirect,
+		bp.OpIndCall: OpTypeCallIndirect,
+		bp.OpRet:     OpTypeRet,
+	}
+	for op, want := range cases {
+		if got := opTypeOf(op); got != want {
+			t.Errorf("opTypeOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}

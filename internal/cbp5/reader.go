@@ -1,0 +1,201 @@
+package cbp5
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mbplib/internal/bp"
+)
+
+// frameworkReader parses BT9 traces the way the original CBP5 framework's
+// bt9 reader does, and deliberately so: a string split per line, the branch
+// graph held in maps keyed by identifier, and a record object materialised
+// per dynamic branch. The companion package bt9 has an optimised reader for
+// tooling; this one reproduces the baseline whose cost Table III measures —
+// rewriting it efficiently would be benchmarking a different framework.
+type frameworkReader struct {
+	sc    *bufio.Scanner
+	nodes map[int]frameworkNode
+	edges map[int]frameworkEdge
+
+	totalInstructions uint64
+	totalBranches     uint64
+	read              uint64
+	err               error
+}
+
+type frameworkNode struct {
+	ip     uint64
+	opcode bp.Opcode
+}
+
+type frameworkEdge struct {
+	nodeID     int
+	taken      bool
+	target     uint64
+	instrCount uint64
+}
+
+func newFrameworkReader(r io.Reader) (*frameworkReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	fr := &frameworkReader{
+		sc:    sc,
+		nodes: make(map[int]frameworkNode),
+		edges: make(map[int]frameworkEdge),
+	}
+	if err := fr.parsePreamble(); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+func (r *frameworkReader) parsePreamble() error {
+	if !r.sc.Scan() || r.sc.Text() != "BT9_SPA_TRACE_FORMAT" {
+		return errors.New("cbp5: not a BT9 trace")
+	}
+	section := ""
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		if line == "" {
+			continue
+		}
+		switch line {
+		case "BT9_NODES", "BT9_EDGES":
+			section = line
+			continue
+		case "BT9_EDGE_SEQUENCE":
+			return nil
+		}
+		fields := strings.Fields(line)
+		switch section {
+		case "":
+			if len(fields) == 2 {
+				n, err := strconv.ParseUint(fields[1], 10, 64)
+				if err != nil {
+					return fmt.Errorf("cbp5: header line %q: %w", line, err)
+				}
+				switch fields[0] {
+				case "total_instruction_count:":
+					r.totalInstructions = n
+				case "branch_instruction_count:":
+					r.totalBranches = n
+				}
+			}
+		case "BT9_NODES":
+			if err := r.parseNode(fields, line); err != nil {
+				return err
+			}
+		case "BT9_EDGES":
+			if err := r.parseEdge(fields, line); err != nil {
+				return err
+			}
+		}
+	}
+	return errors.New("cbp5: missing BT9_EDGE_SEQUENCE section")
+}
+
+func (r *frameworkReader) parseNode(fields []string, line string) error {
+	if len(fields) != 6 || fields[0] != "NODE" {
+		return fmt.Errorf("cbp5: malformed node line %q", line)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("cbp5: node line %q: %w", line, err)
+	}
+	ip, err := strconv.ParseUint(fields[2], 16, 64)
+	if err != nil {
+		return fmt.Errorf("cbp5: node line %q: %w", line, err)
+	}
+	var base bp.BaseType
+	switch fields[5] {
+	case "JMP":
+		base = bp.Jump
+	case "CAL":
+		base = bp.Call
+	case "RET":
+		base = bp.Ret
+	default:
+		return fmt.Errorf("cbp5: node line %q: bad type", line)
+	}
+	op := bp.NewOpcode(base, fields[3] == "COND", fields[4] == "IND")
+	r.nodes[id] = frameworkNode{ip: ip, opcode: op}
+	return nil
+}
+
+func (r *frameworkReader) parseEdge(fields []string, line string) error {
+	if len(fields) != 6 || fields[0] != "EDGE" {
+		return fmt.Errorf("cbp5: malformed edge line %q", line)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return fmt.Errorf("cbp5: edge line %q: %w", line, err)
+	}
+	nodeID, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return fmt.Errorf("cbp5: edge line %q: %w", line, err)
+	}
+	if _, ok := r.nodes[nodeID]; !ok {
+		return fmt.Errorf("cbp5: edge line %q: unknown node %d", line, nodeID)
+	}
+	target, err := strconv.ParseUint(fields[4], 16, 64)
+	if err != nil {
+		return fmt.Errorf("cbp5: edge line %q: %w", line, err)
+	}
+	count, err := strconv.ParseUint(fields[5], 10, 64)
+	if err != nil {
+		return fmt.Errorf("cbp5: edge line %q: %w", line, err)
+	}
+	r.edges[id] = frameworkEdge{nodeID: nodeID, taken: fields[3] == "T", target: target, instrCount: count}
+	return nil
+}
+
+// next materialises the next dynamic branch record, as the original
+// framework's iterator does: parse the id, look the edge up, look its node
+// up, build the record.
+func (r *frameworkReader) next() (*bp.Event, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for r.sc.Scan() {
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" {
+			continue
+		}
+		id, err := strconv.Atoi(line)
+		if err != nil {
+			r.err = fmt.Errorf("cbp5: bad sequence entry %q", line)
+			return nil, r.err
+		}
+		edge, ok := r.edges[id]
+		if !ok {
+			r.err = fmt.Errorf("cbp5: unknown edge %d", id)
+			return nil, r.err
+		}
+		node := r.nodes[edge.nodeID]
+		r.read++
+		return &bp.Event{
+			Branch: bp.Branch{
+				IP:     node.ip,
+				Target: edge.target,
+				Opcode: node.opcode,
+				Taken:  edge.taken,
+			},
+			InstrsSinceLastBranch: edge.instrCount,
+		}, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = err
+		return nil, err
+	}
+	if r.read < r.totalBranches {
+		r.err = fmt.Errorf("cbp5: sequence ends after %d of %d branches: %w", r.read, r.totalBranches, bp.ErrTruncated)
+		return nil, r.err
+	}
+	r.err = io.EOF
+	return nil, io.EOF
+}

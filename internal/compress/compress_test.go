@@ -1,0 +1,167 @@
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		prefix []byte
+		want   Format
+	}{
+		{[]byte{0x1f, 0x8b, 8, 0}, FormatGzip},
+		{[]byte("MLZ1"), FormatMLZ},
+		{[]byte("SBBT"), FormatRaw},
+		{[]byte{}, FormatRaw},
+		{[]byte{0x1f}, FormatRaw},
+	}
+	for _, c := range cases {
+		if got := Detect(c.prefix); got != c.want {
+			t.Errorf("Detect(%v) = %v, want %v", c.prefix, got, c.want)
+		}
+	}
+}
+
+func TestFormatForPath(t *testing.T) {
+	cases := map[string]Format{
+		"trace.sbbt.gz":  FormatGzip,
+		"trace.sbbt.mlz": FormatMLZ,
+		"trace.sbbt":     FormatRaw,
+		"trace.bt9":      FormatRaw,
+	}
+	for path, want := range cases {
+		if got := FormatForPath(path); got != want {
+			t.Errorf("FormatForPath(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatRaw.String() != "raw" || FormatGzip.String() != "gzip" || FormatMLZ.String() != "mlz" {
+		t.Errorf("Format.String names wrong: %v %v %v", FormatRaw, FormatGzip, FormatMLZ)
+	}
+}
+
+func TestNewReaderAutoDetectsGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte("payload data here")); err != nil {
+		t.Fatal(err)
+	}
+	_ = zw.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "payload data here" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+}
+
+func TestNewReaderAutoDetectsMLZ(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewMLZWriter(&buf, LevelBest)
+	_, _ = w.Write(bytes.Repeat([]byte("mlz payload "), 100))
+	_ = w.Close()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || !bytes.Equal(got, bytes.Repeat([]byte("mlz payload "), 100)) {
+		t.Fatalf("MLZ auto-detect round trip failed: %v", err)
+	}
+}
+
+func TestNewReaderRawPassThrough(t *testing.T) {
+	r, err := NewReader(bytes.NewReader([]byte("plain text")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != "plain text" {
+		t.Errorf("raw pass-through = %q", got)
+	}
+}
+
+func TestNewReaderEmpty(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatalf("NewReader on empty input: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input read = %q, %v", got, err)
+	}
+}
+
+func TestNewWriterFormats(t *testing.T) {
+	payload := bytes.Repeat([]byte("format test data "), 200)
+	for _, format := range []Format{FormatRaw, FormatGzip, FormatMLZ} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, format, LevelBest)
+		if err != nil {
+			t.Fatalf("NewWriter(%v): %v", format, err)
+		}
+		if _, err := w.Write(payload); err != nil {
+			t.Fatalf("Write(%v): %v", format, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close(%v): %v", format, err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatalf("NewReader(%v): %v", format, err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("format %v round trip failed: %v", format, err)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("file round trip "), 500)
+	for _, name := range []string{"t.raw", "t.gz", "t.mlz"} {
+		path := filepath.Join(dir, name)
+		f, err := CreateFile(path, LevelBest)
+		if err != nil {
+			t.Fatalf("CreateFile(%s): %v", name, err)
+		}
+		if _, err := f.Write(payload); err != nil {
+			t.Fatalf("Write(%s): %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("Close(%s): %v", name, err)
+		}
+		g, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("OpenFile(%s): %v", name, err)
+		}
+		got, err := io.ReadAll(g)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("file %s round trip failed: %v", name, err)
+		}
+		_ = g.Close()
+	}
+	// Compressed files must actually be smaller than raw for this payload.
+	rawInfo, _ := os.Stat(filepath.Join(dir, "t.raw"))
+	gzInfo, _ := os.Stat(filepath.Join(dir, "t.gz"))
+	mlzInfo, _ := os.Stat(filepath.Join(dir, "t.mlz"))
+	if gzInfo.Size() >= rawInfo.Size() || mlzInfo.Size() >= rawInfo.Size() {
+		t.Errorf("compressed sizes raw=%d gz=%d mlz=%d", rawInfo.Size(), gzInfo.Size(), mlzInfo.Size())
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Errorf("OpenFile on missing path succeeded")
+	}
+}

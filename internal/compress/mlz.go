@@ -1,0 +1,618 @@
+// Package compress provides the trace compression layer of the suite.
+//
+// The paper distributes SBBT traces compressed with zstandard and keeps
+// gzip support for the original CBP5 trace distribution (§IV, §VII-D).
+// zstd is not part of the Go standard library, so this package implements
+// MLZ, a from-scratch byte-oriented LZ77 block format in the LZ4/zstd
+// family: much faster to decompress than DEFLATE and with a better ratio
+// on the highly redundant SBBT packet stream. gzip is provided through
+// compress/gzip. NewReader auto-detects the format from magic bytes, so
+// simulators can open traces compressed either way (or not at all).
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MLZ frame layout:
+//
+//	magic "MLZ1" (4 bytes)
+//	repeated blocks:
+//	    rawLen  uvarint   — decompressed size of the block (0 terminates)
+//	    kind    1 byte    — 0 stored, 1 LZ token stream, 2 Huffman-coded
+//	                        LZ token stream (see huffman.go)
+//	    dataLen uvarint   — encoded size of the payload
+//	    payload dataLen bytes
+//
+// Token stream (LZ4/zstd-style): a sequence of
+//
+//	token byte: high nibble = literal length, low nibble = match length - minMatch
+//	            a nibble value of 15 is extended by additional bytes, each
+//	            adding up to 255, terminated by a byte < 255
+//	literal bytes
+//	offset code, 1 byte (absent in the final sequence):
+//	            0-2 reuse the 1st/2nd/3rd most recent distinct offset
+//	            (zstd's repeat-offset codes: trace matches recur at the
+//	            same distances, e.g. one loop iteration back, so most
+//	            matches need no explicit offset at all)
+//	            3 means a new offset follows as 3 little-endian bytes
+//
+// The final sequence of a block carries only literals (match nibble 0 and
+// no offset bytes follow the literals when the stream ends). The repeat-
+// offset history starts each block as {1, 2, 4}.
+var mlzMagic = [4]byte{'M', 'L', 'Z', '1'}
+
+const (
+	// mlzBlockSize is the raw bytes per independently compressed block.
+	// 4 MiB plays the role of zstd's large match window (the paper uses
+	// level 22): branch traces are dominated by long-range repetition —
+	// loops re-emitting identical packet runs — that a small window such
+	// as gzip's 32 KiB cannot exploit (§IV, §VII-D).
+	mlzBlockSize = 1 << 22
+	mlzMinMatch  = 4
+	mlzMaxOffset = mlzBlockSize - 1
+)
+
+// Block kinds.
+const (
+	blockStored  = 0
+	blockLZ      = 1
+	blockHuffman = 2
+)
+
+// Level selects the effort of the MLZ match search.
+type Level int
+
+// Compression levels. LevelBest plays the role of zstd's maximum level in
+// the paper (§IV): it is slower to compress but decompresses just as fast.
+const (
+	LevelFast Level = iota // greedy, single hash probe
+	LevelBest              // hash chains with lazy matching
+)
+
+// mlzWriter implements io.WriteCloser, buffering input into blocks.
+type mlzWriter struct {
+	w       io.Writer
+	level   Level
+	buf     []byte
+	enc     mlzEncoder
+	huffBuf []byte
+	wrote   bool
+	err     error
+}
+
+// NewMLZWriter returns a WriteCloser that MLZ-compresses everything written
+// to it into w. Close flushes the final block and the end-of-frame marker
+// but does not close w.
+func NewMLZWriter(w io.Writer, level Level) io.WriteCloser {
+	// The block buffer grows on demand so small streams stay cheap.
+	return &mlzWriter{w: w, level: level, buf: make([]byte, 0, 1<<16)}
+}
+
+func (z *mlzWriter) Write(p []byte) (int, error) {
+	if z.err != nil {
+		return 0, z.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		space := mlzBlockSize - len(z.buf)
+		take := len(p)
+		if take > space {
+			take = space
+		}
+		z.buf = append(z.buf, p[:take]...)
+		p = p[take:]
+		if len(z.buf) == mlzBlockSize {
+			if z.err = z.flushBlock(); z.err != nil {
+				return n - len(p), z.err
+			}
+		}
+	}
+	return n, nil
+}
+
+func (z *mlzWriter) flushBlock() error {
+	if !z.wrote {
+		if _, err := z.w.Write(mlzMagic[:]); err != nil {
+			return err
+		}
+		z.wrote = true
+	}
+	if len(z.buf) == 0 {
+		return nil
+	}
+	payload := z.enc.encode(z.buf, z.level)
+	kind := byte(blockLZ)
+	if huff, ok := huffEncode(payload, z.huffBuf); ok {
+		z.huffBuf = huff
+		payload = huff
+		kind = blockHuffman
+	}
+	if len(payload) >= len(z.buf) {
+		payload = z.buf
+		kind = blockStored
+	}
+	var hdr [2*binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(z.buf)))
+	hdr[n] = kind
+	n++
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	if _, err := z.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := z.w.Write(payload); err != nil {
+		return err
+	}
+	z.buf = z.buf[:0]
+	return nil
+}
+
+// Close flushes buffered data and writes the end-of-frame marker.
+func (z *mlzWriter) Close() error {
+	if z.err != nil {
+		return z.err
+	}
+	if err := z.flushBlock(); err != nil {
+		z.err = err
+		return err
+	}
+	if !z.wrote { // empty stream still gets a valid frame
+		if _, err := z.w.Write(mlzMagic[:]); err != nil {
+			z.err = err
+			return err
+		}
+		z.wrote = true
+	}
+	if _, err := z.w.Write([]byte{0}); err != nil { // rawLen 0 terminates
+		z.err = err
+		return err
+	}
+	z.err = errors.New("compress: writer closed")
+	return nil
+}
+
+// mlzEncoder holds reusable match-finding state.
+type mlzEncoder struct {
+	head []int32 // hash -> most recent position
+	prev []int32 // position -> previous position with same hash
+	out  []byte
+	reps [3]int // repeat-offset history, most recent first
+}
+
+const (
+	mlzHashBits = 17
+	mlzHashLen  = 1 << mlzHashBits
+)
+
+func mlzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - mlzHashBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// encode compresses src into the encoder's reusable buffer and returns it.
+// The returned slice is valid until the next call.
+func (e *mlzEncoder) encode(src []byte, level Level) []byte {
+	if e.head == nil {
+		e.head = make([]int32, mlzHashLen)
+	}
+	if cap(e.prev) < len(src) {
+		e.prev = make([]int32, len(src))
+	}
+	for i := range e.head {
+		e.head[i] = -1
+	}
+	e.out = e.out[:0]
+	e.reps = initialReps
+	chainDepth := 1
+	lazy := false
+	if level == LevelBest {
+		chainDepth = 128
+		lazy = true
+	}
+
+	litStart := 0
+	i := 0
+	for i+mlzMinMatch <= len(src) {
+		off, length := e.bestMatch(src, i, chainDepth)
+		if length >= mlzMinMatch && lazy && i+1+mlzMinMatch <= len(src) {
+			// Lazy matching: if starting one byte later yields a strictly
+			// longer match, emit this byte as a literal instead.
+			e.insert(src, i)
+			off2, length2 := e.bestMatch(src, i+1, chainDepth)
+			if length2 > length+1 {
+				i++
+				off, length = off2, length2
+			} else {
+				e.emit(src[litStart:i], off, length)
+				for j := i + 1; j < i+length && j+mlzMinMatch <= len(src); j++ {
+					e.insert(src, j)
+				}
+				i += length
+				litStart = i
+				continue
+			}
+		}
+		if length >= mlzMinMatch {
+			e.emit(src[litStart:i], off, length)
+			for j := i; j < i+length && j+mlzMinMatch <= len(src); j++ {
+				e.insert(src, j)
+			}
+			i += length
+			litStart = i
+		} else {
+			e.insert(src, i)
+			i++
+		}
+	}
+	// Final literal-only sequence.
+	e.emitFinal(src[litStart:])
+	return e.out
+}
+
+// insert records position i in the match-finder structures.
+func (e *mlzEncoder) insert(src []byte, i int) {
+	h := mlzHash(load32(src, i))
+	e.prev[i] = e.head[h]
+	e.head[h] = int32(i)
+}
+
+// bestMatch picks between the hash-chain match and a match at one of the
+// repeat offsets. A repeat-offset match within two bytes of the best chain
+// match wins: its encoding costs one byte instead of four, the preference
+// zstd's match finder applies.
+func (e *mlzEncoder) bestMatch(src []byte, i, depth int) (offset, length int) {
+	off, l := e.findMatch(src, i, depth)
+	repOff, repLen := 0, 0
+	for _, r := range e.reps {
+		if r <= 0 || r > i {
+			continue
+		}
+		if load32(src, i-r) != load32(src, i) {
+			continue
+		}
+		rl := mlzMinMatch
+		for i+rl < len(src) && src[i-r+rl] == src[i+rl] {
+			rl++
+		}
+		if rl > repLen {
+			repOff, repLen = r, rl
+		}
+	}
+	if repLen >= mlzMinMatch && repLen+2 >= l {
+		return repOff, repLen
+	}
+	return off, l
+}
+
+// findMatch searches for the longest match for the data at position i,
+// probing up to depth chain entries. It returns the offset (i - matchPos)
+// and length, or (0,0) when no acceptable match exists.
+func (e *mlzEncoder) findMatch(src []byte, i, depth int) (offset, length int) {
+	h := mlzHash(load32(src, i))
+	cand := e.head[h]
+	limit := len(src)
+	for d := 0; d < depth && cand >= 0; d++ {
+		c := int(cand)
+		if i-c > mlzMaxOffset {
+			break
+		}
+		if load32(src, c) == load32(src, i) {
+			l := mlzMinMatch
+			for i+l < limit && src[c+l] == src[i+l] {
+				l++
+			}
+			if l > length {
+				length, offset = l, i-c
+			}
+		}
+		cand = e.prev[c]
+	}
+	if length < mlzMinMatch {
+		return 0, 0
+	}
+	return offset, length
+}
+
+// initialReps seeds the repeat-offset history of every block.
+var initialReps = [3]int{1, 2, 4}
+
+// emit appends one sequence in the order the decoder consumes it: token,
+// extended literal length, literals, extended match length, offset code
+// (plus the offset bytes when it is not a repeat).
+func (e *mlzEncoder) emit(lits []byte, offset, length int) {
+	matchExtra := length - mlzMinMatch
+	e.writeToken(len(lits), matchExtra)
+	e.out = append(e.out, lits...)
+	if matchExtra >= 15 {
+		e.writeExtra(matchExtra - 15)
+	}
+	switch offset {
+	case e.reps[0]:
+		e.out = append(e.out, 0)
+	case e.reps[1]:
+		e.out = append(e.out, 1)
+		e.reps[0], e.reps[1] = e.reps[1], e.reps[0]
+	case e.reps[2]:
+		e.out = append(e.out, 2)
+		e.reps[0], e.reps[1], e.reps[2] = e.reps[2], e.reps[0], e.reps[1]
+	default:
+		e.out = append(e.out, 3, byte(offset), byte(offset>>8), byte(offset>>16))
+		e.reps[0], e.reps[1], e.reps[2] = offset, e.reps[0], e.reps[1]
+	}
+}
+
+// emitFinal appends the trailing literal-only sequence: no match extras and
+// no offset bytes; the block payload ends right after the literals.
+func (e *mlzEncoder) emitFinal(lits []byte) {
+	if len(lits) == 0 {
+		return
+	}
+	e.writeToken(len(lits), 0)
+	e.out = append(e.out, lits...)
+}
+
+// writeToken appends the token byte and, when the literal length overflows
+// its nibble, the extension bytes that immediately follow the token.
+func (e *mlzEncoder) writeToken(litLen, matchExtra int) {
+	litNib, matchNib := litLen, matchExtra
+	if litNib > 15 {
+		litNib = 15
+	}
+	if matchNib > 15 {
+		matchNib = 15
+	}
+	e.out = append(e.out, byte(litNib<<4|matchNib))
+	if litNib == 15 {
+		e.writeExtra(litLen - 15)
+	}
+}
+
+func (e *mlzEncoder) writeExtra(v int) {
+	for v >= 255 {
+		e.out = append(e.out, 255)
+		v -= 255
+	}
+	e.out = append(e.out, byte(v))
+}
+
+// mlzReader implements io.Reader over an MLZ frame.
+type mlzReader struct {
+	r     io.ByteReader
+	src   io.Reader
+	block []byte
+	pos   int
+	raw   []byte
+	huff  huffDecoder
+	done  bool
+	err   error
+}
+
+// NewMLZReader returns a Reader that decompresses an MLZ frame from r. It
+// assumes the 4-byte magic has NOT been consumed yet.
+func NewMLZReader(r io.Reader) (io.Reader, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("compress: reading MLZ magic: %w", err)
+	}
+	if magic != mlzMagic {
+		return nil, errors.New("compress: not an MLZ stream")
+	}
+	return newMLZBody(r), nil
+}
+
+// newMLZBody wraps a stream positioned just after the magic bytes.
+func newMLZBody(r io.Reader) io.Reader {
+	br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	})
+	if ok {
+		return &mlzReader{r: br, src: br}
+	}
+	bb := &byteReader{r: r}
+	return &mlzReader{r: bb, src: bb}
+}
+
+// byteReader adds a trivial ReadByte to an io.Reader.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+func (z *mlzReader) Read(p []byte) (int, error) {
+	for {
+		if z.err != nil {
+			return 0, z.err
+		}
+		if z.pos < len(z.block) {
+			n := copy(p, z.block[z.pos:])
+			z.pos += n
+			return n, nil
+		}
+		if z.done {
+			return 0, io.EOF
+		}
+		if err := z.nextBlock(); err != nil {
+			z.err = err
+			return 0, err
+		}
+	}
+}
+
+func (z *mlzReader) nextBlock() error {
+	rawLen, err := binary.ReadUvarint(z.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	if rawLen == 0 {
+		z.done = true
+		return io.EOF
+	}
+	if rawLen > mlzBlockSize {
+		return fmt.Errorf("compress: MLZ block raw length %d exceeds %d", rawLen, mlzBlockSize)
+	}
+	kind, err := z.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("compress: MLZ block kind: %w", err)
+	}
+	dataLen, err := binary.ReadUvarint(z.r)
+	if err != nil {
+		return fmt.Errorf("compress: MLZ block header: %w", err)
+	}
+	if dataLen > mlzBlockSize {
+		return fmt.Errorf("compress: MLZ block data length %d exceeds %d", dataLen, mlzBlockSize)
+	}
+	if cap(z.raw) < int(dataLen) {
+		z.raw = make([]byte, dataLen)
+	}
+	payload := z.raw[:dataLen]
+	if _, err := io.ReadFull(z.src, payload); err != nil {
+		return fmt.Errorf("compress: MLZ block payload: %w", err)
+	}
+	if cap(z.block) < int(rawLen) {
+		z.block = make([]byte, rawLen)
+	}
+	switch kind {
+	case blockStored:
+		if dataLen != rawLen {
+			return errMLZCorrupt
+		}
+		z.block = z.block[:rawLen]
+		copy(z.block, payload)
+	case blockHuffman:
+		lz, err := z.huff.decode(payload)
+		if err != nil {
+			return err
+		}
+		z.block, err = mlzDecodeBlock(z.block[:0], lz, int(rawLen))
+		if err != nil {
+			return err
+		}
+	case blockLZ:
+		z.block, err = mlzDecodeBlock(z.block[:0], payload, int(rawLen))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("compress: unknown MLZ block kind %d", kind)
+	}
+	z.pos = 0
+	return nil
+}
+
+var errMLZCorrupt = errors.New("compress: corrupt MLZ block")
+
+// mlzDecodeBlock decompresses one token-stream payload into dst, which must
+// have capacity for rawLen bytes. It returns dst grown to rawLen.
+func mlzDecodeBlock(dst, payload []byte, rawLen int) ([]byte, error) {
+	p := 0
+	reps := initialReps
+	for p < len(payload) {
+		token := payload[p]
+		p++
+		litLen := int(token >> 4)
+		matchExtra := int(token & 0xf)
+		if litLen == 15 {
+			n, np, err := mlzReadExtra(payload, p)
+			if err != nil {
+				return nil, err
+			}
+			litLen, p = 15+n, np
+		}
+		if litLen > 0 {
+			if p+litLen > len(payload) || len(dst)+litLen > rawLen {
+				return nil, errMLZCorrupt
+			}
+			dst = append(dst, payload[p:p+litLen]...)
+			p += litLen
+		}
+		if p == len(payload) {
+			// Final literal-only sequence.
+			break
+		}
+		if matchExtra == 15 {
+			n, np, err := mlzReadExtra(payload, p)
+			if err != nil {
+				return nil, err
+			}
+			matchExtra, p = 15+n, np
+		}
+		if p >= len(payload) {
+			return nil, errMLZCorrupt
+		}
+		var offset int
+		switch code := payload[p]; code {
+		case 0:
+			p++
+			offset = reps[0]
+		case 1:
+			p++
+			offset = reps[1]
+			reps[0], reps[1] = reps[1], reps[0]
+		case 2:
+			p++
+			offset = reps[2]
+			reps[0], reps[1], reps[2] = reps[2], reps[0], reps[1]
+		case 3:
+			if p+4 > len(payload) {
+				return nil, errMLZCorrupt
+			}
+			offset = int(payload[p+1]) | int(payload[p+2])<<8 | int(payload[p+3])<<16
+			p += 4
+			reps[0], reps[1], reps[2] = offset, reps[0], reps[1]
+		default:
+			return nil, errMLZCorrupt
+		}
+		matchLen := matchExtra + mlzMinMatch
+		if offset == 0 || offset > len(dst) || len(dst)+matchLen > rawLen {
+			return nil, errMLZCorrupt
+		}
+		start := len(dst) - offset
+		if offset >= matchLen {
+			// Non-overlapping: one bulk copy.
+			dst = append(dst, dst[start:start+matchLen]...)
+		} else {
+			// Overlapping matches (offset < matchLen) are the run-length
+			// case and must replicate already-copied bytes one at a time.
+			for i := 0; i < matchLen; i++ {
+				dst = append(dst, dst[start+i])
+			}
+		}
+	}
+	if len(dst) != rawLen {
+		return nil, errMLZCorrupt
+	}
+	return dst, nil
+}
+
+func mlzReadExtra(payload []byte, p int) (n, newP int, err error) {
+	for {
+		if p >= len(payload) {
+			return 0, 0, errMLZCorrupt
+		}
+		b := payload[p]
+		p++
+		n += int(b)
+		if b < 255 {
+			return n, p, nil
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package cst
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"mbplib/internal/bp"
+)
+
+func TestRecordSize(t *testing.T) {
+	var in Instruction
+	buf := in.AppendTo(nil)
+	if len(buf) != RecordSize {
+		t.Fatalf("encoded record is %d bytes, want %d", len(buf), RecordSize)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := Instruction{
+		IP:          0x400123,
+		IsBranch:    true,
+		BranchTaken: true,
+		DestRegs:    [2]uint8{RegInstructionPointer, RegStackPointer},
+		SrcRegs:     [4]uint8{RegFlags, 40, 0, 0},
+		DestMem:     [2]uint64{0xdead0000, 0},
+		SrcMem:      [4]uint64{0xbeef0000, 0xbeef0040, 0, 0},
+	}
+	buf := in.AppendTo(nil)
+	var out Instruction
+	if err := out.Decode(buf); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(ip uint64, isBr, taken bool, d0, d1, s0, s1 uint8, m0, m1 uint64) bool {
+		in := Instruction{IP: ip, IsBranch: isBr, BranchTaken: taken,
+			DestRegs: [2]uint8{d0, d1}, SrcRegs: [4]uint8{s0, s1, 0, 0},
+			DestMem: [2]uint64{m0, 0}, SrcMem: [4]uint64{m1, 0, 0, 0}}
+		var out Instruction
+		if err := out.Decode(in.AppendTo(nil)); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	var in Instruction
+	if err := in.Decode(make([]byte, 10)); err == nil {
+		t.Errorf("short record accepted")
+	}
+}
+
+func TestSetBranchClassifyRoundTrip(t *testing.T) {
+	opcodes := []bp.Opcode{
+		bp.OpJump, bp.OpCondJump, bp.OpIndJump,
+		bp.OpCall, bp.OpIndCall, bp.OpRet,
+		bp.NewOpcode(bp.Jump, true, true),
+	}
+	for _, op := range opcodes {
+		var in Instruction
+		in.SetBranch(op, true)
+		got, ok := in.Classify()
+		if !ok {
+			t.Errorf("opcode %v: Classify says not a branch", op)
+			continue
+		}
+		if got != op {
+			t.Errorf("opcode %v classified as %v", op, got)
+		}
+	}
+}
+
+func TestClassifyNonBranch(t *testing.T) {
+	in := Instruction{IP: 4, DestRegs: [2]uint8{40, 0}, SrcRegs: [4]uint8{41, 42, 0, 0}}
+	if _, ok := in.Classify(); ok {
+		t.Errorf("ALU instruction classified as branch")
+	}
+}
+
+func TestLoadStoreDetection(t *testing.T) {
+	load := Instruction{SrcMem: [4]uint64{0x1000}}
+	store := Instruction{DestMem: [2]uint64{0x2000}}
+	if !load.IsLoad() || load.IsStore() {
+		t.Errorf("load detection wrong")
+	}
+	if !store.IsStore() || store.IsLoad() {
+		t.Errorf("store detection wrong")
+	}
+}
+
+func TestReaderWriterRoundTrip(t *testing.T) {
+	const n = 5000
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Instruction
+	for i := 0; i < n; i++ {
+		in := Instruction{IP: 0x400000 + uint64(i)*4, SrcRegs: [4]uint8{uint8(i), 0, 0, 0}}
+		if i%7 == 0 {
+			in.SetBranch(bp.OpCondJump, i%2 == 0)
+		}
+		want = append(want, in)
+		if err := w.Write(&in); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if buf.Len() != HeaderSize+n*RecordSize {
+		t.Errorf("trace size = %d, want %d", buf.Len(), HeaderSize+n*RecordSize)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalInstructions() != n {
+		t.Errorf("TotalInstructions = %d", r.TotalInstructions())
+	}
+	var got Instruction
+	for i := 0; i < n; i++ {
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if err := r.Read(&got); err != io.EOF {
+		t.Errorf("final Read = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 10)
+	in := Instruction{IP: 4}
+	for i := 0; i < 10; i++ {
+		_ = w.Write(&in)
+	}
+	_ = w.Close()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:HeaderSize+3*RecordSize+7]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		if lastErr = r.Read(&in); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil || lastErr == io.EOF {
+		t.Errorf("truncated trace error = %v", lastErr)
+	}
+}
+
+func TestWriterEnforcesCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 1)
+	in := Instruction{IP: 4}
+	_ = w.Write(&in)
+	if err := w.Write(&in); err == nil {
+		t.Errorf("Write beyond promised count succeeded")
+	}
+	w2, _ := NewWriter(&buf, 5)
+	_ = w2.Write(&in)
+	if err := w2.Close(); err == nil {
+		t.Errorf("Close with undercount succeeded")
+	}
+}
+
+func TestNewReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX12345678"))); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("CS"))); err == nil {
+		t.Errorf("short header accepted")
+	}
+}

@@ -1,0 +1,249 @@
+// Package opt searches predictor parameter spaces, the use case of §VI-B of
+// the MBPlib paper: when a predictor has dozens of parameters, exhaustive
+// sweeps become infeasible, and the fact that MBPlib is a library means an
+// optimizer can call the simulator inside its objective function. The
+// package provides integer-box hill climbing and a small genetic algorithm;
+// both are deterministic given their seed.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"mbplib/internal/utils"
+)
+
+// Param is one integer parameter with an inclusive range.
+type Param struct {
+	Name     string
+	Min, Max int
+}
+
+// Point is an assignment of values to parameters.
+type Point map[string]int
+
+// clone copies a point.
+func (p Point) clone() Point {
+	q := make(Point, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// Objective evaluates a point; lower is better (e.g. MPKI).
+type Objective func(Point) float64
+
+// Result reports the outcome of a search.
+type Result struct {
+	Best        Point
+	BestScore   float64
+	Evaluations int
+}
+
+func validate(params []Param) error {
+	if len(params) == 0 {
+		return fmt.Errorf("opt: no parameters")
+	}
+	seen := map[string]bool{}
+	for _, p := range params {
+		if p.Name == "" || p.Min > p.Max {
+			return fmt.Errorf("opt: invalid parameter %+v", p)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("opt: duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// HillClimb performs steepest-descent hill climbing from start: each round
+// evaluates every ±1 neighbour of the incumbent and moves to the best
+// strictly improving one, stopping at a local optimum or after maxEvals
+// objective evaluations. Results are cached so re-visited points are free.
+func HillClimb(params []Param, start Point, obj Objective, maxEvals int) (*Result, error) {
+	if err := validate(params); err != nil {
+		return nil, err
+	}
+	if maxEvals <= 0 {
+		maxEvals = 100
+	}
+	cur := start.clone()
+	for _, p := range params {
+		v, ok := cur[p.Name]
+		if !ok {
+			v = (p.Min + p.Max) / 2
+		}
+		if v < p.Min {
+			v = p.Min
+		}
+		if v > p.Max {
+			v = p.Max
+		}
+		cur[p.Name] = v
+	}
+
+	cache := map[string]float64{}
+	evals := 0
+	eval := func(pt Point) float64 {
+		key := pointKey(params, pt)
+		if s, ok := cache[key]; ok {
+			return s
+		}
+		evals++
+		s := obj(pt)
+		cache[key] = s
+		return s
+	}
+
+	best := cur.clone()
+	bestScore := eval(best)
+	for evals < maxEvals {
+		improved := false
+		cand := best.clone()
+		candScore := bestScore
+		for _, p := range params {
+			for _, delta := range []int{-1, 1} {
+				v := best[p.Name] + delta
+				if v < p.Min || v > p.Max {
+					continue
+				}
+				n := best.clone()
+				n[p.Name] = v
+				s := eval(n)
+				if s < candScore {
+					cand, candScore = n, s
+					improved = true
+				}
+				if evals >= maxEvals {
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+		best, bestScore = cand, candScore
+	}
+	return &Result{Best: best, BestScore: bestScore, Evaluations: evals}, nil
+}
+
+// GeneticConfig parameterises Genetic.
+type GeneticConfig struct {
+	Population  int // default 12
+	Generations int // default 10
+	Seed        uint64
+	// MutationNum/MutationDen is the per-gene mutation probability.
+	// Default 1/4.
+	MutationNum, MutationDen int
+}
+
+// Genetic runs a small generational genetic algorithm: tournament
+// selection, uniform crossover, ±step mutation.
+func Genetic(params []Param, obj Objective, cfg GeneticConfig) (*Result, error) {
+	if err := validate(params); err != nil {
+		return nil, err
+	}
+	if cfg.Population <= 1 {
+		cfg.Population = 12
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 10
+	}
+	if cfg.MutationDen <= 0 {
+		cfg.MutationNum, cfg.MutationDen = 1, 4
+	}
+	rng := utils.NewRand(cfg.Seed + 1)
+
+	type indiv struct {
+		pt    Point
+		score float64
+	}
+	randomPoint := func() Point {
+		pt := make(Point, len(params))
+		for _, p := range params {
+			pt[p.Name] = p.Min + rng.Intn(p.Max-p.Min+1)
+		}
+		return pt
+	}
+
+	evals := 0
+	cache := map[string]float64{}
+	eval := func(pt Point) float64 {
+		key := pointKey(params, pt)
+		if s, ok := cache[key]; ok {
+			return s
+		}
+		evals++
+		s := obj(pt)
+		cache[key] = s
+		return s
+	}
+
+	pop := make([]indiv, cfg.Population)
+	for i := range pop {
+		pt := randomPoint()
+		pop[i] = indiv{pt, eval(pt)}
+	}
+	best := pop[0]
+	for _, in := range pop {
+		if in.score < best.score {
+			best = in
+		}
+	}
+
+	pick := func() indiv { // 2-way tournament
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if a.score <= b.score {
+			return a
+		}
+		return b
+	}
+	for g := 0; g < cfg.Generations; g++ {
+		next := make([]indiv, 0, cfg.Population)
+		next = append(next, best) // elitism
+		for len(next) < cfg.Population {
+			ma, pa := pick(), pick()
+			child := make(Point, len(params))
+			for _, p := range params {
+				v := ma.pt[p.Name]
+				if rng.Bool(1, 2) {
+					v = pa.pt[p.Name]
+				}
+				if rng.Bool(cfg.MutationNum, cfg.MutationDen) {
+					v += rng.Intn(3) - 1
+				}
+				if v < p.Min {
+					v = p.Min
+				}
+				if v > p.Max {
+					v = p.Max
+				}
+				child[p.Name] = v
+			}
+			next = append(next, indiv{child, eval(child)})
+		}
+		pop = next
+		for _, in := range pop {
+			if in.score < best.score {
+				best = in
+			}
+		}
+	}
+	return &Result{Best: best.pt, BestScore: best.score, Evaluations: evals}, nil
+}
+
+// pointKey renders a point canonically for caching.
+func pointKey(params []Param, pt Point) string {
+	names := make([]string, 0, len(params))
+	for _, p := range params {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	key := ""
+	for _, n := range names {
+		key += fmt.Sprintf("%s=%d;", n, pt[n])
+	}
+	return key
+}

@@ -1,0 +1,128 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// bowl is a convex objective with minimum at (7, -3).
+func bowl(pt Point) float64 {
+	dx := float64(pt["x"] - 7)
+	dy := float64(pt["y"] + 3)
+	return dx*dx + dy*dy
+}
+
+var bowlParams = []Param{{Name: "x", Min: 0, Max: 20}, {Name: "y", Min: -10, Max: 10}}
+
+func TestHillClimbFindsMinimum(t *testing.T) {
+	res, err := HillClimb(bowlParams, Point{"x": 0, "y": 10}, bowl, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["x"] != 7 || res.Best["y"] != -3 {
+		t.Errorf("best = %v, want x=7 y=-3", res.Best)
+	}
+	if res.BestScore != 0 {
+		t.Errorf("best score = %v", res.BestScore)
+	}
+	if res.Evaluations == 0 || res.Evaluations > 500 {
+		t.Errorf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestHillClimbDefaultsStartToMidpoint(t *testing.T) {
+	res, err := HillClimb(bowlParams, Point{}, bowl, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["x"] != 7 || res.Best["y"] != -3 {
+		t.Errorf("best = %v", res.Best)
+	}
+}
+
+func TestHillClimbClampsStart(t *testing.T) {
+	res, err := HillClimb(bowlParams, Point{"x": 999, "y": -999}, bowl, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best["x"] < 0 || res.Best["x"] > 20 {
+		t.Errorf("x out of range: %v", res.Best)
+	}
+}
+
+func TestHillClimbRespectsBudget(t *testing.T) {
+	res, err := HillClimb(bowlParams, Point{"x": 0, "y": 10}, bowl, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 5 {
+		t.Errorf("evaluations = %d, budget 5", res.Evaluations)
+	}
+}
+
+func TestHillClimbCachesRepeatedPoints(t *testing.T) {
+	calls := 0
+	counting := func(pt Point) float64 { calls++; return bowl(pt) }
+	res, err := HillClimb(bowlParams, Point{"x": 6, "y": -3}, counting, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evaluations {
+		t.Errorf("objective called %d times, reported %d", calls, res.Evaluations)
+	}
+}
+
+func TestGeneticFindsGoodPoint(t *testing.T) {
+	res, err := Genetic(bowlParams, bowl, GeneticConfig{Population: 16, Generations: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore > 2 {
+		t.Errorf("genetic best score = %v, want near 0 (best %v)", res.BestScore, res.Best)
+	}
+}
+
+func TestGeneticDeterministic(t *testing.T) {
+	a, err := Genetic(bowlParams, bowl, GeneticConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Genetic(bowlParams, bowl, GeneticConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestScore != b.BestScore || a.Evaluations != b.Evaluations {
+		t.Errorf("same-seed runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestGeneticHandlesRuggedObjective(t *testing.T) {
+	rugged := func(pt Point) float64 {
+		x := float64(pt["x"])
+		return math.Abs(x-13) + 3*math.Mod(x, 2)
+	}
+	res, err := Genetic([]Param{{Name: "x", Min: 0, Max: 30}}, rugged, GeneticConfig{Population: 20, Generations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScore > 2 {
+		t.Errorf("rugged best = %v score %v", res.Best, res.BestScore)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := [][]Param{
+		nil,
+		{{Name: "", Min: 0, Max: 1}},
+		{{Name: "x", Min: 5, Max: 1}},
+		{{Name: "x", Min: 0, Max: 1}, {Name: "x", Min: 0, Max: 1}},
+	}
+	for i, params := range bad {
+		if _, err := HillClimb(params, Point{}, bowl, 10); err == nil {
+			t.Errorf("case %d: HillClimb accepted invalid params", i)
+		}
+		if _, err := Genetic(params, bowl, GeneticConfig{}); err == nil {
+			t.Errorf("case %d: Genetic accepted invalid params", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package agree
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstantBothDirections(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 400)); acc != 1 {
+		t.Errorf("agree on all-taken stream: accuracy %v", acc)
+	}
+	if acc := predtest.Drive(New(), 0x80, predtest.Constant(false, 400)); acc != 1 {
+		t.Errorf("agree on all-not-taken stream: accuracy %v", acc)
+	}
+}
+
+func TestLearnsPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTN", 4000)); acc < 0.97 {
+		t.Errorf("agree on period-5 pattern: accuracy %v", acc)
+	}
+}
+
+func TestBiasSetOnce(t *testing.T) {
+	p := New()
+	// First outcome not taken: bias records it...
+	b := bp.Branch{IP: 0x40, Target: 0x80, Opcode: bp.OpCondJump, Taken: false}
+	p.Train(b)
+	p.Track(b)
+	if p.biasTaken(0x40) {
+		t.Fatalf("bias not set from first outcome")
+	}
+	// ...and later taken outcomes do not flip it.
+	b.Taken = true
+	for i := 0; i < 50; i++ {
+		p.Train(b)
+		p.Track(b)
+	}
+	if p.biasTaken(0x40) {
+		t.Errorf("bias flipped by later outcomes")
+	}
+	// The predictor still predicts taken by learning to disagree.
+	if !p.Predict(0x40) {
+		t.Errorf("agree table did not learn to contradict a wrong bias")
+	}
+}
+
+func TestAliasingResilienceVsGShare(t *testing.T) {
+	// Many strongly biased branches in small tables: agree's re-encoding
+	// should hold up at least as well as plain gshare at equal budget.
+	spec := tracegen.Spec{
+		Name: "alias", Seed: 9, Branches: 80000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Biased, Branches: 1500, Bias: 0.95}},
+	}
+	aAcc := predtest.AccuracyOnSpec(t, New(WithLogAgree(10), WithHistoryLength(10)), spec)
+	gAcc := predtest.AccuracyOnSpec(t, gshare.New(gshare.WithLogSize(10), gshare.WithHistoryLength(10)), spec)
+	if aAcc < gAcc-0.02 {
+		t.Errorf("agree (%v) clearly below gshare (%v) under aliasing", aAcc, gAcc)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.65 {
+		t.Errorf("agree accuracy on mixed workload = %v", acc)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid config accepted")
+		}
+	}()
+	New(WithHistoryLength(0))
+}

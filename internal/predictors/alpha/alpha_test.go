@@ -1,0 +1,69 @@
+package alpha
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstantAndPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 400)); acc < 0.99 {
+		t.Errorf("alpha on constant stream: accuracy %v", acc)
+	}
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTN", 4000)); acc < 0.97 {
+		t.Errorf("alpha on period-5 pattern: accuracy %v", acc)
+	}
+}
+
+func TestLocalComponentSeparatesAntiPhaseBranches(t *testing.T) {
+	// Two branches alternating in anti-phase: the local predictor nails
+	// both from their private histories.
+	acc := predtest.DriveBranches(New(),
+		[]uint64{0x100, 0x200},
+		[][]bool{predtest.Alternating(3000), predtest.Pattern("NT", 3000)})
+	if acc < 0.97 {
+		t.Errorf("alpha on anti-phase branches: accuracy %v", acc)
+	}
+}
+
+func TestGlobalComponentLearnsCorrelation(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "corr", Seed: 5, Branches: 120000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Correlated, Feeders: 4}},
+	}
+	aAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	bAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if aAcc <= bAcc+0.03 {
+		t.Errorf("alpha accuracy %v not clearly above bimodal %v on correlated workload", aAcc, bAcc)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.7 {
+		t.Errorf("alpha accuracy on mixed workload = %v", acc)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(WithLogLocal(0)) },
+		func() { New(WithLocalHistoryLength(20)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,341 @@
+// Package batage implements BATAGE, Michaud's Bayesian alternative to TAGE
+// ("An alternative TAGE-like conditional branch predictor"). The tagged
+// geometric-history tables of TAGE remain, but each entry holds a dual
+// counter — separate taken / not-taken counts — whose ratio gives a direct
+// confidence estimate. Prediction selects the highest-confidence matching
+// entry (ties to the longest history), replacing TAGE's usefulness bits;
+// allocation is rate-limited by controlled allocation throttling (CAT) and
+// entries decay probabilistically, which requires a pseudo-random number
+// generator — the reason the paper calls BATAGE computationally complex
+// even among state-of-the-art predictors (§VII-A).
+package batage
+
+import (
+	"fmt"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/tage"
+	"mbplib/internal/utils"
+)
+
+// entry is one tagged BATAGE entry: a partial tag and a dual counter.
+type entry struct {
+	tag  uint16
+	dual utils.DualCounter
+}
+
+type table struct {
+	spec    tage.TableSpec
+	entries []entry
+	idxFold *utils.FoldedHistory
+	tagFold [2]*utils.FoldedHistory
+}
+
+// Predictor is a BATAGE branch predictor.
+type Predictor struct {
+	base    []utils.DualCounter
+	logBase int
+	tables  []table
+	ghist   *utils.GlobalHistory
+	rng     *utils.Rand
+
+	// cat is the controlled-allocation-throttling counter: it grows when
+	// allocations evict still-confident entries (a sign of over-allocation)
+	// and shrinks otherwise; the allocation probability falls as it grows.
+	cat    int
+	catMax int
+
+	// Prediction cache, valid for lastIP until the next Track.
+	lastIP    uint64
+	haveCache bool
+	cache     lookup
+	idxBuf    []uint64
+	tagBuf    []uint16
+	hitBuf    []int
+
+	allocations uint64
+	throttled   uint64
+	decays      uint64
+}
+
+type lookup struct {
+	idx      []uint64
+	tag      []uint16
+	hits     []int // matching tables, longest first
+	baseIdx  uint64
+	provider int // index into tables, or -1 for the base
+	pred     bool
+	conf     int
+}
+
+// Option configures the predictor.
+type Option func(*config)
+
+type config struct {
+	tables  []tage.TableSpec
+	logBase int
+	catMax  int
+	seed    uint64
+}
+
+// WithTables sets the tagged-table geometry (ascending history lengths).
+func WithTables(specs []tage.TableSpec) Option { return func(c *config) { c.tables = specs } }
+
+// WithGeometric builds n tables with geometric history lengths, reusing the
+// TAGE series helper.
+func WithGeometric(n, minHist, maxHist, logSize, tagBits int) Option {
+	return func(c *config) {
+		c.tables = tage.GeometricTables(n, minHist, maxHist, logSize, tagBits)
+	}
+}
+
+// WithLogBase sets the base table's log size. Default 13.
+func WithLogBase(n int) Option { return func(c *config) { c.logBase = n } }
+
+// WithCATMax sets the throttling ceiling. Default 16.
+func WithCATMax(n int) Option { return func(c *config) { c.catMax = n } }
+
+// WithSeed seeds the allocation randomiser. Default 1.
+func WithSeed(s uint64) Option { return func(c *config) { c.seed = s } }
+
+// New returns a BATAGE predictor. The default geometry matches the default
+// TAGE: 8 tables, histories 4..320, 2^10 entries, 11-bit tags.
+func New(opts ...Option) *Predictor {
+	cfg := config{logBase: 13, catMax: 16, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.tables == nil {
+		cfg.tables = tage.GeometricTables(8, 4, 320, 10, 11)
+	}
+	maxHist := 0
+	for i, ts := range cfg.tables {
+		if ts.HistLen < 1 || ts.LogSize < 1 || ts.LogSize > 24 || ts.TagBits < 1 || ts.TagBits > 16 {
+			panic(fmt.Sprintf("batage: invalid table spec %+v", ts))
+		}
+		if i > 0 && ts.HistLen <= cfg.tables[i-1].HistLen {
+			panic("batage: history lengths must be strictly ascending")
+		}
+		if ts.HistLen > maxHist {
+			maxHist = ts.HistLen
+		}
+	}
+	p := &Predictor{
+		base:    make([]utils.DualCounter, 1<<cfg.logBase),
+		logBase: cfg.logBase,
+		ghist:   utils.NewGlobalHistory(maxHist + 1),
+		rng:     utils.NewRand(cfg.seed),
+		catMax:  cfg.catMax,
+	}
+	for _, ts := range cfg.tables {
+		t := table{
+			spec:    ts,
+			entries: make([]entry, 1<<ts.LogSize),
+			idxFold: utils.NewFoldedHistory(ts.HistLen, ts.LogSize),
+		}
+		t.tagFold[0] = utils.NewFoldedHistory(ts.HistLen, ts.TagBits)
+		t.tagFold[1] = utils.NewFoldedHistory(ts.HistLen, maxInt(ts.TagBits-1, 1))
+		p.tables = append(p.tables, t)
+	}
+	p.idxBuf = make([]uint64, len(p.tables))
+	p.tagBuf = make([]uint16, len(p.tables))
+	p.hitBuf = make([]int, 0, len(p.tables))
+	return p
+}
+
+func (t *table) index(ip uint64) uint64 {
+	// Two fold widths keep the index aperiodic on periodic histories; see
+	// the equivalent hash in the tage package.
+	h := t.idxFold.Value() ^ t.tagFold[0].Value()<<1
+	return utils.XorFold(ip^(ip>>uint(t.spec.LogSize))^h, t.spec.LogSize)
+}
+
+func (t *table) tag(ip uint64) uint16 {
+	v := ip ^ t.tagFold[0].Value() ^ (t.tagFold[1].Value() << 1)
+	return uint16(utils.XorFold(v, t.spec.TagBits))
+}
+
+func (p *Predictor) baseIndex(ip uint64) uint64 {
+	return utils.XorFold(ip>>2, p.logBase)
+}
+
+// scan computes the Bayesian selection: among all matching entries and the
+// base, pick the one with the best (lowest) dual-counter confidence class,
+// ties going to the longest history.
+func (p *Predictor) scan(ip uint64) lookup {
+	l := lookup{idx: p.idxBuf, tag: p.tagBuf, hits: p.hitBuf[:0], baseIdx: p.baseIndex(ip), provider: -1}
+	for i := range p.tables {
+		l.idx[i] = p.tables[i].index(ip)
+		l.tag[i] = p.tables[i].tag(ip)
+	}
+	for i := len(p.tables) - 1; i >= 0; i-- {
+		if p.tables[i].entries[l.idx[i]].tag == l.tag[i] {
+			l.hits = append(l.hits, i)
+		}
+	}
+	// Hits are visited longest-history-first and must beat the incumbent
+	// strictly, so ties resolve toward the longer history; the base is
+	// consulted last and wins only with strictly better confidence —
+	// otherwise a majority-trained, saturated base would override tagged
+	// entries that learned the per-context outcome.
+	var best *utils.DualCounter
+	l.conf = 3 // worse than any real confidence class
+	for _, i := range l.hits {
+		d := &p.tables[i].entries[l.idx[i]].dual
+		if c := d.Confidence(); c < l.conf {
+			best, l.conf, l.provider = d, c, i
+		}
+	}
+	baseDual := &p.base[l.baseIdx]
+	if c := baseDual.Confidence(); best == nil || c < l.conf {
+		best, l.conf, l.provider = baseDual, c, -1
+	}
+	l.pred = best.Predict()
+	return l
+}
+
+func (p *Predictor) cached(ip uint64) *lookup {
+	if !p.haveCache || p.lastIP != ip {
+		p.cache = p.scan(ip)
+		p.lastIP = ip
+		p.haveCache = true
+	}
+	return &p.cache
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	return p.cached(ip).pred
+}
+
+// Train implements bp.Predictor. The longest matching entry always trains
+// (it must be able to build confidence and take over the prediction); when
+// it is not yet highly confident, the next-longest hit — or ultimately the
+// base — trains too, so the fallback chain stays warm. A provider that is
+// neither (a shorter hit chosen purely on confidence) also trains.
+func (p *Predictor) Train(b bp.Branch) {
+	l := p.cached(b.IP)
+	taken := b.Taken
+
+	if len(l.hits) == 0 {
+		p.base[l.baseIdx].Update(taken)
+	} else {
+		longest := l.hits[0]
+		e := &p.tables[longest].entries[l.idx[longest]]
+		e.dual.Update(taken)
+		if !e.dual.IsHighConfidence() {
+			if len(l.hits) > 1 {
+				next := l.hits[1]
+				p.tables[next].entries[l.idx[next]].dual.Update(taken)
+			} else {
+				p.base[l.baseIdx].Update(taken)
+			}
+		}
+		if l.provider >= 0 && l.provider != longest && (len(l.hits) < 2 || l.provider != l.hits[1]) {
+			p.tables[l.provider].entries[l.idx[l.provider]].dual.Update(taken)
+		}
+	}
+
+	if l.pred != taken {
+		p.allocate(l, taken)
+	}
+}
+
+// allocate claims an entry in a longer-history table, throttled by CAT: the
+// more often allocations evict confident (presumably useful) entries, the
+// lower the allocation probability, protecting the tables from churn on
+// hard-to-predict branches. Skipped allocations decay a random candidate
+// instead, opening space for the future.
+func (p *Predictor) allocate(l *lookup, taken bool) {
+	// Allocation goes above the longest hit (as in TAGE), not above the
+	// confidence-chosen provider: clobbering a longer hit that is still
+	// building confidence would reset it forever.
+	start := 0
+	if len(l.hits) > 0 {
+		start = l.hits[0] + 1
+	}
+	if start >= len(p.tables) {
+		return
+	}
+	// Throttle: skip the attempt entirely with probability cat/(catMax+1).
+	if p.rng.Intn(p.catMax+1) < p.cat {
+		p.throttled++
+		return
+	}
+	// Walk the candidate tables shortest-first. A still-confident victim is
+	// presumed useful: it is decayed rather than evicted, and the CAT
+	// counter grows, lowering future allocation pressure. The first
+	// non-confident victim is replaced and CAT relaxes.
+	for i := start; i < len(p.tables); i++ {
+		e := &p.tables[i].entries[l.idx[i]]
+		if e.tag != l.tag[i] && e.dual.IsHighConfidence() {
+			e.dual.Decay()
+			p.decays++
+			p.cat = minInt(p.cat+1, p.catMax)
+			continue
+		}
+		e.tag = l.tag[i]
+		e.dual = utils.DualCounter{}
+		e.dual.Update(taken)
+		p.allocations++
+		if p.cat > 0 {
+			p.cat--
+		}
+		return
+	}
+}
+
+// Track implements bp.Predictor.
+func (p *Predictor) Track(b bp.Branch) {
+	p.ghist.Push(b.Taken)
+	for i := range p.tables {
+		t := &p.tables[i]
+		oldest := p.ghist.Bit(t.spec.HistLen)
+		t.idxFold.Update(b.Taken, oldest)
+		t.tagFold[0].Update(b.Taken, oldest)
+		t.tagFold[1].Update(b.Taken, oldest)
+	}
+	p.haveCache = false
+}
+
+// Metadata implements bp.MetadataProvider.
+func (p *Predictor) Metadata() map[string]any {
+	specs := make([]map[string]any, len(p.tables))
+	for i, t := range p.tables {
+		specs[i] = map[string]any{
+			"history_length": t.spec.HistLen,
+			"log_size":       t.spec.LogSize,
+			"tag_bits":       t.spec.TagBits,
+		}
+	}
+	return map[string]any{
+		"name":     "MBPlib BATAGE",
+		"log_base": p.logBase,
+		"cat_max":  p.catMax,
+		"tables":   specs,
+	}
+}
+
+// Statistics implements bp.StatsProvider.
+func (p *Predictor) Statistics() map[string]any {
+	return map[string]any{
+		"allocations":           p.allocations,
+		"throttled_allocations": p.throttled,
+		"decays":                p.decays,
+		"cat":                   p.cat,
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

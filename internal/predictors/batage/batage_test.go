@@ -1,0 +1,111 @@
+package batage
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/predictors/tage"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstantAndPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 500)); acc < 0.99 {
+		t.Errorf("BATAGE on constant stream: accuracy %v", acc)
+	}
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTNNT", 6000)); acc < 0.95 {
+		t.Errorf("BATAGE on period-7 pattern: accuracy %v", acc)
+	}
+}
+
+func TestLearnsLongLoops(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "longloop", Seed: 3, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Loop, Trips: []int{70}}},
+	}
+	if acc := predtest.AccuracyOnSpec(t, New(), spec); acc < 0.9 {
+		t.Errorf("BATAGE on trip-70 loops: accuracy %v", acc)
+	}
+}
+
+func TestBeatsBimodalOnMixedWorkload(t *testing.T) {
+	spec := predtest.MixedSpec(80000)
+	baAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	biAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if baAcc <= biAcc {
+		t.Errorf("BATAGE (%v) not above bimodal (%v)", baAcc, biAcc)
+	}
+	if baAcc < 0.70 {
+		t.Errorf("BATAGE accuracy on mixed workload = %v", baAcc)
+	}
+}
+
+func TestThrottlingActivates(t *testing.T) {
+	// Predictable kernels build confident entries; a heavy random-branch
+	// kernel then storms allocations at them. CAT must respond by decaying
+	// confident victims and throttling attempts.
+	spec := tracegen.Spec{
+		Name: "noise", Seed: 13, Branches: 200000,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased, Branches: 2000, Bias: 0.55, Weight: 4},
+			{Kind: tracegen.Loop, Trips: []int{4, 9}},
+			{Kind: tracegen.Pattern, PatternBits: "TTNTN"},
+		},
+	}
+	p := New()
+	_ = predtest.AccuracyOnSpec(t, p, spec)
+	stats := p.Statistics()
+	if stats["allocations"].(uint64) == 0 {
+		t.Fatalf("no allocations recorded")
+	}
+	if stats["throttled_allocations"].(uint64) == 0 {
+		t.Errorf("CAT never throttled on a noisy workload: %v", stats)
+	}
+	if stats["decays"].(uint64) == 0 {
+		t.Errorf("no decays recorded: %v", stats)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	spec := predtest.MixedSpec(20000)
+	a := predtest.AccuracyOnSpec(t, New(WithSeed(5)), spec)
+	b := predtest.AccuracyOnSpec(t, New(WithSeed(5)), spec)
+	if a != b {
+		t.Errorf("same-seed BATAGE runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestComparableToTAGE(t *testing.T) {
+	// Same storage geometry: BATAGE should be in the same accuracy class
+	// as TAGE on a mixed workload (the BATAGE paper reports slight wins).
+	spec := predtest.MixedSpec(80000)
+	baAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	tgAcc := predtest.AccuracyOnSpec(t, tage.New(), spec)
+	if baAcc < tgAcc-0.05 {
+		t.Errorf("BATAGE (%v) far below TAGE (%v) at equal geometry", baAcc, tgAcc)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() {
+			New(WithTables([]tage.TableSpec{{HistLen: 5, LogSize: 8, TagBits: 8}, {HistLen: 5, LogSize: 8, TagBits: 8}}))
+		},
+		func() { New(WithTables([]tage.TableSpec{{HistLen: 0, LogSize: 8, TagBits: 8}})) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

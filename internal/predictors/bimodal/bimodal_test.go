@@ -1,0 +1,91 @@
+package bimodal
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/predtest"
+)
+
+func testBranch(ip uint64, taken bool) bp.Branch {
+	return bp.Branch{IP: ip, Target: ip + 64, Opcode: bp.OpCondJump, Taken: taken}
+}
+
+func TestLearnsBiasedBranches(t *testing.T) {
+	p := New()
+	// Two branches with opposite constant behaviour.
+	acc := predtest.DriveBranches(p,
+		[]uint64{0x100, 0x200},
+		[][]bool{predtest.Constant(true, 200), predtest.Constant(false, 200)})
+	if acc != 1 {
+		t.Errorf("accuracy on constant branches = %v, want 1", acc)
+	}
+}
+
+func TestCannotLearnAlternating(t *testing.T) {
+	p := New()
+	acc := predtest.Drive(p, 0x100, predtest.Alternating(1000))
+	// A 2-bit counter on TNTN... hovers around 50%.
+	if acc > 0.7 {
+		t.Errorf("bimodal on alternating stream: accuracy %v, expected near 0.5", acc)
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	p := New()
+	outcomes := append(predtest.Constant(true, 10), false)
+	outcomes = append(outcomes, true)
+	// After 10 takens, one not-taken must not flip the prediction.
+	var preds []bool
+	for _, taken := range outcomes {
+		preds = append(preds, p.Predict(0x40))
+		b := testBranch(0x40, taken)
+		p.Train(b)
+		p.Track(b)
+	}
+	if !preds[len(preds)-1] {
+		t.Errorf("single not-taken flipped a saturated 2-bit counter")
+	}
+}
+
+func TestOneBitCounterFlipsImmediately(t *testing.T) {
+	p := New(WithCounterBits(1))
+	for i := 0; i < 10; i++ {
+		b := testBranch(0x40, true)
+		p.Train(b)
+	}
+	p.Train(testBranch(0x40, false))
+	if p.Predict(0x40) {
+		t.Errorf("1-bit counter did not flip after one not-taken")
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x100, 0x999})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMetadataParams(t *testing.T) {
+	p := New(WithLogSize(10), WithCounterBits(3))
+	md := p.Metadata()
+	if md["log_table_size"] != 10 || md["counter_bits"] != 3 {
+		t.Errorf("metadata = %v", md)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid log size accepted")
+		}
+	}()
+	New(WithLogSize(0))
+}
+
+func TestReasonableOnMixedWorkload(t *testing.T) {
+	acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000))
+	if acc < 0.55 {
+		t.Errorf("bimodal accuracy on mixed workload = %v, want >= 0.55", acc)
+	}
+}

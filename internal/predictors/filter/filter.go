@@ -1,0 +1,194 @@
+// Package filter implements a branch filter, the second composition device
+// §IV-B of the MBPlib paper names alongside meta-predictors: a component
+// placed in front of another predictor that handles trivially predictable
+// branches itself and "may decide that it is not necessary to track some
+// branches". Branches that have only ever gone one way are predicted by a
+// per-branch monotone table and never reach the inner predictor, keeping
+// its tables and history register free for the hard branches — the same
+// idea as Chang, Evers and Patt's branch filtering.
+//
+// The filter is itself a bp.Predictor, so it composes: a filtered TAGE, a
+// filtered component inside a tournament, and so on.
+package filter
+
+import (
+	"fmt"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/utils"
+)
+
+// Per-branch filter states.
+const (
+	stateUnseen   = 0
+	stateAllTaken = 1
+	stateAllNot   = 2
+	stateHard     = 3
+)
+
+// entry is one filter-table entry: the monotone state and how many times it
+// has been confirmed.
+type entry struct {
+	state uint8
+	count uint8
+}
+
+// Predictor wraps an inner predictor behind a monotone-branch filter.
+type Predictor struct {
+	inner bp.Predictor
+	table []entry
+
+	logSize   int
+	threshold uint8
+	trackAll  bool
+
+	filteredPredictions uint64
+	innerPredictions    uint64
+}
+
+// Option configures the filter.
+type Option func(*config)
+
+type config struct {
+	logSize   int
+	threshold int
+	trackAll  bool
+}
+
+// WithLogSize sets the log2 size of the filter table. Default 14.
+func WithLogSize(n int) Option { return func(c *config) { c.logSize = n } }
+
+// WithThreshold sets how many consistent outcomes a branch needs before the
+// filter takes it over. Default 16.
+func WithThreshold(n int) Option { return func(c *config) { c.threshold = n } }
+
+// WithTrackAll makes the inner predictor track filtered branches too
+// (default false: the filter exercises its §IV-B right not to track them,
+// keeping the inner history register free of trivially biased outcomes).
+func WithTrackAll(track bool) Option { return func(c *config) { c.trackAll = track } }
+
+// New wraps inner behind a filter.
+func New(inner bp.Predictor, opts ...Option) *Predictor {
+	if inner == nil {
+		panic("filter: nil inner predictor")
+	}
+	cfg := config{logSize: 14, threshold: 16}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.logSize < 1 || cfg.logSize > 26 {
+		panic(fmt.Sprintf("filter: invalid log table size %d", cfg.logSize))
+	}
+	if cfg.threshold < 1 || cfg.threshold > 255 {
+		panic(fmt.Sprintf("filter: invalid threshold %d", cfg.threshold))
+	}
+	return &Predictor{
+		inner:     inner,
+		table:     make([]entry, 1<<cfg.logSize),
+		logSize:   cfg.logSize,
+		threshold: uint8(cfg.threshold),
+		trackAll:  cfg.trackAll,
+	}
+}
+
+func (p *Predictor) slot(ip uint64) *entry {
+	return &p.table[utils.XorFold(ip>>2, p.logSize)]
+}
+
+// filtered reports whether the entry currently intercepts its branch, and
+// with which prediction.
+func (e *entry) filtered(threshold uint8) (taken, active bool) {
+	if e.count < threshold {
+		return false, false
+	}
+	switch e.state {
+	case stateAllTaken:
+		return true, true
+	case stateAllNot:
+		return false, true
+	}
+	return false, false
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	if taken, active := p.slot(ip).filtered(p.threshold); active {
+		p.filteredPredictions++
+		return taken
+	}
+	p.innerPredictions++
+	return p.inner.Predict(ip)
+}
+
+// Train implements bp.Predictor. Filtered branches train only the filter;
+// the first deviation demotes the branch to "hard" permanently and hands it
+// to the inner predictor from then on.
+func (p *Predictor) Train(b bp.Branch) {
+	e := p.slot(b.IP)
+	switch e.state {
+	case stateUnseen:
+		if b.Taken {
+			e.state = stateAllTaken
+		} else {
+			e.state = stateAllNot
+		}
+		e.count = 1
+	case stateAllTaken, stateAllNot:
+		if b.Taken == (e.state == stateAllTaken) {
+			if e.count < 255 {
+				e.count++
+			}
+		} else {
+			e.state = stateHard
+		}
+	}
+	// Below the threshold the branch is still provisional: the inner
+	// predictor trains too, so no warm-up is lost if it turns out hard.
+	if _, active := e.filtered(p.threshold); !active || e.state == stateHard {
+		p.inner.Train(b)
+	}
+}
+
+// Track implements bp.Predictor: filtered branches are not tracked unless
+// WithTrackAll was set — the filter's §IV-B prerogative.
+func (p *Predictor) Track(b bp.Branch) {
+	if !p.trackAll {
+		if _, active := p.slot(b.IP).filtered(p.threshold); active {
+			return
+		}
+	}
+	p.inner.Track(b)
+}
+
+// Metadata implements bp.MetadataProvider.
+func (p *Predictor) Metadata() map[string]any {
+	md := map[string]any{
+		"name":      "MBPlib Filter",
+		"log_size":  p.logSize,
+		"threshold": int(p.threshold),
+		"track_all": p.trackAll,
+	}
+	if mp, ok := p.inner.(bp.MetadataProvider); ok {
+		md["inner"] = mp.Metadata()
+	}
+	return md
+}
+
+// Statistics implements bp.StatsProvider.
+func (p *Predictor) Statistics() map[string]any {
+	hard, monotone := 0, 0
+	for i := range p.table {
+		switch p.table[i].state {
+		case stateHard:
+			hard++
+		case stateAllTaken, stateAllNot:
+			monotone++
+		}
+	}
+	return map[string]any{
+		"filtered_predictions": p.filteredPredictions,
+		"inner_predictions":    p.innerPredictions,
+		"monotone_branches":    monotone,
+		"hard_branches":        hard,
+	}
+}

@@ -1,0 +1,150 @@
+package filter
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+// recorder counts the calls reaching the inner predictor.
+type recorder struct {
+	inner  bp.Predictor
+	trains int
+	tracks int
+}
+
+func (r *recorder) Predict(ip uint64) bool { return r.inner.Predict(ip) }
+func (r *recorder) Train(b bp.Branch)      { r.trains++; r.inner.Train(b) }
+func (r *recorder) Track(b bp.Branch)      { r.tracks++; r.inner.Track(b) }
+
+func condBranch(ip uint64, taken bool) bp.Branch {
+	return bp.Branch{IP: ip, Target: ip + 64, Opcode: bp.OpCondJump, Taken: taken}
+}
+
+func TestMonotoneBranchIsFiltered(t *testing.T) {
+	rec := &recorder{inner: gshare.New()}
+	p := New(rec, WithThreshold(8))
+	for i := 0; i < 100; i++ {
+		p.Predict(0x40)
+		b := condBranch(0x40, true)
+		p.Train(b)
+		p.Track(b)
+	}
+	// The inner predictor sees the branch only until the threshold.
+	if rec.trains > 8 {
+		t.Errorf("inner trained %d times, want <= 8", rec.trains)
+	}
+	if rec.tracks > 8 {
+		t.Errorf("inner tracked %d times, want <= 8 (filter's §IV-B prerogative)", rec.tracks)
+	}
+	if !p.Predict(0x40) {
+		t.Errorf("filtered monotone branch mispredicted")
+	}
+	stats := p.Statistics()
+	if stats["monotone_branches"].(int) != 1 {
+		t.Errorf("statistics: %v", stats)
+	}
+}
+
+func TestDeviationDemotesToHard(t *testing.T) {
+	rec := &recorder{inner: gshare.New()}
+	p := New(rec, WithThreshold(4))
+	for i := 0; i < 20; i++ {
+		b := condBranch(0x40, true)
+		p.Predict(b.IP)
+		p.Train(b)
+		p.Track(b)
+	}
+	// The branch deviates (the first iteration still matches the monotone
+	// direction and stays filtered; the second is the deviation): it must
+	// become hard and reach the inner predictor from then on.
+	before := rec.trains
+	for i := 0; i < 10; i++ {
+		b := condBranch(0x40, i%2 == 0)
+		p.Predict(b.IP)
+		p.Train(b)
+		p.Track(b)
+	}
+	if rec.trains != before+9 {
+		t.Errorf("hard branch reached inner %d times, want 9", rec.trains-before)
+	}
+	if p.Statistics()["hard_branches"].(int) != 1 {
+		t.Errorf("statistics: %v", p.Statistics())
+	}
+}
+
+func TestTrackAllOption(t *testing.T) {
+	rec := &recorder{inner: gshare.New()}
+	p := New(rec, WithThreshold(4), WithTrackAll(true))
+	for i := 0; i < 50; i++ {
+		b := condBranch(0x40, true)
+		p.Predict(b.IP)
+		p.Train(b)
+		p.Track(b)
+	}
+	if rec.tracks != 50 {
+		t.Errorf("WithTrackAll: inner tracked %d of 50", rec.tracks)
+	}
+}
+
+func TestAccuracyNotWorseThanInner(t *testing.T) {
+	spec := predtest.MixedSpec(60000)
+	fAcc := predtest.AccuracyOnSpec(t, New(gshare.New()), spec)
+	gAcc := predtest.AccuracyOnSpec(t, gshare.New(), spec)
+	if fAcc < gAcc-0.02 {
+		t.Errorf("filtered gshare (%v) clearly below plain gshare (%v)", fAcc, gAcc)
+	}
+}
+
+func TestHelpsSmallPredictorUnderAliasing(t *testing.T) {
+	// Many monotone branches plus a few patterned ones: filtering the
+	// monotone ones out of a tiny gshare frees its table for the rest.
+	spec := tracegen.Spec{
+		Name: "monotone-heavy", Seed: 17, Branches: 80000,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased, Branches: 2000, Bias: 0.999, Weight: 4},
+			{Kind: tracegen.Pattern, PatternBits: "TTNTNN"},
+			{Kind: tracegen.Correlated, Feeders: 4},
+		},
+	}
+	tiny := func() bp.Predictor { return gshare.New(gshare.WithLogSize(8), gshare.WithHistoryLength(8)) }
+	fAcc := predtest.AccuracyOnSpec(t, New(tiny()), spec)
+	gAcc := predtest.AccuracyOnSpec(t, tiny(), spec)
+	if fAcc <= gAcc {
+		t.Errorf("filtered tiny gshare (%v) not above plain (%v)", fAcc, gAcc)
+	}
+}
+
+func TestMetadataNestsInner(t *testing.T) {
+	p := New(gshare.New())
+	md := p.Metadata()
+	inner, ok := md["inner"].(map[string]any)
+	if !ok || inner["name"] != "MBPlib GShare" {
+		t.Errorf("inner metadata missing: %v", md)
+	}
+	predtest.CheckMetadata(t, p)
+}
+
+func TestPredictIsPure(t *testing.T) {
+	predtest.CheckPredictIsPure(t, New(gshare.New()), []uint64{0x40, 0x80})
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(nil) },
+		func() { New(gshare.New(), WithLogSize(0)) },
+		func() { New(gshare.New(), WithThreshold(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

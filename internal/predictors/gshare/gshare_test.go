@@ -1,0 +1,95 @@
+package gshare
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsAlternatingPattern(t *testing.T) {
+	p := New()
+	acc := predtest.Drive(p, 0x100, predtest.Alternating(2000))
+	if acc < 0.99 {
+		t.Errorf("gshare on alternating stream: accuracy %v, want ~1", acc)
+	}
+}
+
+func TestLearnsLongerPattern(t *testing.T) {
+	p := New()
+	acc := predtest.Drive(p, 0x100, predtest.Pattern("TTNTNNT", 4000))
+	if acc < 0.98 {
+		t.Errorf("gshare on periodic pattern: accuracy %v, want ~1", acc)
+	}
+}
+
+func TestBeatsBimodalOnCorrelated(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "corr", Seed: 5, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Correlated, Feeders: 4}},
+	}
+	// Short history: the outcome depends on only 4 history bits, and a
+	// longer history would dilute each context below learnability.
+	gsAcc := predtest.AccuracyOnSpec(t, New(WithHistoryLength(8)), spec)
+	bimAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	// The dependent branch (1 in 5) is XOR of 4 random feeders: bimodal is
+	// blind to it, gshare learns it from the history.
+	if gsAcc <= bimAcc+0.05 {
+		t.Errorf("gshare accuracy %v not clearly above bimodal %v on correlated workload", gsAcc, bimAcc)
+	}
+}
+
+func TestHistoryLengthMatters(t *testing.T) {
+	// A pattern of period 20 needs history >= 20.
+	long := predtest.Drive(New(WithHistoryLength(25)), 0x40, predtest.Pattern("TTTTTTTTTTNNNNNNNNNN", 8000))
+	short := predtest.Drive(New(WithHistoryLength(4)), 0x40, predtest.Pattern("TTTTTTTTTTNNNNNNNNNN", 8000))
+	if long < 0.95 {
+		t.Errorf("long-history gshare accuracy %v on period-20 pattern", long)
+	}
+	if short >= long {
+		t.Errorf("short history (%v) not worse than long history (%v)", short, long)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x100, 0x200})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMetadataMatchesListing1(t *testing.T) {
+	// The 64 kB configuration of Listing 1: H=25, T=18.
+	p := New(WithHistoryLength(25), WithLogSize(18))
+	md := p.Metadata()
+	if md["history_length"] != 25 || md["log_table_size"] != 18 {
+		t.Errorf("metadata = %v", md)
+	}
+	if md["name"] != "MBPlib GShare" {
+		t.Errorf("name = %v", md["name"])
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(WithHistoryLength(0)) },
+		func() { New(WithHistoryLength(65)) },
+		func() { New(WithLogSize(31)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFullWidthHistory(t *testing.T) {
+	p := New(WithHistoryLength(64))
+	if acc := predtest.Drive(p, 0x40, predtest.Alternating(2000)); acc < 0.99 {
+		t.Errorf("64-bit-history gshare accuracy %v", acc)
+	}
+}

@@ -1,0 +1,164 @@
+// Package gskew implements the 2bc-gskew predictor of Seznec and Michaud
+// ("De-aliased hybrid branch predictors"). Three banks of two-bit counters
+// — a bimodal bank and two history-indexed banks with skewed hash functions
+// — vote by majority (the e-gskew predictor), and a meta bank arbitrates
+// between the bimodal bank and the majority. The partial update policy
+// only strengthens the banks that contributed a correct prediction, which
+// is what de-aliases the skewed banks.
+package gskew
+
+import (
+	"fmt"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/utils"
+)
+
+// Predictor is a 2bc-gskew branch predictor.
+type Predictor struct {
+	bim, g0, g1, meta []utils.SignedCounter
+	logSize           int
+	hist0, hist1      int // history lengths of the two skewed banks
+	ghist             uint64
+}
+
+// Option configures the predictor.
+type Option func(*config)
+
+type config struct {
+	logSize      int
+	hist0, hist1 int
+}
+
+// WithLogSize sets the log2 size of each of the four banks. Default 15
+// (4 × 32 Ki 2-bit counters = 32 KiB).
+func WithLogSize(n int) Option { return func(c *config) { c.logSize = n } }
+
+// WithHistoryLengths sets the history lengths of the two skewed banks.
+// Defaults 9 and 18.
+func WithHistoryLengths(h0, h1 int) Option {
+	return func(c *config) { c.hist0, c.hist1 = h0, h1 }
+}
+
+// New returns a 2bc-gskew predictor.
+func New(opts ...Option) *Predictor {
+	cfg := config{logSize: 15, hist0: 9, hist1: 18}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.logSize < 1 || cfg.logSize > 28 {
+		panic(fmt.Sprintf("gskew: invalid log bank size %d", cfg.logSize))
+	}
+	if cfg.hist0 < 1 || cfg.hist1 < cfg.hist0 || cfg.hist1 > 63 {
+		panic(fmt.Sprintf("gskew: invalid history lengths %d, %d", cfg.hist0, cfg.hist1))
+	}
+	n := 1 << cfg.logSize
+	return &Predictor{
+		bim: make([]utils.SignedCounter, n), g0: make([]utils.SignedCounter, n),
+		g1: make([]utils.SignedCounter, n), meta: make([]utils.SignedCounter, n),
+		logSize: cfg.logSize, hist0: cfg.hist0, hist1: cfg.hist1,
+	}
+}
+
+// Skewing functions: each bank mixes address and history with a different
+// odd multiplier before folding, in the spirit of the paper's inter-bank
+// dispersion functions.
+const (
+	skew0 = 0x9e3779b97f4a7c15
+	skew1 = 0xc2b2ae3d27d4eb4f
+	skew2 = 0x165667b19e3779f9
+)
+
+func (p *Predictor) idxBim(ip uint64) uint64 {
+	return utils.XorFold(ip>>2, p.logSize)
+}
+
+func (p *Predictor) idxG0(ip uint64) uint64 {
+	h := p.ghist & (1<<p.hist0 - 1)
+	return utils.XorFold((ip^h)*skew0, p.logSize)
+}
+
+func (p *Predictor) idxG1(ip uint64) uint64 {
+	h := p.ghist & (1<<p.hist1 - 1)
+	return utils.XorFold((ip^h)*skew1, p.logSize)
+}
+
+func (p *Predictor) idxMeta(ip uint64) uint64 {
+	return utils.XorFold(ip*skew2, p.logSize)
+}
+
+// votes returns the three bank predictions and the meta choice.
+func (p *Predictor) votes(ip uint64) (bimP, g0P, g1P, useGskew bool) {
+	bimP = p.bim[p.idxBim(ip)].Predict()
+	g0P = p.g0[p.idxG0(ip)].Predict()
+	g1P = p.g1[p.idxG1(ip)].Predict()
+	useGskew = p.meta[p.idxMeta(ip)].Predict()
+	return
+}
+
+func majority(a, b, c bool) bool {
+	return (a && b) || (a && c) || (b && c)
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	bimP, g0P, g1P, useGskew := p.votes(ip)
+	if useGskew {
+		return majority(bimP, g0P, g1P)
+	}
+	return bimP
+}
+
+// Train implements bp.Predictor, applying the 2bc-gskew partial update
+// policy: the meta bank learns which side was right whenever bimodal and
+// majority disagree; on a correct prediction only the agreeing banks of the
+// providing side are strengthened; on a misprediction all banks retrain.
+func (p *Predictor) Train(b bp.Branch) {
+	ip, taken := b.IP, b.Taken
+	bimP, g0P, g1P, useGskew := p.votes(ip)
+	maj := majority(bimP, g0P, g1P)
+	if bimP != maj {
+		// Meta outcome bit means "the majority is the right provider".
+		p.meta[p.idxMeta(ip)].SumOrSub(maj == taken)
+	}
+	overall := bimP
+	if useGskew {
+		overall = maj
+	}
+	if overall == taken {
+		if useGskew {
+			if bimP == taken {
+				p.bim[p.idxBim(ip)].SumOrSub(taken)
+			}
+			if g0P == taken {
+				p.g0[p.idxG0(ip)].SumOrSub(taken)
+			}
+			if g1P == taken {
+				p.g1[p.idxG1(ip)].SumOrSub(taken)
+			}
+		} else {
+			p.bim[p.idxBim(ip)].SumOrSub(taken)
+		}
+	} else {
+		p.bim[p.idxBim(ip)].SumOrSub(taken)
+		p.g0[p.idxG0(ip)].SumOrSub(taken)
+		p.g1[p.idxG1(ip)].SumOrSub(taken)
+	}
+}
+
+// Track implements bp.Predictor: shift the outcome into the global history.
+func (p *Predictor) Track(b bp.Branch) {
+	p.ghist <<= 1
+	if b.Taken {
+		p.ghist |= 1
+	}
+}
+
+// Metadata implements bp.MetadataProvider.
+func (p *Predictor) Metadata() map[string]any {
+	return map[string]any{
+		"name":            "MBPlib 2bc-gskew",
+		"log_bank_size":   p.logSize,
+		"history_lengths": []int{p.hist0, p.hist1},
+	}
+}

@@ -1,0 +1,75 @@
+package gskew
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstant(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 400)); acc != 1 {
+		t.Errorf("gskew on constant stream: accuracy %v", acc)
+	}
+}
+
+func TestLearnsPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTN", 4000)); acc < 0.97 {
+		t.Errorf("gskew on period-5 pattern: accuracy %v", acc)
+	}
+}
+
+func TestBeatsBimodalOnCorrelated(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "corr", Seed: 5, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Correlated, Feeders: 4}},
+	}
+	gAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	bAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if gAcc <= bAcc+0.05 {
+		t.Errorf("gskew accuracy %v not clearly above bimodal %v", gAcc, bAcc)
+	}
+}
+
+func TestAliasingResilience(t *testing.T) {
+	// Hundreds of strongly biased branches in small banks: the skewed
+	// majority vote must stay accurate despite aliasing.
+	spec := tracegen.Spec{
+		Name: "alias", Seed: 9, Branches: 80000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Biased, Branches: 800, Bias: 0.95}},
+	}
+	small := New(WithLogSize(10))
+	if acc := predtest.AccuracyOnSpec(t, small, spec); acc < 0.8 {
+		t.Errorf("gskew accuracy with heavy aliasing = %v, want >= 0.8", acc)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(WithLogSize(0)) },
+		func() { New(WithHistoryLengths(0, 5)) },
+		func() { New(WithHistoryLengths(10, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.65 {
+		t.Errorf("gskew accuracy on mixed workload = %v", acc)
+	}
+}

@@ -1,0 +1,185 @@
+// Package loop implements a loop predictor: a small tagged table that
+// learns the trip count of regular loops and predicts the exit iteration,
+// which counter- and history-based predictors miss when the trip count
+// exceeds their history length. The paper cites adding a loop predictor to
+// a design as the typical use case for the comparison simulator (§VI-C);
+// this package is written to serve both standalone (with a bimodal
+// fallback) and as a component with a confidence signal.
+package loop
+
+import (
+	"fmt"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/utils"
+)
+
+// entry is one loop-table entry. Loops are modeled taken-bodied: the branch
+// is taken Trip times, then not taken once.
+type entry struct {
+	tag     uint16
+	trip    uint32 // learned iteration count (body executions per exit)
+	current uint32 // iterations seen in the current traversal
+	conf    utils.UnsignedCounter
+	age     utils.UnsignedCounter
+}
+
+// Predictor is a loop predictor with a bimodal fallback.
+type Predictor struct {
+	entries  []entry
+	logSize  int
+	tagBits  int
+	fallback *bimodal.Predictor
+
+	hits uint64 // statistic: predictions served by a confident loop entry
+}
+
+// Option configures the predictor.
+type Option func(*config)
+
+type config struct {
+	logSize int
+	tagBits int
+	fbLog   int
+}
+
+// WithLogSize sets the log2 number of loop entries. Default 6 (64 loops).
+func WithLogSize(n int) Option { return func(c *config) { c.logSize = n } }
+
+// WithTagBits sets the tag width. Default 10.
+func WithTagBits(n int) Option { return func(c *config) { c.tagBits = n } }
+
+// WithFallbackLogSize sets the bimodal fallback's log table size.
+// Default 12.
+func WithFallbackLogSize(n int) Option { return func(c *config) { c.fbLog = n } }
+
+// New returns a loop predictor.
+func New(opts ...Option) *Predictor {
+	cfg := config{logSize: 6, tagBits: 10, fbLog: 12}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.logSize < 1 || cfg.logSize > 16 || cfg.tagBits < 1 || cfg.tagBits > 16 {
+		panic(fmt.Sprintf("loop: invalid geometry logSize=%d tagBits=%d", cfg.logSize, cfg.tagBits))
+	}
+	p := &Predictor{
+		entries:  make([]entry, 1<<cfg.logSize),
+		logSize:  cfg.logSize,
+		tagBits:  cfg.tagBits,
+		fallback: bimodal.New(bimodal.WithLogSize(cfg.fbLog)),
+	}
+	for i := range p.entries {
+		p.entries[i].conf = utils.NewUnsignedCounter(3, 0)
+		p.entries[i].age = utils.NewUnsignedCounter(3, 0)
+	}
+	return p
+}
+
+func (p *Predictor) slot(ip uint64) (*entry, uint16) {
+	idx := utils.XorFold(ip>>2, p.logSize)
+	tag := uint16(utils.XorFold(utils.Mix(ip), p.tagBits))
+	return &p.entries[idx], tag
+}
+
+// confident is the confidence level at which the loop entry overrides the
+// fallback: the trip count was confirmed at least 3 times.
+const confident = 3
+
+// lookup returns the loop prediction and whether a confident entry hit.
+func (p *Predictor) lookup(ip uint64) (taken, hit bool) {
+	e, tag := p.slot(ip)
+	if e.tag != tag || e.conf.Get() < confident {
+		return false, false
+	}
+	// Predict the loop exit at the learned trip count.
+	return e.current < e.trip, true
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	if taken, hit := p.lookup(ip); hit {
+		return taken
+	}
+	return p.fallback.Predict(ip)
+}
+
+// ConfidentHit reports whether a confident loop entry covers ip, the signal
+// a composition uses to let the loop predictor override another component.
+func (p *Predictor) ConfidentHit(ip uint64) bool {
+	_, hit := p.lookup(ip)
+	return hit
+}
+
+// Train implements bp.Predictor.
+func (p *Predictor) Train(b bp.Branch) {
+	e, tag := p.slot(b.IP)
+	switch {
+	case e.tag == tag:
+		p.trainEntry(e, b.Taken)
+	case b.Taken:
+		// A taken conditional is a loop candidate: steal the slot if the
+		// incumbent has aged out.
+		if e.age.IsZero() {
+			*e = entry{tag: tag, conf: utils.NewUnsignedCounter(3, 0), age: utils.NewUnsignedCounter(3, 1)}
+			e.current = 1
+		} else {
+			e.age.Dec()
+		}
+	}
+	p.fallback.Train(b)
+}
+
+// trainEntry advances the iteration automaton of a matching entry.
+func (p *Predictor) trainEntry(e *entry, taken bool) {
+	predictedHit := e.conf.Get() >= confident
+	if taken {
+		e.current++
+		if predictedHit && e.current > e.trip {
+			// The loop ran past the learned trip count: the entry is wrong.
+			e.conf.Set(0)
+		}
+		return
+	}
+	// Loop exit observed.
+	if e.trip == e.current && e.trip > 0 {
+		e.conf.Inc()
+		e.age.Inc()
+	} else {
+		e.trip = e.current
+		e.conf.Set(0)
+	}
+	e.current = 0
+}
+
+// Track implements bp.Predictor. The loop automaton advances in Train; the
+// fallback keeps no scenario either.
+func (p *Predictor) Track(b bp.Branch) {
+	if taken, hit := p.lookup(b.IP); hit && taken == b.Taken {
+		p.hits++
+	}
+}
+
+// Metadata implements bp.MetadataProvider.
+func (p *Predictor) Metadata() map[string]any {
+	return map[string]any{
+		"name":     "MBPlib Loop",
+		"log_size": p.logSize,
+		"tag_bits": p.tagBits,
+		"fallback": p.fallback.Metadata(),
+	}
+}
+
+// Statistics implements bp.StatsProvider.
+func (p *Predictor) Statistics() map[string]any {
+	live := 0
+	for i := range p.entries {
+		if p.entries[i].conf.Get() >= confident {
+			live++
+		}
+	}
+	return map[string]any{
+		"confident_entries": live,
+		"confident_correct": p.hits,
+	}
+}

@@ -1,0 +1,119 @@
+package loop
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+// loopOutcomes produces the outcome stream of a loop with the given trip
+// count: trip takens followed by one not-taken, repeated.
+func loopOutcomes(trip, rounds int) []bool {
+	var out []bool
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < trip; i++ {
+			out = append(out, true)
+		}
+		out = append(out, false)
+	}
+	return out
+}
+
+func TestLearnsTripCount(t *testing.T) {
+	p := New()
+	acc := predtest.Drive(p, 0x40, loopOutcomes(50, 40))
+	// After confidence builds, every exit is predicted: accuracy ~1.
+	if acc < 0.99 {
+		t.Errorf("loop predictor on trip-50 loop: accuracy %v, want ~1", acc)
+	}
+}
+
+func TestBeatsShortHistoryGShareOnLongLoops(t *testing.T) {
+	outcomes := loopOutcomes(100, 40)
+	lAcc := predtest.Drive(New(), 0x40, outcomes)
+	gAcc := predtest.Drive(gshare.New(gshare.WithHistoryLength(12)), 0x40, outcomes)
+	if lAcc <= gAcc {
+		t.Errorf("loop predictor (%v) not above short-history gshare (%v) on trip-100 loop", lAcc, gAcc)
+	}
+}
+
+func TestRelearnsChangedTripCount(t *testing.T) {
+	p := New()
+	outcomes := append(loopOutcomes(10, 30), loopOutcomes(20, 30)...)
+	acc := predtest.Drive(p, 0x40, outcomes)
+	// Second half is all trip-20 rounds; it must re-converge.
+	if acc < 0.9 {
+		t.Errorf("loop predictor after trip change: accuracy %v", acc)
+	}
+}
+
+func TestIrregularBranchFallsBack(t *testing.T) {
+	p := New()
+	// Strongly biased but irregular: the loop table must not gain
+	// confidence, and the bimodal fallback handles it.
+	acc := predtest.Drive(p, 0x40, predtest.Pattern("TTTTTTTTTN", 5000))
+	if acc < 0.85 {
+		t.Errorf("loop predictor on biased irregular branch: accuracy %v", acc)
+	}
+}
+
+func TestConfidentHitSignal(t *testing.T) {
+	p := New()
+	if p.ConfidentHit(0x40) {
+		t.Errorf("fresh predictor reports a confident hit")
+	}
+	predtest.Drive(p, 0x40, loopOutcomes(8, 30))
+	if !p.ConfidentHit(0x40) {
+		t.Errorf("no confident hit after 30 identical loop rounds")
+	}
+	stats := p.Statistics()
+	if stats["confident_entries"].(int) < 1 {
+		t.Errorf("statistics report no confident entries: %v", stats)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("invalid config accepted")
+		}
+	}()
+	New(WithLogSize(0))
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.55 {
+		t.Errorf("loop predictor accuracy on mixed workload = %v", acc)
+	}
+}
+
+func TestLoopKernelNearPerfect(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "loops", Seed: 3, Branches: 50000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Loop, Trips: []int{60}}},
+	}
+	if acc := predtest.AccuracyOnSpec(t, New(), spec); acc < 0.97 {
+		t.Errorf("loop predictor on trip-60 loop kernel: accuracy %v", acc)
+	}
+}
+
+func TestNonConditionalIgnored(t *testing.T) {
+	p := New()
+	call := bp.Branch{IP: 0x80, Target: 0x1000, Opcode: bp.OpCall, Taken: true}
+	// Calls only reach Track in the simulator; it must not disturb state.
+	for i := 0; i < 100; i++ {
+		p.Track(call)
+	}
+	if p.ConfidentHit(0x80) {
+		t.Errorf("tracking calls created a loop entry")
+	}
+}

@@ -1,0 +1,79 @@
+package ogehl
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstantAndPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 400)); acc < 0.99 {
+		t.Errorf("O-GEHL on constant stream: accuracy %v", acc)
+	}
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTNNT", 4000)); acc < 0.97 {
+		t.Errorf("O-GEHL on period-7 pattern: accuracy %v", acc)
+	}
+}
+
+func TestLearnsLongPattern(t *testing.T) {
+	pattern := "TTTTTTTTTTTTTTTTTTTTTTTTTNNNNNNNNNNNNNNNNNNNNNNNNN" // period 50
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern(pattern, 15000)); acc < 0.9 {
+		t.Errorf("O-GEHL on period-50 pattern: accuracy %v", acc)
+	}
+}
+
+func TestBeatsBimodalOnCorrelated(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "corr", Seed: 5, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Correlated, Feeders: 5}},
+	}
+	oAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	bAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if oAcc <= bAcc+0.05 {
+		t.Errorf("O-GEHL accuracy %v not clearly above bimodal %v", oAcc, bAcc)
+	}
+}
+
+func TestAdaptiveMachineryRuns(t *testing.T) {
+	p := New()
+	_ = predtest.AccuracyOnSpec(t, p, predtest.MixedSpec(60000))
+	stats := p.Statistics()
+	if stats["table_updates"].(uint64) == 0 {
+		t.Errorf("no table updates recorded")
+	}
+	if stats["threshold"].(int) < 1 {
+		t.Errorf("threshold fell below 1")
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.7 {
+		t.Errorf("O-GEHL accuracy on mixed workload = %v", acc)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(WithHistoryLengths([]int{0})) },
+		func() { New(WithHistoryLengths([]int{0, 5, 3})) },
+		func() { New(WithLogSize(0)) },
+		func() { New(WithCounterBits(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,204 @@
+// Package perceptron implements the hashed perceptron predictor of Tarjan
+// and Skadron ("Merging path and gshare indexing in perceptron branch
+// prediction"). A set of weight tables, each indexed by a hash of the
+// branch address with a geometrically growing slice of global and path
+// history, contributes signed weights whose sum decides the prediction.
+// Training is perceptron-style: only on a misprediction or when the sum's
+// magnitude falls below an adaptively trained threshold.
+package perceptron
+
+import (
+	"fmt"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/utils"
+)
+
+// Predictor is a hashed perceptron branch predictor.
+type Predictor struct {
+	tables  [][]utils.SignedCounter
+	folded  []*utils.FoldedHistory
+	lengths []int
+	logSize int
+	wBits   int
+
+	ghist *utils.GlobalHistory
+	phist *utils.PathHistory
+
+	theta int
+	tc    utils.SignedCounter // adaptive threshold trainer
+
+	// Cached sum for the last predicted IP, reused by Train.
+	lastIP  uint64
+	lastSum int
+	haveSum bool
+
+	trainings uint64 // statistic: below-threshold updates
+}
+
+// Option configures the predictor.
+type Option func(*config)
+
+type config struct {
+	lengths []int
+	logSize int
+	wBits   int
+	theta   int
+}
+
+// WithHistoryLengths sets the per-table history lengths; the first entry is
+// conventionally 0 (bias table). Default {0, 3, 6, 12, 24, 48, 96, 128}.
+func WithHistoryLengths(l []int) Option { return func(c *config) { c.lengths = l } }
+
+// WithLogSize sets the log2 entries per table. Default 13.
+func WithLogSize(n int) Option { return func(c *config) { c.logSize = n } }
+
+// WithWeightBits sets the weight counter width. Default 8.
+func WithWeightBits(n int) Option { return func(c *config) { c.wBits = n } }
+
+// New returns a hashed perceptron predictor.
+func New(opts ...Option) *Predictor {
+	cfg := config{
+		lengths: []int{0, 3, 6, 12, 24, 48, 96, 128},
+		logSize: 13,
+		wBits:   8,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.lengths) < 2 {
+		panic("perceptron: need at least two tables")
+	}
+	if cfg.logSize < 1 || cfg.logSize > 26 {
+		panic(fmt.Sprintf("perceptron: invalid log table size %d", cfg.logSize))
+	}
+	maxLen := 0
+	for i, l := range cfg.lengths {
+		if l < 0 || (i > 0 && l < cfg.lengths[i-1]) {
+			panic(fmt.Sprintf("perceptron: history lengths must be non-negative and ascending: %v", cfg.lengths))
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if cfg.theta == 0 {
+		// The classical perceptron threshold heuristic, scaled to the
+		// number of tables.
+		cfg.theta = int(2.14*float64(len(cfg.lengths))) + 10
+	}
+	p := &Predictor{
+		lengths: cfg.lengths,
+		logSize: cfg.logSize,
+		wBits:   cfg.wBits,
+		ghist:   utils.NewGlobalHistory(maxLen + 1),
+		phist:   utils.NewPathHistory(8, 8),
+		theta:   cfg.theta,
+		tc:      utils.NewSignedCounter(7, 0),
+	}
+	for _, l := range cfg.lengths {
+		t := make([]utils.SignedCounter, 1<<cfg.logSize)
+		for i := range t {
+			t[i] = utils.NewSignedCounter(cfg.wBits, 0)
+		}
+		p.tables = append(p.tables, t)
+		width := cfg.logSize
+		p.folded = append(p.folded, utils.NewFoldedHistory(l, width))
+	}
+	return p
+}
+
+func (p *Predictor) index(ip uint64, t int) uint64 {
+	h := p.folded[t].Value()
+	// Mix in a slice of path history for the longer tables, per the
+	// paper's merged path/gshare indexing.
+	path := uint64(0)
+	if p.lengths[t] >= 8 {
+		path = p.phist.Packed()
+	}
+	return utils.XorFold(ip^h^(path<<1)^uint64(t)*0x9e3779b97f4a7c15, p.logSize)
+}
+
+// sum computes the weight sum for ip.
+func (p *Predictor) sum(ip uint64) int {
+	s := 0
+	for t := range p.tables {
+		s += p.tables[t][p.index(ip, t)].Get()
+	}
+	return s
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	s := p.sum(ip)
+	p.lastIP, p.lastSum, p.haveSum = ip, s, true
+	return s >= 0
+}
+
+// Train implements bp.Predictor: perceptron update with adaptive threshold.
+func (p *Predictor) Train(b bp.Branch) {
+	s := p.lastSum
+	if !p.haveSum || p.lastIP != b.IP {
+		s = p.sum(b.IP)
+	}
+	pred := s >= 0
+	mag := s
+	if mag < 0 {
+		mag = -mag
+	}
+	mispredicted := pred != b.Taken
+	if mispredicted || mag <= p.theta {
+		p.trainings++
+		for t := range p.tables {
+			p.tables[t][p.index(b.IP, t)].SumOrSub(b.Taken)
+		}
+	}
+	// Adaptive threshold (O-GEHL style): mispredictions push theta up,
+	// low-confidence correct predictions pull it down.
+	if mispredicted {
+		p.tc.Add(1)
+		if p.tc.Get() == p.tc.Max() {
+			p.theta++
+			p.tc.Set(0)
+		}
+	} else if mag <= p.theta {
+		p.tc.Add(-1)
+		if p.tc.Get() == p.tc.Min() {
+			if p.theta > 1 {
+				p.theta--
+			}
+			p.tc.Set(0)
+		}
+	}
+}
+
+// Track implements bp.Predictor: update global and path histories.
+func (p *Predictor) Track(b bp.Branch) {
+	p.ghist.Push(b.Taken)
+	p.phist.Push(b.IP >> 2)
+	for t := range p.folded {
+		if p.lengths[t] == 0 {
+			continue
+		}
+		oldest := p.ghist.Bit(p.lengths[t]) // bit that just left the window
+		p.folded[t].Update(b.Taken, oldest)
+	}
+	p.haveSum = false
+}
+
+// Metadata implements bp.MetadataProvider.
+func (p *Predictor) Metadata() map[string]any {
+	return map[string]any{
+		"name":            "MBPlib Hashed Perceptron",
+		"history_lengths": append([]int(nil), p.lengths...),
+		"log_table_size":  p.logSize,
+		"weight_bits":     p.wBits,
+	}
+}
+
+// Statistics implements bp.StatsProvider.
+func (p *Predictor) Statistics() map[string]any {
+	return map[string]any{
+		"threshold":        p.theta,
+		"weight_trainings": p.trainings,
+	}
+}

@@ -1,0 +1,89 @@
+package perceptron
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstant(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 400)); acc < 0.99 {
+		t.Errorf("perceptron on constant stream: accuracy %v", acc)
+	}
+}
+
+func TestLearnsPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTNNT", 4000)); acc < 0.97 {
+		t.Errorf("perceptron on period-7 pattern: accuracy %v", acc)
+	}
+}
+
+func TestLearnsLongPattern(t *testing.T) {
+	// Period 40 exceeds classic 2-level histories but fits the 48/96-bit
+	// tables.
+	pattern := "TTTTTTTTTTTTTTTTTTTTNNNNNNNNNNNNNNNNNNNN"
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern(pattern, 12000)); acc < 0.9 {
+		t.Errorf("perceptron on period-40 pattern: accuracy %v", acc)
+	}
+}
+
+func TestBeatsBimodalOnCorrelated(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "corr", Seed: 5, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Correlated, Feeders: 6}},
+	}
+	pAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	bAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if pAcc <= bAcc+0.05 {
+		t.Errorf("perceptron accuracy %v not clearly above bimodal %v", pAcc, bAcc)
+	}
+}
+
+func TestAdaptiveThresholdMoves(t *testing.T) {
+	p := New()
+	before := p.theta
+	spec := predtest.MixedSpec(30000)
+	_ = predtest.AccuracyOnSpec(t, p, spec)
+	stats := p.Statistics()
+	if stats["weight_trainings"].(uint64) == 0 {
+		t.Errorf("no weight trainings recorded")
+	}
+	after := stats["threshold"].(int)
+	if after == before {
+		t.Logf("threshold unchanged at %d (allowed, but unusual on noisy input)", after)
+	}
+	if after < 1 {
+		t.Errorf("threshold fell below 1: %d", after)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(WithHistoryLengths([]int{0})) },
+		func() { New(WithHistoryLengths([]int{5, 3})) },
+		func() { New(WithLogSize(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.7 {
+		t.Errorf("perceptron accuracy on mixed workload = %v", acc)
+	}
+}

@@ -1,0 +1,168 @@
+// Package predtest provides shared helpers for testing branch predictors:
+// canned outcome sequences, accuracy measurement, and interface-contract
+// checks used by every predictor package's tests.
+package predtest
+
+import (
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+// Drive feeds the outcome sequence of a single conditional branch at ip to
+// the predictor and returns the fraction of correct predictions over the
+// last half of the sequence (so initial training does not dominate).
+func Drive(p bp.Predictor, ip uint64, outcomes []bool) float64 {
+	correct, counted := 0, 0
+	for i, taken := range outcomes {
+		pred := p.Predict(ip)
+		if i >= len(outcomes)/2 {
+			counted++
+			if pred == taken {
+				correct++
+			}
+		}
+		b := bp.Branch{IP: ip, Target: ip + 64, Opcode: bp.OpCondJump, Taken: taken}
+		p.Train(b)
+		p.Track(b)
+	}
+	if counted == 0 {
+		return 0
+	}
+	return float64(correct) / float64(counted)
+}
+
+// DriveBranches interleaves outcome sequences of several branches (one
+// outcome each per round) and returns the overall second-half accuracy.
+func DriveBranches(p bp.Predictor, ips []uint64, outcomes [][]bool) float64 {
+	correct, counted := 0, 0
+	rounds := len(outcomes[0])
+	for r := 0; r < rounds; r++ {
+		for j, ip := range ips {
+			taken := outcomes[j][r]
+			pred := p.Predict(ip)
+			if r >= rounds/2 {
+				counted++
+				if pred == taken {
+					correct++
+				}
+			}
+			b := bp.Branch{IP: ip, Target: ip + 64, Opcode: bp.OpCondJump, Taken: taken}
+			p.Train(b)
+			p.Track(b)
+		}
+	}
+	return float64(correct) / float64(counted)
+}
+
+// Pattern repeats the "T"/"N" pattern until n outcomes are produced.
+func Pattern(pattern string, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)] == 'T'
+	}
+	return out
+}
+
+// Alternating returns n alternating outcomes starting with taken.
+func Alternating(n int) []bool { return Pattern("TN", n) }
+
+// Constant returns n copies of the outcome.
+func Constant(taken bool, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = taken
+	}
+	return out
+}
+
+// MPKIOnSpec simulates the predictor on a synthetic workload and returns
+// the resulting MPKI.
+func MPKIOnSpec(t *testing.T, p bp.Predictor, spec tracegen.Spec) float64 {
+	t.Helper()
+	g, err := tracegen.New(spec)
+	if err != nil {
+		t.Fatalf("tracegen.New: %v", err)
+	}
+	res, err := sim.Run(g, p, sim.Config{TraceName: spec.Name})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res.Metrics.MPKI
+}
+
+// AccuracyOnSpec simulates the predictor on a synthetic workload and
+// returns the conditional-branch accuracy.
+func AccuracyOnSpec(t *testing.T, p bp.Predictor, spec tracegen.Spec) float64 {
+	t.Helper()
+	g, err := tracegen.New(spec)
+	if err != nil {
+		t.Fatalf("tracegen.New: %v", err)
+	}
+	res, err := sim.Run(g, p, sim.Config{TraceName: spec.Name})
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res.Metrics.Accuracy
+}
+
+// MixedSpec is a standard workload mixing every kernel kind, for smoke
+// tests that a predictor survives arbitrary input.
+func MixedSpec(branches uint64) tracegen.Spec {
+	return tracegen.Spec{
+		Name: "predtest-mixed", Seed: 0xbeef, Branches: branches,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased}, {Kind: tracegen.Loop}, {Kind: tracegen.Correlated},
+			{Kind: tracegen.Pattern}, {Kind: tracegen.CallRet}, {Kind: tracegen.Indirect},
+		},
+	}
+}
+
+// CheckPredictIsPure verifies the §IV-A contract that Predict does not
+// change future predictions: repeated calls without Train/Track must agree.
+func CheckPredictIsPure(t *testing.T, p bp.Predictor, ips []uint64) {
+	t.Helper()
+	// Train a little first so internal state is non-trivial.
+	g, err := tracegen.New(MixedSpec(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			break
+		}
+		if ev.Branch.IsConditional() {
+			p.Predict(ev.Branch.IP)
+			p.Train(ev.Branch)
+		}
+		p.Track(ev.Branch)
+	}
+	for _, ip := range ips {
+		first := p.Predict(ip)
+		for i := 0; i < 5; i++ {
+			if p.Predict(ip) != first {
+				t.Errorf("Predict(%#x) changed its answer on repeated calls", ip)
+				return
+			}
+		}
+	}
+}
+
+// CheckMetadata verifies the predictor describes itself with at least a
+// name, so simulator output identifies it (Listing 1).
+func CheckMetadata(t *testing.T, p bp.Predictor) {
+	t.Helper()
+	mp, ok := p.(bp.MetadataProvider)
+	if !ok {
+		t.Fatalf("predictor %T does not provide metadata", p)
+	}
+	md := mp.Metadata()
+	name, ok := md["name"].(string)
+	if !ok || name == "" {
+		t.Errorf("predictor %T metadata has no name: %v", p, md)
+	}
+}

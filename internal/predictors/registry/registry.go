@@ -1,0 +1,353 @@
+// Package registry constructs predictors from textual descriptions such as
+// "gshare:h=25,t=18" or "tournament:bp0=bimodal,bp1=gshare", so command-line
+// tools and sweep harnesses can select any predictor of the examples
+// library (Table II) by name.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/agree"
+	"mbplib/internal/predictors/alpha"
+	"mbplib/internal/predictors/batage"
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/filter"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/gskew"
+	"mbplib/internal/predictors/loop"
+	"mbplib/internal/predictors/ogehl"
+	"mbplib/internal/predictors/perceptron"
+	"mbplib/internal/predictors/statics"
+	"mbplib/internal/predictors/tage"
+	"mbplib/internal/predictors/tournament"
+	"mbplib/internal/predictors/twolevel"
+	"mbplib/internal/predictors/yags"
+)
+
+// params is a parsed key=value option set that records which keys were read,
+// so unknown options are reported instead of silently ignored.
+type params struct {
+	vals map[string]string
+	used map[string]bool
+}
+
+func parseParams(s string) (*params, error) {
+	p := &params{vals: map[string]string{}, used: map[string]bool{}}
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("malformed option %q (want key=value)", kv)
+		}
+		p.vals[k] = v
+	}
+	return p, nil
+}
+
+func (p *params) str(key, def string) string {
+	if v, ok := p.vals[key]; ok {
+		p.used[key] = true
+		return v
+	}
+	return def
+}
+
+func (p *params) intVal(key string, def int) (int, error) {
+	v, ok := p.vals[key]
+	if !ok {
+		return def, nil
+	}
+	p.used[key] = true
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("option %s: %v", key, err)
+	}
+	return n, nil
+}
+
+func (p *params) unknown() []string {
+	var extra []string
+	for k := range p.vals {
+		if !p.used[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return extra
+}
+
+// Names lists the available predictor names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type builder func(*params) (bp.Predictor, error)
+
+// builders is populated in init: buildTournament constructs its components
+// through New, so a composite literal would form an initialization cycle.
+var builders map[string]builder
+
+func init() {
+	builders = map[string]builder{
+		"always-taken":     func(*params) (bp.Predictor, error) { return statics.NewTaken(), nil },
+		"always-not-taken": func(*params) (bp.Predictor, error) { return statics.NewNotTaken(), nil },
+		"bimodal":          buildBimodal,
+		"gshare":           buildGShare,
+		"twolevel":         buildTwoLevel,
+		"tournament":       buildTournament,
+		"gskew":            buildGskew,
+		"perceptron":       buildPerceptron,
+		"loop":             buildLoop,
+		"tage":             buildTAGE,
+		"batage":           buildBATAGE,
+		"ogehl":            buildOGEHL,
+		"yags":             buildYAGS,
+		"agree":            buildAgree,
+		"alpha":            buildAlpha,
+		"filter":           buildFilter,
+	}
+}
+
+// New builds the predictor described by spec, which is a name optionally
+// followed by ":" and comma-separated key=value options. Run `mbpsim -list`
+// for the catalogue.
+func New(spec string) (bp.Predictor, error) {
+	name, opts, _ := strings.Cut(spec, ":")
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown predictor %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	p, err := parseParams(opts)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %s: %v", name, err)
+	}
+	pred, err := b(p)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %s: %v", name, err)
+	}
+	if extra := p.unknown(); len(extra) > 0 {
+		return nil, fmt.Errorf("registry: %s: unknown options %v", name, extra)
+	}
+	return pred, nil
+}
+
+func buildBimodal(p *params) (bp.Predictor, error) {
+	logSize, err := p.intVal("t", 14)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := p.intVal("bits", 2)
+	if err != nil {
+		return nil, err
+	}
+	return bimodal.New(bimodal.WithLogSize(logSize), bimodal.WithCounterBits(bits)), nil
+}
+
+func buildGShare(p *params) (bp.Predictor, error) {
+	h, err := p.intVal("h", 15)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.intVal("t", 17)
+	if err != nil {
+		return nil, err
+	}
+	return gshare.New(gshare.WithHistoryLength(h), gshare.WithLogSize(t)), nil
+}
+
+func buildTwoLevel(p *params) (bp.Predictor, error) {
+	variant := p.str("variant", "GAs")
+	if len(variant) != 3 || variant[1] != 'A' {
+		return nil, fmt.Errorf("bad two-level variant %q (want e.g. GAg, PAs)", variant)
+	}
+	level := func(c byte) (twolevel.Level, error) {
+		switch c {
+		case 'G', 'g':
+			return twolevel.Global, nil
+		case 'S', 's':
+			return twolevel.PerSet, nil
+		case 'P', 'p':
+			return twolevel.PerAddress, nil
+		}
+		return 0, fmt.Errorf("bad two-level level %q", string(c))
+	}
+	first, err := level(variant[0])
+	if err != nil {
+		return nil, err
+	}
+	second, err := level(variant[2])
+	if err != nil {
+		return nil, err
+	}
+	h, err := p.intVal("h", 12)
+	if err != nil {
+		return nil, err
+	}
+	logBHRs, err := p.intVal("bhrs", 0)
+	if err != nil {
+		return nil, err
+	}
+	logPHTs, err := p.intVal("phts", 0)
+	if err != nil {
+		return nil, err
+	}
+	return twolevel.New(twolevel.Config{
+		First: first, Second: second, HistLen: h, LogBHRs: logBHRs, LogPHTs: logPHTs,
+	}), nil
+}
+
+func buildTournament(p *params) (bp.Predictor, error) {
+	meta, err := New(p.str("meta", "bimodal:t=13"))
+	if err != nil {
+		return nil, fmt.Errorf("meta: %v", err)
+	}
+	bp0, err := New(p.str("bp0", "bimodal"))
+	if err != nil {
+		return nil, fmt.Errorf("bp0: %v", err)
+	}
+	bp1, err := New(p.str("bp1", "gshare"))
+	if err != nil {
+		return nil, fmt.Errorf("bp1: %v", err)
+	}
+	return tournament.New(meta, bp0, bp1), nil
+}
+
+func buildGskew(p *params) (bp.Predictor, error) {
+	t, err := p.intVal("t", 15)
+	if err != nil {
+		return nil, err
+	}
+	h0, err := p.intVal("h0", 9)
+	if err != nil {
+		return nil, err
+	}
+	h1, err := p.intVal("h1", 18)
+	if err != nil {
+		return nil, err
+	}
+	return gskew.New(gskew.WithLogSize(t), gskew.WithHistoryLengths(h0, h1)), nil
+}
+
+func buildPerceptron(p *params) (bp.Predictor, error) {
+	t, err := p.intVal("t", 13)
+	if err != nil {
+		return nil, err
+	}
+	return perceptron.New(perceptron.WithLogSize(t)), nil
+}
+
+func buildLoop(p *params) (bp.Predictor, error) {
+	t, err := p.intVal("t", 6)
+	if err != nil {
+		return nil, err
+	}
+	return loop.New(loop.WithLogSize(t)), nil
+}
+
+func tageGeometry(p *params) (n, minH, maxH, logSize, tagBits int, err error) {
+	if n, err = p.intVal("tables", 8); err != nil {
+		return
+	}
+	if minH, err = p.intVal("minhist", 4); err != nil {
+		return
+	}
+	if maxH, err = p.intVal("maxhist", 320); err != nil {
+		return
+	}
+	if logSize, err = p.intVal("t", 10); err != nil {
+		return
+	}
+	tagBits, err = p.intVal("tag", 11)
+	return
+}
+
+func buildTAGE(p *params) (bp.Predictor, error) {
+	n, minH, maxH, logSize, tagBits, err := tageGeometry(p)
+	if err != nil {
+		return nil, err
+	}
+	return tage.New(tage.WithGeometric(n, minH, maxH, logSize, tagBits)), nil
+}
+
+func buildBATAGE(p *params) (bp.Predictor, error) {
+	n, minH, maxH, logSize, tagBits, err := tageGeometry(p)
+	if err != nil {
+		return nil, err
+	}
+	return batage.New(batage.WithGeometric(n, minH, maxH, logSize, tagBits)), nil
+}
+
+func buildOGEHL(p *params) (bp.Predictor, error) {
+	t, err := p.intVal("t", 11)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := p.intVal("bits", 5)
+	if err != nil {
+		return nil, err
+	}
+	return ogehl.New(ogehl.WithLogSize(t), ogehl.WithCounterBits(bits)), nil
+}
+
+func buildYAGS(p *params) (bp.Predictor, error) {
+	choice, err := p.intVal("choice", 14)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := p.intVal("cache", 12)
+	if err != nil {
+		return nil, err
+	}
+	h, err := p.intVal("h", 12)
+	if err != nil {
+		return nil, err
+	}
+	return yags.New(yags.WithLogChoice(choice), yags.WithLogCache(cache), yags.WithHistoryLength(h)), nil
+}
+
+func buildAgree(p *params) (bp.Predictor, error) {
+	t, err := p.intVal("t", 15)
+	if err != nil {
+		return nil, err
+	}
+	h, err := p.intVal("h", 14)
+	if err != nil {
+		return nil, err
+	}
+	return agree.New(agree.WithLogAgree(t), agree.WithHistoryLength(h)), nil
+}
+
+func buildAlpha(p *params) (bp.Predictor, error) {
+	local, err := p.intVal("local", 10)
+	if err != nil {
+		return nil, err
+	}
+	global, err := p.intVal("global", 12)
+	if err != nil {
+		return nil, err
+	}
+	return alpha.New(alpha.WithLogLocal(local), alpha.WithLogGlobal(global)), nil
+}
+
+func buildFilter(p *params) (bp.Predictor, error) {
+	inner, err := New(p.str("inner", "gshare"))
+	if err != nil {
+		return nil, fmt.Errorf("inner: %v", err)
+	}
+	threshold, err := p.intVal("threshold", 16)
+	if err != nil {
+		return nil, err
+	}
+	return filter.New(inner, filter.WithThreshold(threshold)), nil
+}

@@ -1,0 +1,134 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/predtest"
+)
+
+func TestAllNamesBuildWithDefaults(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if p == nil {
+			t.Errorf("New(%q) returned nil", name)
+		}
+	}
+}
+
+func TestBuiltPredictorsWork(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		// A couple of events must not panic and Predict must be callable.
+		b := bp.Branch{IP: 0x400040, Target: 0x400080, Opcode: bp.OpCondJump, Taken: true}
+		_ = p.Predict(b.IP)
+		p.Train(b)
+		p.Track(b)
+		_ = p.Predict(b.IP)
+	}
+}
+
+func TestGShareOptions(t *testing.T) {
+	p, err := New("gshare:h=25,t=18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := p.(bp.MetadataProvider).Metadata()
+	if md["history_length"] != 25 || md["log_table_size"] != 18 {
+		t.Errorf("options not applied: %v", md)
+	}
+}
+
+func TestTwoLevelVariants(t *testing.T) {
+	for _, v := range []string{"GAg", "GAs", "GAp", "SAg", "SAs", "SAp", "PAg", "PAs", "PAp"} {
+		p, err := New("twolevel:variant=" + v)
+		if err != nil {
+			t.Errorf("variant %s: %v", v, err)
+			continue
+		}
+		md := p.(bp.MetadataProvider).Metadata()
+		if !strings.HasSuffix(md["name"].(string), v) {
+			t.Errorf("variant %s built as %v", v, md["name"])
+		}
+	}
+	if _, err := New("twolevel:variant=XAy"); err == nil {
+		t.Errorf("bad variant accepted")
+	}
+}
+
+func TestTournamentComposition(t *testing.T) {
+	p, err := New("tournament:meta=bimodal:t=10,bp0=always-taken,bp1=gshare:h=10")
+	// Note: nested colons inside component specs are supported because only
+	// the first colon splits name from options... this spec is ambiguous,
+	// so expect an error OR a valid tournament; the simple form must work:
+	_ = p
+	_ = err
+	q, err := New("tournament")
+	if err != nil {
+		t.Fatalf("default tournament: %v", err)
+	}
+	md := q.(bp.MetadataProvider).Metadata()
+	if md["name"] != "MBPlib Tournament" {
+		t.Errorf("tournament metadata: %v", md)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"nope",
+		"gshare:h",
+		"gshare:h=abc",
+		"gshare:zzz=1",
+		"bimodal:t=x",
+	}
+	for _, spec := range cases {
+		if _, err := New(spec); err == nil {
+			t.Errorf("New(%q) succeeded", spec)
+		}
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+	// Every predictor of Table II is present.
+	want := []string{"bimodal", "twolevel", "gshare", "tournament", "gskew", "perceptron", "tage", "batage"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("Table II predictor %q missing from registry", w)
+		}
+	}
+}
+
+func TestRegistryPredictorsOnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := predtest.MixedSpec(20000)
+	for _, name := range []string{"bimodal", "gshare", "tage", "batage", "gskew", "perceptron", "tournament", "loop"} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := predtest.AccuracyOnSpec(t, p, spec)
+		if acc < 0.55 {
+			t.Errorf("%s accuracy %v on mixed workload", name, acc)
+		}
+	}
+}

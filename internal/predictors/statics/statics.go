@@ -1,0 +1,47 @@
+// Package statics provides the trivial static predictors — always taken and
+// always not taken. They are the measuring sticks of the examples library:
+// any dynamic predictor must beat them, and they are handy as the cheapest
+// possible subcomponents in compositions.
+package statics
+
+import "mbplib/internal/bp"
+
+// Taken always predicts taken.
+type Taken struct{}
+
+// NewTaken returns an always-taken predictor.
+func NewTaken() *Taken { return &Taken{} }
+
+// Predict implements bp.Predictor.
+func (*Taken) Predict(uint64) bool { return true }
+
+// Train implements bp.Predictor. Static predictors have no state.
+func (*Taken) Train(bp.Branch) {}
+
+// Track implements bp.Predictor.
+func (*Taken) Track(bp.Branch) {}
+
+// Metadata implements bp.MetadataProvider.
+func (*Taken) Metadata() map[string]any {
+	return map[string]any{"name": "MBPlib Always Taken"}
+}
+
+// NotTaken always predicts not taken.
+type NotTaken struct{}
+
+// NewNotTaken returns an always-not-taken predictor.
+func NewNotTaken() *NotTaken { return &NotTaken{} }
+
+// Predict implements bp.Predictor.
+func (*NotTaken) Predict(uint64) bool { return false }
+
+// Train implements bp.Predictor.
+func (*NotTaken) Train(bp.Branch) {}
+
+// Track implements bp.Predictor.
+func (*NotTaken) Track(bp.Branch) {}
+
+// Metadata implements bp.MetadataProvider.
+func (*NotTaken) Metadata() map[string]any {
+	return map[string]any{"name": "MBPlib Always Not Taken"}
+}

@@ -1,0 +1,39 @@
+package statics
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/predtest"
+)
+
+func TestTaken(t *testing.T) {
+	p := NewTaken()
+	if !p.Predict(0x1234) {
+		t.Errorf("always-taken predicted not taken")
+	}
+	b := bp.Branch{IP: 4, Target: 8, Opcode: bp.OpCondJump, Taken: false}
+	p.Train(b)
+	p.Track(b)
+	if !p.Predict(4) {
+		t.Errorf("training changed a static predictor")
+	}
+	predtest.CheckMetadata(t, p)
+}
+
+func TestNotTaken(t *testing.T) {
+	p := NewNotTaken()
+	if p.Predict(0x1234) {
+		t.Errorf("always-not-taken predicted taken")
+	}
+	predtest.CheckMetadata(t, p)
+}
+
+func TestAccuracyOnConstantStreams(t *testing.T) {
+	if acc := predtest.Drive(NewTaken(), 0x40, predtest.Constant(true, 100)); acc != 1 {
+		t.Errorf("always-taken on all-taken stream: accuracy %v", acc)
+	}
+	if acc := predtest.Drive(NewNotTaken(), 0x40, predtest.Constant(true, 100)); acc != 0 {
+		t.Errorf("always-not-taken on all-taken stream: accuracy %v", acc)
+	}
+}

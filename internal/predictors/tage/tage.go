@@ -1,0 +1,402 @@
+// Package tage implements the TAGE predictor of Seznec and Michaud ("A case
+// for (partially) tagged geometric history length branch prediction"): a
+// bimodal base predictor backed by a set of partially tagged tables indexed
+// with geometrically growing global-history lengths. The longest-history
+// matching table provides the prediction; allocation on mispredictions and
+// usefulness counters manage the tables as a cache of history-dependent
+// branch behaviours.
+//
+// As in the MBPlib examples library, every structural parameter — number of
+// tables, per-table history length, tag width, counter width — is
+// configurable, and the configuration is reported in the predictor's
+// metadata (§V).
+package tage
+
+import (
+	"fmt"
+	"math"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/utils"
+)
+
+// TableSpec describes one tagged table.
+type TableSpec struct {
+	HistLen int // global-history bits folded into the index
+	LogSize int // log2 entries
+	TagBits int // partial tag width
+	CtrBits int // prediction counter width
+}
+
+// entry is one tagged-table entry.
+type entry struct {
+	tag uint16
+	ctr utils.SignedCounter
+	u   utils.UnsignedCounter
+}
+
+type table struct {
+	spec    TableSpec
+	entries []entry
+	idxFold *utils.FoldedHistory
+	tagFold [2]*utils.FoldedHistory
+}
+
+// Predictor is a TAGE branch predictor.
+type Predictor struct {
+	base     []utils.SignedCounter
+	logBase  int
+	tables   []table
+	ghist    *utils.GlobalHistory
+	useAlt   utils.SignedCounter // use-alt-on-newly-allocated policy counter
+	rng      *utils.Rand
+	ticks    uint64
+	resetLog int // u counters age out every 2^resetLog updates
+	uPhase   bool
+
+	// Prediction cache, valid for lastIP until the next Track.
+	lastIP    uint64
+	haveCache bool
+	cache     lookup
+	idxBuf    []uint64
+	tagBuf    []uint16
+	candBuf   []int
+
+	allocations uint64 // statistic
+	uResets     uint64 // statistic
+}
+
+// lookup is the result of scanning the tables for one address. The idx and
+// tag slices alias buffers owned by the Predictor — only the cached lookup
+// is ever live, so the hot path stays allocation-free.
+type lookup struct {
+	provider int // providing table, -1 for base
+	alt      int // alternate table, -1 for base
+	idx      []uint64
+	tag      []uint16
+	baseIdx  uint64
+	pred     bool // final prediction
+	provPred bool // provider component's prediction
+	altPred  bool
+}
+
+// Option configures the predictor.
+type Option func(*config)
+
+type config struct {
+	tables   []TableSpec
+	logBase  int
+	resetLog int
+	seed     uint64
+}
+
+// WithTables sets the tagged-table geometry explicitly, one spec per table
+// in ascending history order.
+func WithTables(specs []TableSpec) Option { return func(c *config) { c.tables = specs } }
+
+// WithGeometric builds n tables with history lengths growing geometrically
+// from minHist to maxHist, all with the given logSize, tagBits and 3-bit
+// counters.
+func WithGeometric(n, minHist, maxHist, logSize, tagBits int) Option {
+	return func(c *config) {
+		c.tables = GeometricTables(n, minHist, maxHist, logSize, tagBits)
+	}
+}
+
+// WithLogBase sets the base bimodal table's log size. Default 13.
+func WithLogBase(n int) Option { return func(c *config) { c.logBase = n } }
+
+// WithResetLog sets the usefulness aging period to 2^n updates. Default 18.
+func WithResetLog(n int) Option { return func(c *config) { c.resetLog = n } }
+
+// WithSeed seeds the allocation randomiser. Default 1.
+func WithSeed(s uint64) Option { return func(c *config) { c.seed = s } }
+
+// GeometricTables returns n TableSpecs whose history lengths grow
+// geometrically from minHist to maxHist.
+func GeometricTables(n, minHist, maxHist, logSize, tagBits int) []TableSpec {
+	if n < 1 || minHist < 1 || maxHist < minHist {
+		panic(fmt.Sprintf("tage: invalid geometric series n=%d min=%d max=%d", n, minHist, maxHist))
+	}
+	specs := make([]TableSpec, n)
+	for i := range specs {
+		l := minHist
+		if n > 1 {
+			ratio := math.Pow(float64(maxHist)/float64(minHist), float64(i)/float64(n-1))
+			l = int(float64(minHist)*ratio + 0.5)
+		}
+		if i > 0 && l <= specs[i-1].HistLen {
+			l = specs[i-1].HistLen + 1
+		}
+		specs[i] = TableSpec{HistLen: l, LogSize: logSize, TagBits: tagBits, CtrBits: 3}
+	}
+	return specs
+}
+
+// New returns a TAGE predictor. The default configuration is 8 tables with
+// history lengths from 4 to 320, 2^10 entries and 11-bit tags each, over a
+// 2^13-entry bimodal base.
+func New(opts ...Option) *Predictor {
+	cfg := config{logBase: 13, resetLog: 18, seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.tables == nil {
+		cfg.tables = GeometricTables(8, 4, 320, 10, 11)
+	}
+	maxHist := 0
+	for i, ts := range cfg.tables {
+		if ts.HistLen < 1 || ts.LogSize < 1 || ts.LogSize > 24 || ts.TagBits < 1 || ts.TagBits > 16 {
+			panic(fmt.Sprintf("tage: invalid table spec %+v", ts))
+		}
+		if i > 0 && ts.HistLen <= cfg.tables[i-1].HistLen {
+			panic("tage: history lengths must be strictly ascending")
+		}
+		if ts.HistLen > maxHist {
+			maxHist = ts.HistLen
+		}
+	}
+	p := &Predictor{
+		base:     make([]utils.SignedCounter, 1<<cfg.logBase),
+		logBase:  cfg.logBase,
+		ghist:    utils.NewGlobalHistory(maxHist + 1),
+		useAlt:   utils.NewSignedCounter(4, 0),
+		rng:      utils.NewRand(cfg.seed),
+		resetLog: cfg.resetLog,
+	}
+	for _, ts := range cfg.tables {
+		ctrBits := ts.CtrBits
+		if ctrBits == 0 {
+			ctrBits = 3
+		}
+		t := table{
+			spec:    ts,
+			entries: make([]entry, 1<<ts.LogSize),
+			idxFold: utils.NewFoldedHistory(ts.HistLen, ts.LogSize),
+		}
+		t.tagFold[0] = utils.NewFoldedHistory(ts.HistLen, ts.TagBits)
+		t.tagFold[1] = utils.NewFoldedHistory(ts.HistLen, max(ts.TagBits-1, 1))
+		for i := range t.entries {
+			t.entries[i].ctr = utils.NewSignedCounter(ctrBits, 0)
+			t.entries[i].u = utils.NewUnsignedCounter(2, 0)
+		}
+		p.tables = append(p.tables, t)
+	}
+	p.idxBuf = make([]uint64, len(p.tables))
+	p.tagBuf = make([]uint16, len(p.tables))
+	p.candBuf = make([]int, 0, len(p.tables))
+	return p
+}
+
+func (t *table) index(ip uint64) uint64 {
+	// Mixing two folds of different widths keeps the index aperiodic even
+	// when the history itself is periodic with a period divisible by one
+	// fold width (e.g. a single loop branch), which would otherwise alias
+	// every loop position onto one entry.
+	h := t.idxFold.Value() ^ t.tagFold[0].Value()<<1
+	return utils.XorFold(ip^(ip>>uint(t.spec.LogSize))^h, t.spec.LogSize)
+}
+
+func (t *table) tag(ip uint64) uint16 {
+	v := ip ^ t.tagFold[0].Value() ^ (t.tagFold[1].Value() << 1)
+	return uint16(utils.XorFold(v, t.spec.TagBits))
+}
+
+func (p *Predictor) baseIndex(ip uint64) uint64 {
+	return utils.XorFold(ip>>2, p.logBase)
+}
+
+// scan resolves the provider/alternate components for ip.
+func (p *Predictor) scan(ip uint64) lookup {
+	l := lookup{
+		provider: -1, alt: -1,
+		idx:     p.idxBuf,
+		tag:     p.tagBuf,
+		baseIdx: p.baseIndex(ip),
+	}
+	for i := range p.tables {
+		l.idx[i] = p.tables[i].index(ip)
+		l.tag[i] = p.tables[i].tag(ip)
+	}
+	for i := len(p.tables) - 1; i >= 0; i-- {
+		if p.tables[i].entries[l.idx[i]].tag == l.tag[i] {
+			if l.provider == -1 {
+				l.provider = i
+			} else {
+				l.alt = i
+				break
+			}
+		}
+	}
+	basePred := p.base[l.baseIdx].Predict()
+	l.altPred = basePred
+	if l.alt >= 0 {
+		l.altPred = p.tables[l.alt].entries[l.idx[l.alt]].ctr.Predict()
+	}
+	if l.provider >= 0 {
+		e := &p.tables[l.provider].entries[l.idx[l.provider]]
+		l.provPred = e.ctr.Predict()
+		// A weak, never-useful entry is "newly allocated": optionally trust
+		// the alternate prediction instead (the use-alt-on-NA policy).
+		if e.ctr.IsWeak() && e.u.IsZero() && p.useAlt.Predict() {
+			l.pred = l.altPred
+		} else {
+			l.pred = l.provPred
+		}
+	} else {
+		l.provPred = basePred
+		l.pred = basePred
+	}
+	return l
+}
+
+func (p *Predictor) cached(ip uint64) *lookup {
+	if !p.haveCache || p.lastIP != ip {
+		p.cache = p.scan(ip)
+		p.lastIP = ip
+		p.haveCache = true
+	}
+	return &p.cache
+}
+
+// Predict implements bp.Predictor.
+func (p *Predictor) Predict(ip uint64) bool {
+	return p.cached(ip).pred
+}
+
+// Train implements bp.Predictor.
+func (p *Predictor) Train(b bp.Branch) {
+	l := p.cached(b.IP)
+	taken := b.Taken
+
+	if l.provider >= 0 {
+		e := &p.tables[l.provider].entries[l.idx[l.provider]]
+		// Track whether trusting the alternate on newly allocated entries
+		// would have been the better policy.
+		if e.ctr.IsWeak() && e.u.IsZero() && l.provPred != l.altPred {
+			p.useAlt.SumOrSub(l.altPred == taken)
+		}
+		e.ctr.SumOrSub(taken)
+		// Usefulness: the provider proved useful when it disagreed with the
+		// alternate and was right.
+		if l.provPred != l.altPred {
+			if l.provPred == taken {
+				e.u.Inc()
+			} else {
+				e.u.Dec()
+			}
+		}
+		// The base keeps learning when it served as the alternate.
+		if l.alt == -1 {
+			p.base[l.baseIdx].SumOrSub(taken)
+		}
+	} else {
+		p.base[l.baseIdx].SumOrSub(taken)
+	}
+
+	// Allocate a longer-history entry on a misprediction (§: TAGE learns new
+	// history correlations by promotion into longer tables).
+	if l.pred != taken && l.provider < len(p.tables)-1 {
+		p.allocate(l, taken)
+	}
+
+	// Periodic aging of usefulness counters: alternately clear the high and
+	// low bit so stale entries become replaceable.
+	p.ticks++
+	if p.ticks >= 1<<p.resetLog {
+		p.ticks = 0
+		p.uResets++
+		for ti := range p.tables {
+			for ei := range p.tables[ti].entries {
+				u := &p.tables[ti].entries[ei].u
+				v := u.Get()
+				if p.uPhase {
+					u.Set(v &^ 2)
+				} else {
+					u.Set(v &^ 1)
+				}
+			}
+		}
+		p.uPhase = !p.uPhase
+	}
+}
+
+// allocate claims an entry in a table with longer history than the
+// provider, preferring (with probability 2/3) the shortest candidate so
+// histories grow only as needed.
+func (p *Predictor) allocate(l *lookup, taken bool) {
+	start := l.provider + 1
+	candidates := p.candBuf[:0]
+	for i := start; i < len(p.tables); i++ {
+		if p.tables[i].entries[l.idx[i]].u.IsZero() {
+			candidates = append(candidates, i)
+		}
+	}
+	p.candBuf = candidates[:0]
+	if len(candidates) == 0 {
+		// Nothing replaceable: decay instead, so space appears eventually.
+		for i := start; i < len(p.tables); i++ {
+			p.tables[i].entries[l.idx[i]].u.Dec()
+		}
+		return
+	}
+	pick := candidates[0]
+	if len(candidates) > 1 && p.rng.Intn(3) == 0 {
+		pick = candidates[1+p.rng.Intn(len(candidates)-1)]
+	}
+	e := &p.tables[pick].entries[l.idx[pick]]
+	e.tag = l.tag[pick]
+	if taken {
+		e.ctr.Set(0)
+	} else {
+		e.ctr.Set(-1)
+	}
+	e.u.Set(0)
+	p.allocations++
+}
+
+// Track implements bp.Predictor: push the outcome through the global
+// history and every folded history.
+func (p *Predictor) Track(b bp.Branch) {
+	p.ghist.Push(b.Taken)
+	for i := range p.tables {
+		t := &p.tables[i]
+		oldest := p.ghist.Bit(t.spec.HistLen)
+		t.idxFold.Update(b.Taken, oldest)
+		t.tagFold[0].Update(b.Taken, oldest)
+		t.tagFold[1].Update(b.Taken, oldest)
+	}
+	p.haveCache = false
+}
+
+// Metadata implements bp.MetadataProvider.
+func (p *Predictor) Metadata() map[string]any {
+	specs := make([]map[string]any, len(p.tables))
+	for i, t := range p.tables {
+		specs[i] = map[string]any{
+			"history_length": t.spec.HistLen,
+			"log_size":       t.spec.LogSize,
+			"tag_bits":       t.spec.TagBits,
+		}
+	}
+	return map[string]any{
+		"name":     "MBPlib TAGE",
+		"log_base": p.logBase,
+		"tables":   specs,
+	}
+}
+
+// Statistics implements bp.StatsProvider.
+func (p *Predictor) Statistics() map[string]any {
+	return map[string]any{
+		"allocations": p.allocations,
+		"u_resets":    p.uResets,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package tage
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestGeometricTables(t *testing.T) {
+	specs := GeometricTables(8, 4, 320, 10, 11)
+	if len(specs) != 8 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].HistLen != 4 || specs[7].HistLen != 320 {
+		t.Errorf("series endpoints = %d..%d, want 4..320", specs[0].HistLen, specs[7].HistLen)
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i].HistLen <= specs[i-1].HistLen {
+			t.Errorf("series not strictly ascending at %d: %v", i, specs)
+		}
+	}
+}
+
+func TestLearnsConstantAndPattern(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 500)); acc < 0.99 {
+		t.Errorf("TAGE on constant stream: accuracy %v", acc)
+	}
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTNTNNT", 6000)); acc < 0.97 {
+		t.Errorf("TAGE on period-7 pattern: accuracy %v", acc)
+	}
+}
+
+func TestLearnsVeryLongPattern(t *testing.T) {
+	// Period 120: beyond gshare-class histories, within TAGE's long tables.
+	pattern := make([]byte, 120)
+	for i := range pattern {
+		if i < 60 {
+			pattern[i] = 'T'
+		} else {
+			pattern[i] = 'N'
+		}
+	}
+	acc := predtest.Drive(New(), 0x40, predtest.Pattern(string(pattern), 30000))
+	if acc < 0.95 {
+		t.Errorf("TAGE on period-120 pattern: accuracy %v", acc)
+	}
+}
+
+func TestBeatsGShareOnLongLoops(t *testing.T) {
+	// Trip count 71: long enough that a 16-bit-history gshare cannot see
+	// the exit coming, and coprime to the fold widths — a single-branch
+	// periodic history whose period divides the fold width degenerates the
+	// folded index (for canonical TAGE as much as for this one).
+	spec := tracegen.Spec{
+		Name: "longloop", Seed: 3, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Loop, Trips: []int{71}}},
+	}
+	tageAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	gsAcc := predtest.AccuracyOnSpec(t, gshare.New(gshare.WithHistoryLength(16)), spec)
+	if tageAcc <= gsAcc {
+		t.Errorf("TAGE (%v) not above gshare (%v) on trip-70 loops", tageAcc, gsAcc)
+	}
+}
+
+func TestBeatsBimodalOnMixedWorkload(t *testing.T) {
+	spec := predtest.MixedSpec(80000)
+	tageAcc := predtest.AccuracyOnSpec(t, New(), spec)
+	bimAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if tageAcc <= bimAcc {
+		t.Errorf("TAGE (%v) not above bimodal (%v) on mixed workload", tageAcc, bimAcc)
+	}
+	if tageAcc < 0.75 {
+		t.Errorf("TAGE accuracy on mixed workload = %v, want >= 0.75", tageAcc)
+	}
+}
+
+func TestAllocationsHappen(t *testing.T) {
+	p := New()
+	_ = predtest.AccuracyOnSpec(t, p, predtest.MixedSpec(30000))
+	stats := p.Statistics()
+	if stats["allocations"].(uint64) == 0 {
+		t.Errorf("no allocations on a noisy workload")
+	}
+}
+
+func TestUsefulnessReset(t *testing.T) {
+	p := New(WithResetLog(10)) // age every 1024 updates
+	_ = predtest.AccuracyOnSpec(t, p, predtest.MixedSpec(30000))
+	if p.Statistics()["u_resets"].(uint64) == 0 {
+		t.Errorf("usefulness counters never aged")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	spec := predtest.MixedSpec(20000)
+	a := predtest.AccuracyOnSpec(t, New(WithSeed(5)), spec)
+	b := predtest.AccuracyOnSpec(t, New(WithSeed(5)), spec)
+	if a != b {
+		t.Errorf("same-seed TAGE runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMetadataListsTables(t *testing.T) {
+	p := New(WithGeometric(4, 8, 64, 9, 10))
+	md := p.Metadata()
+	tables, ok := md["tables"].([]map[string]any)
+	if !ok || len(tables) != 4 {
+		t.Fatalf("metadata tables = %v", md["tables"])
+	}
+	if tables[0]["history_length"] != 8 {
+		t.Errorf("first table history = %v", tables[0])
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() {
+			New(WithTables([]TableSpec{{HistLen: 5, LogSize: 8, TagBits: 8}, {HistLen: 5, LogSize: 8, TagBits: 8}}))
+		},
+		func() { New(WithTables([]TableSpec{{HistLen: 0, LogSize: 8, TagBits: 8}})) },
+		func() { GeometricTables(0, 4, 64, 8, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

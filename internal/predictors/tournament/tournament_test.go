@@ -1,0 +1,132 @@
+package tournament
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/predictors/statics"
+	"mbplib/internal/tracegen"
+)
+
+// recorder wraps a predictor and records Train/Track calls.
+type recorder struct {
+	inner  bp.Predictor
+	trains []bp.Branch
+	tracks []bp.Branch
+}
+
+func (r *recorder) Predict(ip uint64) bool { return r.inner.Predict(ip) }
+func (r *recorder) Train(b bp.Branch)      { r.trains = append(r.trains, b); r.inner.Train(b) }
+func (r *recorder) Track(b bp.Branch)      { r.tracks = append(r.tracks, b); r.inner.Track(b) }
+
+func testBranch(ip uint64, taken bool) bp.Branch {
+	return bp.Branch{IP: ip, Target: ip + 64, Opcode: bp.OpCondJump, Taken: taken}
+}
+
+func TestMetaPartialUpdate(t *testing.T) {
+	// Base predictors that always disagree; meta trained every time with
+	// the outcome naming the correct one (Listing 4 line 33).
+	meta := &recorder{inner: bimodal.New(bimodal.WithLogSize(8))}
+	p := New(meta, statics.NewTaken(), statics.NewNotTaken())
+	// Outcome taken: predictor 0 (always-taken) is right, so the meta
+	// branch outcome must be false ("prediction[1] == taken" is false).
+	p.Predict(0x40)
+	p.Train(testBranch(0x40, true))
+	p.Track(testBranch(0x40, true))
+	if len(meta.trains) != 1 {
+		t.Fatalf("meta trained %d times, want 1", len(meta.trains))
+	}
+	if meta.trains[0].Taken {
+		t.Errorf("meta branch outcome = taken, want not taken (predictor 0 was right)")
+	}
+	if len(meta.tracks) != 1 {
+		t.Errorf("meta tracked %d times, want 1", len(meta.tracks))
+	}
+}
+
+func TestMetaNotTrainedOnAgreement(t *testing.T) {
+	meta := &recorder{inner: bimodal.New(bimodal.WithLogSize(8))}
+	p := New(meta, statics.NewTaken(), statics.NewTaken())
+	for i := 0; i < 10; i++ {
+		b := testBranch(0x40, i%2 == 0)
+		p.Predict(b.IP)
+		p.Train(b)
+		p.Track(b)
+	}
+	if len(meta.trains) != 0 {
+		t.Errorf("meta trained %d times despite agreeing bases", len(meta.trains))
+	}
+	if len(meta.tracks) != 10 {
+		t.Errorf("meta tracked %d times, want 10", len(meta.tracks))
+	}
+}
+
+func TestSelectsBetterComponent(t *testing.T) {
+	// On an all-taken branch the always-taken base is perfect; the meta
+	// must converge to it.
+	p := New(bimodal.New(bimodal.WithLogSize(8)), statics.NewNotTaken(), statics.NewTaken())
+	acc := predtest.Drive(p, 0x40, predtest.Constant(true, 200))
+	if acc != 1 {
+		t.Errorf("tournament accuracy %v, want 1 (should pick always-taken)", acc)
+	}
+	// And the mirrored case.
+	q := New(bimodal.New(bimodal.WithLogSize(8)), statics.NewTaken(), statics.NewNotTaken())
+	acc = predtest.Drive(q, 0x40, predtest.Constant(false, 200))
+	if acc != 1 {
+		t.Errorf("mirrored tournament accuracy %v, want 1", acc)
+	}
+}
+
+func TestBeatsBothComponentsOnMixedWorkload(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "mix", Seed: 77, Branches: 80000,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased, Branches: 600, Bias: 0.9}, // favours bimodal (aliasing hurts gshare less than noise?)
+			{Kind: tracegen.Correlated, Feeders: 5},           // favours gshare
+		},
+	}
+	newTournament := func() bp.Predictor {
+		return New(bimodal.New(bimodal.WithLogSize(12)),
+			bimodal.New(bimodal.WithLogSize(12)),
+			gshare.New(gshare.WithHistoryLength(12), gshare.WithLogSize(12)))
+	}
+	tAcc := predtest.AccuracyOnSpec(t, newTournament(), spec)
+	bAcc := predtest.AccuracyOnSpec(t, bimodal.New(bimodal.WithLogSize(12)), spec)
+	gAcc := predtest.AccuracyOnSpec(t, gshare.New(gshare.WithHistoryLength(12), gshare.WithLogSize(12)), spec)
+	worst := bAcc
+	if gAcc < worst {
+		worst = gAcc
+	}
+	if tAcc < worst-0.01 {
+		t.Errorf("tournament accuracy %v below both components (bimodal %v, gshare %v)", tAcc, bAcc, gAcc)
+	}
+}
+
+func TestPredictCachePurity(t *testing.T) {
+	p := New(bimodal.New(), bimodal.New(), gshare.New())
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+}
+
+func TestMetadataNesting(t *testing.T) {
+	p := New(bimodal.New(), bimodal.New(), gshare.New())
+	md := p.Metadata()
+	if md["name"] != "MBPlib Tournament" {
+		t.Errorf("name = %v", md["name"])
+	}
+	inner, ok := md["predictor_1"].(map[string]any)
+	if !ok || inner["name"] != "MBPlib GShare" {
+		t.Errorf("nested component description missing: %v", md)
+	}
+}
+
+func TestNilComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("nil component accepted")
+		}
+	}()
+	New(nil, bimodal.New(), gshare.New())
+}

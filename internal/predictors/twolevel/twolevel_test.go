@@ -1,0 +1,97 @@
+package twolevel
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/predtest"
+)
+
+func TestVariantNames(t *testing.T) {
+	cases := []struct {
+		first, second Level
+		want          string
+	}{
+		{Global, Global, "GAg"},
+		{Global, PerSet, "GAs"},
+		{Global, PerAddress, "GAp"},
+		{PerSet, Global, "SAg"},
+		{PerSet, PerSet, "SAs"},
+		{PerSet, PerAddress, "SAp"},
+		{PerAddress, Global, "PAg"},
+		{PerAddress, PerSet, "PAs"},
+		{PerAddress, PerAddress, "PAp"},
+	}
+	for _, c := range cases {
+		p := New(Config{First: c.first, Second: c.second, HistLen: 6})
+		if got := p.Variant(); got != c.want {
+			t.Errorf("Variant(%v,%v) = %q, want %q", c.first, c.second, got, c.want)
+		}
+	}
+}
+
+func TestAllVariantsLearnPattern(t *testing.T) {
+	for _, first := range []Level{Global, PerSet, PerAddress} {
+		for _, second := range []Level{Global, PerSet, PerAddress} {
+			p := New(Config{First: first, Second: second, HistLen: 10})
+			acc := predtest.Drive(p, 0x400100, predtest.Pattern("TTNTN", 4000))
+			if acc < 0.98 {
+				t.Errorf("%s accuracy on period-5 pattern = %v, want ~1", p.Variant(), acc)
+			}
+		}
+	}
+}
+
+func TestPerAddressHistorySeparation(t *testing.T) {
+	// Two branches with alternating outcomes in anti-phase. A global
+	// first level sees the merged stream TTNN...; a per-address first
+	// level sees clean TN streams for each.
+	pag := New(Config{First: PerAddress, Second: Global, HistLen: 8})
+	acc := predtest.DriveBranches(pag,
+		[]uint64{0x100, 0x200},
+		[][]bool{predtest.Alternating(2000), predtest.Pattern("NT", 2000)})
+	if acc < 0.98 {
+		t.Errorf("PAg on anti-phase alternating branches: accuracy %v", acc)
+	}
+}
+
+func TestGAgUsesSharedHistory(t *testing.T) {
+	// The global variant predicts a branch correlated with another
+	// branch's outcome: feeder then dependent with equal outcome.
+	gag := New(Config{First: Global, Second: Global, HistLen: 8})
+	n := 2000
+	feeder := predtest.Pattern("TNNTT", n)
+	gagAcc := predtest.DriveBranches(gag, []uint64{0x100, 0x200}, [][]bool{feeder, feeder})
+	if gagAcc < 0.97 {
+		t.Errorf("GAg on copied-outcome branches: accuracy %v", gagAcc)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New(Config{First: PerSet, Second: PerSet})
+	predtest.CheckPredictIsPure(t, p, []uint64{0x100, 0x200})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestDefaults(t *testing.T) {
+	p := New(Config{First: PerAddress, Second: PerAddress})
+	md := p.Metadata()
+	if md["history_length"] != 12 || md["log_bhrs"] != 10 || md["log_phts"] != 10 {
+		t.Errorf("defaults wrong: %v", md)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("history length 30 accepted")
+		}
+	}()
+	New(Config{HistLen: 30})
+}
+
+func TestMixedWorkload(t *testing.T) {
+	p := New(Config{First: Global, Second: PerSet, HistLen: 14})
+	if acc := predtest.AccuracyOnSpec(t, p, predtest.MixedSpec(50000)); acc < 0.6 {
+		t.Errorf("GAs accuracy on mixed workload = %v", acc)
+	}
+}

@@ -1,0 +1,72 @@
+package yags
+
+import (
+	"testing"
+
+	"mbplib/internal/predictors/bimodal"
+	"mbplib/internal/predictors/predtest"
+	"mbplib/internal/tracegen"
+)
+
+func TestLearnsConstant(t *testing.T) {
+	if acc := predtest.Drive(New(), 0x40, predtest.Constant(true, 400)); acc != 1 {
+		t.Errorf("YAGS on constant stream: accuracy %v", acc)
+	}
+}
+
+func TestLearnsPatternViaExceptions(t *testing.T) {
+	// A 3/4-taken pattern: the bias handles the taken outcomes and the
+	// not-taken cache must learn the exception contexts.
+	if acc := predtest.Drive(New(), 0x40, predtest.Pattern("TTTN", 4000)); acc < 0.97 {
+		t.Errorf("YAGS on TTTN pattern: accuracy %v", acc)
+	}
+}
+
+func TestExceptionCacheIsUsed(t *testing.T) {
+	p := New()
+	_ = predtest.Drive(p, 0x40, predtest.Pattern("TTTN", 4000))
+	if p.Statistics()["exception_hits"].(uint64) == 0 {
+		t.Errorf("exception caches never hit on a patterned branch")
+	}
+}
+
+func TestBeatsBimodalOnCorrelated(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "corr", Seed: 5, Branches: 60000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Correlated, Feeders: 4}},
+	}
+	yAcc := predtest.AccuracyOnSpec(t, New(WithHistoryLength(8)), spec)
+	bAcc := predtest.AccuracyOnSpec(t, bimodal.New(), spec)
+	if yAcc <= bAcc+0.03 {
+		t.Errorf("YAGS accuracy %v not clearly above bimodal %v", yAcc, bAcc)
+	}
+}
+
+func TestContract(t *testing.T) {
+	p := New()
+	predtest.CheckPredictIsPure(t, p, []uint64{0x40, 0x80})
+	predtest.CheckMetadata(t, p)
+}
+
+func TestMixedWorkload(t *testing.T) {
+	if acc := predtest.AccuracyOnSpec(t, New(), predtest.MixedSpec(50000)); acc < 0.65 {
+		t.Errorf("YAGS accuracy on mixed workload = %v", acc)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(WithLogChoice(0)) },
+		func() { New(WithTagBits(16)) },
+		func() { New(WithHistoryLength(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

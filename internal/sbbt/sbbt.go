@@ -1,0 +1,354 @@
+// Package sbbt implements the Simple Binary Branch Trace format, version
+// 1.0.0, as specified in §IV-C of the MBPlib paper (Figs. 1 and 2).
+//
+// An SBBT trace is a 192-bit header followed by a concatenation of 128-bit
+// packets, one per dynamic branch. In contrast to the BT9 text format it
+// replaces, SBBT has no branch-graph section: each packet carries the full
+// description of its branch, so the reader is a straight-line stream decoder
+// with no hashed metadata lookups — the property the paper credits for most
+// of the simulation speedup (§VII-D).
+//
+// Header (24 bytes):
+//
+//	bytes 0-4   signature "SBBT\n"
+//	bytes 5-7   version: major, minor, patch as unsigned 8-bit numbers
+//	bytes 8-15  number of instructions executed while tracing (uint64 LE)
+//	bytes 16-23 number of branches in the trace (uint64 LE)
+//
+// Packet (16 bytes, two little-endian 64-bit blocks):
+//
+//	block 1: bits 12-63 branch instruction address (52 bits)
+//	         bits 0-3   opcode (see bp.Opcode)
+//	         bits 4-10  reserved, must be zero
+//	         bit  11    outcome (1 = taken)
+//	block 2: bits 12-63 branch target address (52 bits)
+//	         bits 0-11  instructions executed since the previous branch,
+//	                    counting neither branch (≤ 4095)
+//
+// Addresses store the low 52 bits of the virtual address in the top 52 bits
+// of the block; decoding performs an arithmetic right shift by 12, which
+// sign-extends bit 51 so that both the 48-bit x86-64 and the 52-bit ARMv8-A
+// (LVA) canonical address spaces round-trip exactly.
+package sbbt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mbplib/internal/bp"
+)
+
+// Signature is the 5-byte magic that opens every SBBT trace.
+var Signature = [5]byte{'S', 'B', 'B', 'T', '\n'}
+
+// Format version implemented by this package.
+const (
+	VersionMajor = 1
+	VersionMinor = 0
+	VersionPatch = 0
+)
+
+// HeaderSize and PacketSize are the encoded sizes in bytes.
+const (
+	HeaderSize = 24
+	PacketSize = 16
+)
+
+// Header is the decoded SBBT trace header.
+type Header struct {
+	Major, Minor, Patch uint8
+	// TotalInstructions is the number of instructions (branch and
+	// non-branch) executed by the processor during tracing.
+	TotalInstructions uint64
+	// TotalBranches is the number of branch packets in the trace.
+	TotalBranches uint64
+}
+
+// NewHeader returns a current-version header with the given totals.
+func NewHeader(totalInstructions, totalBranches uint64) Header {
+	return Header{
+		Major: VersionMajor, Minor: VersionMinor, Patch: VersionPatch,
+		TotalInstructions: totalInstructions,
+		TotalBranches:     totalBranches,
+	}
+}
+
+// Version renders the header version as "major.minor.patch".
+func (h Header) Version() string {
+	return fmt.Sprintf("%d.%d.%d", h.Major, h.Minor, h.Patch)
+}
+
+// AppendTo encodes the header into buf, which must have room for HeaderSize
+// bytes, and returns the extended slice.
+func (h Header) AppendTo(buf []byte) []byte {
+	buf = append(buf, Signature[:]...)
+	buf = append(buf, h.Major, h.Minor, h.Patch)
+	buf = binary.LittleEndian.AppendUint64(buf, h.TotalInstructions)
+	buf = binary.LittleEndian.AppendUint64(buf, h.TotalBranches)
+	return buf
+}
+
+// ParseHeader decodes a header from the first HeaderSize bytes of buf.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, fmt.Errorf("sbbt: header needs %d bytes, have %d: %w", HeaderSize, len(buf), bp.ErrTruncated)
+	}
+	if [5]byte(buf[:5]) != Signature {
+		return Header{}, errors.New("sbbt: bad signature")
+	}
+	h := Header{
+		Major: buf[5], Minor: buf[6], Patch: buf[7],
+		TotalInstructions: binary.LittleEndian.Uint64(buf[8:16]),
+		TotalBranches:     binary.LittleEndian.Uint64(buf[16:24]),
+	}
+	if h.Major != VersionMajor {
+		return Header{}, fmt.Errorf("sbbt: unsupported major version %d (want %d)", h.Major, VersionMajor)
+	}
+	return h, nil
+}
+
+// Address-encoding limits: a virtual address round-trips iff it is canonical
+// for a 52-bit address space, i.e. bits 52-63 are a sign extension of bit 51.
+const (
+	addrShift = 12
+	lowMask   = uint64(1)<<addrShift - 1 // low 12 bits of a block
+)
+
+// CanonicalAddress reports whether addr is representable in an SBBT block.
+func CanonicalAddress(addr uint64) bool {
+	top := int64(addr) >> 51
+	return top == 0 || top == -1
+}
+
+// Packet field offsets within block 1.
+const (
+	opcodeMask  = uint64(0xf)
+	reservedBit = 4
+	outcomeBit  = 11
+)
+
+// EncodePacket encodes one branch event into buf, which must have room for
+// PacketSize bytes, returning the extended slice. It returns an error if the
+// event violates the format rules (invalid opcode or outcome combination,
+// non-canonical address, or an instruction gap above 4095).
+func EncodePacket(buf []byte, ev bp.Event) ([]byte, error) {
+	b := ev.Branch
+	if err := b.Validate(); err != nil {
+		return buf, err
+	}
+	if !CanonicalAddress(b.IP) {
+		return buf, fmt.Errorf("sbbt: branch address %#x not canonical for 52-bit encoding", b.IP)
+	}
+	if !CanonicalAddress(b.Target) {
+		return buf, fmt.Errorf("sbbt: target address %#x not canonical for 52-bit encoding", b.Target)
+	}
+	if ev.InstrsSinceLastBranch > bp.MaxInstrGap {
+		return buf, fmt.Errorf("sbbt: %d instructions between branches exceeds the 12-bit limit %d", ev.InstrsSinceLastBranch, bp.MaxInstrGap)
+	}
+	block1 := b.IP<<addrShift | uint64(b.Opcode)&opcodeMask
+	if b.Taken {
+		block1 |= 1 << outcomeBit
+	}
+	block2 := b.Target<<addrShift | ev.InstrsSinceLastBranch
+	buf = binary.LittleEndian.AppendUint64(buf, block1)
+	buf = binary.LittleEndian.AppendUint64(buf, block2)
+	return buf, nil
+}
+
+// DecodePacket decodes one packet from the first PacketSize bytes of buf.
+// It enforces the format validity rules of §IV-C.
+func DecodePacket(buf []byte) (bp.Event, error) {
+	if len(buf) < PacketSize {
+		return bp.Event{}, fmt.Errorf("sbbt: packet needs %d bytes, have %d: %w", PacketSize, len(buf), bp.ErrTruncated)
+	}
+	block1 := binary.LittleEndian.Uint64(buf[0:8])
+	block2 := binary.LittleEndian.Uint64(buf[8:16])
+	if block1>>reservedBit&0x7f != 0 {
+		return bp.Event{}, fmt.Errorf("sbbt: reserved bits set in packet %#x", block1)
+	}
+	ev := bp.Event{
+		Branch: bp.Branch{
+			IP:     uint64(int64(block1) >> addrShift),
+			Target: uint64(int64(block2) >> addrShift),
+			Opcode: bp.Opcode(block1 & opcodeMask),
+			Taken:  block1>>outcomeBit&1 == 1,
+		},
+		InstrsSinceLastBranch: block2 & lowMask,
+	}
+	if err := ev.Branch.Validate(); err != nil {
+		return bp.Event{}, err
+	}
+	return ev, nil
+}
+
+// Reader streams branch events from an SBBT trace. It implements bp.Reader
+// and bp.Sizer. Create one with NewReader.
+type Reader struct {
+	r      io.Reader
+	header Header
+	buf    []byte // read-ahead buffer
+	pos    int    // consume position in buf
+	end    int    // valid bytes in buf
+	read   uint64 // packets decoded so far
+	err    error
+}
+
+// readerBufPackets is the number of packets fetched per underlying read.
+const readerBufPackets = 4096
+
+// NewReader consumes and validates the header of an SBBT trace and returns
+// a Reader positioned at the first packet. The input must already be
+// decompressed (see package compress for auto-detection).
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("sbbt: reading header: %w", bp.ErrTruncated)
+		}
+		return nil, fmt.Errorf("sbbt: reading header: %w", err)
+	}
+	h, err := ParseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: r, header: h, buf: make([]byte, readerBufPackets*PacketSize)}, nil
+}
+
+// Header returns the decoded trace header.
+func (r *Reader) Header() Header { return r.header }
+
+// TotalInstructions implements bp.Sizer.
+func (r *Reader) TotalInstructions() uint64 { return r.header.TotalInstructions }
+
+// TotalBranches implements bp.Sizer.
+func (r *Reader) TotalBranches() uint64 { return r.header.TotalBranches }
+
+// Read returns the next branch event. It returns io.EOF after the last
+// packet, and bp.ErrTruncated if the stream ends before the branch count
+// promised by the header.
+func (r *Reader) Read() (bp.Event, error) {
+	if r.err != nil {
+		return bp.Event{}, r.err
+	}
+	if r.end-r.pos < PacketSize {
+		if err := r.fill(); err != nil {
+			r.err = err
+			return bp.Event{}, err
+		}
+	}
+	ev, err := DecodePacket(r.buf[r.pos : r.pos+PacketSize])
+	if err != nil {
+		r.err = err
+		return bp.Event{}, err
+	}
+	r.pos += PacketSize
+	r.read++
+	return ev, nil
+}
+
+// fill slides leftover bytes to the front of the buffer and reads more.
+func (r *Reader) fill() error {
+	leftover := copy(r.buf, r.buf[r.pos:r.end])
+	r.pos, r.end = 0, leftover
+	for r.end < PacketSize {
+		n, err := r.r.Read(r.buf[r.end:])
+		r.end += n
+		if err != nil {
+			if err == io.EOF {
+				// Readers may return data together with io.EOF; whole
+				// buffered packets are still consumable, and the next fill
+				// observes the bare EOF.
+				if r.end >= PacketSize {
+					return nil
+				}
+				if r.end == 0 {
+					if r.read < r.header.TotalBranches {
+						return fmt.Errorf("sbbt: trace ends after %d of %d branches: %w", r.read, r.header.TotalBranches, bp.ErrTruncated)
+					}
+					return io.EOF
+				}
+				return fmt.Errorf("sbbt: trace ends mid-packet: %w", bp.ErrTruncated)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer encodes branch events into an SBBT trace. It implements bp.Writer.
+// The totals must be known up front because the header precedes the packets
+// and traces are typically written through a non-seekable compression layer.
+// Close verifies that exactly the promised number of events were written.
+type Writer struct {
+	w       io.Writer
+	header  Header
+	buf     []byte
+	written uint64
+	instrs  uint64
+	err     error
+}
+
+// NewWriter writes the trace header and returns a Writer ready for packets.
+func NewWriter(w io.Writer, totalInstructions, totalBranches uint64) (*Writer, error) {
+	h := NewHeader(totalInstructions, totalBranches)
+	buf := h.AppendTo(make([]byte, 0, readerBufPackets*PacketSize))
+	return &Writer{w: w, header: h, buf: buf}, nil
+}
+
+// Header returns the header this writer emitted.
+func (w *Writer) Header() Header { return w.header }
+
+// Write appends one event to the trace.
+func (w *Writer) Write(ev bp.Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.written == w.header.TotalBranches {
+		w.err = fmt.Errorf("sbbt: more than the %d branches promised by the header", w.header.TotalBranches)
+		return w.err
+	}
+	buf, err := EncodePacket(w.buf, ev)
+	if err != nil {
+		return err // event rejected; writer still usable
+	}
+	w.buf = buf
+	w.written++
+	w.instrs += ev.InstrsSinceLastBranch + 1
+	if len(w.buf) >= readerBufPackets*PacketSize {
+		w.err = w.flush()
+	}
+	return w.err
+}
+
+func (w *Writer) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.w.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// Close flushes buffered packets and validates the totals against the
+// header: the branch count must match exactly and the instruction count
+// implied by the packets must not exceed the header's total. It does not
+// close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flush(); err != nil {
+		w.err = err
+		return err
+	}
+	w.err = errors.New("sbbt: writer closed")
+	if w.written != w.header.TotalBranches {
+		return fmt.Errorf("sbbt: wrote %d branches, header promised %d", w.written, w.header.TotalBranches)
+	}
+	if w.instrs > w.header.TotalInstructions {
+		return fmt.Errorf("sbbt: packets imply at least %d instructions, header promised %d", w.instrs, w.header.TotalInstructions)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package sbbt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"mbplib/internal/bp"
+)
+
+// TestHeaderLayout pins the exact byte layout of Fig. 1: "SBBT\n", three
+// version bytes, then two little-endian 64-bit totals.
+func TestHeaderLayout(t *testing.T) {
+	h := NewHeader(0x0102030405060708, 0x1112131415161718)
+	buf := h.AppendTo(nil)
+	if len(buf) != HeaderSize {
+		t.Fatalf("header size = %d, want %d", len(buf), HeaderSize)
+	}
+	want := []byte{
+		'S', 'B', 'B', 'T', '\n',
+		1, 0, 0,
+		0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // LE instructions
+		0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11, // LE branches
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("header bytes\n got %x\nwant %x", buf, want)
+	}
+	back, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatalf("ParseHeader: %v", err)
+	}
+	if back != h {
+		t.Errorf("header round trip: got %+v, want %+v", back, h)
+	}
+	if h.Version() != "1.0.0" {
+		t.Errorf("Version() = %q", h.Version())
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	good := NewHeader(10, 2).AppendTo(nil)
+
+	if _, err := ParseHeader(good[:10]); err == nil {
+		t.Errorf("short header accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ParseHeader(bad); err == nil {
+		t.Errorf("bad signature accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[5] = 2 // unsupported major version
+	if _, err := ParseHeader(bad); err == nil {
+		t.Errorf("future major version accepted")
+	}
+}
+
+// TestPacketLayout pins the exact bit layout of Fig. 2.
+func TestPacketLayout(t *testing.T) {
+	ev := bp.Event{
+		Branch: bp.Branch{
+			IP:     0x0000_7fff_1234_5678,
+			Target: 0x0000_7eee_9abc_def0,
+			Opcode: bp.OpCondJump,
+			Taken:  true,
+		},
+		InstrsSinceLastBranch: 0xabc,
+	}
+	buf, err := EncodePacket(nil, ev)
+	if err != nil {
+		t.Fatalf("EncodePacket: %v", err)
+	}
+	if len(buf) != PacketSize {
+		t.Fatalf("packet size = %d, want %d", len(buf), PacketSize)
+	}
+	block1 := binary.LittleEndian.Uint64(buf[0:8])
+	block2 := binary.LittleEndian.Uint64(buf[8:16])
+	if got := block1 >> 12; got != ev.Branch.IP {
+		t.Errorf("block1 address bits = %#x, want %#x", got, ev.Branch.IP)
+	}
+	if got := bp.Opcode(block1 & 0xf); got != bp.OpCondJump {
+		t.Errorf("opcode bits = %#x", uint8(got))
+	}
+	if block1>>4&0x7f != 0 {
+		t.Errorf("reserved bits set: %#x", block1)
+	}
+	if block1>>11&1 != 1 {
+		t.Errorf("outcome bit not set")
+	}
+	if got := block2 >> 12; got != ev.Branch.Target {
+		t.Errorf("block2 address bits = %#x, want %#x", got, ev.Branch.Target)
+	}
+	if got := block2 & 0xfff; got != 0xabc {
+		t.Errorf("instruction gap bits = %#x, want 0xabc", got)
+	}
+	back, err := DecodePacket(buf)
+	if err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	if back != ev {
+		t.Errorf("packet round trip: got %+v, want %+v", back, ev)
+	}
+}
+
+func TestHighAddressSignExtension(t *testing.T) {
+	// A kernel-space style address whose bit 51 is set must survive the
+	// arithmetic-shift decoding with its 64-bit sign extension.
+	ev := bp.Event{Branch: bp.Branch{
+		IP: 0xffff_ffff_ff60_0000, Target: 0xffff_ffff_ff60_1000,
+		Opcode: bp.OpCondJump, Taken: true,
+	}}
+	buf, err := EncodePacket(nil, ev)
+	if err != nil {
+		t.Fatalf("EncodePacket: %v", err)
+	}
+	back, err := DecodePacket(buf)
+	if err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	if back.Branch.IP != ev.Branch.IP || back.Branch.Target != ev.Branch.Target {
+		t.Errorf("high address round trip: got %#x/%#x", back.Branch.IP, back.Branch.Target)
+	}
+}
+
+func TestCanonicalAddress(t *testing.T) {
+	good := []uint64{0, 1, 0x7fff_ffff_ffff, 0xffff_f800_0000_0000, ^uint64(0)}
+	bad := []uint64{1 << 52, 0x0010_0000_0000_0000, 0x8000_0000_0000_0000}
+	for _, a := range good {
+		if !CanonicalAddress(a) {
+			t.Errorf("CanonicalAddress(%#x) = false", a)
+		}
+	}
+	for _, a := range bad {
+		if CanonicalAddress(a) {
+			t.Errorf("CanonicalAddress(%#x) = true", a)
+		}
+	}
+}
+
+func TestEncodePacketRejectsInvalid(t *testing.T) {
+	cases := []bp.Event{
+		// Non-conditional not taken.
+		{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpJump, Taken: false}},
+		// Not-taken conditional indirect with non-null target.
+		{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.NewOpcode(bp.Jump, true, true), Taken: false}},
+		// Non-canonical IP.
+		{Branch: bp.Branch{IP: 1 << 53, Target: 8, Opcode: bp.OpCondJump, Taken: true}},
+		// Non-canonical target.
+		{Branch: bp.Branch{IP: 4, Target: 1 << 53, Opcode: bp.OpCondJump, Taken: true}},
+		// Gap above 4095.
+		{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpCondJump, Taken: true}, InstrsSinceLastBranch: 4096},
+	}
+	for i, ev := range cases {
+		if _, err := EncodePacket(nil, ev); err == nil {
+			t.Errorf("case %d: invalid event encoded", i)
+		}
+	}
+}
+
+func TestDecodePacketRejectsReservedBits(t *testing.T) {
+	ev := bp.Event{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpCondJump, Taken: true}}
+	buf, _ := EncodePacket(nil, ev)
+	buf[0] |= 1 << 5 // a reserved bit
+	if _, err := DecodePacket(buf); err == nil {
+		t.Errorf("packet with reserved bits accepted")
+	}
+}
+
+func TestDecodePacketShort(t *testing.T) {
+	if _, err := DecodePacket(make([]byte, 8)); err == nil {
+		t.Errorf("short packet accepted")
+	}
+}
+
+// Property: every valid event round-trips exactly through the packet codec.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(ipSeed, targetSeed uint64, opSeed uint8, taken bool, gap uint16) bool {
+		op := bp.NewOpcode(bp.BaseType(opSeed%3), opSeed&4 != 0, opSeed&8 != 0)
+		ev := bp.Event{
+			Branch: bp.Branch{
+				IP:     ipSeed & (1<<51 - 1), // keep canonical
+				Target: targetSeed & (1<<51 - 1),
+				Opcode: op,
+				Taken:  taken,
+			},
+			InstrsSinceLastBranch: uint64(gap) & bp.MaxInstrGap,
+		}
+		// Repair outcome/target to satisfy the validity rules.
+		if !op.IsConditional() {
+			ev.Branch.Taken = true
+		}
+		if op.IsConditional() && op.IsIndirect() && !ev.Branch.Taken {
+			ev.Branch.Target = 0
+		}
+		buf, err := EncodePacket(nil, ev)
+		if err != nil {
+			return false
+		}
+		back, err := DecodePacket(buf)
+		return err == nil && back == ev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sampleEvents(n int) []bp.Event {
+	evs := make([]bp.Event, n)
+	for i := range evs {
+		op := bp.OpCondJump
+		taken := i%3 != 0
+		switch i % 5 {
+		case 3:
+			op, taken = bp.OpCall, true
+		case 4:
+			op, taken = bp.OpRet, true
+		}
+		evs[i] = bp.Event{
+			Branch: bp.Branch{
+				IP:     0x400000 + uint64(i%97)*4,
+				Target: 0x500000 + uint64(i%31)*16,
+				Opcode: op,
+				Taken:  taken,
+			},
+			InstrsSinceLastBranch: uint64(i % 9),
+		}
+	}
+	return evs
+}
+
+func writeTrace(t *testing.T, evs []bp.Event) []byte {
+	t.Helper()
+	var instrs uint64
+	for _, ev := range evs {
+		instrs += ev.InstrsSinceLastBranch + 1
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, instrs, uint64(len(evs)))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderWriterRoundTrip(t *testing.T) {
+	evs := sampleEvents(10000) // spans multiple reader buffer fills
+	data := writeTrace(t, evs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.TotalBranches() != uint64(len(evs)) {
+		t.Errorf("TotalBranches = %d, want %d", r.TotalBranches(), len(evs))
+	}
+	for i, want := range evs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("after last event, Read err = %v, want io.EOF", err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("repeated Read err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	data := writeTrace(t, sampleEvents(100))
+	// Cut in the middle of a packet.
+	r, err := NewReader(bytes.NewReader(data[:HeaderSize+PacketSize*10+5]))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		if _, lastErr = r.Read(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil || !bytes.Contains([]byte(lastErr.Error()), []byte("mid-packet")) {
+		t.Errorf("mid-packet truncation error = %v", lastErr)
+	}
+	// Cut at a packet boundary before the promised count.
+	r, err = NewReader(bytes.NewReader(data[:HeaderSize+PacketSize*10]))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, lastErr = r.Read(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil || lastErr == io.EOF {
+		t.Errorf("boundary truncation error = %v, want branch-count mismatch", lastErr)
+	}
+}
+
+func TestNewReaderErrors(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("SB"))); err == nil {
+		t.Errorf("truncated header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Errorf("zeroed header accepted")
+	}
+}
+
+func TestWriterEnforcesTotals(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 100, 2)
+	ev := bp.Event{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpCondJump, Taken: true}}
+	if err := w.Write(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Errorf("Close with missing branches succeeded")
+	}
+
+	buf.Reset()
+	w, _ = NewWriter(&buf, 100, 1)
+	_ = w.Write(ev)
+	if err := w.Write(ev); err == nil {
+		t.Errorf("Write beyond promised count succeeded")
+	}
+
+	buf.Reset()
+	w, _ = NewWriter(&buf, 0, 1) // header promises 0 instructions
+	_ = w.Write(ev)
+	if err := w.Close(); err == nil {
+		t.Errorf("Close with instruction undercount succeeded")
+	}
+}
+
+func TestWriterRejectsInvalidEventButContinues(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 10, 1)
+	bad := bp.Event{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpJump, Taken: false}}
+	if err := w.Write(bad); err == nil {
+		t.Fatalf("invalid event accepted")
+	}
+	good := bp.Event{Branch: bp.Branch{IP: 4, Target: 8, Opcode: bp.OpCondJump, Taken: true}}
+	if err := w.Write(good); err != nil {
+		t.Fatalf("writer unusable after rejected event: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTraceSizeIsHeaderPlusPackets(t *testing.T) {
+	evs := sampleEvents(123)
+	data := writeTrace(t, evs)
+	if want := HeaderSize + len(evs)*PacketSize; len(data) != want {
+		t.Errorf("trace size = %d, want %d", len(data), want)
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"mbplib/internal/bp"
+)
+
+// CompareName identifies the comparison simulator in result metadata.
+const CompareName = "MBPlib comparison simulator (Go)"
+
+// CompareMetrics reports one predictor's side of a comparison run.
+type CompareMetrics struct {
+	MPKI           float64 `json:"mpki"`
+	Mispredictions uint64  `json:"mispredictions"`
+	Accuracy       float64 `json:"accuracy"`
+}
+
+// CompareBranchReport is one entry of a comparison's most_failed section:
+// the branches accounting for the biggest difference in MPKI between the
+// two predictors (§VI-C), telling which branches get predicted better and
+// whether some got worse.
+type CompareBranchReport struct {
+	IP          uint64  `json:"ip"`
+	Occurrences uint64  `json:"occurrences"`
+	MPKI0       float64 `json:"mpki_0"`
+	MPKI1       float64 `json:"mpki_1"`
+	MPKIDiff    float64 `json:"mpki_diff"` // MPKI1 - MPKI0; negative means predictor 1 is better here
+}
+
+// CompareMetadata is the metadata section of a comparison result.
+type CompareMetadata struct {
+	Simulator              string         `json:"simulator"`
+	Version                string         `json:"version"`
+	Trace                  string         `json:"trace"`
+	WarmupInstr            uint64         `json:"warmup_instr"`
+	SimulationInstr        uint64         `json:"simulation_instr"`
+	ExhaustedTrace         bool           `json:"exhausted_trace"`
+	NumConditionalBranches uint64         `json:"num_conditional_branches"`
+	Predictor0             map[string]any `json:"predictor_0"`
+	Predictor1             map[string]any `json:"predictor_1"`
+}
+
+// CompareResult is the output of the comparison simulator.
+type CompareResult struct {
+	Metadata   CompareMetadata       `json:"metadata"`
+	Metrics0   CompareMetrics        `json:"metrics_0"`
+	Metrics1   CompareMetrics        `json:"metrics_1"`
+	MostFailed []CompareBranchReport `json:"most_failed"`
+	// SimulationTime is the wall-clock time of the whole comparison.
+	SimulationTime float64 `json:"simulation_time"`
+}
+
+// compareStats tracks per-branch misses for both predictors at once.
+type compareStats struct {
+	index  map[uint64]int32
+	ips    []uint64
+	occ    []uint64
+	missed [2][]uint64
+}
+
+// Compare simulates two predictors in parallel over one reading of the
+// trace, so the per-branch misprediction deltas come from exactly the same
+// event stream (§VI-C).
+func Compare(r bp.Reader, p0, p1 bp.Predictor, cfg Config) (*CompareResult, error) {
+	if p0 == nil || p1 == nil {
+		return nil, ErrNilPredictor
+	}
+	start := time.Now()
+	stats := &compareStats{index: make(map[uint64]int32, 1024)}
+	var (
+		instr        uint64
+		condBranches uint64
+		misses       [2]uint64
+		exhausted    bool
+		limit        uint64
+	)
+	if cfg.SimInstructions > 0 {
+		limit = cfg.WarmupInstructions + cfg.SimInstructions
+	}
+	for {
+		ev, err := r.Read()
+		if err != nil {
+			if err == io.EOF {
+				exhausted = true
+				break
+			}
+			return nil, err
+		}
+		instr += ev.InstrsSinceLastBranch + 1
+		b := ev.Branch
+		if b.Opcode.IsConditional() {
+			miss0 := p0.Predict(b.IP) != b.Taken
+			miss1 := p1.Predict(b.IP) != b.Taken
+			if instr > cfg.WarmupInstructions {
+				condBranches++
+				if miss0 {
+					misses[0]++
+				}
+				if miss1 {
+					misses[1]++
+				}
+				stats.record(b.IP, miss0, miss1)
+			}
+			p0.Train(b)
+			p1.Train(b)
+		}
+		p0.Track(b)
+		p1.Track(b)
+		if limit > 0 && instr >= limit {
+			break
+		}
+	}
+
+	simInstr := uint64(0)
+	if instr > cfg.WarmupInstructions {
+		simInstr = instr - cfg.WarmupInstructions
+	}
+	res := &CompareResult{
+		Metadata: CompareMetadata{
+			Simulator:              CompareName,
+			Version:                Version,
+			Trace:                  cfg.TraceName,
+			WarmupInstr:            cfg.WarmupInstructions,
+			SimulationInstr:        simInstr,
+			ExhaustedTrace:         exhausted,
+			NumConditionalBranches: condBranches,
+			Predictor0:             predictorMetadata(p0),
+			Predictor1:             predictorMetadata(p1),
+		},
+		SimulationTime: time.Since(start).Seconds(),
+	}
+	res.Metrics0 = compareMetrics(misses[0], condBranches, simInstr)
+	res.Metrics1 = compareMetrics(misses[1], condBranches, simInstr)
+	res.MostFailed = compareMostFailed(stats, simInstr, cfg.MostFailedLimit)
+	return res, nil
+}
+
+func compareMetrics(misses, cond, simInstr uint64) CompareMetrics {
+	m := CompareMetrics{Mispredictions: misses}
+	if simInstr > 0 {
+		m.MPKI = float64(misses) / (float64(simInstr) / 1000)
+	}
+	if cond > 0 {
+		m.Accuracy = 1 - float64(misses)/float64(cond)
+	}
+	return m
+}
+
+func (s *compareStats) record(ip uint64, miss0, miss1 bool) {
+	i, ok := s.index[ip]
+	if !ok {
+		i = int32(len(s.ips))
+		s.index[ip] = i
+		s.ips = append(s.ips, ip)
+		s.occ = append(s.occ, 0)
+		s.missed[0] = append(s.missed[0], 0)
+		s.missed[1] = append(s.missed[1], 0)
+	}
+	s.occ[i]++
+	if miss0 {
+		s.missed[0][i]++
+	}
+	if miss1 {
+		s.missed[1][i]++
+	}
+}
+
+// compareMostFailed lists branches by descending |MPKI difference|. limit
+// caps the report; 0 defaults to 20 entries.
+func compareMostFailed(s *compareStats, simInstr uint64, limit int) []CompareBranchReport {
+	if simInstr == 0 || len(s.ips) == 0 {
+		return nil
+	}
+	if limit <= 0 {
+		limit = 20
+	}
+	type entry struct {
+		i    int32
+		diff int64
+	}
+	var entries []entry
+	for i := range s.ips {
+		d := int64(s.missed[1][i]) - int64(s.missed[0][i])
+		if d != 0 {
+			entries = append(entries, entry{int32(i), d})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		da, db := abs64(entries[a].diff), abs64(entries[b].diff)
+		if da != db {
+			return da > db
+		}
+		return s.ips[entries[a].i] < s.ips[entries[b].i]
+	})
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+	kilo := float64(simInstr) / 1000
+	reports := make([]CompareBranchReport, 0, len(entries))
+	for _, e := range entries {
+		reports = append(reports, CompareBranchReport{
+			IP:          s.ips[e.i],
+			Occurrences: s.occ[e.i],
+			MPKI0:       float64(s.missed[0][e.i]) / kilo,
+			MPKI1:       float64(s.missed[1][e.i]) / kilo,
+			MPKIDiff:    float64(e.diff) / kilo,
+		})
+	}
+	return reports
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

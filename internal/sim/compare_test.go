@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+func TestCompareBasics(t *testing.T) {
+	var evs []bp.Event
+	// Branch 0xA always taken, branch 0xB never taken.
+	for i := 0; i < 100; i++ {
+		evs = append(evs, condEvent(0xA, true, 4))
+		evs = append(evs, condEvent(0xB, false, 4))
+	}
+	pTaken := &staticPredictor{taken: true}
+	pNot := &staticPredictor{taken: false}
+	res, err := Compare(&sliceReader{evs: evs}, pTaken, pNot, Config{TraceName: "cmp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics0.Mispredictions != 100 || res.Metrics1.Mispredictions != 100 {
+		t.Errorf("misses = %d/%d, want 100/100", res.Metrics0.Mispredictions, res.Metrics1.Mispredictions)
+	}
+	if res.Metrics0.Accuracy != 0.5 || res.Metrics1.Accuracy != 0.5 {
+		t.Errorf("accuracy = %v/%v", res.Metrics0.Accuracy, res.Metrics1.Accuracy)
+	}
+	if res.Metadata.NumConditionalBranches != 200 {
+		t.Errorf("conditional branches = %d", res.Metadata.NumConditionalBranches)
+	}
+	// Both predictors see every branch: train 200, track 200 each.
+	if len(pTaken.trains) != 200 || len(pNot.trains) != 200 {
+		t.Errorf("train counts %d/%d", len(pTaken.trains), len(pNot.trains))
+	}
+	// most_failed: 0xA is better under p0 (diff +100 for p1), 0xB better
+	// under p1 (diff -100). Both listed.
+	if len(res.MostFailed) != 2 {
+		t.Fatalf("most_failed has %d entries, want 2", len(res.MostFailed))
+	}
+	for _, mf := range res.MostFailed {
+		switch mf.IP {
+		case 0xA:
+			if mf.MPKIDiff <= 0 {
+				t.Errorf("branch 0xA diff = %v, want positive (worse under predictor 1)", mf.MPKIDiff)
+			}
+		case 0xB:
+			if mf.MPKIDiff >= 0 {
+				t.Errorf("branch 0xB diff = %v, want negative", mf.MPKIDiff)
+			}
+		default:
+			t.Errorf("unexpected branch %#x in most_failed", mf.IP)
+		}
+	}
+}
+
+func TestCompareEqualPredictorsNoDiffs(t *testing.T) {
+	var evs []bp.Event
+	for i := 0; i < 50; i++ {
+		evs = append(evs, condEvent(0xA, i%2 == 0, 1))
+	}
+	res, err := Compare(&sliceReader{evs: evs}, &staticPredictor{taken: true}, &staticPredictor{taken: true}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics0.Mispredictions != res.Metrics1.Mispredictions {
+		t.Errorf("identical predictors diverged")
+	}
+	if len(res.MostFailed) != 0 {
+		t.Errorf("identical predictors produced diffs: %+v", res.MostFailed)
+	}
+}
+
+func TestCompareNilPredictor(t *testing.T) {
+	if _, err := Compare(&sliceReader{}, nil, &staticPredictor{}, Config{}); err != ErrNilPredictor {
+		t.Errorf("err = %v, want ErrNilPredictor", err)
+	}
+}
+
+func TestCompareLimitAndWarmup(t *testing.T) {
+	var evs []bp.Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, condEvent(uint64(i%10+1), false, 9))
+	}
+	res, err := Compare(&sliceReader{evs: evs}, &staticPredictor{taken: true}, &staticPredictor{taken: false},
+		Config{WarmupInstructions: 100, SimInstructions: 400, MostFailedLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata.SimulationInstr != 400 {
+		t.Errorf("simulation instructions = %d, want 400", res.Metadata.SimulationInstr)
+	}
+	if res.Metadata.ExhaustedTrace {
+		t.Errorf("exhausted_trace = true for limited run")
+	}
+	if res.Metrics0.Mispredictions != 40 || res.Metrics1.Mispredictions != 0 {
+		t.Errorf("misses = %d/%d, want 40/0", res.Metrics0.Mispredictions, res.Metrics1.Mispredictions)
+	}
+	if len(res.MostFailed) > 2 {
+		t.Errorf("most_failed has %d entries, limit 2", len(res.MostFailed))
+	}
+}
+
+func TestCompareJSON(t *testing.T) {
+	evs := []bp.Event{condEvent(1, true, 0)}
+	res, err := Compare(&sliceReader{evs: evs},
+		&describedPredictor{staticPredictor{taken: true}},
+		&describedPredictor{staticPredictor{taken: false}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	meta := generic["metadata"].(map[string]any)
+	if meta["predictor_0"] == nil || meta["predictor_1"] == nil {
+		t.Errorf("component descriptions missing from metadata")
+	}
+}

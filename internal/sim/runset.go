@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mbplib/internal/bp"
+)
+
+// TraceSource lazily opens one trace of a set. Open is called from a worker
+// goroutine; the returned Closer (which may be nil) is closed when the
+// simulation of that trace finishes.
+type TraceSource struct {
+	Name string
+	Open func() (bp.Reader, io.Closer, error)
+}
+
+// RunSet simulates a fresh predictor instance over every trace of a set,
+// running up to workers traces concurrently — the evaluation workflow of
+// the championships, where a design is scored over hundreds of traces
+// (§II). Because MBPlib is a library, the fan-out is plain user-side code:
+// each worker owns its predictor and its reader, so no locking touches the
+// hot loop. Results are returned in source order. The first error aborts
+// the set.
+func RunSet(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config, workers int) ([]*Result, error) {
+	if newPredictor == nil {
+		return nil, ErrNilPredictor
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	results := make([]*Result, len(sources))
+	errs := make([]error, len(sources))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = runOne(sources[i], newPredictor, cfg)
+			}
+		}()
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace %q: %w", sources[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+func runOne(src TraceSource, newPredictor func() bp.Predictor, cfg Config) (*Result, error) {
+	r, closer, err := src.Open()
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	cfg.TraceName = src.Name
+	return Run(r, newPredictor(), cfg)
+}
+
+// SetSummary aggregates a RunSet outcome the way championship scoreboards
+// do: totals plus the arithmetic mean MPKI over traces.
+type SetSummary struct {
+	Traces                 int     `json:"traces"`
+	TotalInstructions      uint64  `json:"total_instructions"`
+	TotalConditional       uint64  `json:"total_conditional_branches"`
+	TotalMispredictions    uint64  `json:"total_mispredictions"`
+	MeanMPKI               float64 `json:"mean_mpki"`
+	WorstMPKI              float64 `json:"worst_mpki"`
+	WorstTrace             string  `json:"worst_trace"`
+	AggregateMPKI          float64 `json:"aggregate_mpki"` // over summed counts
+	AggregateAccuracy      float64 `json:"aggregate_accuracy"`
+	TotalSimulationSeconds float64 `json:"total_simulation_seconds"`
+}
+
+// Summarize aggregates a RunSet result list.
+func Summarize(results []*Result) SetSummary {
+	s := SetSummary{Traces: len(results)}
+	var mpkiSum float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		s.TotalInstructions += r.Metadata.SimulationInstr
+		s.TotalConditional += r.Metadata.NumConditionalBranches
+		s.TotalMispredictions += r.Metrics.Mispredictions
+		s.TotalSimulationSeconds += r.Metrics.SimulationTime
+		mpkiSum += r.Metrics.MPKI
+		if r.Metrics.MPKI > s.WorstMPKI {
+			s.WorstMPKI = r.Metrics.MPKI
+			s.WorstTrace = r.Metadata.Trace
+		}
+	}
+	if len(results) > 0 {
+		s.MeanMPKI = mpkiSum / float64(len(results))
+	}
+	if s.TotalInstructions > 0 {
+		s.AggregateMPKI = float64(s.TotalMispredictions) / (float64(s.TotalInstructions) / 1000)
+	}
+	if s.TotalConditional > 0 {
+		s.AggregateAccuracy = 1 - float64(s.TotalMispredictions)/float64(s.TotalConditional)
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/tracegen"
+)
+
+func specSource(spec tracegen.Spec) TraceSource {
+	return TraceSource{Name: spec.Name, Open: func() (bp.Reader, io.Closer, error) {
+		g, err := tracegen.New(spec)
+		return g, nil, err
+	}}
+}
+
+func suiteSources(t *testing.T, n uint64) []TraceSource {
+	t.Helper()
+	specs, err := tracegen.Suite("cbp5-train", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []TraceSource
+	for _, s := range specs {
+		srcs = append(srcs, specSource(s))
+	}
+	return srcs
+}
+
+func TestRunSetMatchesSequentialRuns(t *testing.T) {
+	srcs := suiteSources(t, 3000)
+	newPred := func() bp.Predictor { return &staticPredictor{taken: true} }
+	parallel, err := RunSet(srcs, newPred, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(srcs) {
+		t.Fatalf("got %d results", len(parallel))
+	}
+	for i, src := range srcs {
+		r, closer, err := src.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if closer != nil {
+			closer.Close()
+		}
+		seq, err := Run(r, newPred(), Config{TraceName: src.Name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].Metrics.Mispredictions != seq.Metrics.Mispredictions {
+			t.Errorf("trace %s: parallel %d vs sequential %d mispredictions",
+				src.Name, parallel[i].Metrics.Mispredictions, seq.Metrics.Mispredictions)
+		}
+		if parallel[i].Metadata.Trace != src.Name {
+			t.Errorf("result %d labeled %q", i, parallel[i].Metadata.Trace)
+		}
+	}
+}
+
+func TestRunSetPropagatesError(t *testing.T) {
+	srcs := suiteSources(t, 2000)
+	srcs[3] = TraceSource{Name: "broken", Open: func() (bp.Reader, io.Closer, error) {
+		return nil, nil, errors.New("boom")
+	}}
+	if _, err := RunSet(srcs, func() bp.Predictor { return &staticPredictor{} }, Config{}, 3); err == nil {
+		t.Errorf("error not propagated")
+	}
+}
+
+func TestRunSetClosesSources(t *testing.T) {
+	var closed atomic.Int32
+	srcs := suiteSources(t, 1000)
+	for i := range srcs {
+		open := srcs[i].Open
+		srcs[i].Open = func() (bp.Reader, io.Closer, error) {
+			r, _, err := open()
+			return r, closerFunc(func() error { closed.Add(1); return nil }), err
+		}
+	}
+	if _, err := RunSet(srcs, func() bp.Predictor { return &staticPredictor{} }, Config{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if int(closed.Load()) != len(srcs) {
+		t.Errorf("closed %d of %d sources", closed.Load(), len(srcs))
+	}
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+func TestRunSetNilPredictorFactory(t *testing.T) {
+	if _, err := RunSet(nil, nil, Config{}, 1); err != ErrNilPredictor {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	srcs := suiteSources(t, 3000)
+	results, err := RunSet(srcs, func() bp.Predictor { return &staticPredictor{taken: true} }, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(results)
+	if s.Traces != len(srcs) {
+		t.Errorf("traces = %d", s.Traces)
+	}
+	var wantInstr, wantMiss uint64
+	for _, r := range results {
+		wantInstr += r.Metadata.SimulationInstr
+		wantMiss += r.Metrics.Mispredictions
+	}
+	if s.TotalInstructions != wantInstr || s.TotalMispredictions != wantMiss {
+		t.Errorf("totals %d/%d, want %d/%d", s.TotalInstructions, s.TotalMispredictions, wantInstr, wantMiss)
+	}
+	if s.AggregateMPKI <= 0 || s.MeanMPKI <= 0 {
+		t.Errorf("MPKIs not computed: %+v", s)
+	}
+	if s.WorstTrace == "" || s.WorstMPKI <= 0 {
+		t.Errorf("worst trace not identified: %+v", s)
+	}
+	if s.AggregateAccuracy <= 0 || s.AggregateAccuracy >= 1 {
+		t.Errorf("aggregate accuracy = %v", s.AggregateAccuracy)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Traces != 0 || s.MeanMPKI != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}

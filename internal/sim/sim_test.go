@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+// sliceReader serves events from memory.
+type sliceReader struct {
+	evs []bp.Event
+	pos int
+}
+
+func (r *sliceReader) Read() (bp.Event, error) {
+	if r.pos >= len(r.evs) {
+		return bp.Event{}, io.EOF
+	}
+	ev := r.evs[r.pos]
+	r.pos++
+	return ev, nil
+}
+
+// staticPredictor always predicts the configured outcome.
+type staticPredictor struct {
+	taken  bool
+	trains []bp.Branch
+	tracks []bp.Branch
+}
+
+func (p *staticPredictor) Predict(uint64) bool { return p.taken }
+func (p *staticPredictor) Train(b bp.Branch)   { p.trains = append(p.trains, b) }
+func (p *staticPredictor) Track(b bp.Branch)   { p.tracks = append(p.tracks, b) }
+
+// describedPredictor also provides metadata and statistics.
+type describedPredictor struct {
+	staticPredictor
+}
+
+func (p *describedPredictor) Metadata() map[string]any {
+	return map[string]any{"name": "test predictor", "param": 3}
+}
+
+func (p *describedPredictor) Statistics() map[string]any {
+	return map[string]any{"conflicts": 7}
+}
+
+func condEvent(ip uint64, taken bool, gap uint64) bp.Event {
+	return bp.Event{
+		Branch:                bp.Branch{IP: ip, Target: ip + 64, Opcode: bp.OpCondJump, Taken: taken},
+		InstrsSinceLastBranch: gap,
+	}
+}
+
+func callEvent(ip uint64) bp.Event {
+	return bp.Event{Branch: bp.Branch{IP: ip, Target: ip + 0x100, Opcode: bp.OpCall, Taken: true}}
+}
+
+func TestRunCountsMispredictions(t *testing.T) {
+	evs := []bp.Event{
+		condEvent(0x10, true, 4),  // predicted taken: hit
+		condEvent(0x20, false, 4), // predicted taken: miss
+		condEvent(0x10, true, 4),  // hit
+		condEvent(0x20, false, 4), // miss
+	}
+	p := &staticPredictor{taken: true}
+	res, err := Run(&sliceReader{evs: evs}, p, Config{TraceName: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Mispredictions != 2 {
+		t.Errorf("mispredictions = %d, want 2", res.Metrics.Mispredictions)
+	}
+	if res.Metadata.NumConditionalBranches != 4 {
+		t.Errorf("conditional branches = %d, want 4", res.Metadata.NumConditionalBranches)
+	}
+	if res.Metadata.SimulationInstr != 20 {
+		t.Errorf("simulation instructions = %d, want 20", res.Metadata.SimulationInstr)
+	}
+	wantMPKI := 2.0 / (20.0 / 1000)
+	if res.Metrics.MPKI != wantMPKI {
+		t.Errorf("MPKI = %v, want %v", res.Metrics.MPKI, wantMPKI)
+	}
+	if res.Metrics.Accuracy != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", res.Metrics.Accuracy)
+	}
+	if !res.Metadata.ExhaustedTrace {
+		t.Errorf("exhausted_trace = false, want true")
+	}
+	if res.Metrics.SimulationTime < 0 {
+		t.Errorf("simulation_time negative")
+	}
+}
+
+func TestRunTrainTrackSemantics(t *testing.T) {
+	evs := []bp.Event{
+		condEvent(0x10, true, 0),
+		callEvent(0x20),
+		condEvent(0x30, false, 0),
+	}
+	p := &staticPredictor{taken: true}
+	if _, err := Run(&sliceReader{evs: evs}, p, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Train only on conditional branches; Track on every branch.
+	if len(p.trains) != 2 {
+		t.Errorf("Train called %d times, want 2", len(p.trains))
+	}
+	if len(p.tracks) != 3 {
+		t.Errorf("Track called %d times, want 3", len(p.tracks))
+	}
+	if p.trains[0].IP != 0x10 || p.trains[1].IP != 0x30 {
+		t.Errorf("Train branches wrong: %+v", p.trains)
+	}
+}
+
+func TestRunWarmup(t *testing.T) {
+	var evs []bp.Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, condEvent(0x10, false, 9)) // 10 instructions each
+	}
+	p := &staticPredictor{taken: true} // always wrong
+	res, err := Run(&sliceReader{evs: evs}, p, Config{WarmupInstructions: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instructions 1..500 are warm-up: the first 50 branches (ending at
+	// instruction 500) do not count.
+	if res.Metrics.Mispredictions != 50 {
+		t.Errorf("mispredictions = %d, want 50", res.Metrics.Mispredictions)
+	}
+	if res.Metadata.NumConditionalBranches != 50 {
+		t.Errorf("counted branches = %d, want 50", res.Metadata.NumConditionalBranches)
+	}
+	if res.Metadata.SimulationInstr != 500 {
+		t.Errorf("simulation instructions = %d, want 500", res.Metadata.SimulationInstr)
+	}
+	if res.Metadata.WarmupInstr != 500 {
+		t.Errorf("warmup_instr = %d", res.Metadata.WarmupInstr)
+	}
+	// Predictor still trained during warm-up.
+	if len(p.trains) != 100 {
+		t.Errorf("Train called %d times, want 100", len(p.trains))
+	}
+}
+
+func TestRunInstructionLimit(t *testing.T) {
+	var evs []bp.Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, condEvent(0x10, false, 9))
+	}
+	res, err := Run(&sliceReader{evs: evs}, &staticPredictor{taken: true}, Config{SimInstructions: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata.ExhaustedTrace {
+		t.Errorf("exhausted_trace = true for limited run")
+	}
+	if res.Metadata.SimulationInstr != 200 {
+		t.Errorf("simulation instructions = %d, want 200", res.Metadata.SimulationInstr)
+	}
+	if res.Metrics.Mispredictions != 20 {
+		t.Errorf("mispredictions = %d, want 20", res.Metrics.Mispredictions)
+	}
+}
+
+func TestRunStaticBranchCount(t *testing.T) {
+	evs := []bp.Event{
+		condEvent(0x10, true, 0), condEvent(0x10, true, 0),
+		condEvent(0x20, true, 0), callEvent(0x30),
+	}
+	res, err := Run(&sliceReader{evs: evs}, &staticPredictor{taken: true}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata.NumBranchInstructions != 3 {
+		t.Errorf("static branches = %d, want 3", res.Metadata.NumBranchInstructions)
+	}
+}
+
+func TestRunMostFailed(t *testing.T) {
+	var evs []bp.Event
+	// Branch A: 60 misses; B: 30 misses; C: 10 misses. Half of 100 = 50:
+	// branch A alone covers it.
+	for i := 0; i < 60; i++ {
+		evs = append(evs, condEvent(0xA, false, 0))
+	}
+	for i := 0; i < 30; i++ {
+		evs = append(evs, condEvent(0xB, false, 0))
+	}
+	for i := 0; i < 10; i++ {
+		evs = append(evs, condEvent(0xC, false, 0))
+	}
+	// And a perfectly predicted branch that must not appear.
+	for i := 0; i < 50; i++ {
+		evs = append(evs, condEvent(0xD, true, 0))
+	}
+	res, err := Run(&sliceReader{evs: evs}, &staticPredictor{taken: true}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.NumMostFailedBranches != 1 {
+		t.Errorf("num_most_failed_branches = %d, want 1", res.Metrics.NumMostFailedBranches)
+	}
+	if len(res.MostFailed) != 1 || res.MostFailed[0].IP != 0xA {
+		t.Fatalf("most_failed = %+v, want branch 0xA", res.MostFailed)
+	}
+	mf := res.MostFailed[0]
+	if mf.Occurrences != 60 {
+		t.Errorf("occurrences = %d, want 60", mf.Occurrences)
+	}
+	if mf.Accuracy != 0 {
+		t.Errorf("accuracy = %v, want 0", mf.Accuracy)
+	}
+	wantMPKI := 60.0 / (float64(res.Metadata.SimulationInstr) / 1000)
+	if mf.MPKI != wantMPKI {
+		t.Errorf("branch MPKI = %v, want %v", mf.MPKI, wantMPKI)
+	}
+}
+
+func TestRunMostFailedLimit(t *testing.T) {
+	var evs []bp.Event
+	for ip := uint64(1); ip <= 10; ip++ {
+		for i := 0; i < 10; i++ {
+			evs = append(evs, condEvent(ip, false, 0))
+		}
+	}
+	res, err := Run(&sliceReader{evs: evs}, &staticPredictor{taken: true}, Config{MostFailedLimit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MostFailed) != 3 {
+		t.Errorf("report length = %d, want 3", len(res.MostFailed))
+	}
+	// The metric itself is not truncated: 5 branches cover half of 100.
+	if res.Metrics.NumMostFailedBranches != 5 {
+		t.Errorf("num_most_failed_branches = %d, want 5", res.Metrics.NumMostFailedBranches)
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	res, err := Run(&sliceReader{}, &staticPredictor{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MPKI != 0 || res.Metrics.Accuracy != 0 || len(res.MostFailed) != 0 {
+		t.Errorf("empty trace produced non-zero metrics: %+v", res.Metrics)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read() (bp.Event, error) { return bp.Event{}, errors.New("boom") }
+
+func TestRunPropagatesReaderError(t *testing.T) {
+	if _, err := Run(failingReader{}, &staticPredictor{}, Config{}); err == nil {
+		t.Errorf("reader error swallowed")
+	}
+}
+
+func TestResultJSONSchema(t *testing.T) {
+	evs := []bp.Event{condEvent(0x10, false, 4), condEvent(0x10, true, 4)}
+	p := &describedPredictor{staticPredictor{taken: true}}
+	res, err := Run(&sliceReader{evs: evs}, p, Config{TraceName: "traces/SHORT_SERVER-1.sbbt.mlz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	// The section and key names of Listing 1 (with the paper's
+	// "num_conditonal_branches" typo corrected).
+	for _, key := range []string{
+		`"metadata"`, `"simulator"`, `"version"`, `"trace"`, `"warmup_instr"`,
+		`"simulation_instr"`, `"exhausted_trace"`, `"num_conditional_branches"`,
+		`"num_branch_instructions"`, `"predictor"`, `"metrics"`, `"mpki"`,
+		`"mispredictions"`, `"accuracy"`, `"num_most_failed_branches"`,
+		`"simulation_time"`, `"predictor_statistics"`, `"most_failed"`,
+		`"ip"`, `"occurrences"`,
+	} {
+		if !strings.Contains(text, key) {
+			t.Errorf("JSON output missing key %s", key)
+		}
+	}
+	// User data embedded in both sections.
+	if !strings.Contains(text, `"name": "test predictor"`) {
+		t.Errorf("predictor metadata not embedded:\n%s", text)
+	}
+	if !strings.Contains(text, `"conflicts": 7`) {
+		t.Errorf("predictor statistics not embedded:\n%s", text)
+	}
+	// Round-trips as generic JSON.
+	var generic map[string]any
+	if err := json.Unmarshal(data, &generic); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+func TestRunWithoutMetadataProviders(t *testing.T) {
+	res, err := Run(&sliceReader{evs: []bp.Event{condEvent(1, true, 0)}}, &staticPredictor{taken: true}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metadata.Predictor == nil || res.PredictorStatistics == nil {
+		t.Errorf("sections should be empty objects, not null")
+	}
+}

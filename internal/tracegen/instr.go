@@ -1,0 +1,223 @@
+package tracegen
+
+import (
+	"io"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/cst"
+	"mbplib/internal/utils"
+)
+
+// InstrGenerator expands the branch-event stream of a Spec into a full
+// per-instruction stream in ChampSim style, for the cycle-level model and
+// the CST trace writer. It plays the role of the PIN instrumentation module
+// the paper links for tracing real executables (§IV-D).
+//
+// Each static branch gets a basic block: a code address and a fixed body
+// length (the inter-branch gap seen on first encounter — later occurrences
+// are quantised to it so branch IPs stay stable, as they are in real code).
+// Body instructions are a mix of ALU operations, strided loads and stores
+// with synthetic register dependencies. The record stream is IP-coherent
+// for taken branches: the record after a taken branch starts the target
+// block, which is how ChampSim-format consumers recover branch targets.
+type InstrGenerator struct {
+	g        *Generator
+	rng      *utils.Rand
+	blocks   map[uint64]block
+	nextCode uint64
+	pending  []cst.Instruction
+	pos      int
+	arrays   [3]arrayWalk
+	lastDst  uint8
+	emitted  uint64
+
+	// Call/return layout correspondence: calls push the layout address
+	// just after the call record; the records following a return start at
+	// that address, so a return-address stack sees consistent targets, as
+	// it would in a trace of a real execution.
+	callStack  []uint64
+	pendingRet bool
+	retAddr    uint64
+}
+
+type block struct {
+	addr    uint64
+	bodyLen int
+}
+
+type arrayWalk struct {
+	base   uint64
+	offset uint64
+	stride uint64
+	limit  uint64
+}
+
+// NewInstrGenerator returns an instruction-stream generator for spec.
+func NewInstrGenerator(spec Spec) (*InstrGenerator, error) {
+	g, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	ig := &InstrGenerator{
+		g:        g,
+		rng:      utils.NewRand(spec.Seed ^ 0x1257_CAFE),
+		blocks:   make(map[uint64]block),
+		nextCode: 0x40_0000,
+	}
+	for i := range ig.arrays {
+		ig.arrays[i] = arrayWalk{
+			base:   0x7f00_0000_0000 + uint64(i)<<32,
+			stride: uint64(8 << i),
+			limit:  1 << 16, // 64 KiB: mostly L1/L2-resident, as hot data is
+		}
+	}
+	// One array with a large footprint provides the occasional long-latency
+	// miss real workloads see.
+	ig.arrays[len(ig.arrays)-1].limit = 1 << 22
+	return ig, nil
+}
+
+// Read fills in with the next instruction record. It returns io.EOF after
+// the stream ends (at the branch record of the spec's last branch event).
+func (ig *InstrGenerator) Read(in *cst.Instruction) error {
+	if ig.pos >= len(ig.pending) {
+		if err := ig.refill(); err != nil {
+			return err
+		}
+	}
+	*in = ig.pending[ig.pos]
+	ig.pos++
+	ig.emitted++
+	return nil
+}
+
+// Emitted returns the number of records produced so far.
+func (ig *InstrGenerator) Emitted() uint64 { return ig.emitted }
+
+// refill expands the next branch event into its basic block.
+func (ig *InstrGenerator) refill() error {
+	ev, err := ig.g.Read()
+	if err != nil {
+		return err // io.EOF included
+	}
+	blk, ok := ig.blocks[ev.Branch.IP]
+	if !ok {
+		blk = block{addr: ig.nextCode, bodyLen: int(ev.InstrsSinceLastBranch)}
+		ig.blocks[ev.Branch.IP] = blk
+		ig.nextCode += uint64(blk.bodyLen+1)*4 + 16 // block plus padding
+	}
+	ig.pending = ig.pending[:0]
+	ig.pos = 0
+	// After a return, execution resumes at the caller's continuation: emit
+	// a short stub there so the return record's successor IP (the target a
+	// ChampSim-style consumer recovers) matches what the call pushed.
+	if ig.pendingRet {
+		ig.pending = append(ig.pending, ig.bodyInstr(ig.retAddr), ig.bodyInstr(ig.retAddr+4))
+		ig.pendingRet = false
+	}
+	for i := 0; i < blk.bodyLen; i++ {
+		ig.pending = append(ig.pending, ig.bodyInstr(blk.addr+uint64(i)*4))
+	}
+	var br cst.Instruction
+	br.IP = blk.addr + uint64(blk.bodyLen)*4
+	br.SetBranch(ev.Branch.Opcode, ev.Branch.Taken)
+	ig.pending = append(ig.pending, br)
+	switch ev.Branch.Opcode.Base() {
+	case bp.Call:
+		ig.callStack = append(ig.callStack, br.IP+4)
+	case bp.Ret:
+		if n := len(ig.callStack); n > 0 {
+			ig.retAddr = ig.callStack[n-1]
+			ig.callStack = ig.callStack[:n-1]
+			ig.pendingRet = true
+		}
+	}
+	return nil
+}
+
+// bodyInstr synthesises one non-branch instruction: roughly 20% loads, 10%
+// stores, the rest register ALU operations. Dependency chains are short —
+// about a quarter of instructions read the previous result — so the stream
+// exposes the instruction-level parallelism an out-of-order core expects;
+// a fully serial stream would hide branch effects behind the data chain.
+func (ig *InstrGenerator) bodyInstr(ip uint64) cst.Instruction {
+	in := cst.Instruction{IP: ip}
+	dst := uint8(cst.RegGeneralFirst + ig.rng.Intn(cst.NumRegs-cst.RegGeneralFirst))
+	in.DestRegs[0] = dst
+	if ig.lastDst != 0 && ig.rng.Intn(4) == 0 {
+		in.SrcRegs[0] = ig.lastDst
+	} else {
+		in.SrcRegs[0] = uint8(cst.RegGeneralFirst + ig.rng.Intn(64))
+	}
+	roll := ig.rng.Intn(10)
+	switch {
+	case roll < 2: // load
+		in.SrcMem[0] = ig.dataAddr()
+	case roll < 3: // store
+		in.DestMem[0] = ig.dataAddr()
+		in.SrcRegs[1] = uint8(cst.RegGeneralFirst + ig.rng.Intn(64))
+	default: // ALU
+		in.SrcRegs[1] = uint8(cst.RegGeneralFirst + ig.rng.Intn(64))
+	}
+	ig.lastDst = dst
+	return in
+}
+
+// dataAddr walks one of the synthetic arrays, with an occasional random
+// jump to model pointer chasing. The small arrays dominate (hot data), the
+// large one supplies cold misses.
+func (ig *InstrGenerator) dataAddr() uint64 {
+	i := 0
+	if r := ig.rng.Intn(16); r >= 14 {
+		i = len(ig.arrays) - 1 // the cold array, 1 access in 8
+	} else {
+		i = r % (len(ig.arrays) - 1)
+	}
+	a := &ig.arrays[i]
+	if ig.rng.Intn(64) == 0 {
+		a.offset = ig.rng.Uint64() % a.limit &^ 7
+	} else {
+		a.offset = (a.offset + a.stride) % a.limit
+	}
+	return a.base + a.offset
+}
+
+// InstrTotals dry-runs the instruction synthesis for spec and returns the
+// record count, needed up front by the CST trace header.
+func InstrTotals(spec Spec) (uint64, error) {
+	ig, err := NewInstrGenerator(spec)
+	if err != nil {
+		return 0, err
+	}
+	var in cst.Instruction
+	for {
+		if err := ig.Read(&in); err != nil {
+			if err == io.EOF {
+				return ig.Emitted(), nil
+			}
+			return 0, err
+		}
+	}
+}
+
+// WriteSBBT streams the spec's branch events into w as SBBT packets via the
+// given writer constructor. It is a convenience for tools; the heavy
+// lifting lives in the sbbt package.
+func WriteSBBT(spec Spec, write func(bp.Event) error) error {
+	g, err := New(spec)
+	if err != nil {
+		return err
+	}
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := write(ev); err != nil {
+			return err
+		}
+	}
+}

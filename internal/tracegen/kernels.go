@@ -1,0 +1,298 @@
+package tracegen
+
+import (
+	"fmt"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/utils"
+)
+
+// newKernel builds the kernel for ks, placing its static branches in the
+// address region starting at base.
+func newKernel(ks KernelSpec, base uint64, rng *utils.Rand) (kernel, error) {
+	switch ks.Kind {
+	case Biased:
+		return newBiasedKernel(ks, base, rng), nil
+	case Loop:
+		return newLoopKernel(ks, base, rng)
+	case Correlated:
+		return newCorrelatedKernel(ks, base, rng), nil
+	case Pattern:
+		return newPatternKernel(ks, base, rng)
+	case CallRet:
+		return newCallRetKernel(ks, base, rng), nil
+	case Indirect:
+		return newIndirectKernel(ks, base, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown kernel kind %v", ks.Kind)
+	}
+}
+
+// biasedKernel: static branches with fixed per-branch biases, visited in
+// program order (code executes in sequence; it is the outcomes that are
+// data-dependent). The outcome stream is the floor of predictability for
+// any predictor with per-branch state, while the branch sequence itself
+// retains the long-range regularity real traces have.
+type biasedKernel struct {
+	rng     *utils.Rand
+	ips     []uint64
+	targets []uint64
+	biases  []float64
+	last    []bool
+	pos     int
+	gapMean int
+}
+
+func newBiasedKernel(ks KernelSpec, base uint64, rng *utils.Rand) *biasedKernel {
+	k := &biasedKernel{rng: rng, gapMean: ks.GapMean}
+	for i := 0; i < ks.Branches; i++ {
+		k.ips = append(k.ips, base+uint64(i)*0x40)
+		k.targets = append(k.targets, base+0x8000+uint64(i)*0x40)
+		// Spread biases around the mean, mirrored around 0.5 so some
+		// branches are mostly not-taken.
+		b := ks.Bias + (rng.Float64()-0.5)*0.4
+		if b < 0.02 {
+			b = 0.02
+		}
+		if b > 0.98 {
+			b = 0.98
+		}
+		if i%3 == 0 {
+			b = 1 - b
+		}
+		k.biases = append(k.biases, b)
+		k.last = append(k.last, b >= 0.5)
+	}
+	return k
+}
+
+func (k *biasedKernel) next(ev *bp.Event) {
+	i := k.pos
+	k.pos++
+	if k.pos == len(k.ips) {
+		k.pos = 0
+	}
+	// Outcomes are autocorrelated: with probability 3/4 a branch repeats
+	// its previous outcome, otherwise it redraws from its bias. Real
+	// branches behave in runs — the property two-bit counters exploit —
+	// and the run structure is also what makes real traces compressible.
+	taken := k.last[i]
+	if k.rng.Intn(4) == 0 {
+		taken = k.rng.Float64() < k.biases[i]
+	}
+	k.last[i] = taken
+	ev.Branch = bp.Branch{
+		IP:     k.ips[i],
+		Target: k.targets[i],
+		Opcode: bp.OpCondJump,
+		Taken:  taken,
+	}
+	ev.InstrsSinceLastBranch = pathGap(ev.Branch.IP, ev.Branch.Taken, k.gapMean)
+}
+
+// loopKernel: a nest of counted loops. Each level has a backward branch
+// taken trip-1 times and then not taken. The odometer walks the nest the
+// way the loop would execute.
+type loopKernel struct {
+	rng     *utils.Rand
+	trips   []int
+	counts  []int
+	ips     []uint64
+	bodies  []uint64
+	level   int // level whose branch executes next (innermost = last)
+	gapMean int
+}
+
+func newLoopKernel(ks KernelSpec, base uint64, rng *utils.Rand) (*loopKernel, error) {
+	for _, t := range ks.Trips {
+		if t < 2 {
+			return nil, fmt.Errorf("loop trip count %d must be at least 2", t)
+		}
+	}
+	k := &loopKernel{rng: rng, trips: ks.Trips, counts: make([]int, len(ks.Trips)), gapMean: ks.GapMean}
+	for i := range ks.Trips {
+		k.ips = append(k.ips, base+uint64(i)*0x100+0x80)
+		k.bodies = append(k.bodies, base+uint64(i)*0x100)
+	}
+	k.level = len(ks.Trips) - 1
+	return k, nil
+}
+
+func (k *loopKernel) next(ev *bp.Event) {
+	lvl := k.level
+	taken := k.counts[lvl] < k.trips[lvl]-1
+	if taken {
+		k.counts[lvl]++
+		k.level = len(k.trips) - 1 // re-enter the innermost body
+	} else {
+		k.counts[lvl] = 0
+		if lvl == 0 {
+			k.level = len(k.trips) - 1 // nest restarts
+		} else {
+			k.level = lvl - 1 // the enclosing loop's branch runs next
+		}
+	}
+	ev.Branch = bp.Branch{
+		IP:     k.ips[lvl],
+		Target: k.bodies[lvl],
+		Opcode: bp.OpCondJump,
+		Taken:  taken,
+	}
+	ev.InstrsSinceLastBranch = pathGap(ev.Branch.IP, taken, k.gapMean)
+}
+
+// correlatedKernel: feeder branches with random outcomes, then a branch
+// whose outcome is the XOR of the feeders. Zero information without
+// history; fully predictable with history length >= feeders.
+type correlatedKernel struct {
+	rng     *utils.Rand
+	feeders []uint64
+	depIP   uint64
+	depTgt  uint64
+	state   int // which feeder fires next; len(feeders) means the dependent
+	parity  bool
+	gapMean int
+}
+
+func newCorrelatedKernel(ks KernelSpec, base uint64, rng *utils.Rand) *correlatedKernel {
+	k := &correlatedKernel{rng: rng, depIP: base + 0x1000, depTgt: base + 0x2000, gapMean: ks.GapMean}
+	for i := 0; i < ks.Feeders; i++ {
+		k.feeders = append(k.feeders, base+uint64(i)*0x40)
+	}
+	return k
+}
+
+func (k *correlatedKernel) next(ev *bp.Event) {
+	if k.state < len(k.feeders) {
+		taken := k.rng.Bool(1, 2)
+		if taken {
+			k.parity = !k.parity
+		}
+		ev.Branch = bp.Branch{
+			IP:     k.feeders[k.state],
+			Target: k.feeders[k.state] + 0x20,
+			Opcode: bp.OpCondJump,
+			Taken:  taken,
+		}
+		k.state++
+	} else {
+		ev.Branch = bp.Branch{
+			IP:     k.depIP,
+			Target: k.depTgt,
+			Opcode: bp.OpCondJump,
+			Taken:  k.parity,
+		}
+		k.state = 0
+		k.parity = false
+	}
+	ev.InstrsSinceLastBranch = pathGap(ev.Branch.IP, ev.Branch.Taken, k.gapMean)
+}
+
+// patternKernel: one branch repeating a fixed outcome pattern. Defeats
+// bimodal when the pattern is balanced; two-level predictors lock onto it.
+type patternKernel struct {
+	rng     *utils.Rand
+	ip, tgt uint64
+	pattern []bool
+	pos     int
+	gapMean int
+}
+
+func newPatternKernel(ks KernelSpec, base uint64, rng *utils.Rand) (*patternKernel, error) {
+	k := &patternKernel{rng: rng, ip: base, tgt: base + 0x100, gapMean: ks.GapMean}
+	for _, c := range ks.PatternBits {
+		switch c {
+		case 'T', 't', '1':
+			k.pattern = append(k.pattern, true)
+		case 'N', 'n', '0':
+			k.pattern = append(k.pattern, false)
+		default:
+			return nil, fmt.Errorf("pattern %q: bad outcome char %q", ks.PatternBits, c)
+		}
+	}
+	return k, nil
+}
+
+func (k *patternKernel) next(ev *bp.Event) {
+	ev.Branch = bp.Branch{IP: k.ip, Target: k.tgt, Opcode: bp.OpCondJump, Taken: k.pattern[k.pos]}
+	k.pos = (k.pos + 1) % len(k.pattern)
+	ev.InstrsSinceLastBranch = pathGap(ev.Branch.IP, ev.Branch.Taken, k.gapMean)
+}
+
+// callRetKernel: a random walk over a call stack mixed with biased
+// conditionals. Calls and returns are non-conditional: the simulator tracks
+// them but does not train on them (§IV-B).
+type callRetKernel struct {
+	rng      *utils.Rand
+	base     uint64
+	maxDepth int
+	stack    []uint64
+	condIPs  []uint64
+	condPos  int
+	bias     float64
+	gapMean  int
+}
+
+func newCallRetKernel(ks KernelSpec, base uint64, rng *utils.Rand) *callRetKernel {
+	k := &callRetKernel{rng: rng, base: base, maxDepth: ks.CallDepth, bias: ks.Bias, gapMean: ks.GapMean}
+	for i := 0; i < ks.Branches; i++ {
+		k.condIPs = append(k.condIPs, base+0x4000+uint64(i)*0x40)
+	}
+	return k
+}
+
+func (k *callRetKernel) next(ev *bp.Event) {
+	roll := k.rng.Intn(10)
+	switch {
+	case roll < 2 && len(k.stack) < k.maxDepth: // call
+		site := k.base + uint64(len(k.stack))*0x200
+		callee := k.base + 0x10000 + uint64(k.rng.Intn(8))*0x400
+		k.stack = append(k.stack, site+4)
+		ev.Branch = bp.Branch{IP: site, Target: callee, Opcode: bp.OpCall, Taken: true}
+	case roll < 4 && len(k.stack) > 0: // return
+		retAddr := k.stack[len(k.stack)-1]
+		k.stack = k.stack[:len(k.stack)-1]
+		ev.Branch = bp.Branch{IP: k.base + 0x20000 + uint64(len(k.stack))*0x40, Target: retAddr, Opcode: bp.OpRet, Taken: true}
+	default: // biased conditional, visited in program order
+		i := k.condPos
+		k.condPos++
+		if k.condPos == len(k.condIPs) {
+			k.condPos = 0
+		}
+		ev.Branch = bp.Branch{
+			IP:     k.condIPs[i],
+			Target: k.condIPs[i] + 0x20,
+			Opcode: bp.OpCondJump,
+			Taken:  k.rng.Float64() < k.bias,
+		}
+	}
+	ev.InstrsSinceLastBranch = pathGap(ev.Branch.IP, ev.Branch.Taken, k.gapMean)
+}
+
+// indirectKernel: one indirect jump whose target follows a first-order
+// Markov chain over Targets states, with heavy self-transition so the
+// target stream has locality.
+type indirectKernel struct {
+	rng     *utils.Rand
+	ip      uint64
+	targets []uint64
+	state   int
+	gapMean int
+}
+
+func newIndirectKernel(ks KernelSpec, base uint64, rng *utils.Rand) *indirectKernel {
+	k := &indirectKernel{rng: rng, ip: base, gapMean: ks.GapMean}
+	for i := 0; i < ks.Targets; i++ {
+		k.targets = append(k.targets, base+0x1000+uint64(i)*0x100)
+	}
+	return k
+}
+
+func (k *indirectKernel) next(ev *bp.Event) {
+	// 70% stay, otherwise jump to a random state.
+	if k.rng.Intn(10) >= 7 {
+		k.state = k.rng.Intn(len(k.targets))
+	}
+	ev.Branch = bp.Branch{IP: k.ip, Target: k.targets[k.state], Opcode: bp.OpIndJump, Taken: true}
+	ev.InstrsSinceLastBranch = pathGap(ev.Branch.Target, true, k.gapMean)
+}

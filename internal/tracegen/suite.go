@@ -1,0 +1,137 @@
+package tracegen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suite builds the named trace suite. The suites stand in for the trace
+// sets of Table I: "cbp5-train" and "cbp5-eval" for the 5th Championship
+// Branch Prediction sets, "dpc3" for the SPEC17-derived set of the 3rd Data
+// Prefetching Championship. scale is the number of dynamic branches in a
+// "short" trace; long traces are 8× that (the real sets mix hundred-million
+// and multi-billion instruction traces, scaled down here so experiments run
+// on one machine). Generation is deterministic per (suite, scale).
+func Suite(name string, scale uint64) ([]Spec, error) {
+	if scale == 0 {
+		scale = 200_000
+	}
+	switch name {
+	case "cbp5-train":
+		return cbp5Suite(0x0CB5_0001, scale, 1), nil
+	case "cbp5-eval":
+		return cbp5Suite(0x0CB5_EA17, scale, 2), nil
+	case "dpc3":
+		return dpc3Suite(0x0D9C_0003, scale), nil
+	default:
+		return nil, fmt.Errorf("tracegen: unknown suite %q (have %v)", name, SuiteNames())
+	}
+}
+
+// SuiteNames lists the suites Suite accepts, sorted.
+func SuiteNames() []string {
+	names := []string{"cbp5-train", "cbp5-eval", "dpc3"}
+	sort.Strings(names)
+	return names
+}
+
+// cbp5Suite mirrors the CBP5 category structure: SHORT/LONG traces from
+// MOBILE and SERVER applications plus SPEC-style compute kernels.
+func cbp5Suite(seed, scale uint64, variant uint64) []Spec {
+	var specs []Spec
+	add := func(name string, branches uint64, kernels []KernelSpec) {
+		specs = append(specs, Spec{
+			Name:     name,
+			Seed:     seed + uint64(len(specs))*0x9177 + variant*0xabcdef,
+			Branches: branches,
+			Kernels:  kernels,
+		})
+	}
+	for i := 1; i <= 3; i++ {
+		add(fmt.Sprintf("SHORT_MOBILE-%d", i), scale, mobileMix(i))
+	}
+	for i := 1; i <= 2; i++ {
+		add(fmt.Sprintf("LONG_MOBILE-%d", i), 8*scale, mobileMix(i+3))
+	}
+	for i := 1; i <= 3; i++ {
+		add(fmt.Sprintf("SHORT_SERVER-%d", i), scale, serverMix(i))
+	}
+	for i := 1; i <= 2; i++ {
+		add(fmt.Sprintf("LONG_SERVER-%d", i), 8*scale, serverMix(i+3))
+	}
+	for i := 1; i <= 2; i++ {
+		add(fmt.Sprintf("SPEC-%d", i), 2*scale, specMix(i))
+	}
+	return specs
+}
+
+// dpc3Suite mirrors the DPC3 set: SPEC CPU2017 benchmarks. These specs are
+// used both for SBBT traces and for the full-instruction CST traces
+// consumed by the cycle-level model.
+func dpc3Suite(seed, scale uint64) []Spec {
+	benchmarks := []struct {
+		name string
+		mix  []KernelSpec
+	}{
+		{"600.perlbench_s", serverMix(1)},
+		{"602.gcc_s", serverMix(2)},
+		{"605.mcf_s", specMix(1)},
+		{"620.omnetpp_s", mobileMix(2)},
+		{"623.xalancbmk_s", serverMix(3)},
+		{"625.x264_s", specMix(2)},
+		{"631.deepsjeng_s", mobileMix(1)},
+		{"641.leela_s", specMix(3)},
+	}
+	var specs []Spec
+	for i, b := range benchmarks {
+		specs = append(specs, Spec{
+			Name:     "DPC3-" + b.name,
+			Seed:     seed + uint64(i)*0x51ec,
+			Branches: 2 * scale,
+			Kernels:  b.mix,
+		})
+	}
+	return specs
+}
+
+// mobileMix models interactive/mobile code: sizable working sets, frequent
+// calls, some hard data-dependent branches. Working-set sizes follow real
+// traces, which touch hundreds to thousands of static branches (the paper's
+// Listing 1 trace has 16056).
+func mobileMix(v int) []KernelSpec {
+	return []KernelSpec{
+		{Kind: Biased, Weight: 4, Branches: 150 + 60*v, Bias: 0.75, GapMean: 4},
+		{Kind: CallRet, Weight: 3, Branches: 48, CallDepth: 6 + v, Bias: 0.8, GapMean: 5},
+		{Kind: Pattern, Weight: 1, PatternBits: patternFor(v), GapMean: 3},
+		{Kind: Correlated, Weight: 2, Feeders: 3 + v%3, GapMean: 4},
+	}
+}
+
+// serverMix models server code: large branch working sets that alias in
+// small tables, indirect dispatch, deep call stacks.
+func serverMix(v int) []KernelSpec {
+	return []KernelSpec{
+		{Kind: Biased, Weight: 5, Branches: 500 + 250*v, Bias: 0.65, GapMean: 5},
+		{Kind: Indirect, Weight: 2, Targets: 8 + 4*v, GapMean: 6},
+		{Kind: CallRet, Weight: 2, Branches: 120, CallDepth: 12, Bias: 0.7, GapMean: 5},
+		{Kind: Correlated, Weight: 1, Feeders: 5, GapMean: 4},
+	}
+}
+
+// specMix models compute kernels: loop nests and long-history patterns over
+// a moderate working set of data-dependent branches.
+func specMix(v int) []KernelSpec {
+	return []KernelSpec{
+		{Kind: Loop, Weight: 4, Trips: []int{3 + v, 8 + 2*v}, GapMean: 6},
+		{Kind: Loop, Weight: 2, Trips: []int{50 + 10*v}, GapMean: 8},
+		{Kind: Pattern, Weight: 1, PatternBits: patternFor(v + 2), GapMean: 4},
+		{Kind: Biased, Weight: 4, Branches: 180 + 40*v, Bias: 0.85, GapMean: 5},
+		{Kind: CallRet, Weight: 1, Branches: 40, CallDepth: 8, Bias: 0.8, GapMean: 5},
+		{Kind: Correlated, Weight: 1, Feeders: 6, GapMean: 5},
+	}
+}
+
+func patternFor(v int) string {
+	patterns := []string{"TTNT", "TTTNN", "TNTNNT", "TTTTNTN", "TTNNTTN"}
+	return patterns[v%len(patterns)]
+}

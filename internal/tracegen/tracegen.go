@@ -1,0 +1,258 @@
+// Package tracegen synthesises branch traces with the behaviours that drive
+// branch-predictor evaluation. It stands in for the CBP5 and DPC3 trace
+// sets used in the paper, which are proprietary and, as the paper's
+// acknowledgements note, no longer available online.
+//
+// A Spec composes weighted kernels — biased data-dependent branches, loop
+// nests, history-correlated branches, periodic patterns, call/return
+// activity, and indirect jumps — into a deterministic stream of branch
+// events. Generators implement bp.Reader, so they plug directly into the
+// simulator, the trace writers and the instruction-level synthesiser used
+// for ChampSim-style traces.
+package tracegen
+
+import (
+	"fmt"
+	"io"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/utils"
+)
+
+// Kind selects a kernel behaviour.
+type Kind int
+
+// Kernel kinds.
+const (
+	// Biased emits a working set of static branches, each with a fixed
+	// random bias toward taken. Bimodal-predictable.
+	Biased Kind = iota
+	// Loop emits a nest of counted loops. Predictable from history or by a
+	// loop predictor; the last iteration defeats short counters.
+	Loop
+	// Correlated emits k feeder branches with random outcomes followed by a
+	// branch computing the XOR of the feeders. Only history-based
+	// predictors learn it.
+	Correlated
+	// Pattern emits one branch repeating a fixed outcome pattern.
+	Pattern
+	// CallRet emits call/return pairs mixed with biased conditionals,
+	// exercising non-conditional opcodes and the track-only path.
+	CallRet
+	// Indirect emits indirect jumps whose target follows a Markov chain
+	// over a set of targets, exercising indirect opcodes (and the BTB and
+	// indirect predictor of the cycle-level model).
+	Indirect
+)
+
+// String returns the lower-case kernel name.
+func (k Kind) String() string {
+	switch k {
+	case Biased:
+		return "biased"
+	case Loop:
+		return "loop"
+	case Correlated:
+		return "correlated"
+	case Pattern:
+		return "pattern"
+	case CallRet:
+		return "callret"
+	case Indirect:
+		return "indirect"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KernelSpec parameterises one kernel of a workload.
+type KernelSpec struct {
+	Kind   Kind
+	Weight int // scheduling weight; defaults to 1
+
+	// Branches is the number of static branches in the kernel working set
+	// (Biased, CallRet). Defaults to 16.
+	Branches int
+	// Bias is the mean probability of taken for Biased/CallRet branches.
+	// Defaults to 0.7. Individual branches get biases spread around it.
+	Bias float64
+	// Trips are the loop trip counts per nesting level, innermost last
+	// (Loop). Defaults to [4, 10].
+	Trips []int
+	// Feeders is the number of feeder branches (Correlated). Defaults to 4.
+	Feeders int
+	// PatternBits is the repeating outcome pattern, e.g. "TTTN" (Pattern).
+	// Defaults to "TTNTNN".
+	PatternBits string
+	// Targets is the number of switch targets (Indirect). Defaults to 8.
+	Targets int
+	// CallDepth is the maximum call-stack depth (CallRet). Defaults to 8.
+	CallDepth int
+	// GapMean is the mean number of non-branch instructions before each
+	// branch. Defaults to 5. Actual gaps vary in [GapMean/2, 3*GapMean/2].
+	GapMean int
+}
+
+func (ks KernelSpec) withDefaults() KernelSpec {
+	if ks.Weight <= 0 {
+		ks.Weight = 1
+	}
+	if ks.Branches <= 0 {
+		ks.Branches = 16
+	}
+	if ks.Bias <= 0 || ks.Bias >= 1 {
+		ks.Bias = 0.7
+	}
+	if len(ks.Trips) == 0 {
+		ks.Trips = []int{4, 10}
+	}
+	if ks.Feeders <= 0 {
+		ks.Feeders = 4
+	}
+	if ks.PatternBits == "" {
+		ks.PatternBits = "TTNTNN"
+	}
+	if ks.Targets <= 1 {
+		ks.Targets = 8
+	}
+	if ks.CallDepth <= 0 {
+		ks.CallDepth = 8
+	}
+	if ks.GapMean <= 0 {
+		ks.GapMean = 5
+	}
+	return ks
+}
+
+// Spec describes one synthetic trace.
+type Spec struct {
+	// Name identifies the trace, e.g. "SHORT_SERVER-1".
+	Name string
+	// Seed drives all randomness; equal specs generate identical traces.
+	Seed uint64
+	// Branches is the number of dynamic branch events to generate.
+	Branches uint64
+	// Kernels are the behaviours mixed into the trace.
+	Kernels []KernelSpec
+	// ChunkLen is the number of consecutive events drawn from one kernel
+	// before rescheduling, emulating program regions. Defaults to 64.
+	ChunkLen int
+}
+
+// kernel is the behaviour interface: fill the next branch event.
+type kernel interface {
+	next(ev *bp.Event)
+}
+
+// Generator produces the branch-event stream of a Spec. It implements
+// bp.Reader. The zero value is not usable; call New.
+type Generator struct {
+	spec    Spec
+	kernels []kernel
+	weights []int
+	wsum    int
+	sched   *utils.Rand
+	chunk   int
+	current int
+	emitted uint64
+}
+
+// New validates spec and returns a generator positioned at the first event.
+func New(spec Spec) (*Generator, error) {
+	if spec.Branches == 0 {
+		return nil, fmt.Errorf("tracegen: spec %q has zero branches", spec.Name)
+	}
+	if len(spec.Kernels) == 0 {
+		return nil, fmt.Errorf("tracegen: spec %q has no kernels", spec.Name)
+	}
+	if spec.ChunkLen <= 0 {
+		spec.ChunkLen = 64
+	}
+	g := &Generator{spec: spec, sched: utils.NewRand(spec.Seed ^ 0x5eed5eed)}
+	for i, ks := range spec.Kernels {
+		ks = ks.withDefaults()
+		// Each kernel owns an address region and a private PRNG so that its
+		// behaviour does not depend on scheduling interleave.
+		base := uint64(0x10_0000) * uint64(i+1)
+		rng := utils.NewRand(spec.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
+		k, err := newKernel(ks, base, rng)
+		if err != nil {
+			return nil, fmt.Errorf("tracegen: spec %q kernel %d: %w", spec.Name, i, err)
+		}
+		g.kernels = append(g.kernels, k)
+		g.weights = append(g.weights, ks.Weight)
+		g.wsum += ks.Weight
+	}
+	return g, nil
+}
+
+// Spec returns the generator's specification.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// TotalBranches implements half of bp.Sizer; the instruction total requires
+// a dry run (see Totals).
+func (g *Generator) TotalBranches() uint64 { return g.spec.Branches }
+
+// Read implements bp.Reader: it returns the next synthetic branch event and
+// io.EOF once the spec's branch budget is exhausted.
+func (g *Generator) Read() (bp.Event, error) {
+	if g.emitted >= g.spec.Branches {
+		return bp.Event{}, io.EOF
+	}
+	if g.chunk == 0 {
+		g.chunk = g.spec.ChunkLen
+		pick := g.sched.Intn(g.wsum)
+		for i, w := range g.weights {
+			if pick < w {
+				g.current = i
+				break
+			}
+			pick -= w
+		}
+	}
+	g.chunk--
+	g.emitted++
+	var ev bp.Event
+	g.kernels[g.current].next(&ev)
+	return ev, nil
+}
+
+// Totals generates the spec once, discarding events, and returns the total
+// instruction and branch counts — what the SBBT header needs up front.
+// Generation is deterministic, so a fresh generator reproduces exactly the
+// same stream.
+func Totals(spec Spec) (instructions, branches uint64, err error) {
+	g, err := New(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			return instructions, branches, nil
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		instructions += ev.InstrsSinceLastBranch + 1
+		branches++
+	}
+}
+
+// pathGap computes the inter-branch instruction count for the path leading
+// to a branch outcome. It is a deterministic function of the branch address
+// and the previous direction taken, in [mean/2, 3*mean/2]: in a real
+// program the code between two branches is fixed, so the instruction count
+// is a property of the control-flow edge, not a random draw — which is
+// also what lets both trace formats exploit the redundancy (§IV).
+func pathGap(ip uint64, taken bool, mean int) uint64 {
+	seed := ip
+	if taken {
+		seed ^= 0x9e3779b97f4a7c15
+	}
+	lo := mean / 2
+	g := lo + int(utils.Mix(seed)%uint64(mean+1))
+	if g > bp.MaxInstrGap {
+		g = bp.MaxInstrGap
+	}
+	return uint64(g)
+}

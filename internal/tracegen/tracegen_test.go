@@ -1,0 +1,404 @@
+package tracegen
+
+import (
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/cst"
+)
+
+func collect(t *testing.T, spec Spec) []bp.Event {
+	t.Helper()
+	g, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var evs []bp.Event
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func basicSpec(kind Kind, n uint64) Spec {
+	return Spec{Name: "test", Seed: 42, Branches: n, Kernels: []KernelSpec{{Kind: kind}}}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	spec := Spec{Name: "d", Seed: 7, Branches: 5000, Kernels: []KernelSpec{
+		{Kind: Biased}, {Kind: Loop}, {Kind: Correlated}, {Kind: CallRet}, {Kind: Indirect}, {Kind: Pattern},
+	}}
+	a := collect(t, spec)
+	b := collect(t, spec)
+	if len(a) != len(b) || len(a) != 5000 {
+		t.Fatalf("lengths %d, %d, want 5000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between identical specs", i)
+		}
+	}
+	spec.Seed = 8
+	c := collect(t, spec)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestAllEventsValid(t *testing.T) {
+	for kind := Biased; kind <= Indirect; kind++ {
+		evs := collect(t, basicSpec(kind, 3000))
+		for i, ev := range evs {
+			if err := ev.Branch.Validate(); err != nil {
+				t.Fatalf("kernel %v event %d invalid: %v", kind, i, err)
+			}
+			if ev.InstrsSinceLastBranch > bp.MaxInstrGap {
+				t.Fatalf("kernel %v event %d gap %d too large", kind, i, ev.InstrsSinceLastBranch)
+			}
+		}
+	}
+}
+
+func TestBiasedKernelBias(t *testing.T) {
+	evs := collect(t, basicSpec(Biased, 20000))
+	perIP := map[uint64][2]int{} // taken, total
+	for _, ev := range evs {
+		c := perIP[ev.Branch.IP]
+		if ev.Branch.Taken {
+			c[0]++
+		}
+		c[1]++
+		perIP[ev.Branch.IP] = c
+	}
+	if len(perIP) != 16 {
+		t.Errorf("biased kernel used %d static branches, want 16", len(perIP))
+	}
+	// Each branch must be consistently biased: the majority outcome should
+	// be clearly above 50%.
+	biasedCount := 0
+	for _, c := range perIP {
+		frac := float64(c[0]) / float64(c[1])
+		if frac < 0.4 || frac > 0.6 {
+			biasedCount++
+		}
+	}
+	if biasedCount < 10 {
+		t.Errorf("only %d of %d branches look biased", biasedCount, len(perIP))
+	}
+}
+
+func TestLoopKernelStructure(t *testing.T) {
+	spec := basicSpec(Loop, 1000)
+	spec.Kernels[0].Trips = []int{3, 4}
+	evs := collect(t, spec)
+	// The inner loop branch (appearing most often) must show a strict
+	// TTTN periodic pattern (taken 3 of every 4).
+	counts := map[uint64]int{}
+	for _, ev := range evs {
+		counts[ev.Branch.IP]++
+	}
+	var innerIP uint64
+	max := 0
+	for ip, n := range counts {
+		if n > max {
+			innerIP, max = ip, n
+		}
+	}
+	var outcomes []bool
+	for _, ev := range evs {
+		if ev.Branch.IP == innerIP {
+			outcomes = append(outcomes, ev.Branch.Taken)
+		}
+	}
+	for i := 0; i+4 <= len(outcomes); i += 4 {
+		if !outcomes[i] || !outcomes[i+1] || !outcomes[i+2] || outcomes[i+3] {
+			t.Fatalf("inner loop outcomes not TTTN at group %d: %v", i/4, outcomes[i:i+4])
+		}
+	}
+}
+
+func TestLoopKernelRejectsTinyTrips(t *testing.T) {
+	spec := basicSpec(Loop, 100)
+	spec.Kernels[0].Trips = []int{1}
+	if _, err := New(spec); err == nil {
+		t.Errorf("trip count 1 accepted")
+	}
+}
+
+func TestCorrelatedKernelParity(t *testing.T) {
+	spec := basicSpec(Correlated, 5000)
+	spec.Kernels[0].Feeders = 3
+	evs := collect(t, spec)
+	// Every 4th event is the dependent branch; its outcome must equal the
+	// XOR of the previous 3 feeder outcomes.
+	for i := 3; i < len(evs); i += 4 {
+		want := evs[i-3].Branch.Taken != evs[i-2].Branch.Taken
+		want = want != evs[i-1].Branch.Taken
+		if evs[i].Branch.Taken != want {
+			t.Fatalf("dependent branch %d outcome %v, want %v", i, evs[i].Branch.Taken, want)
+		}
+	}
+}
+
+func TestPatternKernelRepeats(t *testing.T) {
+	spec := basicSpec(Pattern, 600)
+	spec.Kernels[0].PatternBits = "TTN"
+	evs := collect(t, spec)
+	for i, ev := range evs {
+		want := i%3 != 2
+		if ev.Branch.Taken != want {
+			t.Fatalf("pattern event %d = %v, want %v", i, ev.Branch.Taken, want)
+		}
+	}
+}
+
+func TestPatternKernelRejectsBadChars(t *testing.T) {
+	spec := basicSpec(Pattern, 10)
+	spec.Kernels[0].PatternBits = "TXN"
+	if _, err := New(spec); err == nil {
+		t.Errorf("bad pattern accepted")
+	}
+}
+
+func TestCallRetKernelBalanced(t *testing.T) {
+	evs := collect(t, basicSpec(CallRet, 20000))
+	depth := 0
+	maxDepth := 0
+	calls, rets := 0, 0
+	for _, ev := range evs {
+		switch ev.Branch.Opcode.Base() {
+		case bp.Call:
+			calls++
+			depth++
+		case bp.Ret:
+			rets++
+			depth--
+		}
+		if depth < 0 {
+			t.Fatalf("return without matching call")
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if calls == 0 || rets == 0 {
+		t.Fatalf("no call/ret activity: calls=%d rets=%d", calls, rets)
+	}
+	if maxDepth > 8 {
+		t.Errorf("max depth %d exceeds configured 8", maxDepth)
+	}
+	// Returns must match the call sites' pushed addresses: verify via stack
+	// simulation that every RET target equals the last unmatched CALL IP+4.
+	var stack []uint64
+	for i, ev := range evs {
+		switch ev.Branch.Opcode.Base() {
+		case bp.Call:
+			stack = append(stack, ev.Branch.IP+4)
+		case bp.Ret:
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if ev.Branch.Target != want {
+				t.Fatalf("event %d: RET to %#x, want %#x", i, ev.Branch.Target, want)
+			}
+		}
+	}
+}
+
+func TestIndirectKernelTargets(t *testing.T) {
+	spec := basicSpec(Indirect, 10000)
+	spec.Kernels[0].Targets = 4
+	evs := collect(t, spec)
+	targets := map[uint64]int{}
+	for _, ev := range evs {
+		if !ev.Branch.Taken || ev.Branch.Opcode != bp.OpIndJump {
+			t.Fatalf("indirect kernel emitted %v taken=%v", ev.Branch.Opcode, ev.Branch.Taken)
+		}
+		targets[ev.Branch.Target]++
+	}
+	if len(targets) != 4 {
+		t.Errorf("indirect kernel used %d targets, want 4", len(targets))
+	}
+	// Self-transition locality: consecutive repeats should be common.
+	repeats := 0
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Branch.Target == evs[i-1].Branch.Target {
+			repeats++
+		}
+	}
+	if frac := float64(repeats) / float64(len(evs)); frac < 0.5 {
+		t.Errorf("target repeat fraction %.2f, want >= 0.5", frac)
+	}
+}
+
+func TestTotalsMatchStream(t *testing.T) {
+	spec := Spec{Name: "t", Seed: 3, Branches: 4000, Kernels: []KernelSpec{{Kind: Biased}, {Kind: Loop}}}
+	instr, branches, err := Totals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branches != 4000 {
+		t.Errorf("branches = %d", branches)
+	}
+	var sum uint64
+	for _, ev := range collect(t, spec) {
+		sum += ev.InstrsSinceLastBranch + 1
+	}
+	if instr != sum {
+		t.Errorf("Totals instructions = %d, stream says %d", instr, sum)
+	}
+}
+
+func TestNewRejectsBadSpecs(t *testing.T) {
+	if _, err := New(Spec{Name: "x", Branches: 0, Kernels: []KernelSpec{{Kind: Biased}}}); err == nil {
+		t.Errorf("zero branches accepted")
+	}
+	if _, err := New(Spec{Name: "x", Branches: 10}); err == nil {
+		t.Errorf("no kernels accepted")
+	}
+	if _, err := New(Spec{Name: "x", Branches: 10, Kernels: []KernelSpec{{Kind: Kind(99)}}}); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}
+
+func TestSuites(t *testing.T) {
+	for _, name := range SuiteNames() {
+		specs, err := Suite(name, 1000)
+		if err != nil {
+			t.Fatalf("Suite(%q): %v", name, err)
+		}
+		if len(specs) < 5 {
+			t.Errorf("suite %q has only %d specs", name, len(specs))
+		}
+		seen := map[string]bool{}
+		for _, s := range specs {
+			if seen[s.Name] {
+				t.Errorf("suite %q: duplicate trace name %q", name, s.Name)
+			}
+			seen[s.Name] = true
+			if _, err := New(s); err != nil {
+				t.Errorf("suite %q trace %q invalid: %v", name, s.Name, err)
+			}
+		}
+	}
+	if _, err := Suite("nope", 0); err == nil {
+		t.Errorf("unknown suite accepted")
+	}
+}
+
+func TestSuitesDiffer(t *testing.T) {
+	train, _ := Suite("cbp5-train", 1000)
+	eval, _ := Suite("cbp5-eval", 1000)
+	a := collect(t, train[0])
+	b := collect(t, eval[0])
+	same := true
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("train and eval suites generate identical streams")
+	}
+}
+
+func TestInstrGeneratorCoherence(t *testing.T) {
+	spec := Spec{Name: "i", Seed: 9, Branches: 2000, Kernels: []KernelSpec{
+		{Kind: Loop}, {Kind: Biased}, {Kind: CallRet}, {Kind: Indirect},
+	}}
+	ig, err := NewInstrGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev cst.Instruction
+	havePrev := false
+	branchIPs := map[uint64]bool{}
+	nonBranchIPs := map[uint64]bool{}
+	n := 0
+	branches := 0
+	var in cst.Instruction
+	for {
+		err := ig.Read(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		n++
+		if in.IsBranch {
+			branches++
+			branchIPs[in.IP] = true
+			if _, ok := in.Classify(); !ok {
+				t.Fatalf("branch record at %#x does not classify", in.IP)
+			}
+		} else {
+			nonBranchIPs[in.IP] = true
+			if havePrev && prev.IsBranch && !prev.BranchTaken {
+				// Not-taken: execution continues in program order.
+				_ = prev
+			}
+		}
+		havePrev, prev = true, in
+	}
+	if branches != 2000 {
+		t.Errorf("instruction stream has %d branch records, want 2000", branches)
+	}
+	if n <= branches {
+		t.Errorf("no body instructions generated")
+	}
+	// A branch IP must never double as a body-instruction IP: stable blocks.
+	for ip := range branchIPs {
+		if nonBranchIPs[ip] {
+			t.Errorf("IP %#x is both branch and non-branch", ip)
+		}
+	}
+}
+
+func TestInstrGeneratorDeterminismAndTotals(t *testing.T) {
+	spec := Spec{Name: "i2", Seed: 11, Branches: 1000, Kernels: []KernelSpec{{Kind: Biased}}}
+	total, err := InstrTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, _ := NewInstrGenerator(spec)
+	var in cst.Instruction
+	var n uint64
+	for ig.Read(&in) == nil {
+		n++
+	}
+	if n != total {
+		t.Errorf("InstrTotals = %d, stream yields %d", total, n)
+	}
+}
+
+func TestWriteSBBTCallback(t *testing.T) {
+	spec := basicSpec(Biased, 500)
+	var n int
+	err := WriteSBBT(spec, func(ev bp.Event) error { n++; return nil })
+	if err != nil || n != 500 {
+		t.Errorf("WriteSBBT wrote %d events, err %v", n, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Biased.String() != "biased" || Indirect.String() != "indirect" {
+		t.Errorf("Kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Errorf("unknown kind has empty name")
+	}
+}

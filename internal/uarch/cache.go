@@ -1,0 +1,323 @@
+package uarch
+
+import (
+	"fmt"
+
+	"mbplib/internal/utils"
+)
+
+// Cache is a set-associative cache with LRU replacement and a fixed hit
+// latency, chained to a next level (nil means the next access goes to
+// memory at the configured latency). It models latency only — bandwidth
+// and MSHR effects are out of scope, as the model needs to be cycle-level,
+// not cycle-perfect (§VII uses ChampSim only as the "orders of magnitude
+// slower, insensitive to predictor choice" baseline).
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineBits int
+	hitLat   uint64
+	next     *Cache
+	memLat   uint64
+	tags     []uint64 // sets*ways tag array; 0 means invalid
+	lru      []uint32 // per-line last-use stamp
+	stamp    uint32
+	Hits     uint64
+	Misses   uint64
+	// Prefetch traffic is accounted separately from demand accesses.
+	PrefHits   uint64
+	Prefetches uint64
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string
+	Sets     int
+	Ways     int
+	LineBits int    // log2 line size; 6 = 64-byte lines
+	HitLat   uint64 // cycles on hit
+}
+
+// NewCache builds a cache level. next is the backing level; memLat is the
+// latency charged when the last level misses.
+func NewCache(cfg CacheConfig, next *Cache, memLat uint64) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("uarch: invalid cache geometry %+v (sets must be a power of two)", cfg))
+	}
+	if cfg.LineBits == 0 {
+		cfg.LineBits = 6
+	}
+	return &Cache{
+		name:     cfg.Name,
+		sets:     cfg.Sets,
+		ways:     cfg.Ways,
+		lineBits: cfg.LineBits,
+		hitLat:   cfg.HitLat,
+		next:     next,
+		memLat:   memLat,
+		tags:     make([]uint64, cfg.Sets*cfg.Ways),
+		lru:      make([]uint32, cfg.Sets*cfg.Ways),
+	}
+}
+
+// Access looks addr up, filling on miss, and returns the total latency in
+// cycles including lower levels.
+func (c *Cache) Access(addr uint64) uint64 {
+	line := addr >> c.lineBits
+	set := int(utils.Mix(line)) & (c.sets - 1)
+	base := set * c.ways
+	c.stamp++
+	tag := line | 1<<63 // bit 63 marks validity so tag 0 is never valid
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.Hits++
+			c.lru[i] = c.stamp
+			return c.hitLat
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.Misses++
+	var lower uint64
+	if c.next != nil {
+		lower = c.next.Access(addr)
+	} else {
+		lower = c.memLat
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.stamp
+	return c.hitLat + lower
+}
+
+// Name returns the level's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Prefetch fills addr's line without charging latency to the requester and
+// without touching the demand hit/miss counters. Fills propagate down the
+// hierarchy as prefetches too.
+func (c *Cache) Prefetch(addr uint64) {
+	line := addr >> c.lineBits
+	set := int(utils.Mix(line)) & (c.sets - 1)
+	base := set * c.ways
+	c.stamp++
+	tag := line | 1<<63
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.PrefHits++
+			c.lru[i] = c.stamp
+			return
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.Prefetches++
+	if c.next != nil {
+		c.next.Prefetch(addr)
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.stamp
+}
+
+// StridePrefetcher is an IP-indexed stride prefetcher in the style of the
+// next-line/stride prefetchers ChampSim attaches to its data caches: it
+// learns the access stride of each load instruction and, once confident,
+// prefetches ahead of it.
+type StridePrefetcher struct {
+	entries []strideEntry
+	mask    uint64
+	degree  uint64
+	Issued  uint64
+}
+
+type strideEntry struct {
+	tag      uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+}
+
+// NewStridePrefetcher builds a prefetcher with 2^logSize entries issuing
+// `degree` prefetches ahead once a stride is confirmed.
+func NewStridePrefetcher(logSize int, degree int) *StridePrefetcher {
+	if logSize < 1 || logSize > 16 || degree < 1 {
+		panic(fmt.Sprintf("uarch: invalid stride prefetcher logSize=%d degree=%d", logSize, degree))
+	}
+	return &StridePrefetcher{
+		entries: make([]strideEntry, 1<<logSize),
+		mask:    1<<logSize - 1,
+		degree:  uint64(degree),
+	}
+}
+
+// Observe records a load by the instruction at ip touching addr and issues
+// prefetches into cache once the stride is confident.
+func (s *StridePrefetcher) Observe(ip, addr uint64, cache *Cache) {
+	e := &s.entries[utils.Mix(ip)&s.mask]
+	if e.tag != ip {
+		*e = strideEntry{tag: ip, lastAddr: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	e.lastAddr = addr
+	if e.conf >= 2 {
+		for d := uint64(1); d <= s.degree; d++ {
+			cache.Prefetch(uint64(int64(addr) + int64(d)*e.stride))
+			s.Issued++
+		}
+	}
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	sets    int
+	ways    int
+	tags    []uint64
+	targets []uint64
+	lru     []uint32
+	stamp   uint32
+	Hits    uint64
+	Misses  uint64
+}
+
+// NewBTB builds a BTB with the given geometry (sets must be a power of
+// two).
+func NewBTB(sets, ways int) *BTB {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("uarch: invalid BTB geometry sets=%d ways=%d", sets, ways))
+	}
+	return &BTB{
+		sets:    sets,
+		ways:    ways,
+		tags:    make([]uint64, sets*ways),
+		targets: make([]uint64, sets*ways),
+		lru:     make([]uint32, sets*ways),
+	}
+}
+
+// Lookup returns the predicted target for the branch at ip, if present.
+func (b *BTB) Lookup(ip uint64) (uint64, bool) {
+	set := int(utils.Mix(ip>>2)) & (b.sets - 1)
+	base := set * b.ways
+	tag := ip | 1<<63
+	for i := base; i < base+b.ways; i++ {
+		if b.tags[i] == tag {
+			b.Hits++
+			b.stamp++
+			b.lru[i] = b.stamp
+			return b.targets[i], true
+		}
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update records the observed target for the branch at ip.
+func (b *BTB) Update(ip, target uint64) {
+	set := int(utils.Mix(ip>>2)) & (b.sets - 1)
+	base := set * b.ways
+	tag := ip | 1<<63
+	b.stamp++
+	victim := base
+	for i := base; i < base+b.ways; i++ {
+		if b.tags[i] == tag {
+			b.targets[i] = target
+			b.lru[i] = b.stamp
+			return
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.tags[victim] = tag
+	b.targets[victim] = target
+	b.lru[victim] = b.stamp
+}
+
+// RAS is a return address stack with wrap-around overflow, as in hardware.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS builds a return address stack of the given capacity.
+func NewRAS(size int) *RAS {
+	if size <= 0 {
+		panic("uarch: invalid RAS size")
+	}
+	return &RAS{stack: make([]uint64, size)}
+}
+
+// Push records a return address (on a call).
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. It returns false when empty.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// TargetPredictor predicts the target of indirect branches. Two
+// implementations exist, matching the paper's methodology (§VII-A): the
+// GShare-like IndirectPredictor and ITTAGE.
+type TargetPredictor interface {
+	Lookup(ip uint64) uint64
+	Update(ip, target uint64)
+}
+
+// IndirectPredictor is a GShare-like indirect target predictor ([36] in the
+// paper): a table of targets indexed by the branch address hashed with a
+// target-path history.
+type IndirectPredictor struct {
+	logSize int
+	targets []uint64
+	hist    uint64
+}
+
+// NewIndirectPredictor builds an indirect predictor with 2^logSize entries.
+func NewIndirectPredictor(logSize int) *IndirectPredictor {
+	if logSize < 1 || logSize > 24 {
+		panic(fmt.Sprintf("uarch: invalid indirect predictor size %d", logSize))
+	}
+	return &IndirectPredictor{logSize: logSize, targets: make([]uint64, 1<<logSize)}
+}
+
+func (p *IndirectPredictor) index(ip uint64) uint64 {
+	return utils.XorFold(ip^p.hist, p.logSize)
+}
+
+// Lookup returns the predicted target for the indirect branch at ip (zero
+// if never seen).
+func (p *IndirectPredictor) Lookup(ip uint64) uint64 {
+	return p.targets[p.index(ip)]
+}
+
+// Update records the observed target and folds it into the path history.
+func (p *IndirectPredictor) Update(ip, target uint64) {
+	p.targets[p.index(ip)] = target
+	p.hist = p.hist<<4 ^ target>>2
+}

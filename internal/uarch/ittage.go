@@ -1,0 +1,204 @@
+package uarch
+
+import (
+	"fmt"
+
+	"mbplib/internal/utils"
+)
+
+// ITTAGE is an indirect target predictor in the style of Seznec's 64-Kbyte
+// ITTAGE ([37] in the paper): a tagless base table backed by partially
+// tagged tables indexed with geometrically growing slices of a target-path
+// history. The longest matching table provides the target; confidence
+// counters arbitrate replacement and usefulness bits throttle allocation,
+// exactly as in TAGE. The paper's methodology (§VII-A) pairs it with the
+// high-end BATAGE direction predictor: "if we are going to simulate for
+// performance, it makes sense to have a high-end target predictor
+// accompanying a high-end branch predictor".
+type ITTAGE struct {
+	base    []uint64 // tagless ip-indexed targets
+	logBase int
+
+	tables   []ittageTable
+	hist     uint64 // target-path history, 2 bits per taken indirect branch
+	rng      *utils.Rand
+	ticks    uint32
+	resetLog int
+
+	Hits       uint64
+	Mispredict uint64
+}
+
+type ittageTable struct {
+	histLen int
+	logSize int
+	tagBits int
+	entries []ittageEntry
+}
+
+type ittageEntry struct {
+	tag    uint16 // 0 = invalid (tags always have their top validity bit set)
+	conf   uint8  // 0..3
+	u      uint8  // 0..3
+	target uint64
+}
+
+// ITTAGEConfig parameterises NewITTAGE.
+type ITTAGEConfig struct {
+	LogBase  int   // log2 base-table entries; default 11
+	LogSize  int   // log2 entries per tagged table; default 9
+	TagBits  int   // partial tag width; default 9
+	HistLens []int // per-table history lengths; default {4, 8, 16, 32}
+	ResetLog int   // usefulness aging period, 2^n updates; default 16
+	Seed     uint64
+}
+
+// NewITTAGE builds an ITTAGE indirect target predictor. The defaults give
+// roughly the 64 kB budget of the paper's configuration (2K base targets
+// plus 4 × 512 tagged entries of ~11 bytes).
+func NewITTAGE(cfg ITTAGEConfig) *ITTAGE {
+	if cfg.LogBase == 0 {
+		cfg.LogBase = 11
+	}
+	if cfg.LogSize == 0 {
+		cfg.LogSize = 9
+	}
+	if cfg.TagBits == 0 {
+		cfg.TagBits = 9
+	}
+	if len(cfg.HistLens) == 0 {
+		cfg.HistLens = []int{4, 8, 16, 32}
+	}
+	if cfg.ResetLog == 0 {
+		cfg.ResetLog = 16
+	}
+	if cfg.LogBase < 1 || cfg.LogBase > 24 || cfg.LogSize < 1 || cfg.LogSize > 24 || cfg.TagBits < 1 || cfg.TagBits > 15 {
+		panic(fmt.Sprintf("uarch: invalid ITTAGE geometry %+v", cfg))
+	}
+	it := &ITTAGE{
+		base:     make([]uint64, 1<<cfg.LogBase),
+		logBase:  cfg.LogBase,
+		rng:      utils.NewRand(cfg.Seed + 1),
+		resetLog: cfg.ResetLog,
+	}
+	prev := 0
+	for _, l := range cfg.HistLens {
+		if l <= prev || l > 63 {
+			panic(fmt.Sprintf("uarch: ITTAGE history lengths must be ascending and < 64: %v", cfg.HistLens))
+		}
+		prev = l
+		it.tables = append(it.tables, ittageTable{
+			histLen: l,
+			logSize: cfg.LogSize,
+			tagBits: cfg.TagBits,
+			entries: make([]ittageEntry, 1<<cfg.LogSize),
+		})
+	}
+	return it
+}
+
+func (it *ITTAGE) baseIndex(ip uint64) uint64 {
+	return utils.XorFold(ip>>2, it.logBase)
+}
+
+func (t *ittageTable) index(ip, hist uint64) uint64 {
+	h := hist & (1<<t.histLen - 1)
+	return utils.XorFold((ip^h)*0x9e3779b97f4a7c15, t.logSize)
+}
+
+func (t *ittageTable) tag(ip, hist uint64) uint16 {
+	h := hist & (1<<t.histLen - 1)
+	return uint16(utils.XorFold(utils.Mix(ip^h<<7), t.tagBits)) | 1<<t.tagBits
+}
+
+// Lookup returns the predicted target for the indirect branch at ip (zero
+// if nothing is known yet).
+func (it *ITTAGE) Lookup(ip uint64) uint64 {
+	for i := len(it.tables) - 1; i >= 0; i-- {
+		t := &it.tables[i]
+		e := &t.entries[t.index(ip, it.hist)]
+		if e.tag == t.tag(ip, it.hist) {
+			return e.target
+		}
+	}
+	return it.base[it.baseIndex(ip)]
+}
+
+// Update records the observed target, trains the providing entry, allocates
+// into a longer table on a misprediction, and advances the path history.
+func (it *ITTAGE) Update(ip, target uint64) {
+	predicted := it.Lookup(ip)
+	if predicted == target {
+		it.Hits++
+	} else {
+		it.Mispredict++
+	}
+
+	// Find the provider again (cheap: few small tables).
+	provider := -1
+	for i := len(it.tables) - 1; i >= 0; i-- {
+		t := &it.tables[i]
+		if t.entries[t.index(ip, it.hist)].tag == t.tag(ip, it.hist) {
+			provider = i
+			break
+		}
+	}
+	if provider >= 0 {
+		t := &it.tables[provider]
+		e := &t.entries[t.index(ip, it.hist)]
+		if e.target == target {
+			if e.conf < 3 {
+				e.conf++
+			}
+			if e.u < 3 {
+				e.u++
+			}
+		} else if e.conf > 0 {
+			e.conf--
+		} else {
+			e.target = target
+			e.conf = 1
+		}
+	} else {
+		it.base[it.baseIndex(ip)] = target
+	}
+
+	// Allocate on a misprediction, TAGE-style: the first replaceable entry
+	// in a longer table, with usefulness decay when none is free.
+	if predicted != target && provider < len(it.tables)-1 {
+		start := provider + 1
+		allocated := false
+		for i := start; i < len(it.tables); i++ {
+			t := &it.tables[i]
+			e := &t.entries[t.index(ip, it.hist)]
+			if e.u == 0 {
+				*e = ittageEntry{tag: t.tag(ip, it.hist), target: target, conf: 1}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			i := start + it.rng.Intn(len(it.tables)-start)
+			t := &it.tables[i]
+			e := &t.entries[t.index(ip, it.hist)]
+			if e.u > 0 {
+				e.u--
+			}
+		}
+	}
+
+	// Periodic usefulness aging.
+	it.ticks++
+	if it.ticks >= 1<<it.resetLog {
+		it.ticks = 0
+		for ti := range it.tables {
+			for ei := range it.tables[ti].entries {
+				if it.tables[ti].entries[ei].u > 0 {
+					it.tables[ti].entries[ei].u--
+				}
+			}
+		}
+	}
+
+	it.hist = it.hist<<2 ^ utils.Mix(target)&3
+}

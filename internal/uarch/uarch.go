@@ -1,0 +1,533 @@
+// Package uarch is a cycle-level out-of-order core model in the ChampSim
+// mould: it consumes full per-instruction traces (package cst) and, like
+// ChampSim, advances the machine one cycle at a time — each cycle the
+// retire, execute/issue and fetch stages operate over the reorder buffer.
+// It models register dependencies, execution ports, a cache hierarchy, a
+// branch target buffer, a return address stack and an indirect target
+// predictor, and reports IPC alongside MPKI.
+//
+// It stands in for ChampSim in the paper's evaluation (§VII): a simulator
+// that models the whole processor, is orders of magnitude slower than a
+// microarchitecture-agnostic simulator precisely because of the per-cycle
+// walk over its structures, and whose running time is almost independent of
+// the branch predictor plugged into it (Table III, bottom). The default
+// configuration approximates the paper's setup: an Ice Lake-like wide core
+// with an 8K-entry BTB and a 4K-entry GShare-like indirect target
+// predictor.
+//
+// Like ChampSim, the model recovers the target of a taken branch from the
+// IP of the next trace record, classifies branches from their register sets
+// (see cst.Instruction.Classify), and — being trace-driven — stalls the
+// front end on a misprediction until the branch resolves rather than
+// simulating the wrong path.
+package uarch
+
+import (
+	"fmt"
+	"io"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/cst"
+)
+
+// Config parameterises the core model. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	FetchWidth    int    // instructions fetched per cycle
+	DecodeLatency uint64 // cycles from fetch to earliest issue
+	ExecPorts     int    // instructions issued per cycle
+	RetireWidth   int    // instructions retired per cycle
+	ROBSize       int    // in-flight instruction window
+	RedirectLat   uint64 // extra cycles to refill the front end after a misprediction
+
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+	LLC CacheConfig
+	// MemLatency is charged on an LLC miss.
+	MemLatency uint64
+
+	BTBSets, BTBWays int
+	RASSize          int
+	IndirectLog      int // log2 entries of the GShare-like indirect predictor
+	// IndirectKind selects the indirect target predictor: "gshare" (the
+	// 4K-entry GShare-like predictor paired with GShare in §VII-A) or
+	// "ittage" (the 64 kB ITTAGE paired with BATAGE).
+	IndirectKind string
+
+	// ITLB/DTLB/STLB model address translation at page granularity
+	// (LineBits 12); a last-level TLB miss costs PageWalkLat.
+	ITLB, DTLB, STLB CacheConfig
+	PageWalkLat      uint64
+
+	// DisablePrefetchers turns off the next-line I-prefetcher and the
+	// stride D-prefetcher (for ablation).
+	DisablePrefetchers bool
+	StridePrefLog      int // log2 stride-prefetcher entries
+	StridePrefDegree   int // prefetches issued per confident stride
+}
+
+// DefaultConfig returns the Ice Lake-like configuration used in the
+// evaluation: 6-wide fetch, 512-entry ROB, three cache levels, an
+// 8K-entry BTB and a 4K-entry indirect target predictor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:    6,
+		DecodeLatency: 5,
+		ExecPorts:     6,
+		RetireWidth:   6,
+		ROBSize:       512,
+		RedirectLat:   12,
+		L1I:           CacheConfig{Name: "L1I", Sets: 64, Ways: 8, HitLat: 1},
+		L1D:           CacheConfig{Name: "L1D", Sets: 64, Ways: 12, HitLat: 5},
+		L2:            CacheConfig{Name: "L2", Sets: 1024, Ways: 8, HitLat: 10},
+		LLC:           CacheConfig{Name: "LLC", Sets: 2048, Ways: 16, HitLat: 20},
+		MemLatency:    200,
+		BTBSets:       1024, BTBWays: 8, // 8K entries
+		RASSize:          64,
+		IndirectLog:      12, // 4K entries
+		ITLB:             CacheConfig{Name: "ITLB", Sets: 16, Ways: 4, LineBits: 12, HitLat: 0},
+		DTLB:             CacheConfig{Name: "DTLB", Sets: 16, Ways: 4, LineBits: 12, HitLat: 0},
+		STLB:             CacheConfig{Name: "STLB", Sets: 128, Ways: 12, LineBits: 12, HitLat: 8},
+		PageWalkLat:      50,
+		StridePrefLog:    8,
+		StridePrefDegree: 2,
+	}
+}
+
+// Stats is the output of a core-model run.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	IPC          float64
+
+	Branches            uint64
+	CondBranches        uint64
+	DirMispredictions   uint64 // conditional direction mispredictions
+	TargetMispredicts   uint64 // taken branches whose predicted target was wrong
+	MPKI                float64
+	L1IHits, L1IMisses  uint64
+	L1DHits, L1DMisses  uint64
+	L2Hits, L2Misses    uint64
+	LLCHits, LLCMisses  uint64
+	ITLBMisses          uint64
+	DTLBMisses          uint64
+	STLBMisses          uint64
+	PrefetchesIssued    uint64
+	L1DPrefetchHits     uint64
+	BTBHits, BTBMisses  uint64
+	RASMispredictions   uint64
+	IndirectMispredicts uint64
+}
+
+// Entry states in the reorder buffer.
+const (
+	stateWaiting = iota // fetched, waiting for operands or a port
+	stateIssued         // executing; completes at doneCycle
+	stateDone           // executed; eligible to retire in order
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	state      uint8
+	isLoad     bool
+	isStore    bool
+	mispredict bool // resolved direction or target misprediction
+	ip         uint64
+	memAddr    uint64
+	readyAt    uint64 // earliest issue cycle (decode done)
+	doneCycle  uint64
+	seq        uint64    // allocation sequence number, 1-based
+	deps       [4]uint64 // sequence numbers of the producing instructions
+}
+
+// core holds the run-time state of the model.
+type core struct {
+	cfg   Config
+	pred  bp.Predictor
+	l1i   *Cache
+	l1d   *Cache
+	itlb  *Cache
+	dtlb  *Cache
+	btb   *BTB
+	ras   *RAS
+	itp   TargetPredictor
+	spref *StridePrefetcher
+
+	cycle uint64
+
+	rob        []robEntry
+	head, tail int // ring cursors; count tracks occupancy
+	count      int
+
+	// Rename state: producer[r] is the sequence number of the newest
+	// in-flight instruction writing register r (0 = value in the register
+	// file). seq counts allocations, retiredSeq retirements; the entry for
+	// an in-flight sequence s lives at rob[(s-1) % ROBSize].
+	producer   [cst.NumRegs]uint64
+	seq        uint64
+	retiredSeq uint64
+
+	fetchStallUntil uint64
+	redirectPending bool // a mispredicted branch is in flight; fetch waits
+	lastFetchLine   uint64
+	lineReadyAt     uint64
+
+	// Trace lookahead: cur is the next instruction to fetch; next supplies
+	// taken-branch targets (ChampSim recovers them from the next IP).
+	tr        *cst.Reader
+	cur, next cst.Instruction
+	haveCur   bool
+	haveNext  bool
+
+	stats Stats
+}
+
+// Run drives the predictor and core model over the instruction trace,
+// simulating at most maxInstr instructions (0 = all). The direction
+// predictor is exercised exactly as in the standard simulator: Predict and
+// Train for conditional branches, Track for every branch (at fetch, where a
+// real front end consults it).
+func Run(tr *cst.Reader, p bp.Predictor, cfg Config, maxInstr uint64) (*Stats, error) {
+	if cfg.FetchWidth <= 0 || cfg.ExecPorts <= 0 || cfg.RetireWidth <= 0 || cfg.ROBSize <= 0 {
+		return nil, fmt.Errorf("uarch: invalid config %+v", cfg)
+	}
+	llc := NewCache(cfg.LLC, nil, cfg.MemLatency)
+	l2 := NewCache(cfg.L2, llc, 0)
+	var itp TargetPredictor
+	switch cfg.IndirectKind {
+	case "", "gshare":
+		itp = NewIndirectPredictor(cfg.IndirectLog)
+	case "ittage":
+		itp = NewITTAGE(ITTAGEConfig{})
+	default:
+		return nil, fmt.Errorf("uarch: unknown indirect predictor kind %q", cfg.IndirectKind)
+	}
+	c := &core{
+		cfg:   cfg,
+		pred:  p,
+		l1i:   NewCache(cfg.L1I, l2, 0),
+		l1d:   NewCache(cfg.L1D, l2, 0),
+		btb:   NewBTB(cfg.BTBSets, cfg.BTBWays),
+		ras:   NewRAS(cfg.RASSize),
+		itp:   itp,
+		rob:   make([]robEntry, cfg.ROBSize),
+		tr:    tr,
+		cycle: 1,
+	}
+	if cfg.STLB.Sets > 0 {
+		stlb := NewCache(cfg.STLB, nil, cfg.PageWalkLat)
+		if cfg.ITLB.Sets > 0 {
+			c.itlb = NewCache(cfg.ITLB, stlb, 0)
+		}
+		if cfg.DTLB.Sets > 0 {
+			c.dtlb = NewCache(cfg.DTLB, stlb, 0)
+		}
+	}
+	if !cfg.DisablePrefetchers && cfg.StridePrefLog > 0 {
+		c.spref = NewStridePrefetcher(cfg.StridePrefLog, max(cfg.StridePrefDegree, 1))
+	}
+	if err := c.prime(); err != nil {
+		return nil, err
+	}
+
+	for {
+		c.retireStage()
+		c.executeStage()
+		if maxInstr == 0 || c.stats.Instructions < maxInstr {
+			if _, err := c.fetchStage(); err != nil {
+				return nil, err
+			}
+		}
+		c.cycle++
+		fetchDone := !c.haveCur || (maxInstr > 0 && c.stats.Instructions >= maxInstr)
+		if c.count == 0 && fetchDone {
+			break
+		}
+	}
+
+	s := &c.stats
+	s.Cycles = c.cycle
+	if s.Cycles > 0 {
+		s.IPC = float64(s.Instructions) / float64(s.Cycles)
+	}
+	if s.Instructions > 0 {
+		s.MPKI = float64(s.DirMispredictions) / (float64(s.Instructions) / 1000)
+	}
+	s.L1IHits, s.L1IMisses = c.l1i.Hits, c.l1i.Misses
+	s.L1DHits, s.L1DMisses = c.l1d.Hits, c.l1d.Misses
+	s.L2Hits, s.L2Misses = l2.Hits, l2.Misses
+	s.LLCHits, s.LLCMisses = llc.Hits, llc.Misses
+	s.BTBHits, s.BTBMisses = c.btb.Hits, c.btb.Misses
+	if c.itlb != nil {
+		s.ITLBMisses = c.itlb.Misses
+		s.STLBMisses += c.itlb.next.Misses
+	}
+	if c.dtlb != nil {
+		s.DTLBMisses = c.dtlb.Misses
+	}
+	if c.spref != nil {
+		s.PrefetchesIssued = c.spref.Issued
+		s.L1DPrefetchHits = c.l1d.PrefHits
+	}
+	return s, nil
+}
+
+// prime fills the two-instruction trace lookahead.
+func (c *core) prime() error {
+	if err := c.readInto(&c.cur, &c.haveCur); err != nil {
+		return err
+	}
+	return c.readInto(&c.next, &c.haveNext)
+}
+
+func (c *core) readInto(dst *cst.Instruction, have *bool) error {
+	err := c.tr.Read(dst)
+	if err == io.EOF {
+		*have = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	*have = true
+	return nil
+}
+
+// retireStage retires completed instructions in order.
+func (c *core) retireStage() {
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if e.state != stateDone || e.doneCycle > c.cycle {
+			return
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.retiredSeq++
+	}
+}
+
+// executeStage walks the whole reorder buffer — the per-cycle cost that
+// defines simulators of this class — issuing ready instructions to free
+// ports and completing issued ones.
+func (c *core) executeStage() {
+	ports := c.cfg.ExecPorts
+	idx := c.head
+	for n := 0; n < c.count; n++ {
+		e := &c.rob[idx]
+		switch e.state {
+		case stateIssued:
+			if e.doneCycle <= c.cycle {
+				e.state = stateDone
+			}
+		case stateWaiting:
+			if ports == 0 || e.readyAt > c.cycle {
+				break
+			}
+			ready := true
+			for _, d := range e.deps {
+				if d == 0 || d <= c.retiredSeq {
+					continue // value already in the register file
+				}
+				p := &c.rob[(d-1)%uint64(len(c.rob))]
+				if p.state == stateWaiting || p.doneCycle > c.cycle {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				break
+			}
+			ports--
+			var lat uint64 = 1
+			if e.isLoad {
+				if c.dtlb != nil {
+					lat += c.dtlb.Access(e.memAddr)
+				}
+				lat += c.l1d.Access(e.memAddr)
+				if c.spref != nil {
+					c.spref.Observe(e.ip, e.memAddr, c.l1d)
+				}
+			}
+			if e.isStore {
+				if c.dtlb != nil {
+					lat += c.dtlb.Access(e.memAddr)
+				}
+				c.l1d.Access(e.memAddr) // write allocate; the store buffer hides the latency
+			}
+			e.state = stateIssued
+			e.doneCycle = c.cycle + lat
+			// A mispredicted branch redirects the front end when it
+			// resolves: fetch (paused since the branch was fetched) resumes
+			// after the refill latency.
+			if e.mispredict {
+				resume := e.doneCycle + c.cfg.RedirectLat
+				if resume > c.fetchStallUntil {
+					c.fetchStallUntil = resume
+				}
+				c.redirectPending = false
+			}
+		}
+		idx++
+		if idx == len(c.rob) {
+			idx = 0
+		}
+	}
+}
+
+// fetchStage brings up to FetchWidth instructions into the reorder buffer,
+// honouring I-cache latency, ROB occupancy and misprediction stalls. It
+// returns the number fetched.
+func (c *core) fetchStage() (uint64, error) {
+	if c.redirectPending || c.cycle < c.fetchStallUntil || c.cycle < c.lineReadyAt {
+		return 0, nil
+	}
+	var fetched uint64
+	for int(fetched) < c.cfg.FetchWidth && c.haveCur && c.count < len(c.rob) {
+		in := c.cur
+		line := in.IP >> 6
+		if line != c.lastFetchLine {
+			lat := c.l1i.Access(in.IP)
+			if c.itlb != nil {
+				lat += c.itlb.Access(in.IP)
+			}
+			if c.spref != nil {
+				// Next-line instruction prefetch.
+				c.l1i.Prefetch((line + 1) << 6)
+			}
+			c.lastFetchLine = line
+			if lat > 1 {
+				c.lineReadyAt = c.cycle + lat
+				break // the rest of the group waits for the line
+			}
+		}
+		nextIP := uint64(0)
+		if c.haveNext {
+			nextIP = c.next.IP
+		}
+		c.enqueue(&in, nextIP)
+		fetched++
+		// Advance the lookahead.
+		c.cur = c.next
+		c.haveCur = c.haveNext
+		if err := c.readInto(&c.next, &c.haveNext); err != nil {
+			return fetched, err
+		}
+		// A mispredicted branch stalls fetch until it resolves (the
+		// trace-driven stand-in for squashing the wrong path); taken
+		// branches merely end the fetch group.
+		if c.redirectPending {
+			break
+		}
+		if in.IsBranch && in.BranchTaken {
+			break
+		}
+	}
+	return fetched, nil
+}
+
+// enqueue allocates the ROB entry for in and, for branches, consults and
+// trains the predictors.
+func (c *core) enqueue(in *cst.Instruction, nextIP uint64) {
+	c.stats.Instructions++
+	c.seq++
+	e := &c.rob[c.tail]
+	c.tail = (c.tail + 1) % len(c.rob)
+	c.count++
+	*e = robEntry{
+		state:   stateWaiting,
+		isLoad:  in.IsLoad(),
+		isStore: in.IsStore(),
+		ip:      in.IP,
+		readyAt: c.cycle + c.cfg.DecodeLatency,
+		seq:     c.seq,
+	}
+	if e.isLoad {
+		e.memAddr = in.SrcMem[0]
+	} else if e.isStore {
+		e.memAddr = in.DestMem[0]
+	}
+	// Rename: capture the producing instructions of the sources, then
+	// claim the destinations.
+	for i, r := range in.SrcRegs {
+		if r != 0 {
+			e.deps[i] = c.producer[r]
+		}
+	}
+	for _, r := range in.DestRegs {
+		if r != 0 {
+			c.producer[r] = c.seq
+		}
+	}
+	if op, ok := in.Classify(); ok {
+		e.mispredict = c.branch(in, op, nextIP)
+		if e.mispredict {
+			c.redirectPending = true
+		}
+	}
+}
+
+// branch resolves prediction and training for a branch being fetched; it
+// reports whether the front end will have followed the wrong path.
+func (c *core) branch(in *cst.Instruction, op bp.Opcode, nextIP uint64) bool {
+	c.stats.Branches++
+	taken := in.BranchTaken
+	target := uint64(0)
+	if taken {
+		target = nextIP
+	}
+
+	mispredicted := false
+
+	// Direction.
+	if op.IsConditional() {
+		c.stats.CondBranches++
+		predTaken := c.pred.Predict(in.IP)
+		if predTaken != taken {
+			c.stats.DirMispredictions++
+			mispredicted = true
+		}
+		c.pred.Train(bp.Branch{IP: in.IP, Target: target, Opcode: op, Taken: taken})
+	}
+
+	// Target, for taken branches: RAS for returns, the indirect predictor
+	// for indirect branches, the BTB otherwise.
+	if taken && target != 0 {
+		var predTarget uint64
+		switch {
+		case op.Base() == bp.Ret:
+			if t, ok := c.ras.Pop(); ok {
+				predTarget = t
+			}
+			if predTarget != target {
+				c.stats.RASMispredictions++
+			}
+		case op.IsIndirect():
+			predTarget = c.itp.Lookup(in.IP)
+			if predTarget != target {
+				c.stats.IndirectMispredicts++
+			}
+			c.itp.Update(in.IP, target)
+		default:
+			predTarget, _ = c.btb.Lookup(in.IP)
+			c.btb.Update(in.IP, target)
+		}
+		if predTarget != target {
+			c.stats.TargetMispredicts++
+			mispredicted = true
+		}
+	}
+	if op.Base() == bp.Call {
+		c.ras.Push(in.IP + 4)
+	}
+
+	c.pred.Track(bp.Branch{IP: in.IP, Target: target, Opcode: op, Taken: taken})
+	return mispredicted
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

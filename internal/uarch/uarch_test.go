@@ -1,0 +1,427 @@
+package uarch
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mbplib/internal/cst"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/predictors/statics"
+	"mbplib/internal/tracegen"
+)
+
+// buildTrace renders a spec as an in-memory CST trace and opens a reader.
+func buildTrace(t *testing.T, spec tracegen.Spec) *cst.Reader {
+	t.Helper()
+	total, err := tracegen.InstrTotals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := cst.NewWriter(&buf, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, err := tracegen.NewInstrGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in cst.Instruction
+	for {
+		err := ig.Read(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(&in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := cst.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testSpec(branches uint64) tracegen.Spec {
+	return tracegen.Spec{
+		Name: "uarch", Seed: 99, Branches: branches,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased}, {Kind: tracegen.Loop},
+			{Kind: tracegen.CallRet}, {Kind: tracegen.Indirect},
+		},
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	tr := buildTrace(t, testSpec(20000))
+	stats, err := Run(tr, gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instructions == 0 || stats.Cycles == 0 {
+		t.Fatalf("empty run: %+v", stats)
+	}
+	if stats.IPC <= 0 || stats.IPC > float64(DefaultConfig().FetchWidth) {
+		t.Errorf("IPC = %v outside (0, %d]", stats.IPC, DefaultConfig().FetchWidth)
+	}
+	if stats.Branches != 20000 {
+		t.Errorf("branches = %d, want 20000", stats.Branches)
+	}
+	if stats.CondBranches == 0 || stats.CondBranches >= stats.Branches {
+		t.Errorf("conditional branches = %d of %d", stats.CondBranches, stats.Branches)
+	}
+	if stats.MPKI <= 0 {
+		t.Errorf("MPKI = %v", stats.MPKI)
+	}
+	if stats.L1DHits+stats.L1DMisses == 0 {
+		t.Errorf("no data-cache activity")
+	}
+	if stats.L1IHits+stats.L1IMisses == 0 {
+		t.Errorf("no instruction-cache activity")
+	}
+}
+
+func TestBetterPredictorHigherIPC(t *testing.T) {
+	spec := testSpec(30000)
+	good, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Run(buildTrace(t, spec), statics.NewNotTaken(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.DirMispredictions >= bad.DirMispredictions {
+		t.Errorf("gshare mispredicts (%d) >= always-not-taken (%d)", good.DirMispredictions, bad.DirMispredictions)
+	}
+	if good.IPC <= bad.IPC {
+		t.Errorf("better predictor gave IPC %v <= %v", good.IPC, bad.IPC)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := testSpec(10000)
+	a, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("identical runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMaxInstrLimit(t *testing.T) {
+	spec := testSpec(50000)
+	stats, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instructions < 5000 || stats.Instructions > 5100 {
+		t.Errorf("instructions = %d, want about 5000", stats.Instructions)
+	}
+}
+
+func TestBTBLearnsStableTargets(t *testing.T) {
+	// A loop-only workload has few static branches with stable targets:
+	// after warm-up the BTB should hit nearly always.
+	spec := tracegen.Spec{
+		Name: "loops", Seed: 1, Branches: 20000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Loop, Trips: []int{5, 7}}},
+	}
+	stats, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BTBHits == 0 {
+		t.Fatalf("no BTB hits: %+v", stats)
+	}
+	frac := float64(stats.TargetMispredicts) / float64(stats.Branches)
+	if frac > 0.05 {
+		t.Errorf("target misprediction fraction %v on stable-target workload", frac)
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "calls", Seed: 2, Branches: 20000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.CallRet}},
+	}
+	stats, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RASMispredictions > stats.Branches/50 {
+		t.Errorf("RAS mispredictions = %d of %d branches", stats.RASMispredictions, stats.Branches)
+	}
+}
+
+func TestIndirectPredictorLearns(t *testing.T) {
+	// A single-target "switch" is perfectly predictable.
+	spec := tracegen.Spec{
+		Name: "ind", Seed: 3, Branches: 20000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Indirect, Targets: 2}},
+	}
+	stats, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(stats.IndirectMispredicts) / float64(stats.Branches)
+	if frac > 0.5 {
+		t.Errorf("indirect misprediction fraction %v with 2 targets", frac)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	tr := buildTrace(t, testSpec(100))
+	if _, err := Run(tr, gshare.New(), Config{}, 0); err == nil {
+		t.Errorf("zero config accepted")
+	}
+}
+
+func TestCacheUnit(t *testing.T) {
+	l2 := NewCache(CacheConfig{Name: "L2", Sets: 16, Ways: 2, HitLat: 10}, nil, 100)
+	l1 := NewCache(CacheConfig{Name: "L1", Sets: 4, Ways: 2, HitLat: 1}, l2, 0)
+	// First access misses everywhere: 1 + 10 + 100.
+	if lat := l1.Access(0x1000); lat != 111 {
+		t.Errorf("cold access latency = %d, want 111", lat)
+	}
+	// Second access to the same line hits L1.
+	if lat := l1.Access(0x1008); lat != 1 {
+		t.Errorf("hot access latency = %d, want 1", lat)
+	}
+	if l1.Hits != 1 || l1.Misses != 1 || l2.Misses != 1 {
+		t.Errorf("counters: l1 %d/%d l2 %d/%d", l1.Hits, l1.Misses, l2.Hits, l2.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "c", Sets: 1, Ways: 2, HitLat: 1}, nil, 10)
+	a, b, d := uint64(0x0), uint64(0x40), uint64(0x80)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU
+	c.Access(d) // evicts b
+	if lat := c.Access(a); lat != 1 {
+		t.Errorf("a evicted despite being MRU")
+	}
+	if lat := c.Access(b); lat == 1 {
+		t.Errorf("b survived despite being LRU")
+	}
+}
+
+func TestBTBUnit(t *testing.T) {
+	b := NewBTB(4, 2)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Errorf("empty BTB hit")
+	}
+	b.Update(0x100, 0x500)
+	if tgt, ok := b.Lookup(0x100); !ok || tgt != 0x500 {
+		t.Errorf("BTB lookup = %#x, %v", tgt, ok)
+	}
+	b.Update(0x100, 0x600) // target change
+	if tgt, _ := b.Lookup(0x100); tgt != 0x600 {
+		t.Errorf("BTB did not update target: %#x", tgt)
+	}
+}
+
+func TestRASUnit(t *testing.T) {
+	r := NewRAS(2)
+	if _, ok := r.Pop(); ok {
+		t.Errorf("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overflows, overwriting the oldest entry (1)
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("pop = %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("pop = %d, want 2", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Errorf("overwritten entry reappeared")
+	}
+}
+
+func TestIndirectPredictorUnit(t *testing.T) {
+	p := NewIndirectPredictor(8)
+	if p.Lookup(0x40) != 0 {
+		t.Errorf("cold lookup non-zero")
+	}
+	p.Update(0x40, 0x1000)
+	// Same ip, same history state at lookup time differs after Update
+	// (history advanced); but a repeating pattern converges. Just check
+	// the table retained something.
+	found := false
+	for i := 0; i < 4; i++ {
+		if p.Lookup(0x40) == 0x1000 {
+			found = true
+		}
+		p.Update(0x40, 0x1000)
+	}
+	if !found {
+		t.Errorf("indirect predictor never returned the trained target")
+	}
+}
+
+func TestTLBsAreExercised(t *testing.T) {
+	stats, err := Run(buildTrace(t, testSpec(20000)), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DTLBMisses == 0 {
+		t.Errorf("no DTLB misses on a multi-megabyte data working set")
+	}
+	if stats.ITLBMisses == 0 {
+		t.Errorf("no ITLB misses")
+	}
+}
+
+func TestStridePrefetcherHelps(t *testing.T) {
+	// The synthetic workload walks strided arrays, so the stride
+	// prefetcher must issue prefetches, hit, and improve (or at least not
+	// hurt) IPC versus the ablated configuration.
+	spec := testSpec(30000)
+	on, err := Run(buildTrace(t, spec), gshare.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DisablePrefetchers = true
+	off, err := Run(buildTrace(t, spec), gshare.New(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.PrefetchesIssued == 0 {
+		t.Fatalf("no prefetches issued: %+v", on)
+	}
+	if on.L1DPrefetchHits == 0 && on.L1DMisses >= off.L1DMisses {
+		t.Errorf("prefetcher neither hit nor reduced demand misses (on: %d misses, off: %d)", on.L1DMisses, off.L1DMisses)
+	}
+	if on.IPC < off.IPC*0.98 {
+		t.Errorf("prefetching hurt IPC: %.4f vs %.4f", on.IPC, off.IPC)
+	}
+	if off.PrefetchesIssued != 0 {
+		t.Errorf("ablated run issued prefetches")
+	}
+}
+
+func TestStridePrefetcherUnit(t *testing.T) {
+	l1 := NewCache(CacheConfig{Name: "L1", Sets: 16, Ways: 4, HitLat: 1}, nil, 100)
+	sp := NewStridePrefetcher(4, 1)
+	// Train a constant stride of one line.
+	addr := uint64(0x10000)
+	for i := 0; i < 4; i++ {
+		l1.Access(addr)
+		sp.Observe(0x400, addr, l1)
+		addr += 64
+	}
+	if sp.Issued == 0 {
+		t.Fatalf("no prefetches after a confident stride")
+	}
+	// The next access should hit thanks to the prefetch.
+	if lat := l1.Access(addr); lat != 1 {
+		t.Errorf("prefetched line missed (latency %d)", lat)
+	}
+}
+
+func TestCachePrefetchCounters(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "c", Sets: 4, Ways: 2, HitLat: 1}, nil, 10)
+	c.Prefetch(0x1000)
+	if c.Prefetches != 1 || c.Misses != 0 {
+		t.Errorf("prefetch fill counted as demand: pref=%d miss=%d", c.Prefetches, c.Misses)
+	}
+	c.Prefetch(0x1000)
+	if c.PrefHits != 1 {
+		t.Errorf("prefetch hit not counted")
+	}
+	if lat := c.Access(0x1000); lat != 1 {
+		t.Errorf("demand access after prefetch missed (latency %d)", lat)
+	}
+}
+
+func TestITTAGEUnit(t *testing.T) {
+	it := NewITTAGE(ITTAGEConfig{})
+	// A switch whose target depends on the previous target (a Markov
+	// chain): after training, prediction accuracy must be high.
+	targets := []uint64{0x1000, 0x2000, 0x3000}
+	seq := []int{0, 1, 2, 0, 1, 2} // deterministic rotation
+	correct, total := 0, 0
+	pos := 0
+	for i := 0; i < 3000; i++ {
+		tgt := targets[seq[pos]]
+		pos = (pos + 1) % len(seq)
+		if i > 500 {
+			total++
+			if it.Lookup(0x400) == tgt {
+				correct++
+			}
+		}
+		it.Update(0x400, tgt)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.9 {
+		t.Errorf("ITTAGE accuracy on a rotating switch = %v, want >= 0.9", acc)
+	}
+}
+
+func TestITTAGEBeatsGShareLikeOnPatternedSwitch(t *testing.T) {
+	// Both predictors see the same rotating-target stream; the history-
+	// tagged ITTAGE should at least match the hashed-table predictor.
+	run := func(p TargetPredictor) float64 {
+		targets := []uint64{0x1000, 0x2000, 0x3000, 0x4000}
+		pos := 0
+		correct, total := 0, 0
+		for i := 0; i < 4000; i++ {
+			tgt := targets[pos]
+			pos = (pos + 1) % len(targets)
+			if i > 1000 {
+				total++
+				if p.Lookup(0x400) == tgt {
+					correct++
+				}
+			}
+			p.Update(0x400, tgt)
+		}
+		return float64(correct) / float64(total)
+	}
+	itAcc := run(NewITTAGE(ITTAGEConfig{}))
+	gsAcc := run(NewIndirectPredictor(12))
+	if itAcc < gsAcc-0.02 {
+		t.Errorf("ITTAGE (%v) clearly below the GShare-like predictor (%v)", itAcc, gsAcc)
+	}
+	if itAcc < 0.9 {
+		t.Errorf("ITTAGE accuracy %v on a period-4 switch", itAcc)
+	}
+}
+
+func TestIndirectKindConfig(t *testing.T) {
+	spec := tracegen.Spec{
+		Name: "ind", Seed: 3, Branches: 15000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Indirect, Targets: 6}, {Kind: tracegen.Biased}},
+	}
+	cfg := DefaultConfig()
+	cfg.IndirectKind = "ittage"
+	stats, err := Run(buildTrace(t, spec), gshare.New(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Instructions == 0 {
+		t.Fatalf("empty run")
+	}
+	cfg.IndirectKind = "nonsense"
+	if _, err := Run(buildTrace(t, spec), gshare.New(), cfg, 0); err == nil {
+		t.Errorf("unknown indirect kind accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package utils
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignedCounterZeroValue(t *testing.T) {
+	var c SignedCounter
+	if c.Min() != -2 || c.Max() != 1 {
+		t.Fatalf("zero value range = [%d,%d], want [-2,1]", c.Min(), c.Max())
+	}
+	if !c.Predict() {
+		t.Errorf("zero counter should predict taken (value 0 >= 0)")
+	}
+	if !c.IsWeak() {
+		t.Errorf("zero counter should be weak")
+	}
+}
+
+func TestSignedCounterSaturation(t *testing.T) {
+	c := NewSignedCounter(2, 0)
+	for i := 0; i < 10; i++ {
+		c.SumOrSub(true)
+	}
+	if c.Get() != 1 {
+		t.Errorf("after 10 increments, value = %d, want 1", c.Get())
+	}
+	if !c.IsSaturated() {
+		t.Errorf("counter at max should be saturated")
+	}
+	for i := 0; i < 10; i++ {
+		c.SumOrSub(false)
+	}
+	if c.Get() != -2 {
+		t.Errorf("after 10 decrements, value = %d, want -2", c.Get())
+	}
+	if !c.IsSaturated() {
+		t.Errorf("counter at min should be saturated")
+	}
+}
+
+func TestSignedCounterWidths(t *testing.T) {
+	for w := 1; w <= 8; w++ {
+		c := NewSignedCounter(w, 0)
+		wantMin, wantMax := -(1 << (w - 1)), 1<<(w-1)-1
+		if c.Min() != wantMin || c.Max() != wantMax {
+			t.Errorf("width %d: range [%d,%d], want [%d,%d]", w, c.Min(), c.Max(), wantMin, wantMax)
+		}
+	}
+}
+
+func TestSignedCounterSetClamps(t *testing.T) {
+	c := NewSignedCounter(3, 100)
+	if c.Get() != 3 {
+		t.Errorf("Set(100) on width 3 gave %d, want 3", c.Get())
+	}
+	c.Set(-100)
+	if c.Get() != -4 {
+		t.Errorf("Set(-100) on width 3 gave %d, want -4", c.Get())
+	}
+}
+
+func TestSignedCounterInvalidWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSignedCounter(%d, 0) did not panic", w)
+				}
+			}()
+			NewSignedCounter(w, 0)
+		}()
+	}
+}
+
+// Property: a signed counter never leaves its range and SumOrSub moves it by
+// exactly 1 unless saturated.
+func TestSignedCounterInvariants(t *testing.T) {
+	f := func(width uint8, steps []bool) bool {
+		w := int(width%8) + 1
+		c := NewSignedCounter(w, 0)
+		for _, taken := range steps {
+			before := c.Get()
+			c.SumOrSub(taken)
+			after := c.Get()
+			if after < c.Min() || after > c.Max() {
+				return false
+			}
+			delta := after - before
+			if taken && delta != 1 && !(before == c.Max() && delta == 0) {
+				return false
+			}
+			if !taken && delta != -1 && !(before == c.Min() && delta == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnsignedCounterBasics(t *testing.T) {
+	c := NewUnsignedCounter(3, 0)
+	if !c.IsZero() {
+		t.Errorf("new counter at 0 should be zero")
+	}
+	for i := 0; i < 20; i++ {
+		c.Inc()
+	}
+	if c.Get() != 7 || !c.IsMax() {
+		t.Errorf("after 20 Inc, value = %d, want 7 (max)", c.Get())
+	}
+	for i := 0; i < 20; i++ {
+		c.Dec()
+	}
+	if c.Get() != 0 {
+		t.Errorf("after 20 Dec, value = %d, want 0", c.Get())
+	}
+	c.Set(100)
+	if c.Get() != 7 {
+		t.Errorf("Set(100) clamped to %d, want 7", c.Get())
+	}
+}
+
+func TestUnsignedCounterZeroValue(t *testing.T) {
+	var c UnsignedCounter
+	if c.Max() != 3 {
+		t.Errorf("zero value max = %d, want 3", c.Max())
+	}
+}
+
+func TestDualCounterUpdatePredict(t *testing.T) {
+	var d DualCounter
+	for i := 0; i < 5; i++ {
+		d.Update(true)
+	}
+	if !d.Predict() {
+		t.Errorf("after 5 taken, Predict() = false")
+	}
+	for i := 0; i < 12; i++ {
+		d.Update(false)
+	}
+	if d.Predict() {
+		t.Errorf("after 12 not-taken, Predict() = true")
+	}
+}
+
+func TestDualCounterHalvesOnSaturation(t *testing.T) {
+	d := NewDualCounter(7)
+	for i := 0; i < 7; i++ {
+		d.Update(true)
+	}
+	d.Update(false)
+	d.Update(false) // NumNotTaken = 2, NumTaken = 7
+	d.Update(true)  // taken side saturated: both halve, then increment
+	if d.NumTaken != 4 || d.NumNotTaken != 1 {
+		t.Errorf("after halving, counts = (%d,%d), want (4,1)", d.NumTaken, d.NumNotTaken)
+	}
+}
+
+func TestDualCounterDecay(t *testing.T) {
+	d := NewDualCounter(7)
+	d.Update(true)
+	d.Update(true)
+	d.Decay()
+	if d.NumTaken != 1 || d.NumNotTaken != 0 {
+		t.Errorf("decay gave (%d,%d), want (1,0)", d.NumTaken, d.NumNotTaken)
+	}
+	d.Decay()
+	d.Decay() // equal sides: no further change
+	if d.NumTaken != 0 || d.NumNotTaken != 0 {
+		t.Errorf("decay at equal sides gave (%d,%d), want (0,0)", d.NumTaken, d.NumNotTaken)
+	}
+}
+
+func TestDualCounterConfidenceOrdering(t *testing.T) {
+	strong := DualCounter{NumTaken: 7, NumNotTaken: 0}
+	medium := DualCounter{NumTaken: 3, NumNotTaken: 1}
+	weak := DualCounter{NumTaken: 3, NumNotTaken: 3}
+	if !(strong.Confidence() < medium.Confidence() || strong.Confidence() == 0) {
+		t.Errorf("strong counter not high confidence: %d", strong.Confidence())
+	}
+	if strong.Confidence() != 0 {
+		t.Errorf("7/0 confidence = %d, want 0", strong.Confidence())
+	}
+	if weak.Confidence() != 2 {
+		t.Errorf("3/3 confidence = %d, want 2", weak.Confidence())
+	}
+	if !strong.IsHighConfidence() || weak.IsHighConfidence() {
+		t.Errorf("IsHighConfidence mismatch")
+	}
+	if medium.Confidence() == 0 {
+		t.Errorf("3/1 should not be high confidence")
+	}
+}
+
+// Property: dual counter counts never exceed the saturation limit.
+func TestDualCounterBounds(t *testing.T) {
+	f := func(steps []bool) bool {
+		d := NewDualCounter(7)
+		for _, taken := range steps {
+			d.Update(taken)
+			if d.NumTaken > 7 || d.NumNotTaken > 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+package utils
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// GlobalHistory maintains the outcomes of the most recent branches as a
+// bit vector of arbitrary length. Bit 0 is the most recent outcome. It is
+// the Go analogue of the std::bitset-based global history of Listing 2,
+// extended to lengths beyond 64 bits for TAGE-class predictors.
+type GlobalHistory struct {
+	length int
+	words  []uint64
+}
+
+// NewGlobalHistory returns a history register holding length outcomes,
+// initially all zero (not taken).
+func NewGlobalHistory(length int) *GlobalHistory {
+	if length < 1 {
+		panic(fmt.Sprintf("utils: invalid history length %d", length))
+	}
+	return &GlobalHistory{length: length, words: make([]uint64, (length+63)/64)}
+}
+
+// Len returns the history length in bits.
+func (h *GlobalHistory) Len() int { return h.length }
+
+// Push shifts the history left by one and records the new outcome in bit 0.
+func (h *GlobalHistory) Push(taken bool) {
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := range h.words {
+		next := h.words[i] >> 63
+		h.words[i] = h.words[i]<<1 | carry
+		carry = next
+	}
+	h.maskTop()
+}
+
+func (h *GlobalHistory) maskTop() {
+	rem := h.length % 64
+	if rem != 0 {
+		h.words[len(h.words)-1] &= 1<<rem - 1
+	}
+}
+
+// Bit returns outcome i, where 0 is the most recent branch.
+func (h *GlobalHistory) Bit(i int) bool {
+	if i < 0 || i >= h.length {
+		panic(fmt.Sprintf("utils: history bit %d out of range [0,%d)", i, h.length))
+	}
+	return h.words[i/64]>>(i%64)&1 == 1
+}
+
+// Low returns the n most recent outcomes packed in a uint64 (n ≤ 64), the
+// equivalent of bitset::to_ullong for short histories.
+func (h *GlobalHistory) Low(n int) uint64 {
+	if n < 0 || n > 64 || n > h.length {
+		panic(fmt.Sprintf("utils: Low(%d) out of range for history of length %d", n, h.length))
+	}
+	if n == 0 {
+		return 0
+	}
+	v := h.words[0]
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	return v
+}
+
+// Uint64 returns the min(64,Len) most recent outcomes packed in a uint64.
+func (h *GlobalHistory) Uint64() uint64 {
+	if h.length >= 64 {
+		return h.words[0]
+	}
+	return h.Low(h.length)
+}
+
+// Fold XOR-folds the n most recent outcomes down to `bits` bits. It is the
+// slow reference implementation; predictors on hot paths should use
+// FoldedHistory, which maintains the same value incrementally.
+func (h *GlobalHistory) Fold(n, bits int) uint64 {
+	if bits < 1 || bits > 63 {
+		panic(fmt.Sprintf("utils: invalid fold width %d", bits))
+	}
+	if n > h.length {
+		panic(fmt.Sprintf("utils: fold of %d bits exceeds history length %d", n, h.length))
+	}
+	var folded uint64
+	for i := 0; i < n; i += bits {
+		var chunk uint64
+		for j := 0; j < bits && i+j < n; j++ {
+			if h.Bit(i + j) {
+				chunk |= 1 << j
+			}
+		}
+		folded ^= chunk
+	}
+	return folded
+}
+
+// Reset clears the history to all zeros.
+func (h *GlobalHistory) Reset() {
+	for i := range h.words {
+		h.words[i] = 0
+	}
+}
+
+// String renders the history most-recent-first as a bit string, which is
+// convenient in tests and debug output.
+func (h *GlobalHistory) String() string {
+	buf := make([]byte, h.length)
+	for i := 0; i < h.length; i++ {
+		if h.Bit(i) {
+			buf[i] = '1'
+		} else {
+			buf[i] = '0'
+		}
+	}
+	return string(buf)
+}
+
+// FoldedHistory incrementally maintains GlobalHistory.Fold(length, width):
+// the XOR-fold of the most recent `length` outcomes into `width` bits.
+// TAGE-class predictors keep one per tagged table for index and tag
+// computation; updating it is O(1) per branch instead of O(length).
+type FoldedHistory struct {
+	value  uint64
+	length int // history bits folded
+	width  int // output width in bits
+}
+
+// NewFoldedHistory returns a folded history of `length` outcomes compressed
+// into `width` bits (1 ≤ width ≤ 63).
+func NewFoldedHistory(length, width int) *FoldedHistory {
+	if width < 1 || width > 63 {
+		panic(fmt.Sprintf("utils: invalid folded width %d", width))
+	}
+	if length < 0 {
+		panic(fmt.Sprintf("utils: invalid folded length %d", length))
+	}
+	return &FoldedHistory{length: length, width: width}
+}
+
+// Value returns the current folded value.
+func (f *FoldedHistory) Value() uint64 { return f.value }
+
+// Width returns the output width in bits.
+func (f *FoldedHistory) Width() int { return f.width }
+
+// Length returns the number of history outcomes folded.
+func (f *FoldedHistory) Length() int { return f.length }
+
+// Update shifts in the newest outcome and shifts out the outcome that falls
+// off the end of the folded window. oldest must be the outcome that was at
+// position length-1 of the unfolded history before the update (i.e. the bit
+// leaving the window).
+func (f *FoldedHistory) Update(newest, oldest bool) {
+	if f.length == 0 {
+		return
+	}
+	// Rotate-left by 1 within width bits, inserting the new outcome.
+	f.value = f.value<<1 | f.value>>(f.width-1)&1
+	if newest {
+		f.value ^= 1
+	}
+	// The leaving bit had been folded into position length % width before
+	// the rotation; after rotating it sits one position higher.
+	if oldest {
+		f.value ^= 1 << (f.length % f.width)
+	}
+	f.value &= 1<<f.width - 1
+}
+
+// Reset clears the folded value.
+func (f *FoldedHistory) Reset() { f.value = 0 }
+
+// PathHistory records the low bits of the addresses of recent branches,
+// used by path-based predictors (hashed perceptron, TAGE index hashing).
+type PathHistory struct {
+	bitsPer int
+	length  int
+	buf     []uint16
+	head    int
+	packed  uint64
+}
+
+// NewPathHistory returns a path history recording `length` addresses at
+// `bitsPer` bits each (bitsPer ≤ 16, length*bitsPer arbitrary; the packed
+// view exposes the most recent 64 bits).
+func NewPathHistory(length, bitsPer int) *PathHistory {
+	if length < 1 || bitsPer < 1 || bitsPer > 16 {
+		panic(fmt.Sprintf("utils: invalid path history length=%d bitsPer=%d", length, bitsPer))
+	}
+	return &PathHistory{bitsPer: bitsPer, length: length, buf: make([]uint16, length)}
+}
+
+// Push records the address of a new branch.
+func (p *PathHistory) Push(ip uint64) {
+	v := uint16(ip & (1<<p.bitsPer - 1))
+	p.head = (p.head + 1) % p.length
+	p.buf[p.head] = v
+	p.packed = p.packed<<p.bitsPer | uint64(v)
+}
+
+// Packed returns the concatenation of the most recent addresses, newest in
+// the low bits, truncated to 64 bits.
+func (p *PathHistory) Packed() uint64 { return p.packed }
+
+// At returns the recorded low bits of the i-th most recent branch address
+// (0 is the newest).
+func (p *PathHistory) At(i int) uint64 {
+	if i < 0 || i >= p.length {
+		panic(fmt.Sprintf("utils: path history index %d out of range [0,%d)", i, p.length))
+	}
+	idx := (p.head - i%p.length + p.length) % p.length
+	return uint64(p.buf[idx])
+}
+
+// Reset clears the path history.
+func (p *PathHistory) Reset() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	p.head, p.packed = 0, 0
+}
+
+// XorFold folds a 64-bit value down to `width` bits by XOR-ing `width`-bit
+// chunks together, the hash used in Listing 2 to combine the branch address
+// with the history register.
+func XorFold(x uint64, width int) uint64 {
+	if width < 1 || width > 63 {
+		panic(fmt.Sprintf("utils: invalid XorFold width %d", width))
+	}
+	var folded uint64
+	for x != 0 {
+		folded ^= x & (1<<width - 1)
+		x >>= width
+	}
+	return folded
+}
+
+// Mix is a cheap 64-bit integer finaliser (xorshift-multiply, as in
+// splitmix64) used to decorrelate table indices derived from addresses.
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Log2 returns floor(log2(x)) for x > 0.
+func Log2(x uint64) int {
+	if x == 0 {
+		panic("utils: Log2(0)")
+	}
+	return 63 - bits.LeadingZeros64(x)
+}

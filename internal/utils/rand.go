@@ -1,0 +1,60 @@
+package utils
+
+// Rand is a small deterministic xorshift64* pseudo-random number generator.
+// Predictors that need randomness (BATAGE's allocation throttling, TAGE's
+// randomized allocation) embed one so that simulations stay reproducible,
+// which the cross-simulator identity check of §VII-C depends on. The zero
+// value is usable and equivalent to NewRand(1).
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (0 is replaced by 1, since
+// the all-zero state is a fixed point of xorshift).
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	r.state = seed
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	if r.state == 0 {
+		r.state = 1
+	}
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("utils: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns a pseudo-random outcome with probability num/den of true.
+func (r *Rand) Bool(num, den int) bool {
+	if den <= 0 || num < 0 {
+		panic("utils: Bool with invalid probability")
+	}
+	return r.Intn(den) < num
+}
+
+// Float64 returns a pseudo-random value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
