@@ -1,0 +1,36 @@
+# Developer entry points. `make check` runs the same suite as CI
+# (.github/workflows/ci.yml); keep the two in sync.
+
+GO ?= go
+FUZZTIME ?= 20s
+
+.PHONY: check fmt vet build test race mbpvet fuzz-smoke
+
+check: fmt vet build test race mbpvet fuzz-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+mbpvet:
+	$(GO) run ./cmd/mbpvet ./...
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/
+	$(GO) test -run=NONE -fuzz=FuzzMLZRoundTrip -fuzztime=$(FUZZTIME) ./internal/compress/

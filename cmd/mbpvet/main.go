@@ -1,0 +1,75 @@
+// Command mbpvet is MBPlib's own static analyzer. It loads the module's
+// source with go/parser and go/types (stdlib only, no external tooling) and
+// enforces the contracts the paper states in prose:
+//
+//	V1 purity     — Predict must not mutate predictor state (§IV-A)
+//	V2 registry   — every predictor package is constructible by name
+//	V3 droppederr — no discarded errors in the codec/simulator packages
+//	V4 bitwidth   — no silent truncation on the SBBT/BT9 codec paths,
+//	                power-of-two table sizes wherever a mask is derived
+//
+// Usage:
+//
+//	mbpvet [./...]
+//
+// Findings print as "file:line: rule: message" and a nonzero exit status
+// reports that at least one rule fired. Documented exceptions are declared
+// in the source with //mbpvet:impure (on a Predict method) or
+// //mbpvet:ignore <rule> -- <justification>; see README.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mbplib/internal/vet"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mbpvet [dir|./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := "."
+	if flag.NArg() > 0 {
+		// The conventional "./..." spelling means "the whole module"; any
+		// other argument names the directory to start from.
+		if arg := flag.Arg(0); arg != "./..." && arg != "..." {
+			dir = filepath.Clean(arg)
+		}
+	}
+
+	root, err := vet.FindModuleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+	module, err := vet.ModulePath(root)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vet.Load(root, module)
+	if err != nil {
+		fatal(err)
+	}
+	findings := vet.Run(prog, vet.DefaultConfig(module))
+	for _, f := range findings {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mbpvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbpvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bench
+
+// raceDetectorEnabled mirrors the build's -race flag; see race_on_test.go.
+const raceDetectorEnabled = false

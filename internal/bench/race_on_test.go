@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceDetectorEnabled mirrors the build's -race flag so timing-shape tests
+// can skip themselves: race instrumentation slows memory-heavy code by a
+// predictor-dependent factor, which invalidates wall-clock ratio assertions.
+const raceDetectorEnabled = true

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
@@ -243,6 +244,14 @@ func (r *Reader) parseEdgeLine(line string) error {
 	if err != nil {
 		return fmt.Errorf("bt9: edge line %q: %w", line, err)
 	}
+	// Enforce the SBBT validity rules (§IV-C) at parse time, so a trace
+	// that encodes an impossible outcome (a not-taken unconditional branch,
+	// or a not-taken conditional indirect branch with a target) is rejected
+	// here instead of flowing into the simulator.
+	branch := bp.Branch{IP: r.nodes[nodeID].IP, Target: target, Opcode: r.nodes[nodeID].Opcode, Taken: taken}
+	if err := branch.Validate(); err != nil {
+		return fmt.Errorf("bt9: edge line %q: %w", line, err)
+	}
 	r.edges = append(r.edges, Edge{NodeID: nodeID, Taken: taken, Target: target, InstrCount: count})
 	return nil
 }
@@ -353,6 +362,9 @@ func (w *Writer) Write(ev bp.Event) error {
 	edgeID, ok := w.edgeIDs[key]
 	if !ok {
 		edgeID = len(w.edges)
+		if edgeID > math.MaxInt32 {
+			return errors.New("bt9: more distinct edges than int32 sequence ids can address")
+		}
 		w.edgeIDs[key] = edgeID
 		w.edges = append(w.edges, Edge{NodeID: nodeID, Taken: ev.Branch.Taken, Target: ev.Branch.Target, InstrCount: ev.InstrsSinceLastBranch})
 	}

@@ -1,0 +1,98 @@
+package bt9
+
+import (
+	"strings"
+	"testing"
+)
+
+// trace assembles a minimal BT9 preamble around the given node and edge
+// lines, promising one branch so a single sequence entry completes it.
+func trace(node, edge string) string {
+	return strings.Join([]string{
+		Magic,
+		"total_instruction_count: 4",
+		"branch_instruction_count: 1",
+		"BT9_NODES",
+		node,
+		"BT9_EDGES",
+		edge,
+		"BT9_EDGE_SEQUENCE",
+		"0",
+		"",
+	}, "\n")
+}
+
+// TestReaderRejectsInvalidBranches checks that the §IV-C validity rules are
+// enforced while the edge table is parsed: a BT9 graph pairing a node with
+// an impossible outcome fails in NewReader, before any event is produced.
+func TestReaderRejectsInvalidBranches(t *testing.T) {
+	cases := []struct {
+		name    string
+		node    string
+		edge    string
+		wantErr string
+	}{
+		{
+			name:    "not-taken unconditional",
+			node:    "NODE 0 4000 UNCD DIR JMP",
+			edge:    "EDGE 0 0 N 0 3",
+			wantErr: "marked not taken",
+		},
+		{
+			name:    "not-taken conditional indirect with non-null target",
+			node:    "NODE 0 4000 COND IND JMP",
+			edge:    "EDGE 0 0 N 4040 3",
+			wantErr: "non-null target",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(trace(tc.node, tc.edge)))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("NewReader error = %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReaderAcceptsValidEdgeCases is the conforming counterpart: the same
+// node shapes with valid outcomes parse and play back, including the
+// boundary case of a not-taken conditional indirect edge with target 0.
+func TestReaderAcceptsValidEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		node string
+		edge string
+	}{
+		{
+			name: "taken unconditional",
+			node: "NODE 0 4000 UNCD DIR JMP",
+			edge: "EDGE 0 0 T 4040 3",
+		},
+		{
+			name: "not-taken conditional indirect with null target",
+			node: "NODE 0 4000 COND IND JMP",
+			edge: "EDGE 0 0 N 0 3",
+		},
+		{
+			name: "not-taken conditional direct keeps its target",
+			node: "NODE 0 4000 COND DIR JMP",
+			edge: "EDGE 0 0 N 4040 3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewReader(strings.NewReader(trace(tc.node, tc.edge)))
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			ev, err := r.Read()
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if ev.Branch.IP != 0x4000 || ev.InstrsSinceLastBranch != 3 {
+				t.Errorf("unexpected event %+v", ev)
+			}
+		})
+	}
+}

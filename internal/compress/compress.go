@@ -136,7 +136,7 @@ func OpenFile(path string) (*File, error) {
 	}
 	r, err := NewReader(f)
 	if err != nil {
-		f.Close()
+		f.Close() //mbpvet:ignore droppederr -- error path: the NewReader failure outranks a close failure on a read-only file
 		return nil, err
 	}
 	cf := &File{Reader: r, closers: []io.Closer{f}}
@@ -156,7 +156,7 @@ func CreateFile(path string, level Level) (*File, error) {
 	bw := bufio.NewWriterSize(f, 1<<16)
 	wc, err := NewWriter(bw, FormatForPath(path), level)
 	if err != nil {
-		f.Close()
+		f.Close() //mbpvet:ignore droppederr -- error path: nothing was written yet, the NewWriter failure is the one to report
 		return nil, err
 	}
 	return &File{Writer: wc, closers: []io.Closer{wc, flushCloser{bw}, f}}, nil

@@ -204,6 +204,8 @@ func (p *Predictor) cached(ip uint64) *lookup {
 }
 
 // Predict implements bp.Predictor.
+//
+//mbpvet:impure lookup memoization only: repeated Predicts for the same ip return the cached scan, and Track invalidates it, so observable predictions never change
 func (p *Predictor) Predict(ip uint64) bool {
 	return p.cached(ip).pred
 }

@@ -111,6 +111,8 @@ func (e *entry) filtered(threshold uint8) (taken, active bool) {
 }
 
 // Predict implements bp.Predictor.
+//
+//mbpvet:impure statistics counters only (filtered vs inner provider attribution); they feed Statistics() and never influence a prediction
 func (p *Predictor) Predict(ip uint64) bool {
 	if taken, active := p.slot(ip).filtered(p.threshold); active {
 		p.filteredPredictions++

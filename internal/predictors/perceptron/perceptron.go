@@ -128,6 +128,8 @@ func (p *Predictor) sum(ip uint64) int {
 }
 
 // Predict implements bp.Predictor.
+//
+//mbpvet:impure caches the perceptron sum for Train's threshold comparison; the sum is recomputed if Train sees another ip, so predictions are unaffected
 func (p *Predictor) Predict(ip uint64) bool {
 	s := p.sum(ip)
 	p.lastIP, p.lastSum, p.haveSum = ip, s, true

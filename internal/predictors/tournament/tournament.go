@@ -37,6 +37,8 @@ func New(meta, bp0, bp1 bp.Predictor) *Predictor {
 // Predict implements bp.Predictor. Repeated calls for the same IP between
 // Tracks reuse the cached component predictions, keeping Predict pure even
 // though the components are consulted only once.
+//
+//mbpvet:impure component-prediction memoization: the cache is keyed by ip and invalidated by Track, so repeated Predicts are stable
 func (p *Predictor) Predict(ip uint64) bool {
 	if p.predictedIP == ip && !p.tracked {
 		return p.prediction[b2i(p.provider)]

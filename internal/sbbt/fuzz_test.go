@@ -1,0 +1,92 @@
+package sbbt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+// FuzzSBBTRoundTrip exercises the bit-packing invariants that mbpvet's
+// bitwidth rule protects statically (52-bit addresses, 12-bit gap, 4-bit
+// opcode): any byte string either fails to decode with an error, or
+// decodes into events that re-encode to the identical bytes. It drives
+// both the packet codec and the full Reader/Writer stack.
+func FuzzSBBTRoundTrip(f *testing.F) {
+	// Seed corpus: a valid one-packet trace, a truncated one, and noise.
+	var valid []byte
+	valid = NewHeader(10, 1).AppendTo(valid)
+	valid, err := EncodePacket(valid, bp.Event{
+		Branch:                bp.Branch{IP: 0x400_0000, Target: 0x400_0040, Opcode: bp.OpCondJump, Taken: true},
+		InstrsSinceLastBranch: 7,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("SBBT\n\x01\x00\x00garbage"))
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+2*PacketSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Packet-level: decode arbitrary 16 bytes; a successful decode must
+		// re-encode to the same bits (the format has no redundant states).
+		if len(data) >= PacketSize {
+			if ev, err := DecodePacket(data[:PacketSize]); err == nil {
+				re, err := EncodePacket(nil, ev)
+				if err != nil {
+					t.Fatalf("decoded event %+v rejected by encoder: %v", ev, err)
+				}
+				if !bytes.Equal(re, data[:PacketSize]) {
+					t.Fatalf("packet round-trip mismatch:\n in  %x\n out %x", data[:PacketSize], re)
+				}
+			}
+		}
+
+		// Stream-level: read everything; if the whole trace is valid,
+		// rewrite it and require identical bytes.
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var events []bp.Event
+		var instrs uint64
+		for {
+			ev, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // invalid mid-stream: rejection is the correct outcome
+			}
+			events = append(events, ev)
+			instrs += ev.InstrsSinceLastBranch + 1
+		}
+		// The reader tolerates surplus packets, understated instruction
+		// totals and newer minor versions; the writer normalizes all three.
+		// Only traces a current writer could have produced are expected to
+		// survive a byte-identical re-encode.
+		hdr := r.Header()
+		if hdr != NewHeader(hdr.TotalInstructions, hdr.TotalBranches) ||
+			uint64(len(events)) != hdr.TotalBranches || instrs > hdr.TotalInstructions {
+			return
+		}
+		var out bytes.Buffer
+		w, err := NewWriter(&out, hdr.TotalInstructions, hdr.TotalBranches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			if err := w.Write(ev); err != nil {
+				t.Fatalf("valid event %+v rejected on re-encode: %v", ev, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("re-encode close: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("trace round-trip mismatch: %d in, %d out", len(data), out.Len())
+		}
+	})
+}

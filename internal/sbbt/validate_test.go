@@ -1,0 +1,117 @@
+package sbbt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+// packRaw assembles a one-packet trace by hand, bypassing EncodePacket so
+// the test can express bit patterns the encoder refuses to produce.
+func packRaw(block1, block2 uint64) []byte {
+	buf := NewHeader(8, 1).AppendTo(nil)
+	buf = binary.LittleEndian.AppendUint64(buf, block1)
+	return binary.LittleEndian.AppendUint64(buf, block2)
+}
+
+// block1 packs the first packet word from its fields without any validity
+// filtering: ip in the top 52 bits, the outcome at bit 11, the opcode nibble
+// at the bottom.
+func block1(ip uint64, op uint8, taken bool) uint64 {
+	b := ip<<12 | uint64(op&0xf)
+	if taken {
+		b |= 1 << 11
+	}
+	return b
+}
+
+// TestReaderRejectsInvalidBranches drives the §IV-C validity rules through
+// the SBBT reader with hand-packed packets: each case encodes a branch the
+// format declares impossible, and the reader must refuse it rather than
+// hand it to the simulator.
+func TestReaderRejectsInvalidBranches(t *testing.T) {
+	const (
+		opUncondJump = 0b0000 // UNCD DIR JMP
+		opCondInd    = 0b0011 // COND IND JMP
+		opBadBase    = 0b1100 // base type 0b11 is undefined
+	)
+	cases := []struct {
+		name    string
+		trace   []byte
+		wantErr string
+	}{
+		{
+			name:    "invalid opcode base bits",
+			trace:   packRaw(block1(0x4000, opBadBase, true), 0x4040<<12|3),
+			wantErr: "invalid opcode",
+		},
+		{
+			name:    "not-taken unconditional",
+			trace:   packRaw(block1(0x4000, opUncondJump, false), 0x4040<<12|3),
+			wantErr: "marked not taken",
+		},
+		{
+			name:    "not-taken conditional indirect with non-null target",
+			trace:   packRaw(block1(0x4000, opCondInd, false), 0x4040<<12|3),
+			wantErr: "non-null target",
+		},
+		{
+			name:    "reserved bits set",
+			trace:   packRaw(block1(0x4000, opUncondJump, true)|1<<4, 0x4040<<12|3),
+			wantErr: "reserved bits",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewReader(bytes.NewReader(tc.trace))
+			if err != nil {
+				t.Fatalf("header rejected: %v", err)
+			}
+			_, err = r.Read()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Read() error = %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReaderAcceptsValidEdgeCases is the conforming counterpart: the same
+// shapes with their validity conditions satisfied must read back intact,
+// including the boundary case of a not-taken conditional indirect branch
+// with a null target.
+func TestReaderAcceptsValidEdgeCases(t *testing.T) {
+	events := []bp.Event{
+		{Branch: bp.Branch{IP: 0x4000, Target: 0x4040, Opcode: bp.OpJump, Taken: true}, InstrsSinceLastBranch: 3},
+		{Branch: bp.Branch{IP: 0x4008, Target: 0, Opcode: bp.NewOpcode(bp.Jump, true, true), Taken: false}, InstrsSinceLastBranch: 1},
+		{Branch: bp.Branch{IP: 0x4010, Target: 0x5000, Opcode: bp.OpCondJump, Taken: false}, InstrsSinceLastBranch: 0},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 16, uint64(len(events)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("Write(%+v): %v", ev, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read() event %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+}

@@ -65,7 +65,7 @@ func runOne(src TraceSource, newPredictor func() bp.Predictor, cfg Config) (*Res
 		return nil, err
 	}
 	if closer != nil {
-		defer closer.Close()
+		defer closer.Close() //mbpvet:ignore droppederr -- read side: a close failure cannot corrupt the already-consumed trace
 	}
 	cfg.TraceName = src.Name
 	return Run(r, newPredictor(), cfg)

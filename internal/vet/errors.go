@@ -1,0 +1,154 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Rule V3 — dropped errors: in the trace codec and simulator packages, an
+// error result must never be silently discarded. The SBBT and BT9 readers
+// signal mid-record EOF through bp.ErrTruncated; a discarded error on that
+// path turns a corrupt trace into a silently shortened simulation, which is
+// the worst possible failure mode for an experiment.
+//
+// One pattern is exempt on principle: fmt.Fprint/Fprintf/Fprintln into a
+// *bufio.Writer, bytes.Buffer or strings.Builder. Their write errors are
+// sticky (bufio) or impossible (in-memory buffers), and the codecs check
+// the buffered writer's Flush, where a sticky error surfaces.
+func checkDroppedErrors(prog *Program, cfg Config) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Sorted() {
+		if !hasPathPrefix(pkg.Path, cfg.ErrorPackages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok {
+						findings = append(findings, checkDiscardedCall(prog, pkg, call, "result of %s discarded")...)
+					}
+				case *ast.DeferStmt:
+					findings = append(findings, checkDiscardedCall(prog, pkg, n.Call, "deferred %s discards its error")...)
+				case *ast.GoStmt:
+					findings = append(findings, checkDiscardedCall(prog, pkg, n.Call, "go %s discards its error")...)
+				case *ast.AssignStmt:
+					findings = append(findings, checkBlankError(prog, pkg, n)...)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// checkDiscardedCall flags a call statement whose last result is an error.
+func checkDiscardedCall(prog *Program, pkg *Package, call *ast.CallExpr, format string) []Finding {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || !lastResultIsError(tv.Type) {
+		return nil
+	}
+	if isExemptPrinter(pkg, call) {
+		return nil
+	}
+	return []Finding{{
+		Pos:  prog.Fset.Position(call.Pos()),
+		Rule: RuleDroppedErr,
+		Msg:  fmt.Sprintf(format+" — handle it or annotate with //mbpvet:ignore %s", callName(pkg, call), RuleDroppedErr),
+	}}
+}
+
+// checkBlankError flags `_` in the position of an error result, including
+// the explicit `_ = f()` discard.
+func checkBlankError(prog *Program, pkg *Package, n *ast.AssignStmt) []Finding {
+	var findings []Finding
+	flag := func(pos ast.Node, what string) {
+		findings = append(findings, Finding{
+			Pos:  prog.Fset.Position(pos.Pos()),
+			Rule: RuleDroppedErr,
+			Msg:  fmt.Sprintf("error result of %s assigned to _ — handle it or annotate with //mbpvet:ignore %s", what, RuleDroppedErr),
+		})
+	}
+	// Multi-value form: x, _ := f().
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := pkg.Info.Types[call].Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(n.Lhs) {
+			return nil
+		}
+		for i, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(tuple.At(i).Type()) {
+				if !isExemptPrinter(pkg, call) {
+					flag(n, callName(pkg, call))
+				}
+			}
+		}
+		return findings
+	}
+	// Parallel form: _ = f(), possibly mixed into a multi-assign.
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || i >= len(n.Rhs) {
+			continue
+		}
+		if tv, ok := pkg.Info.Types[n.Rhs[i]]; ok && isErrorType(tv.Type) {
+			flag(n, "expression")
+		}
+	}
+	return findings
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error" && types.IsInterface(t)
+}
+
+func lastResultIsError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		return tuple.Len() > 0 && isErrorType(tuple.At(tuple.Len()-1).Type())
+	}
+	return isErrorType(t)
+}
+
+// isExemptPrinter reports whether call is fmt.Fprint{,f,ln} writing into a
+// sticky-error or in-memory writer.
+func isExemptPrinter(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := pkg.Info.Uses[id].(*types.PkgName); !ok || obj.Imported().Path() != "fmt" {
+		return false
+	}
+	if !strings.HasPrefix(sel.Sel.Name, "Fprint") {
+		return false
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	return interfaceNamed(tv.Type, "bufio", "Writer") ||
+		interfaceNamed(tv.Type, "bytes", "Buffer") ||
+		interfaceNamed(tv.Type, "strings", "Builder")
+}
+
+func callName(pkg *Package, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,483 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Rule V1 — Predict purity (§IV-A): a Predict method of any type that
+// implements the Predictor shape (Predict(uint64) bool / Train(B) /
+// Track(B)) must not modify state reachable from its receiver, because the
+// simulator and every meta-predictor are entitled to call Predict any
+// number of times without perturbing future predictions.
+//
+// The analysis is a whole-program fixpoint over per-method summaries:
+// for every method of every module package it computes whether the method
+// writes through its receiver (directly, through a receiver-derived local,
+// or by calling another method that does). Interface method calls cannot be
+// resolved statically; a call to an interface method named Predict is
+// trusted (the contract is enforced on every implementation), anything else
+// reachable from the receiver is treated conservatively as a write.
+//
+// Documented exceptions — prediction memoization caches are the classic
+// case — are declared with a justified //mbpvet:impure doc-comment
+// directive on the Predict method.
+
+// methodInfo is the analysis state of one function or method declaration.
+type methodInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	recv *types.Var // receiver object, nil for plain functions
+	// writes is true once the method is known to mutate receiver state.
+	writes bool
+	// writeNote describes the first discovered mutation, for reporting.
+	writeNote string
+	// returnsRecvRef is true if the method may return a pointer, slice or
+	// map that aliases receiver state (e.g. a lookup-cache accessor).
+	returnsRecvRef bool
+}
+
+type purityAnalysis struct {
+	prog    *Program
+	methods map[*types.Func]*methodInfo
+}
+
+func checkPurity(prog *Program, dirs *directives) []Finding {
+	a := &purityAnalysis{prog: prog, methods: make(map[*types.Func]*methodInfo)}
+	a.index()
+	a.solve()
+
+	var findings []Finding
+	seen := make(map[*types.Func]bool)
+	for _, pkg := range prog.Sorted() {
+		for _, named := range predictorTypes(pkg) {
+			predict := lookupMethod(named, "Predict")
+			if predict == nil || seen[predict] {
+				continue
+			}
+			seen[predict] = true
+			info := a.methods[predict]
+			if info == nil || !info.writes {
+				continue
+			}
+			if dirs.isImpureAnnotated(prog, info.decl) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:  prog.Fset.Position(info.decl.Pos()),
+				Rule: RulePurity,
+				Msg: fmt.Sprintf("Predict of %s mutates predictor state (%s); §IV-A requires Predict to be repeatable — fix it or document with //mbpvet:impure",
+					named.Obj().Name(), info.writeNote),
+			})
+		}
+	}
+	return findings
+}
+
+// predictorTypes returns the named types of pkg whose pointer method set
+// has the Predictor shape.
+func predictorTypes(pkg *Package) []*types.Named {
+	var out []*types.Named
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if isPredictorShape(named) {
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// isPredictorShape reports whether *T satisfies the structural contract:
+// Predict(uint64) bool, Train(B) and Track(B) for one branch type B.
+func isPredictorShape(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	find := func(name string) *types.Signature {
+		for i := 0; i < ms.Len(); i++ {
+			if m := ms.At(i); m.Obj().Name() == name {
+				if sig, ok := m.Obj().Type().(*types.Signature); ok {
+					return sig
+				}
+			}
+		}
+		return nil
+	}
+	predict := find("Predict")
+	if predict == nil || predict.Params().Len() != 1 || predict.Results().Len() != 1 {
+		return false
+	}
+	if b, ok := predict.Params().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Uint64 {
+		return false
+	}
+	if b, ok := predict.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return false
+	}
+	train, track := find("Train"), find("Track")
+	if train == nil || track == nil {
+		return false
+	}
+	if train.Params().Len() != 1 || train.Results().Len() != 0 ||
+		track.Params().Len() != 1 || track.Results().Len() != 0 {
+		return false
+	}
+	return types.Identical(train.Params().At(0).Type(), track.Params().At(0).Type())
+}
+
+// lookupMethod resolves the named method in *T's method set (following
+// embedded fields) to its function object.
+func lookupMethod(named *types.Named, name string) *types.Func {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i); m.Obj().Name() == name {
+			if fn, ok := m.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// index records every function declaration of the module.
+func (a *purityAnalysis) index() {
+	for _, pkg := range a.prog.Sorted() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				mi := &methodInfo{pkg: pkg, decl: fn}
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+						if rv, ok := pkg.Info.Defs[fn.Recv.List[0].Names[0]].(*types.Var); ok {
+							mi.recv = rv
+						}
+					}
+				}
+				a.methods[obj] = mi
+			}
+		}
+	}
+}
+
+// solve iterates the per-method scan until the summaries stop changing.
+// Both summary bits only ever flip from false to true, so this terminates.
+func (a *purityAnalysis) solve() {
+	for changed := true; changed; {
+		changed = false
+		for _, mi := range a.methods {
+			if mi.recv == nil || mi.writes && mi.returnsRecvRef {
+				continue
+			}
+			s := &methodScan{a: a, mi: mi, tainted: make(map[types.Object]bool)}
+			s.run()
+			if (s.writes && !mi.writes) || (s.returnsRef && !mi.returnsRecvRef) {
+				mi.writes = mi.writes || s.writes
+				if mi.writeNote == "" {
+					mi.writeNote = s.writeNote
+				}
+				mi.returnsRecvRef = mi.returnsRecvRef || s.returnsRef
+				changed = true
+			}
+		}
+	}
+}
+
+// methodScan walks one method body, tracking which locals alias receiver
+// state and whether any statement writes through the receiver.
+type methodScan struct {
+	a          *purityAnalysis
+	mi         *methodInfo
+	tainted    map[types.Object]bool
+	writes     bool
+	writeNote  string
+	returnsRef bool
+}
+
+func (s *methodScan) run() {
+	// Taint is flow-insensitive: repeat until the tainted set is stable so
+	// `l := p.cached(ip); e := l.entry` chains resolve in any order.
+	for {
+		before := len(s.tainted)
+		ast.Inspect(s.mi.decl.Body, s.visit)
+		if len(s.tainted) == before {
+			break
+		}
+	}
+	// A tainted named result escapes through a bare return.
+	if res := s.mi.decl.Type.Results; res != nil {
+		for _, field := range res.List {
+			for _, name := range field.Names {
+				if obj := s.mi.pkg.Info.Defs[name]; obj != nil && s.tainted[obj] {
+					s.returnsRef = true
+				}
+			}
+		}
+	}
+}
+
+func (s *methodScan) note(n ast.Node, format string, args ...any) {
+	if s.writes {
+		return
+	}
+	s.writes = true
+	pos := s.a.prog.Fset.Position(n.Pos())
+	s.writeNote = fmt.Sprintf(format, args...) + fmt.Sprintf(" at %s:%d", pos.Filename, pos.Line)
+}
+
+func (s *methodScan) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		anyRooted := false
+		for _, rhs := range n.Rhs {
+			if s.rooted(rhs) {
+				anyRooted = true
+			}
+		}
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name == "_" {
+					continue
+				}
+				// Writing a plain local: taint it if the value aliases
+				// receiver state and the local's type can carry a reference.
+				if obj := s.localObj(id); obj != nil {
+					if anyRooted && refLike(obj.Type()) {
+						s.tainted[obj] = true
+					}
+					continue
+				}
+			}
+			if s.rooted(lhs) {
+				s.note(n, "assignment to receiver state")
+			}
+		}
+	case *ast.IncDecStmt:
+		if s.rooted(n.X) {
+			s.note(n, "increment/decrement of receiver state")
+		}
+	case *ast.SendStmt:
+		if s.rooted(n.Chan) {
+			s.note(n, "send on receiver-owned channel")
+		}
+	case *ast.RangeStmt:
+		if s.rooted(n.X) {
+			for _, v := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+					if obj := s.localObj(id); obj != nil && refLike(obj.Type()) {
+						s.tainted[obj] = true
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if s.rooted(res) && refLike(s.typeOf(res)) {
+				s.returnsRef = true
+			}
+		}
+	case *ast.CallExpr:
+		s.visitCall(n)
+	}
+	return true
+}
+
+func (s *methodScan) visitCall(call *ast.CallExpr) {
+	info := s.mi.pkg.Info
+	// Builtins that mutate their argument.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "copy", "delete", "clear":
+				if len(call.Args) > 0 && s.rooted(call.Args[0]) {
+					s.note(call, "builtin %s mutates receiver state", id.Name)
+				}
+			case "append":
+				// append may write into the backing array of the receiver's
+				// slice when capacity allows.
+				if len(call.Args) > 0 && s.rooted(call.Args[0]) {
+					s.note(call, "append to receiver-owned slice")
+				}
+			}
+			return
+		}
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if selection := info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+			if !s.rooted(sel.X) {
+				return // method call on non-receiver state: out of scope
+			}
+			callee, _ := selection.Obj().(*types.Func)
+			if callee == nil {
+				return
+			}
+			sig := callee.Type().(*types.Signature)
+			if mi := s.a.methods[callee]; mi != nil {
+				// Module-local method with a summary. A mutating method only
+				// affects the caller's state through a pointer receiver.
+				if mi.writes && isPointerRecv(sig) {
+					s.note(call, "call to %s, which mutates receiver state", callee.Name())
+				}
+				return
+			}
+			// Unresolvable callee: interface dispatch or non-module package.
+			if types.IsInterface(sig.Recv().Type()) {
+				// The Predict contract is enforced on every implementation,
+				// so trusting sub-predictor Predict calls is sound.
+				if callee.Name() == "Predict" {
+					return
+				}
+				s.note(call, "call to interface method %s on receiver state", callee.Name())
+				return
+			}
+			if isPointerRecv(sig) {
+				s.note(call, "call to external method %s with pointer receiver on receiver state", callee.Name())
+			}
+			return
+		}
+	}
+
+	// Plain function call (module-local, stdlib, or a func value): passing
+	// receiver-aliasing references lets the callee mutate them.
+	for _, arg := range call.Args {
+		if s.rooted(arg) && refLike(s.typeOf(arg)) {
+			s.note(call, "receiver state passed by reference to a function call")
+		}
+	}
+}
+
+// localObj returns the object of id when it names a local variable
+// (including the receiver's siblings: params and results), or nil.
+func (s *methodScan) localObj(id *ast.Ident) *types.Var {
+	info := s.mi.pkg.Info
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v == s.mi.recv {
+		return nil
+	}
+	// Package-level variables are shared state, not locals.
+	if v.Parent() == s.mi.pkg.Types.Scope() {
+		return nil
+	}
+	return v
+}
+
+// rooted reports whether e may alias state reachable from the receiver.
+func (s *methodScan) rooted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := s.mi.pkg.Info.Uses[e]
+		if obj == nil {
+			obj = s.mi.pkg.Info.Defs[e]
+		}
+		return obj != nil && (obj == s.mi.recv || s.tainted[obj])
+	case *ast.SelectorExpr:
+		if s.mi.pkg.Info.Selections[e] == nil {
+			return false // qualified identifier (pkg.Name)
+		}
+		return s.rooted(e.X)
+	case *ast.IndexExpr:
+		return s.rooted(e.X)
+	case *ast.StarExpr:
+		return s.rooted(e.X)
+	case *ast.ParenExpr:
+		return s.rooted(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() == "&" && s.rooted(e.X)
+	case *ast.TypeAssertExpr:
+		return s.rooted(e.X)
+	case *ast.SliceExpr:
+		return s.rooted(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if s.rooted(elt) && refLike(s.typeOf(elt)) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// A method that returns a receiver-derived reference propagates
+		// rootedness to its result (lookup-cache accessors).
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if selection := s.mi.pkg.Info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+				if callee, _ := selection.Obj().(*types.Func); callee != nil {
+					if mi := s.a.methods[callee]; mi != nil && mi.returnsRecvRef && s.rooted(sel.X) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (s *methodScan) typeOf(e ast.Expr) types.Type {
+	if tv, ok := s.mi.pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isPointerRecv(sig *types.Signature) bool {
+	if sig.Recv() == nil {
+		return false
+	}
+	_, ok := sig.Recv().Type().Underlying().(*types.Pointer)
+	return ok
+}
+
+// refLike reports whether values of type t can carry a reference through
+// which shared state is mutated (pointers, slices, maps, channels,
+// functions, interfaces, or composites containing one).
+func refLike(t types.Type) bool {
+	return refLikeDepth(t, 0)
+}
+
+func refLikeDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return true // unknown: be conservative
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return refLikeDepth(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refLikeDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if refLikeDepth(u.At(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,17 @@
+// Package bp is the branch-model stub for the mbpvet fixtures: just enough
+// shape for the analyzer's structural Predictor detection.
+package bp
+
+// Branch is the resolved-branch record.
+type Branch struct {
+	IP     uint64
+	Target uint64
+	Taken  bool
+}
+
+// Predictor is the contract the purity rule enforces.
+type Predictor interface {
+	Predict(ip uint64) bool
+	Train(b Branch)
+	Track(b Branch)
+}

@@ -1,0 +1,88 @@
+// Package codec is the mbpvet fixture for the dropped-error and bit-width
+// rules: every marked line is a violation, every unmarked one a conforming
+// counterpart the rules must stay silent on.
+package codec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func sink(w io.Writer) error {
+	_, err := w.Write([]byte("x"))
+	return err
+}
+
+// DropAll exercises every discarded-error form the rule recognizes.
+func DropAll(w io.Writer, f interface{ Close() error }) {
+	w.Write([]byte("x"))           // want droppederr
+	fmt.Fprintf(w, "plain writer") // want droppederr
+	defer f.Close()                // want droppederr
+	go sink(w)                     // want droppederr
+	n, _ := w.Write([]byte("y"))   // want droppederr
+	_ = n
+	_ = sink(w) // want droppederr
+}
+
+// HandleAll is the conforming counterpart: checked errors, the exempt
+// Fprint-to-buffered-writer idiom, and a justified suppression.
+func HandleAll(w io.Writer, bw *bufio.Writer) error {
+	fmt.Fprintln(bw, "header") // exempt: bufio errors are sticky, surfaced by Flush
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "meta") // exempt: in-memory writer cannot fail
+	if _, err := w.Write([]byte(sb.String())); err != nil {
+		return err
+	}
+	sink(w) //mbpvet:ignore droppederr -- fixture: justified suppressions are honored
+	return bw.Flush()
+}
+
+const addrShift = 12
+
+// CanonicalAddress mirrors the sbbt guard predicate.
+func CanonicalAddress(a uint64) bool {
+	top := int64(a) >> 51
+	return top == 0 || top == -1
+}
+
+// EncodeLossy packs fields without any width protection.
+func EncodeLossy(ip uint64, op uint16) uint64 {
+	b := ip << addrShift   // want bitwidth
+	b |= uint64(uint8(op)) // want bitwidth
+	return b
+}
+
+// EncodeSafe is the conforming counterpart: masked, shifted, guarded or
+// bounds-checked operands.
+func EncodeSafe(ip uint64, op uint16, gap uint64) uint64 {
+	if !CanonicalAddress(ip) {
+		return 0
+	}
+	if op > 0xff {
+		return 0
+	}
+	b := ip << addrShift         // guarded by CanonicalAddress above
+	b |= (gap & 0xfff) << 52     // masked to 12 bits before the shift
+	b |= uint64(uint8(op & 0xf)) // masked to the opcode width
+	b |= uint64(uint8(op >> 8))  // shift leaves 8 bits
+	return b | uint64(uint8(op)) // bounds-checked above
+}
+
+// NewTable allocates a mask-indexed table from an arbitrary size — the
+// power-of-two rule must object.
+func NewTable(n int) []int8 {
+	t := make([]int8, n) // want bitwidth
+	mask := n - 1
+	_ = mask
+	return t
+}
+
+// NewTablePow2 is the conforming counterpart.
+func NewTablePow2(logSize int) []int8 {
+	t := make([]int8, 1<<logSize)
+	mask := 1<<logSize - 1
+	_ = mask
+	return t
+}

@@ -1,0 +1,92 @@
+// Package bad holds purity-rule violations: each type implements the
+// Predictor shape and mutates receiver state on a different path that the
+// analysis must see through.
+package bad
+
+import "fix/bp"
+
+// Predictor writes a receiver field directly inside Predict.
+type Predictor struct {
+	table []int8
+	ghist uint64
+}
+
+// New returns the direct-write violator.
+func New() *Predictor { return &Predictor{table: make([]int8, 1024)} }
+
+func (p *Predictor) Predict(ip uint64) bool { // want purity
+	p.ghist <<= 1
+	return p.table[ip&1023] >= 0
+}
+
+func (p *Predictor) Train(b bp.Branch) {
+	if b.Taken {
+		p.table[b.IP&1023]++
+	}
+}
+
+func (p *Predictor) Track(b bp.Branch) {}
+
+// Scanner mutates through a helper method, so the violation is only
+// visible through the call-graph summaries.
+type Scanner struct {
+	hits  uint64
+	table []int8
+}
+
+// NewScanner returns the transitive violator.
+func NewScanner() *Scanner { return &Scanner{table: make([]int8, 64)} }
+
+func (s *Scanner) Predict(ip uint64) bool { // want purity
+	return s.scan(ip)
+}
+
+func (s *Scanner) scan(ip uint64) bool {
+	s.hits++
+	return s.table[ip&63] >= 0
+}
+
+func (s *Scanner) Train(b bp.Branch) {}
+func (s *Scanner) Track(b bp.Branch) {}
+
+// Aliaser writes through a pointer that a helper derived from the
+// receiver, so the violation is only visible through taint tracking.
+type Aliaser struct {
+	cache lookup
+}
+
+type lookup struct {
+	idx  uint64
+	pred bool
+}
+
+// NewAliaser returns the aliased-write violator.
+func NewAliaser() *Aliaser { return &Aliaser{} }
+
+func (a *Aliaser) cached() *lookup { return &a.cache }
+
+func (a *Aliaser) Predict(ip uint64) bool { // want purity
+	l := a.cached()
+	l.idx = ip
+	return l.pred
+}
+
+func (a *Aliaser) Train(b bp.Branch) {}
+func (a *Aliaser) Track(b bp.Branch) {}
+
+// Grower appends into a receiver-owned slice, which can write into its
+// backing array.
+type Grower struct {
+	hist []bool
+}
+
+// NewGrower returns the append violator.
+func NewGrower() *Grower { return &Grower{} }
+
+func (g *Grower) Predict(ip uint64) bool { // want purity
+	g.hist = append(g.hist, ip&1 == 0)
+	return len(g.hist)%2 == 0
+}
+
+func (g *Grower) Train(b bp.Branch) {}
+func (g *Grower) Track(b bp.Branch) {}

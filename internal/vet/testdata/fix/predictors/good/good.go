@@ -1,0 +1,48 @@
+// Package good is a conforming predictor: its Predict only reads receiver
+// state, calls pure helpers (including a pointer-receiver getter, which the
+// method summaries must prove harmless), and consults a sub-predictor
+// through the interface Predict call that the contract guarantees is pure.
+package good
+
+import "fix/bp"
+
+type counter struct {
+	v int8
+}
+
+// get has a pointer receiver but never writes; the summary analysis must
+// not confuse receiver kind with mutation.
+func (c *counter) get() int8 { return c.v }
+
+// Predictor is pure and registered.
+type Predictor struct {
+	table []counter
+	inner bp.Predictor
+}
+
+// New returns a conforming predictor.
+func New(inner bp.Predictor) *Predictor {
+	return &Predictor{table: make([]counter, 1<<6), inner: inner}
+}
+
+func (p *Predictor) hash(ip uint64) uint64 {
+	return (ip * 0x9e3779b97f4a7c15) & uint64(len(p.table)-1)
+}
+
+func (p *Predictor) Predict(ip uint64) bool {
+	if p.inner != nil && p.inner.Predict(ip) {
+		return p.table[p.hash(ip)].get() >= 0
+	}
+	return p.hash(ip)&1 == 0
+}
+
+func (p *Predictor) Train(b bp.Branch) {
+	e := &p.table[p.hash(b.IP)]
+	if b.Taken {
+		e.v++
+	} else {
+		e.v--
+	}
+}
+
+func (p *Predictor) Track(b bp.Branch) {}

@@ -1,0 +1,27 @@
+// Package impure documents a deliberate Predict-side cache with the
+// //mbpvet:impure escape hatch, proving the directive silences the purity
+// rule when it carries a justification.
+package impure
+
+import "fix/bp"
+
+// Predictor memoizes its last prediction.
+type Predictor struct {
+	lastIP   uint64
+	lastPred bool
+}
+
+// New returns the annotated predictor.
+func New() *Predictor { return &Predictor{} }
+
+// Predict implements the contract with a documented memoization cache.
+//
+//mbpvet:impure fixture: memoization cache is invalidated by Track and never changes an observable prediction
+func (p *Predictor) Predict(ip uint64) bool {
+	p.lastIP = ip
+	p.lastPred = ip&1 == 0
+	return p.lastPred
+}
+
+func (p *Predictor) Train(b bp.Branch) {}
+func (p *Predictor) Track(b bp.Branch) { p.lastIP = 0 }

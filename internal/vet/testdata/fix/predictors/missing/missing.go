@@ -1,0 +1,15 @@
+// Package missing is a perfectly conforming predictor that the registry
+// forgot to import — the situation the registry rule exists to catch.
+package missing
+
+import "fix/bp"
+
+// Predictor predicts taken for even addresses.
+type Predictor struct{}
+
+// New returns the unregistered predictor.
+func New() *Predictor { return &Predictor{} }
+
+func (p *Predictor) Predict(ip uint64) bool { return ip&1 == 0 }
+func (p *Predictor) Train(b bp.Branch)      {}
+func (p *Predictor) Track(b bp.Branch)      {}

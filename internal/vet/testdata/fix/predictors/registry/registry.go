@@ -1,0 +1,24 @@
+// Package registry constructs fixture predictors by name. It imports
+// good, bad and impure but not missing, so the registry-completeness rule
+// must report exactly one finding here.
+package registry // want registry
+
+import (
+	"fix/bp"
+	"fix/predictors/bad"
+	"fix/predictors/good"
+	"fix/predictors/impure"
+)
+
+// New builds the named fixture predictor, or nil.
+func New(name string) bp.Predictor {
+	switch name {
+	case "good":
+		return good.New(nil)
+	case "bad":
+		return bad.New()
+	case "impure":
+		return impure.New()
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule names. The README documents each one; the V1-V4 numbering follows
+// the order they were specified in.
+const (
+	RulePurity     = "purity"     // V1: Predict must not mutate predictor state
+	RuleRegistry   = "registry"   // V2: every predictor package is registered
+	RuleDroppedErr = "droppederr" // V3: no discarded error results in codecs
+	RuleBitWidth   = "bitwidth"   // V4: no silent truncation in codec paths
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Config selects which packages each rule applies to. Paths are import
+// paths; prefix lists match the package itself or any package below it.
+type Config struct {
+	// RegistryPath is the import path of the predictor registry package.
+	// Empty disables the registry rule.
+	RegistryPath string
+	// PredictorRoot is the import-path prefix under which every package
+	// exporting a Predictor implementation must be registered.
+	PredictorRoot string
+	// ErrorPackages are the import-path prefixes checked for dropped errors.
+	ErrorPackages []string
+	// WidthPackages are the import-path prefixes checked for truncating
+	// conversions and shifts (the trace codec packages).
+	WidthPackages []string
+	// GuardFuncs are names of predicate functions that establish that a
+	// value fits the format's bit width (e.g. sbbt.CanonicalAddress). A
+	// shift whose operand was passed to a guard in the same function is
+	// not reported.
+	GuardFuncs []string
+}
+
+// DefaultConfig returns the rule configuration for this repository, with
+// module as the module path ("mbplib").
+func DefaultConfig(module string) Config {
+	return Config{
+		RegistryPath:  module + "/internal/predictors/registry",
+		PredictorRoot: module + "/internal/predictors",
+		ErrorPackages: []string{
+			module + "/internal/sbbt",
+			module + "/internal/bt9",
+			module + "/internal/compress",
+			module + "/internal/sim",
+		},
+		WidthPackages: []string{
+			module + "/internal/sbbt",
+			module + "/internal/bt9",
+		},
+		GuardFuncs: []string{"CanonicalAddress"},
+	}
+}
+
+func hasPathPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every rule over the program and returns the surviving
+// findings sorted by position. Findings suppressed by a justified
+// //mbpvet: directive are dropped; a directive without a justification is
+// itself reported, so suppressions stay documented.
+func Run(prog *Program, cfg Config) []Finding {
+	dirs := collectDirectives(prog)
+	var findings []Finding
+	findings = append(findings, checkPurity(prog, dirs)...)
+	findings = append(findings, checkRegistry(prog, cfg)...)
+	findings = append(findings, checkDroppedErrors(prog, cfg)...)
+	findings = append(findings, checkBitWidths(prog, cfg)...)
+	findings = append(findings, dirs.malformed...)
+
+	kept := findings[:0]
+	for _, f := range findings {
+		if !dirs.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// directives indexes //mbpvet: comments. Two forms are recognized:
+//
+//	//mbpvet:impure <justification>
+//	//mbpvet:ignore <rule> -- <justification>
+//
+// "impure" is the §IV-A escape hatch: placed in the doc comment of a
+// Predict method (or a helper it calls) it suppresses the purity rule for
+// that method. "ignore" suppresses the named rule for findings on the same
+// line or the line directly below the comment. Both demand a non-empty
+// justification; a bare directive is reported instead of honored.
+type directives struct {
+	// ignore maps file -> line -> set of rule names suppressed there.
+	ignore map[string]map[int]map[string]bool
+	// impure maps file -> line of the func keyword of an annotated decl.
+	impure    map[string]map[int]bool
+	malformed []Finding
+}
+
+const (
+	directiveImpure = "//mbpvet:impure"
+	directiveIgnore = "//mbpvet:ignore"
+)
+
+func collectDirectives(prog *Program) *directives {
+	d := &directives{
+		ignore: make(map[string]map[int]map[string]bool),
+		impure: make(map[string]map[int]bool),
+	}
+	for _, pkg := range prog.Sorted() {
+		for _, file := range pkg.Files {
+			// Impure annotations live in doc comments of function decls.
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if ok && fn.Doc != nil && d.scanImpure(prog, fn) {
+					pos := prog.Fset.Position(fn.Pos())
+					addLine(d.impure, pos.Filename, pos.Line)
+				}
+			}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d.scanIgnore(prog, c)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func addLine(m map[string]map[int]bool, file string, line int) {
+	if m[file] == nil {
+		m[file] = make(map[int]bool)
+	}
+	m[file][line] = true
+}
+
+// scanImpure reports whether fn's doc comment carries a justified impure
+// directive, recording a finding for an unjustified one.
+func (d *directives) scanImpure(prog *Program, fn *ast.FuncDecl) bool {
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directiveImpure)
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(rest) == "" {
+			d.malformed = append(d.malformed, Finding{
+				Pos:  prog.Fset.Position(c.Pos()),
+				Rule: RulePurity,
+				Msg:  "mbpvet:impure directive needs a justification (\"//mbpvet:impure <why>\")",
+			})
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func (d *directives) scanIgnore(prog *Program, c *ast.Comment) {
+	rest, ok := strings.CutPrefix(c.Text, directiveIgnore)
+	if !ok {
+		return
+	}
+	rule, why, _ := strings.Cut(strings.TrimSpace(rest), "--")
+	rule = strings.TrimSpace(rule)
+	pos := prog.Fset.Position(c.Pos())
+	if rule == "" || strings.TrimSpace(why) == "" {
+		d.malformed = append(d.malformed, Finding{
+			Pos:  pos,
+			Rule: rule,
+			Msg:  "mbpvet:ignore directive needs a rule and justification (\"//mbpvet:ignore <rule> -- <why>\")",
+		})
+		return
+	}
+	if d.ignore[pos.Filename] == nil {
+		d.ignore[pos.Filename] = make(map[int]map[string]bool)
+	}
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		if d.ignore[pos.Filename][line] == nil {
+			d.ignore[pos.Filename][line] = make(map[string]bool)
+		}
+		d.ignore[pos.Filename][line][rule] = true
+	}
+}
+
+// suppressed reports whether an ignore directive covers the finding.
+// (Impure annotations are consulted by the purity rule itself, since they
+// attach to methods rather than lines.)
+func (d *directives) suppressed(f Finding) bool {
+	return d.ignore[f.Pos.Filename][f.Pos.Line][f.Rule]
+}
+
+// isImpureAnnotated reports whether the function starting at pos carries a
+// justified //mbpvet:impure doc directive.
+func (d *directives) isImpureAnnotated(prog *Program, fn *ast.FuncDecl) bool {
+	pos := prog.Fset.Position(fn.Pos())
+	return d.impure[pos.Filename][pos.Line]
+}

@@ -1,0 +1,194 @@
+package vet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixtureConfig mirrors DefaultConfig for the testdata module.
+func fixtureConfig() Config {
+	return Config{
+		RegistryPath:  "fix/predictors/registry",
+		PredictorRoot: "fix/predictors",
+		ErrorPackages: []string{"fix/codec"},
+		WidthPackages: []string{"fix/codec"},
+		GuardFuncs:    []string{"CanonicalAddress"},
+	}
+}
+
+// TestFixtureRules loads the fixture module and checks the findings against
+// the `// want <rule>` markers embedded in the sources: every marker must
+// produce a finding on its line, and every finding must be wanted. The
+// fixture contains a violating and a conforming case for each of V1-V4.
+func TestFixtureRules(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	got := make(map[string][]string) // file:line -> rules
+	for _, f := range Run(prog, fixtureConfig()) {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f.Rule)
+	}
+
+	want := make(map[string][]string)
+	rulesSeen := make(map[string]bool)
+	for _, pkg := range prog.Sorted() {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+					for _, rule := range strings.Fields(rest) {
+						want[key] = append(want[key], rule)
+						rulesSeen[rule] = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, rule := range []string{RulePurity, RuleRegistry, RuleDroppedErr, RuleBitWidth} {
+		if !rulesSeen[rule] {
+			t.Errorf("fixture has no want marker for rule %s", rule)
+		}
+	}
+	for key, rules := range want {
+		sort.Strings(rules)
+		gotRules := append([]string(nil), got[key]...)
+		sort.Strings(gotRules)
+		if strings.Join(rules, ",") != strings.Join(gotRules, ",") {
+			t.Errorf("%s: want findings %v, got %v", key, rules, gotRules)
+		}
+	}
+	for key, rules := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("%s: unwanted findings %v", key, rules)
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the analyzer over this repository with the
+// production configuration — the same invocation CI uses — and demands
+// zero findings. Any genuine violation added to the tree fails this test
+// before it fails CI.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, module)
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	for _, f := range Run(prog, DefaultConfig(module)) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestDirectivesRequireJustification checks that a bare suppression is not
+// honored: the original finding survives and the malformed directive is
+// itself reported.
+func TestDirectivesRequireJustification(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "codec/codec.go", `
+// Package codec is a directive-test fixture.
+package codec
+
+import "io"
+
+// Drop discards an error under an unjustified suppression.
+func Drop(w io.Writer) {
+	//mbpvet:ignore droppederr
+	w.Write(nil)
+}
+`)
+	prog, err := Load(dir, "tmpfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{ErrorPackages: []string{"tmpfix/codec"}}
+	findings := Run(prog, cfg)
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (malformed directive + surviving droppederr), got %v", findings)
+	}
+	var haveMalformed, haveDropped bool
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "needs a rule and justification") {
+			haveMalformed = true
+		}
+		if f.Rule == RuleDroppedErr && strings.Contains(f.Msg, "discarded") {
+			haveDropped = true
+		}
+	}
+	if !haveMalformed || !haveDropped {
+		t.Errorf("findings missing expected pair: %v", findings)
+	}
+}
+
+// TestImpureDirectiveRequiresJustification mirrors the check for the
+// purity escape hatch.
+func TestImpureDirectiveRequiresJustification(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "pred/pred.go", `
+// Package pred is a directive-test fixture.
+package pred
+
+// B is the branch stub.
+type B struct{ Taken bool }
+
+// P caches in Predict without justifying it.
+type P struct{ last uint64 }
+
+// Predict is annotated but the annotation carries no reason.
+//
+//mbpvet:impure
+func (p *P) Predict(ip uint64) bool { p.last = ip; return true }
+
+// Train implements the contract.
+func (p *P) Train(b B) {}
+
+// Track implements the contract.
+func (p *P) Track(b B) {}
+`)
+	prog, err := Load(dir, "tmpfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(prog, Config{})
+	var haveMalformed, havePurity bool
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "needs a justification") {
+			haveMalformed = true
+		}
+		if f.Rule == RulePurity && strings.Contains(f.Msg, "mutates predictor state") {
+			havePurity = true
+		}
+	}
+	if !haveMalformed || !havePurity {
+		t.Errorf("want malformed-directive and purity findings, got %v", findings)
+	}
+}
+
+func writeFixture(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.TrimPrefix(content, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
