@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet fuzz-smoke
+.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke
 
-check: fmt vet build test race mbpvet fuzz-smoke
+check: fmt vet build test race mbpvet fault-sweep fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -31,6 +31,12 @@ race:
 mbpvet:
 	$(GO) run ./cmd/mbpvet ./...
 
+# The exhaustive fault-injection sweep: truncations and bit-flips at every
+# byte offset of every trace format, plus hostile headers and short reads.
+fault-sweep:
+	$(GO) test -run 'TestSweep' -v ./internal/faults/
+
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/
+	$(GO) test -run=NONE -fuzz=FuzzBT9RoundTrip -fuzztime=$(FUZZTIME) ./internal/bt9/
 	$(GO) test -run=NONE -fuzz=FuzzMLZRoundTrip -fuzztime=$(FUZZTIME) ./internal/compress/

@@ -7,49 +7,84 @@
 // Usage:
 //
 //	mbpcmp -trace t.sbbt.mlz -p0 tage -p1 batage
+//
+// Exit codes: 0 success, 1 usage error, 3 run failure (the stderr message
+// carries the faults taxonomy class of a classified trace error).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"mbplib/internal/bp"
 	"mbplib/internal/compress"
+	"mbplib/internal/faults"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
 )
 
+// Exit codes.
+const (
+	exitOK    = 0
+	exitUsage = 1
+	exitTotal = 3
+)
+
 func main() {
-	var (
-		tracePath = flag.String("trace", "", "SBBT trace file (raw, .gz or .mlz)")
-		spec0     = flag.String("p0", "bimodal", "first predictor spec")
-		spec1     = flag.String("p1", "gshare", "second predictor spec")
-		warmup    = flag.Uint64("warmup", 0, "warm-up instructions")
-		simInstr  = flag.Uint64("sim", 0, "instructions to simulate after warm-up (0 = whole trace)")
-		mostN     = flag.Int("most-failed", 20, "entries in the most_failed diff report")
-	)
-	flag.Parse()
-	if *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "mbpcmp: -trace is required (see -help)")
-		os.Exit(2)
-	}
-	if err := run(*tracePath, *spec0, *spec1, *warmup, *simInstr, *mostN); err != nil {
-		fmt.Fprintln(os.Stderr, "mbpcmp:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(tracePath, spec0, spec1 string, warmup, simInstr uint64, mostN int) error {
-	p0, err := registry.New(spec0)
-	if err != nil {
-		return fmt.Errorf("p0: %w", err)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbpcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tracePath = fs.String("trace", "", "SBBT trace file (raw, .gz or .mlz)")
+		spec0     = fs.String("p0", "bimodal", "first predictor spec")
+		spec1     = fs.String("p1", "gshare", "second predictor spec")
+		warmup    = fs.Uint64("warmup", 0, "warm-up instructions")
+		simInstr  = fs.Uint64("sim", 0, "instructions to simulate after warm-up (0 = whole trace)")
+		mostN     = fs.Int("most-failed", 20, "entries in the most_failed diff report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	p1, err := registry.New(spec1)
-	if err != nil {
-		return fmt.Errorf("p1: %w", err)
+	if *tracePath == "" {
+		fmt.Fprintln(stderr, "mbpcmp: -trace is required (see -help)")
+		return exitUsage
 	}
+	p0, err := registry.New(*spec0)
+	if err != nil {
+		fmt.Fprintln(stderr, "mbpcmp: p0:", err)
+		return exitUsage
+	}
+	p1, err := registry.New(*spec1)
+	if err != nil {
+		fmt.Fprintln(stderr, "mbpcmp: p1:", err)
+		return exitUsage
+	}
+	if err := compare(*tracePath, p0, p1, sim.Config{
+		TraceName:          *tracePath,
+		WarmupInstructions: *warmup,
+		SimInstructions:    *simInstr,
+		MostFailedLimit:    *mostN,
+	}, stdout); err != nil {
+		if class := faults.Class(err); class != "other" {
+			fmt.Fprintf(stderr, "mbpcmp: [%s] %v\n", class, err)
+		} else {
+			fmt.Fprintln(stderr, "mbpcmp:", err)
+		}
+		return exitTotal
+	}
+	return exitOK
+}
+
+// compare opens the trace, runs the comparison simulation, and writes the
+// JSON report.
+func compare(tracePath string, p0, p1 bp.Predictor, cfg sim.Config, stdout io.Writer) error {
 	f, err := compress.OpenFile(tracePath)
 	if err != nil {
 		return err
@@ -59,16 +94,11 @@ func run(tracePath, spec0, spec1 string, warmup, simInstr uint64, mostN int) err
 	if err != nil {
 		return err
 	}
-	res, err := sim.Compare(r, p0, p1, sim.Config{
-		TraceName:          tracePath,
-		WarmupInstructions: warmup,
-		SimInstructions:    simInstr,
-		MostFailedLimit:    mostN,
-	})
+	res, err := sim.Compare(r, p0, p1, cfg)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
 }

@@ -6,6 +6,16 @@
 // Usage:
 //
 //	mbprun -traces 'traces/*.sbbt.mlz' -predictor tage -workers 8
+//
+// Failure policy: by default a bad trace aborts the whole run (-policy
+// failfast). With -policy skip the run degrades gracefully: healthy traces
+// are scored, and failed traces are reported in a failure table (and a
+// "failures" JSON section with -json), each classified by the faults
+// taxonomy (corrupt / truncated / limit / panic / other). Transient open
+// errors can be retried with -retries and -retry-backoff.
+//
+// Exit codes: 0 success, 1 usage error, 2 partial failure (some traces
+// scored, some failed), 3 total failure.
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"time"
 
 	"mbplib/internal/bp"
 	"mbplib/internal/compress"
@@ -25,37 +36,58 @@ import (
 	"mbplib/internal/sim"
 )
 
+// Exit codes.
+const (
+	exitOK      = 0
+	exitUsage   = 1
+	exitPartial = 2
+	exitTotal   = 3
+)
+
 func main() {
-	var (
-		globs    = flag.String("traces", "", "glob of SBBT trace files")
-		predSpec = flag.String("predictor", "gshare", "predictor spec (see mbpsim -list)")
-		warmup   = flag.Uint64("warmup", 0, "warm-up instructions per trace")
-		simInstr = flag.Uint64("sim", 0, "instructions to simulate per trace after warm-up (0 = all)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces")
-		jsonOut  = flag.Bool("json", false, "print the summary as JSON")
-	)
-	flag.Parse()
-	if *globs == "" {
-		fmt.Fprintln(os.Stderr, "mbprun: -traces is required (see -help)")
-		os.Exit(2)
-	}
-	if err := run(*globs, *predSpec, *warmup, *simInstr, *workers, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "mbprun:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(globs, predSpec string, warmup, simInstr uint64, workers int, jsonOut bool) error {
-	// Validate the spec once before fanning out.
-	if _, err := registry.New(predSpec); err != nil {
-		return err
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbprun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		globs      = fs.String("traces", "", "glob of SBBT trace files")
+		predSpec   = fs.String("predictor", "gshare", "predictor spec (see mbpsim -list)")
+		warmup     = fs.Uint64("warmup", 0, "warm-up instructions per trace")
+		simInstr   = fs.Uint64("sim", 0, "instructions to simulate per trace after warm-up (0 = all)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces")
+		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
+		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
+		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
+		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	paths, err := filepath.Glob(globs)
+	if *globs == "" {
+		fmt.Fprintln(stderr, "mbprun: -traces is required (see -help)")
+		return exitUsage
+	}
+	policy, err := parsePolicy(*policyName, *retries, *backoff)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitUsage
+	}
+
+	// Validate the spec once before fanning out.
+	if _, err := registry.New(*predSpec); err != nil {
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitUsage
+	}
+	paths, err := filepath.Glob(*globs)
+	if err != nil {
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitUsage
 	}
 	if len(paths) == 0 {
-		return fmt.Errorf("no traces match %q", globs)
+		fmt.Fprintf(stderr, "mbprun: no traces match %q\n", *globs)
+		return exitUsage
 	}
 	sort.Strings(paths)
 
@@ -75,34 +107,89 @@ func run(globs, predSpec string, warmup, simInstr uint64, workers int, jsonOut b
 		}}
 	}
 	newPredictor := func() bp.Predictor {
-		p, err := registry.New(predSpec)
+		p, err := registry.New(*predSpec)
 		if err != nil {
 			panic(err) // validated above; specs are immutable strings
 		}
 		return p
 	}
-	cfg := sim.Config{WarmupInstructions: warmup, SimInstructions: simInstr}
-	results, err := sim.RunSet(sources, newPredictor, cfg, workers)
+	cfg := sim.Config{WarmupInstructions: *warmup, SimInstructions: *simInstr}
+	set, err := sim.RunSetPolicy(sources, newPredictor, cfg, *workers, policy)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitTotal
 	}
-	summary := sim.Summarize(results)
-	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+
+	scored := 0
+	for _, r := range set.Results {
+		if r != nil {
+			scored++
+		}
+	}
+	summary := sim.Summarize(set.Results)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(struct {
-			Predictor string         `json:"predictor"`
-			Summary   sim.SetSummary `json:"summary"`
-		}{predSpec, summary})
+		if err := enc.Encode(struct {
+			Predictor string             `json:"predictor"`
+			Summary   sim.SetSummary     `json:"summary"`
+			Failures  []sim.TraceFailure `json:"failures,omitempty"`
+		}{*predSpec, summary, set.Failures}); err != nil {
+			fmt.Fprintln(stderr, "mbprun:", err)
+			return exitTotal
+		}
+	} else {
+		fmt.Fprintf(stdout, "%-40s %10s %12s\n", "trace", "MPKI", "accuracy")
+		for _, r := range set.Results {
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "%-40s %10.4f %12.4f\n", filepath.Base(r.Metadata.Trace), r.Metrics.MPKI, r.Metrics.Accuracy)
+		}
+		fmt.Fprintf(stdout, "\n%d traces, %d instructions, %d mispredictions\n",
+			summary.Traces, summary.TotalInstructions, summary.TotalMispredictions)
+		fmt.Fprintf(stdout, "mean MPKI %.4f | aggregate MPKI %.4f | aggregate accuracy %.4f\n",
+			summary.MeanMPKI, summary.AggregateMPKI, summary.AggregateAccuracy)
+		fmt.Fprintf(stdout, "worst trace: %s (%.4f MPKI)\n", filepath.Base(summary.WorstTrace), summary.WorstMPKI)
+		printFailures(stdout, set.Failures)
 	}
-	fmt.Printf("%-40s %10s %12s\n", "trace", "MPKI", "accuracy")
-	for _, r := range results {
-		fmt.Printf("%-40s %10.4f %12.4f\n", filepath.Base(r.Metadata.Trace), r.Metrics.MPKI, r.Metrics.Accuracy)
+
+	switch {
+	case len(set.Failures) == 0:
+		return exitOK
+	case scored > 0:
+		return exitPartial
+	default:
+		return exitTotal
 	}
-	fmt.Printf("\n%d traces, %d instructions, %d mispredictions\n",
-		summary.Traces, summary.TotalInstructions, summary.TotalMispredictions)
-	fmt.Printf("mean MPKI %.4f | aggregate MPKI %.4f | aggregate accuracy %.4f\n",
-		summary.MeanMPKI, summary.AggregateMPKI, summary.AggregateAccuracy)
-	fmt.Printf("worst trace: %s (%.4f MPKI)\n", filepath.Base(summary.WorstTrace), summary.WorstMPKI)
-	return nil
+}
+
+// parsePolicy builds the sim failure policy from the CLI flags.
+func parsePolicy(name string, retries int, backoff time.Duration) (sim.Policy, error) {
+	p := sim.Policy{Retries: retries, Backoff: backoff}
+	switch name {
+	case "failfast":
+		p.Mode = sim.FailFast
+	case "skip":
+		p.Mode = sim.SkipFailed
+	default:
+		return sim.Policy{}, fmt.Errorf("unknown -policy %q (want failfast or skip)", name)
+	}
+	if retries < 0 {
+		return sim.Policy{}, fmt.Errorf("-retries must be non-negative, got %d", retries)
+	}
+	return p, nil
+}
+
+// printFailures renders the per-trace failure table of a degraded run.
+func printFailures(w io.Writer, failures []sim.TraceFailure) {
+	if len(failures) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%d failed trace(s):\n", len(failures))
+	fmt.Fprintf(w, "%-40s %-10s %-8s %s\n", "trace", "class", "attempts", "error")
+	for _, f := range failures {
+		fmt.Fprintf(w, "%-40s %-10s %-8d %s\n", filepath.Base(f.Trace), f.Class, f.Attempts, f.Message)
+	}
 }

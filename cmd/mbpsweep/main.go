@@ -7,76 +7,188 @@
 //
 // The predictor spec contains a %d placeholder that receives each swept
 // value; the output is one row per value with the average MPKI.
+//
+// Each value's trace set runs through the sim fault policy: with -policy
+// skip, traces that fail to decode (or whose predictor panics) are excluded
+// from that value's average and reported once in a failure table at the end,
+// classified by the faults taxonomy. Transient open errors can be retried
+// with -retries and -retry-backoff.
+//
+// Exit codes: 0 success, 1 usage error, 2 partial failure (some traces
+// failed but every value still scored), 3 total failure.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
+	"mbplib/internal/bp"
+	"mbplib/internal/compress"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
+)
 
-	"mbplib/internal/bench"
+// Exit codes.
+const (
+	exitOK      = 0
+	exitUsage   = 1
+	exitPartial = 2
+	exitTotal   = 3
 )
 
 func main() {
-	var (
-		globs    = flag.String("traces", "", "glob of SBBT trace files")
-		predSpec = flag.String("predictor", "gshare:t=18,h=%d", "predictor spec with a %d placeholder")
-		from     = flag.Int("from", 6, "first swept value")
-		to       = flag.Int("to", 30, "last swept value")
-		step     = flag.Int("step", 1, "sweep step")
-	)
-	flag.Parse()
-	if *globs == "" {
-		fmt.Fprintln(os.Stderr, "mbpsweep: -traces is required (see -help)")
-		os.Exit(2)
-	}
-	if err := run(*globs, *predSpec, *from, *to, *step); err != nil {
-		fmt.Fprintln(os.Stderr, "mbpsweep:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(globs, predSpec string, from, to, step int) error {
-	if !strings.Contains(predSpec, "%d") {
-		return fmt.Errorf("predictor spec %q has no %%d placeholder", predSpec)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbpsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		globs      = fs.String("traces", "", "glob of SBBT trace files")
+		predSpec   = fs.String("predictor", "gshare:t=18,h=%d", "predictor spec with a %d placeholder")
+		from       = fs.Int("from", 6, "first swept value")
+		to         = fs.Int("to", 30, "last swept value")
+		step       = fs.Int("step", 1, "sweep step")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces per swept value")
+		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
+		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
+		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	if step <= 0 || to < from {
-		return fmt.Errorf("invalid sweep range [%d, %d] step %d", from, to, step)
+	if *globs == "" {
+		fmt.Fprintln(stderr, "mbpsweep: -traces is required (see -help)")
+		return exitUsage
 	}
-	paths, err := filepath.Glob(globs)
+	if !strings.Contains(*predSpec, "%d") {
+		fmt.Fprintf(stderr, "mbpsweep: predictor spec %q has no %%d placeholder\n", *predSpec)
+		return exitUsage
+	}
+	if *step <= 0 || *to < *from {
+		fmt.Fprintf(stderr, "mbpsweep: invalid sweep range [%d, %d] step %d\n", *from, *to, *step)
+		return exitUsage
+	}
+	policy := sim.Policy{Retries: *retries, Backoff: *backoff}
+	switch *policyName {
+	case "failfast":
+		policy.Mode = sim.FailFast
+	case "skip":
+		policy.Mode = sim.SkipFailed
+	default:
+		fmt.Fprintf(stderr, "mbpsweep: unknown -policy %q (want failfast or skip)\n", *policyName)
+		return exitUsage
+	}
+	if *retries < 0 {
+		fmt.Fprintf(stderr, "mbpsweep: -retries must be non-negative, got %d\n", *retries)
+		return exitUsage
+	}
+	paths, err := filepath.Glob(*globs)
 	if err != nil {
-		return err
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
 	}
 	if len(paths) == 0 {
-		return fmt.Errorf("no traces match %q", globs)
+		fmt.Fprintf(stderr, "mbpsweep: no traces match %q\n", *globs)
+		return exitUsage
 	}
 	sort.Strings(paths)
 
-	fmt.Printf("%-40s | avg MPKI over %d traces\n", "predictor", len(paths))
-	fmt.Println(strings.Repeat("-", 70))
-	bestSpec, bestMPKI := "", 0.0
-	for v := from; v <= to; v += step {
-		spec := fmt.Sprintf(predSpec, v)
-		var sum float64
-		for _, path := range paths {
-			res, err := bench.RunSBBT(path, spec, sim.Config{})
+	sources := make([]sim.TraceSource, len(paths))
+	for i, path := range paths {
+		sources[i] = sim.TraceSource{Name: path, Open: func() (bp.Reader, io.Closer, error) {
+			f, err := compress.OpenFile(path)
 			if err != nil {
-				return fmt.Errorf("%s on %s: %w", spec, path, err)
+				return nil, nil, err
 			}
-			sum += res.Metrics.MPKI
+			r, err := sbbt.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return r, f, nil
+		}}
+	}
+
+	fmt.Fprintf(stdout, "%-40s | avg MPKI (traces scored)\n", "predictor")
+	fmt.Fprintln(stdout, strings.Repeat("-", 70))
+	bestSpec, bestMPKI := "", 0.0
+	failed := map[string]sim.TraceFailure{} // trace name -> first failure seen
+	anyScored := false
+	for v := *from; v <= *to; v += *step {
+		spec := fmt.Sprintf(*predSpec, v)
+		if _, err := registry.New(spec); err != nil {
+			fmt.Fprintln(stderr, "mbpsweep:", err)
+			return exitUsage
 		}
-		avg := sum / float64(len(paths))
-		fmt.Printf("%-40s | %.4f\n", spec, avg)
+		newPredictor := func() bp.Predictor {
+			p, err := registry.New(spec)
+			if err != nil {
+				panic(err) // validated above; specs are immutable strings
+			}
+			return p
+		}
+		set, err := sim.RunSetPolicy(sources, newPredictor, sim.Config{}, *workers, policy)
+		if err != nil {
+			fmt.Fprintf(stderr, "mbpsweep: %s: %v\n", spec, err)
+			return exitTotal
+		}
+		for _, f := range set.Failures {
+			if _, ok := failed[f.Trace]; !ok {
+				failed[f.Trace] = f
+			}
+		}
+		scored, sum := 0, 0.0
+		for _, r := range set.Results {
+			if r == nil {
+				continue
+			}
+			scored++
+			sum += r.Metrics.MPKI
+		}
+		if scored == 0 {
+			fmt.Fprintf(stdout, "%-40s | no trace scored\n", spec)
+			continue
+		}
+		anyScored = true
+		avg := sum / float64(scored)
+		fmt.Fprintf(stdout, "%-40s | %.4f (%d/%d)\n", spec, avg, scored, len(sources))
 		if bestSpec == "" || avg < bestMPKI {
 			bestSpec, bestMPKI = spec, avg
 		}
 	}
-	fmt.Println(strings.Repeat("-", 70))
-	fmt.Printf("best: %s (%.4f MPKI)\n", bestSpec, bestMPKI)
-	return nil
+	fmt.Fprintln(stdout, strings.Repeat("-", 70))
+	if bestSpec != "" {
+		fmt.Fprintf(stdout, "best: %s (%.4f MPKI)\n", bestSpec, bestMPKI)
+	}
+
+	if len(failed) > 0 {
+		names := make([]string, 0, len(failed))
+		for name := range failed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stdout, "\n%d failed trace(s), excluded from averages:\n", len(failed))
+		fmt.Fprintf(stdout, "%-40s %-10s %-8s %s\n", "trace", "class", "attempts", "error")
+		for _, name := range names {
+			f := failed[name]
+			fmt.Fprintf(stdout, "%-40s %-10s %-8d %s\n", filepath.Base(f.Trace), f.Class, f.Attempts, f.Message)
+		}
+	}
+	switch {
+	case len(failed) == 0:
+		return exitOK
+	case anyScored:
+		return exitPartial
+	default:
+		return exitTotal
+	}
 }

@@ -7,6 +7,10 @@
 //	V3 droppederr — no discarded errors in the codec/simulator packages
 //	V4 bitwidth   — no silent truncation on the SBBT/BT9 codec paths,
 //	                power-of-two table sizes wherever a mask is derived
+//	V5 panicfree  — no reachable panic in the packages that decode
+//	                untrusted trace bytes (sbbt, bt9, compress); hostile
+//	                input must fail with a typed error from the faults
+//	                taxonomy
 //
 // Usage:
 //
@@ -14,8 +18,10 @@
 //
 // Findings print as "file:line: rule: message" and a nonzero exit status
 // reports that at least one rule fired. Documented exceptions are declared
-// in the source with //mbpvet:impure (on a Predict method) or
-// //mbpvet:ignore <rule> -- <justification>; see README.md.
+// in the source with //mbpvet:impure (on a Predict method),
+// //mbpvet:ignore <rule> -- <justification>, or
+// //mbpvet:panicfree-exempt <justification> (on a deliberate internal
+// invariant panic); see README.md.
 package main
 
 import (

@@ -3,13 +3,15 @@
 // predictors consume, and the Predictor interface from §IV-A of the MBPlib
 // paper (Predict / Train / Track).
 //
-// The package is a leaf: trace formats, the simulator, the utilities library
-// and every predictor implementation depend on it, and it depends on nothing.
+// The package is a near-leaf: trace formats, the simulator, the utilities
+// library and every predictor implementation depend on it, and it depends
+// only on the shared fault taxonomy in internal/faults.
 package bp
 
 import (
-	"errors"
 	"fmt"
+
+	"mbplib/internal/faults"
 )
 
 // BaseType is the 2-bit base type of a branch opcode. Branches that push or
@@ -208,5 +210,6 @@ type Writer interface {
 }
 
 // ErrTruncated is returned by trace readers when the input ends in the
-// middle of a record.
-var ErrTruncated = errors.New("bp: truncated trace")
+// middle of a record. It is an alias of faults.ErrTruncated, so existing
+// errors.Is(err, bp.ErrTruncated) checks and the faults taxonomy agree.
+var ErrTruncated = faults.ErrTruncated

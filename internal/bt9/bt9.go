@@ -31,6 +31,7 @@ import (
 	"strconv"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/faults"
 )
 
 // Magic is the first line of every trace in this format.
@@ -41,6 +42,17 @@ const (
 	nodesMark    = "BT9_NODES"
 	edgesMark    = "BT9_EDGES"
 	sequenceMark = "BT9_EDGE_SEQUENCE"
+)
+
+// Plausibility caps enforced while parsing, so a hostile trace cannot make
+// the reader build an unbounded graph or honor an absurd header count. A
+// graph of 2^26 static branches is ~50x the largest CBP-5 workload; counts
+// above MaxTraceCounts (2^48 dynamic branches or instructions) likewise mark
+// the trace hostile or corrupt. Violations return faults.ErrLimit.
+const (
+	MaxGraphNodes  = 1 << 26
+	MaxGraphEdges  = 1 << 26
+	MaxTraceCounts = 1 << 48
 )
 
 // Node is a static branch of the program graph.
@@ -66,6 +78,7 @@ type Reader struct {
 	edges             []Edge
 	totalInstructions uint64
 	totalBranches     uint64
+	sawInstrCount     bool
 	read              uint64
 	err               error
 }
@@ -79,6 +92,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err := rd.parsePreamble(); err != nil {
 		return nil, err
 	}
+	// The instruction count is optional in this format; compare the totals
+	// only when the header declared both.
+	if rd.sawInstrCount && rd.totalBranches > rd.totalInstructions {
+		return nil, fmt.Errorf("bt9: header declares %d branches but only %d instructions: %w", rd.totalBranches, rd.totalInstructions, faults.ErrCorrupt)
+	}
 	return rd, nil
 }
 
@@ -87,7 +105,7 @@ func (r *Reader) parsePreamble() error {
 		return fmt.Errorf("bt9: empty input: %w", bp.ErrTruncated)
 	}
 	if r.sc.Text() != Magic {
-		return errors.New("bt9: bad magic line")
+		return fmt.Errorf("bt9: bad magic line: %w", faults.ErrCorrupt)
 	}
 	section := ""
 	for r.sc.Scan() {
@@ -118,25 +136,41 @@ func (r *Reader) parsePreamble() error {
 		}
 	}
 	if err := r.sc.Err(); err != nil {
-		return fmt.Errorf("bt9: scanning preamble: %w", err)
+		return fmt.Errorf("bt9: scanning preamble: %w", classifyScanErr(err))
 	}
 	return fmt.Errorf("bt9: missing %s section: %w", sequenceMark, bp.ErrTruncated)
+}
+
+// classifyScanErr maps bufio.Scanner failures into the faults taxonomy: a
+// line longer than the scanner's limit is an input trying to make the reader
+// buffer without bound, so it is reported as a limit violation.
+func classifyScanErr(err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%w: %w", err, faults.ErrLimit)
+	}
+	return err
 }
 
 func (r *Reader) parseHeaderLine(line string) error {
 	key, val, ok := cutField(line)
 	if !ok {
-		return fmt.Errorf("bt9: malformed header line %q", line)
+		return fmt.Errorf("bt9: malformed header line %q: %w", line, faults.ErrCorrupt)
 	}
 	n, err := strconv.ParseUint(val, 10, 64)
 	if err != nil {
-		return fmt.Errorf("bt9: header line %q: %w", line, err)
+		return fmt.Errorf("bt9: header line %q: %w: %w", line, err, faults.ErrCorrupt)
 	}
 	switch key {
-	case "total_instruction_count:":
-		r.totalInstructions = n
-	case "branch_instruction_count:":
-		r.totalBranches = n
+	case "total_instruction_count:", "branch_instruction_count:":
+		if n > MaxTraceCounts {
+			return fmt.Errorf("bt9: header line %q declares %d, limit %d: %w", line, n, uint64(MaxTraceCounts), faults.ErrLimit)
+		}
+		if key == "total_instruction_count:" {
+			r.totalInstructions = n
+			r.sawInstrCount = true
+		} else {
+			r.totalBranches = n
+		}
 	default:
 		// Unknown header keys are ignored for forward compatibility.
 	}
@@ -175,15 +209,18 @@ func fields(line string) []string {
 func (r *Reader) parseNodeLine(line string) error {
 	f := fields(line)
 	if len(f) != 6 || f[0] != "NODE" {
-		return fmt.Errorf("bt9: malformed node line %q", line)
+		return fmt.Errorf("bt9: malformed node line %q: %w", line, faults.ErrCorrupt)
 	}
 	id, err := strconv.Atoi(f[1])
 	if err != nil || id != len(r.nodes) {
-		return fmt.Errorf("bt9: node line %q: ids must be dense and ascending", line)
+		return fmt.Errorf("bt9: node line %q: ids must be dense and ascending: %w", line, faults.ErrCorrupt)
+	}
+	if len(r.nodes) >= MaxGraphNodes {
+		return fmt.Errorf("bt9: more than %d nodes: %w", MaxGraphNodes, faults.ErrLimit)
 	}
 	ip, err := strconv.ParseUint(f[2], 16, 64)
 	if err != nil {
-		return fmt.Errorf("bt9: node line %q: %w", line, err)
+		return fmt.Errorf("bt9: node line %q: %w: %w", line, err, faults.ErrCorrupt)
 	}
 	var cond, ind bool
 	switch f[3] {
@@ -191,14 +228,14 @@ func (r *Reader) parseNodeLine(line string) error {
 		cond = true
 	case "UNCD":
 	default:
-		return fmt.Errorf("bt9: node line %q: bad conditionality %q", line, f[3])
+		return fmt.Errorf("bt9: node line %q: bad conditionality %q: %w", line, f[3], faults.ErrCorrupt)
 	}
 	switch f[4] {
 	case "IND":
 		ind = true
 	case "DIR":
 	default:
-		return fmt.Errorf("bt9: node line %q: bad directness %q", line, f[4])
+		return fmt.Errorf("bt9: node line %q: bad directness %q: %w", line, f[4], faults.ErrCorrupt)
 	}
 	var base bp.BaseType
 	switch f[5] {
@@ -209,7 +246,7 @@ func (r *Reader) parseNodeLine(line string) error {
 	case "RET":
 		base = bp.Ret
 	default:
-		return fmt.Errorf("bt9: node line %q: bad base type %q", line, f[5])
+		return fmt.Errorf("bt9: node line %q: bad base type %q: %w", line, f[5], faults.ErrCorrupt)
 	}
 	r.nodes = append(r.nodes, Node{IP: ip, Opcode: bp.NewOpcode(base, cond, ind)})
 	return nil
@@ -218,15 +255,18 @@ func (r *Reader) parseNodeLine(line string) error {
 func (r *Reader) parseEdgeLine(line string) error {
 	f := fields(line)
 	if len(f) != 6 || f[0] != "EDGE" {
-		return fmt.Errorf("bt9: malformed edge line %q", line)
+		return fmt.Errorf("bt9: malformed edge line %q: %w", line, faults.ErrCorrupt)
 	}
 	id, err := strconv.Atoi(f[1])
 	if err != nil || id != len(r.edges) {
-		return fmt.Errorf("bt9: edge line %q: ids must be dense and ascending", line)
+		return fmt.Errorf("bt9: edge line %q: ids must be dense and ascending: %w", line, faults.ErrCorrupt)
+	}
+	if len(r.edges) >= MaxGraphEdges {
+		return fmt.Errorf("bt9: more than %d edges: %w", MaxGraphEdges, faults.ErrLimit)
 	}
 	nodeID, err := strconv.Atoi(f[2])
 	if err != nil || nodeID < 0 || nodeID >= len(r.nodes) {
-		return fmt.Errorf("bt9: edge line %q: bad node id", line)
+		return fmt.Errorf("bt9: edge line %q: bad node id: %w", line, faults.ErrCorrupt)
 	}
 	var taken bool
 	switch f[3] {
@@ -234,15 +274,15 @@ func (r *Reader) parseEdgeLine(line string) error {
 		taken = true
 	case "N":
 	default:
-		return fmt.Errorf("bt9: edge line %q: bad outcome %q", line, f[3])
+		return fmt.Errorf("bt9: edge line %q: bad outcome %q: %w", line, f[3], faults.ErrCorrupt)
 	}
 	target, err := strconv.ParseUint(f[4], 16, 64)
 	if err != nil {
-		return fmt.Errorf("bt9: edge line %q: %w", line, err)
+		return fmt.Errorf("bt9: edge line %q: %w: %w", line, err, faults.ErrCorrupt)
 	}
 	count, err := strconv.ParseUint(f[5], 10, 64)
 	if err != nil {
-		return fmt.Errorf("bt9: edge line %q: %w", line, err)
+		return fmt.Errorf("bt9: edge line %q: %w: %w", line, err, faults.ErrCorrupt)
 	}
 	// Enforce the SBBT validity rules (§IV-C) at parse time, so a trace
 	// that encodes an impossible outcome (a not-taken unconditional branch,
@@ -250,7 +290,7 @@ func (r *Reader) parseEdgeLine(line string) error {
 	// here instead of flowing into the simulator.
 	branch := bp.Branch{IP: r.nodes[nodeID].IP, Target: target, Opcode: r.nodes[nodeID].Opcode, Taken: taken}
 	if err := branch.Validate(); err != nil {
-		return fmt.Errorf("bt9: edge line %q: %w", line, err)
+		return fmt.Errorf("bt9: edge line %q: %w: %w", line, err, faults.ErrCorrupt)
 	}
 	r.edges = append(r.edges, Edge{NodeID: nodeID, Taken: taken, Target: target, InstrCount: count})
 	return nil
@@ -282,7 +322,7 @@ func (r *Reader) Read() (bp.Event, error) {
 		}
 		id, err := strconv.Atoi(line)
 		if err != nil || id < 0 || id >= len(r.edges) {
-			r.err = fmt.Errorf("bt9: bad sequence entry %q", line)
+			r.err = fmt.Errorf("bt9: bad sequence entry %q: %w", line, faults.ErrCorrupt)
 			return bp.Event{}, r.err
 		}
 		edge := r.edges[id]
@@ -299,7 +339,7 @@ func (r *Reader) Read() (bp.Event, error) {
 		}, nil
 	}
 	if err := r.sc.Err(); err != nil {
-		r.err = fmt.Errorf("bt9: scanning sequence: %w", err)
+		r.err = fmt.Errorf("bt9: scanning sequence: %w", classifyScanErr(err))
 		return bp.Event{}, r.err
 	}
 	if r.read < r.totalBranches {

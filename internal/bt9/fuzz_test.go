@@ -1,0 +1,102 @@
+package bt9
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"mbplib/internal/faults"
+)
+
+// FuzzBT9RoundTrip drives the parser from two directions. Structured seeds
+// derived from event streams must round-trip exactly through Writer and
+// Reader. The raw fuzz payload itself is then fed straight to the parser,
+// which must either decode it or fail with an error classified by the
+// faults taxonomy — never panic and never allocate proportionally to a
+// header-declared count.
+func FuzzBT9RoundTrip(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(1))
+	f.Add(uint16(257))
+	f.Add(uint16(5000))
+
+	// Text-shaped seeds to steer the fuzzer toward the grammar.
+	textSeeds := []string{
+		"",
+		Magic,
+		Magic + "\ntotal_instruction_count: 10\nbranch_instruction_count: 2\n",
+		Magic + "\nBT9_NODES\nNODE 0 400000 COND DIR JMP\nBT9_EDGES\nEDGE 0 0 T 500000 3\nBT9_EDGE_SEQUENCE\n0\n0\n",
+		Magic + "\nbranch_instruction_count: 99999999999999999999\n",
+		Magic + "\nBT9_NODES\nNODE 0 400000 COND DIR JMP\nNODE 2 400004 COND DIR JMP\n",
+		Magic + "\nBT9_EDGES\nEDGE 0 7 T 500000 3\nBT9_EDGE_SEQUENCE\n",
+	}
+
+	f.Fuzz(func(t *testing.T, n uint16) {
+		evs := sampleEvents(int(n))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i, ev := range evs {
+			if err := w.Write(ev); err != nil {
+				t.Fatalf("Write %d: %v", i, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("NewReader: %v", err)
+		}
+		for i, want := range evs {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("Read %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+			}
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("after last event, Read err = %v, want io.EOF", err)
+		}
+
+		// Hostile direction: the seed index picks a text payload, possibly
+		// sliced, and the parser must fail typed or succeed — never panic.
+		text := textSeeds[int(n)%len(textSeeds)]
+		if cut := int(n) % (len(text) + 1); cut < len(text) {
+			text = text[:cut]
+		}
+		exerciseParser(t, text)
+	})
+}
+
+// exerciseParser runs the full reader over arbitrary text and checks the
+// typed-error contract.
+func exerciseParser(t *testing.T, text string) {
+	t.Helper()
+	r, err := NewReader(strings.NewReader(text))
+	if err != nil {
+		requireTyped(t, err)
+		return
+	}
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			requireTyped(t, err)
+			return
+		}
+	}
+}
+
+func requireTyped(t *testing.T, err error) {
+	t.Helper()
+	// I/O errors cannot happen on an in-memory reader, so anything outside
+	// the taxonomy here is a classification bug.
+	if faults.Class(err) == "other" {
+		t.Fatalf("untyped parser error: %v", err)
+	}
+}

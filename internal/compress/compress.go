@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"mbplib/internal/faults"
 )
 
 // Format identifies a compression container.
@@ -69,7 +71,9 @@ func NewReader(r io.Reader) (io.Reader, error) {
 	case FormatGzip:
 		zr, err := gzip.NewReader(br)
 		if err != nil {
-			return nil, fmt.Errorf("compress: opening gzip stream: %w", err)
+			// The magic matched but the rest of the gzip header did not
+			// parse: the stream is damaged, not merely unrecognized.
+			return nil, fmt.Errorf("compress: opening gzip stream: %w: %w", err, faults.ErrCorrupt)
 		}
 		return zr, nil
 	case FormatMLZ:

@@ -2,8 +2,10 @@ package compress
 
 import (
 	"encoding/binary"
-	"errors"
+	"fmt"
 	"sort"
+
+	"mbplib/internal/faults"
 )
 
 // The entropy stage of MLZ: an order-0 canonical Huffman coder applied to
@@ -222,7 +224,7 @@ func reverseBits(v uint16, n uint8) uint16 {
 	return r
 }
 
-var errHuffCorrupt = errors.New("compress: corrupt Huffman block")
+var errHuffCorrupt = fmt.Errorf("compress: corrupt Huffman block: %w", faults.ErrCorrupt)
 
 // huffDecoder holds reusable decode tables.
 type huffDecoder struct {

@@ -15,6 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
+
+	"mbplib/internal/faults"
 )
 
 // MLZ frame layout:
@@ -398,10 +401,13 @@ type mlzReader struct {
 func NewMLZReader(r io.Reader) (io.Reader, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("compress: reading MLZ magic: %w", faults.ErrTruncated)
+		}
 		return nil, fmt.Errorf("compress: reading MLZ magic: %w", err)
 	}
 	if magic != mlzMagic {
-		return nil, errors.New("compress: not an MLZ stream")
+		return nil, fmt.Errorf("compress: not an MLZ stream: %w", faults.ErrCorrupt)
 	}
 	return newMLZBody(r), nil
 }
@@ -458,33 +464,36 @@ func (z *mlzReader) nextBlock() error {
 	rawLen, err := binary.ReadUvarint(z.r)
 	if err != nil {
 		if err == io.EOF {
-			return io.ErrUnexpectedEOF
+			return fmt.Errorf("compress: MLZ frame ends without terminator: %w", faults.ErrTruncated)
 		}
-		return err
+		return fmt.Errorf("compress: MLZ block header: %w", classifyVarintErr(err))
 	}
 	if rawLen == 0 {
 		z.done = true
 		return io.EOF
 	}
 	if rawLen > mlzBlockSize {
-		return fmt.Errorf("compress: MLZ block raw length %d exceeds %d", rawLen, mlzBlockSize)
+		return fmt.Errorf("compress: MLZ block raw length %d exceeds %d: %w", rawLen, mlzBlockSize, faults.ErrLimit)
 	}
 	kind, err := z.r.ReadByte()
 	if err != nil {
-		return fmt.Errorf("compress: MLZ block kind: %w", err)
+		return fmt.Errorf("compress: MLZ block kind: %w", classifyVarintErr(err))
 	}
 	dataLen, err := binary.ReadUvarint(z.r)
 	if err != nil {
-		return fmt.Errorf("compress: MLZ block header: %w", err)
+		return fmt.Errorf("compress: MLZ block header: %w", classifyVarintErr(err))
 	}
 	if dataLen > mlzBlockSize {
-		return fmt.Errorf("compress: MLZ block data length %d exceeds %d", dataLen, mlzBlockSize)
+		return fmt.Errorf("compress: MLZ block data length %d exceeds %d: %w", dataLen, mlzBlockSize, faults.ErrLimit)
 	}
 	if cap(z.raw) < int(dataLen) {
 		z.raw = make([]byte, dataLen)
 	}
 	payload := z.raw[:dataLen]
 	if _, err := io.ReadFull(z.src, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("compress: MLZ block payload: %w", faults.ErrTruncated)
+		}
 		return fmt.Errorf("compress: MLZ block payload: %w", err)
 	}
 	if cap(z.block) < int(rawLen) {
@@ -512,13 +521,26 @@ func (z *mlzReader) nextBlock() error {
 			return err
 		}
 	default:
-		return fmt.Errorf("compress: unknown MLZ block kind %d", kind)
+		return fmt.Errorf("compress: unknown MLZ block kind %d: %w", kind, faults.ErrCorrupt)
 	}
 	z.pos = 0
 	return nil
 }
 
-var errMLZCorrupt = errors.New("compress: corrupt MLZ block")
+var errMLZCorrupt = fmt.Errorf("compress: corrupt MLZ block: %w", faults.ErrCorrupt)
+
+// classifyVarintErr maps an error from inside a block header into the
+// taxonomy: end of input is truncation, a varint overflow is corruption,
+// and real I/O errors pass through unchanged.
+func classifyVarintErr(err error) error {
+	switch {
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("%w: %w", err, faults.ErrTruncated)
+	case strings.Contains(err.Error(), "overflow"):
+		return fmt.Errorf("%w: %w", err, faults.ErrCorrupt)
+	}
+	return err
+}
 
 // mlzDecodeBlock decompresses one token-stream payload into dst, which must
 // have capacity for rawLen bytes. It returns dst grown to rawLen.

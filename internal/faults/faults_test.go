@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrCorrupt, "corrupt"},
+		{ErrTruncated, "truncated"},
+		{ErrLimit, "limit"},
+		{ErrPredictorPanic, "panic"},
+		{fmt.Errorf("sbbt: bad signature: %w", ErrCorrupt), "corrupt"},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrTruncated)), "truncated"},
+		{NewPanicError("boom", []byte("stack")), "panic"},
+		{errors.New("something else"), "other"},
+		{io.EOF, "other"},
+	}
+	for _, c := range cases {
+		if got := Class(c.err); got != c.want {
+			t.Errorf("Class(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	err := NewPanicError(42, []byte("goroutine 1 [running]"))
+	if !errors.Is(err, ErrPredictorPanic) {
+		t.Errorf("PanicError is not ErrPredictorPanic")
+	}
+	var pe *PanicError
+	if !errors.As(fmt.Errorf("trace x: %w", err), &pe) {
+		t.Fatalf("errors.As failed")
+	}
+	if pe.Value != 42 || string(pe.Stack) != "goroutine 1 [running]" {
+		t.Errorf("PanicError fields = %v / %q", pe.Value, pe.Stack)
+	}
+}
+
+func TestPermanent(t *testing.T) {
+	if !Permanent(ErrCorrupt) || !Permanent(ErrLimit) || !Permanent(NewPanicError("x", nil)) {
+		t.Errorf("classified faults must be permanent")
+	}
+	if Permanent(errors.New("EMFILE-ish transient")) {
+		t.Errorf("unclassified errors must be retryable")
+	}
+}
+
+func input(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func readVia(t *testing.T, r io.Reader) []byte {
+	t.Helper()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return out
+}
+
+func TestInjectorBitFlip(t *testing.T) {
+	src := input(100)
+	got := readVia(t, NewInjector(bytes.NewReader(src), BitFlip(37, 5)))
+	want := append([]byte(nil), src...)
+	want[37] ^= 1 << 5
+	if !bytes.Equal(got, want) {
+		t.Errorf("bit flip mismatch at %d", firstDiff(got, want))
+	}
+}
+
+func TestInjectorTruncate(t *testing.T) {
+	src := input(100)
+	got := readVia(t, NewInjector(bytes.NewReader(src), Truncate(40)))
+	if !bytes.Equal(got, src[:40]) {
+		t.Errorf("truncate: got %d bytes", len(got))
+	}
+	// Truncation at 0 yields an empty stream.
+	if got := readVia(t, NewInjector(bytes.NewReader(src), Truncate(0))); len(got) != 0 {
+		t.Errorf("truncate(0): got %d bytes", len(got))
+	}
+}
+
+func TestInjectorGarbage(t *testing.T) {
+	src := input(100)
+	got := readVia(t, NewInjector(bytes.NewReader(src), Garbage(20, 10, 7)))
+	if bytes.Equal(got[20:30], src[20:30]) {
+		t.Errorf("garbage did not change the bytes")
+	}
+	if !bytes.Equal(got[:20], src[:20]) || !bytes.Equal(got[30:], src[30:]) {
+		t.Errorf("garbage leaked outside its range")
+	}
+	// Same seed, same garbage — regardless of read fragmentation.
+	again := readVia(t, ShortReads(NewInjector(bytes.NewReader(src), Garbage(20, 10, 7)), 3))
+	if !bytes.Equal(got, again) {
+		t.Errorf("garbage not deterministic under short reads")
+	}
+	// Different seed, different garbage.
+	other := readVia(t, NewInjector(bytes.NewReader(src), Garbage(20, 10, 8)))
+	if bytes.Equal(got, other) {
+		t.Errorf("different seeds produced identical garbage")
+	}
+}
+
+func TestInjectorComposesFaults(t *testing.T) {
+	src := input(100)
+	got := readVia(t, NewInjector(bytes.NewReader(src), BitFlip(10, 0), BitFlip(10, 1), Truncate(50)))
+	want := append([]byte(nil), src[:50]...)
+	want[10] ^= 0b11
+	if !bytes.Equal(got, want) {
+		t.Errorf("composed faults mismatch at %d", firstDiff(got, want))
+	}
+}
+
+func TestShortReads(t *testing.T) {
+	src := input(1000)
+	r := ShortReads(bytes.NewReader(src), 7)
+	buf := make([]byte, 100)
+	n, err := r.Read(buf)
+	if err != nil || n != 7 {
+		t.Errorf("Read = %d, %v; want 7, nil", n, err)
+	}
+	rest := readVia(t, r)
+	if !bytes.Equal(append(buf[:n], rest...), src) {
+		t.Errorf("short reads changed the content")
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,128 @@
+package faults
+
+import "io"
+
+// Kind enumerates the fault types the Injector can apply to a stream.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindBitFlip XORs one bit of the byte at Offset.
+	KindBitFlip Kind = iota
+	// KindTruncate ends the stream at Offset: bytes [0, Offset) pass
+	// through, then io.EOF.
+	KindTruncate
+	// KindGarbage overwrites Len bytes starting at Offset with
+	// deterministic pseudo-random garbage derived from Seed.
+	KindGarbage
+)
+
+// Fault is one deterministic corruption applied at a byte offset.
+type Fault struct {
+	Kind   Kind
+	Offset int64
+	Bit    uint8  // KindBitFlip: which bit (0-7) to flip
+	Len    int64  // KindGarbage: how many bytes to overwrite
+	Seed   uint64 // KindGarbage: PRNG seed; same seed, same garbage
+}
+
+// BitFlip returns a fault that flips the given bit of the byte at offset.
+func BitFlip(offset int64, bit uint8) Fault {
+	return Fault{Kind: KindBitFlip, Offset: offset, Bit: bit & 7}
+}
+
+// Truncate returns a fault that ends the stream after offset bytes.
+func Truncate(offset int64) Fault {
+	return Fault{Kind: KindTruncate, Offset: offset}
+}
+
+// Garbage returns a fault that overwrites n bytes from offset with
+// deterministic garbage derived from seed.
+func Garbage(offset, n int64, seed uint64) Fault {
+	return Fault{Kind: KindGarbage, Offset: offset, Len: n, Seed: seed}
+}
+
+// Injector is an io.Reader that applies a fixed set of deterministic faults
+// to the bytes of an underlying reader. The same underlying bytes and the
+// same fault list always produce the same corrupted stream, which is what
+// lets the corruption sweep tests bisect a failure to one byte offset.
+type Injector struct {
+	r      io.Reader
+	faults []Fault
+	off    int64 // stream offset of the next byte to serve
+	cut    int64 // earliest truncation offset, -1 when none
+}
+
+// NewInjector wraps r with the given faults. Faults at overlapping offsets
+// compose in list order.
+func NewInjector(r io.Reader, faults ...Fault) *Injector {
+	cut := int64(-1)
+	for _, f := range faults {
+		if f.Kind == KindTruncate && (cut < 0 || f.Offset < cut) {
+			cut = f.Offset
+		}
+	}
+	return &Injector{r: r, faults: faults, cut: cut}
+}
+
+func (in *Injector) Read(p []byte) (int, error) {
+	if in.cut >= 0 {
+		if in.off >= in.cut {
+			return 0, io.EOF
+		}
+		if max := in.cut - in.off; int64(len(p)) > max {
+			p = p[:max]
+		}
+	}
+	n, err := in.r.Read(p)
+	for _, f := range in.faults {
+		switch f.Kind {
+		case KindBitFlip:
+			if i := f.Offset - in.off; i >= 0 && i < int64(n) {
+				p[i] ^= 1 << f.Bit
+			}
+		case KindGarbage:
+			lo, hi := f.Offset, f.Offset+f.Len
+			for i := 0; i < n; i++ {
+				if pos := in.off + int64(i); pos >= lo && pos < hi {
+					p[i] = byte(splitmix64(f.Seed + uint64(pos)))
+				}
+			}
+		}
+	}
+	in.off += int64(n)
+	return n, err
+}
+
+// splitmix64 is the standard 64-bit mixer; one call per garbage byte keeps
+// the injected noise deterministic in offset and seed alone, independent of
+// read-call boundaries.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShortReads wraps r so every Read returns at most max bytes. It simulates
+// a slow pipe or a pathological filesystem and exercises the resume paths
+// of buffered readers; a correct reader produces identical results under
+// any read fragmentation.
+func ShortReads(r io.Reader, max int) io.Reader {
+	if max < 1 {
+		max = 1
+	}
+	return &shortReader{r: r, max: max}
+}
+
+type shortReader struct {
+	r   io.Reader
+	max int
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) > s.max {
+		p = p[:s.max]
+	}
+	return s.r.Read(p)
+}

@@ -1,0 +1,336 @@
+// The corruption sweep: the acceptance test of the fault-tolerance layer.
+// For seed traces in every format the suite reads, it injects a truncation
+// at every byte offset and a bit-flip in every byte and requires the reader
+// to fail with an error classified by the faults taxonomy — never panic,
+// never hang, never succeed silently where the format guarantees detection.
+//
+// Detection strength differs by format and the assertions encode that:
+//
+//   - Checksummed SBBT detects every single-bit flip and every truncation.
+//   - BT9 is plain text with no integrity data: a flipped hex digit in an
+//     address yields a different but valid trace, so flips assert "typed
+//     error or clean success"; truncations must all fail except cuts into
+//     the final line's trailing bytes, which can leave a complete sequence.
+//   - MLZ-compressed checksummed SBBT: a flip can land in bits the decoder
+//     never lets reach the consumer (Huffman padding, the frame terminator
+//     the trace reader stops short of), so the contract is "typed error, or
+//     success with a byte-identical event stream" — silent corruption of
+//     consumed data is impossible either way.
+package faults_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/bt9"
+	"mbplib/internal/compress"
+	"mbplib/internal/faults"
+	"mbplib/internal/sbbt"
+)
+
+// seedEvents builds a deterministic event stream that exercises several
+// opcodes and gap values.
+func seedEvents(n int) []bp.Event {
+	evs := make([]bp.Event, n)
+	for i := range evs {
+		op, taken, target := bp.OpCondJump, i%3 != 0, uint64(0x500000+(i%29)*16)
+		switch i % 7 {
+		case 5:
+			op, taken = bp.OpCall, true
+		case 6:
+			op, taken, target = bp.OpRet, true, uint64(0x600000+(i%11)*8)
+		}
+		evs[i] = bp.Event{
+			Branch:                bp.Branch{IP: 0x400000 + uint64(i%43)*4 + uint64(op)<<20, Target: target, Opcode: op, Taken: taken},
+			InstrsSinceLastBranch: uint64(i % 9),
+		}
+	}
+	return evs
+}
+
+func eventTotals(evs []bp.Event) (instrs, branches uint64) {
+	for _, ev := range evs {
+		instrs += ev.InstrsSinceLastBranch + 1
+	}
+	return instrs, uint64(len(evs))
+}
+
+func seedSBBT(t *testing.T, evs []bp.Event) []byte {
+	t.Helper()
+	instrs, branches := eventTotals(evs)
+	var buf bytes.Buffer
+	w, err := sbbt.NewChecksumWriter(&buf, instrs, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func seedBT9(t *testing.T, evs []bp.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := bt9.NewWriter(&buf)
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drain opens r with open and consumes events until EOF or error, with a
+// hard cap that turns any reader loop bug into a test failure instead of a
+// hang.
+func drain(t *testing.T, r io.Reader, open func(io.Reader) (bp.Reader, error), cap int) error {
+	t.Helper()
+	br, err := open(r)
+	if err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		if i > cap {
+			t.Fatalf("reader did not terminate after %d events", cap)
+		}
+		if _, err := br.Read(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+func openSBBT(r io.Reader) (bp.Reader, error) { return sbbt.NewReader(r) }
+func openBT9(r io.Reader) (bp.Reader, error)  { return bt9.NewReader(r) }
+
+// openMLZ stacks the auto-detecting decompressor under the SBBT reader, the
+// way simulators open distributed traces.
+func openMLZ(r io.Reader) (bp.Reader, error) {
+	dr, err := compress.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return sbbt.NewReader(dr)
+}
+
+// requireTyped fails unless err is classified by the taxonomy.
+func requireTyped(t *testing.T, context string, err error) {
+	t.Helper()
+	if faults.Class(err) == "other" {
+		t.Fatalf("%s: untyped error: %v", context, err)
+	}
+}
+
+func TestSweepSBBTTruncation(t *testing.T) {
+	evs := seedEvents(300)
+	data := seedSBBT(t, evs)
+	for off := 0; off < len(data); off++ {
+		err := drain(t, faults.NewInjector(bytes.NewReader(data), faults.Truncate(int64(off))), openSBBT, 2*len(evs))
+		if err == nil {
+			t.Fatalf("truncation at %d not detected", off)
+		}
+		requireTyped(t, "truncation", err)
+	}
+}
+
+func TestSweepSBBTBitFlips(t *testing.T) {
+	evs := seedEvents(300)
+	data := seedSBBT(t, evs)
+	for off := 0; off < len(data); off++ {
+		for bit := uint8(0); bit < 8; bit++ {
+			err := drain(t, faults.NewInjector(bytes.NewReader(data), faults.BitFlip(int64(off), bit)), openSBBT, 2*len(evs))
+			if err == nil {
+				t.Fatalf("bit flip at %d.%d not detected", off, bit)
+			}
+			requireTyped(t, "bit flip", err)
+		}
+	}
+}
+
+func TestSweepSBBTGarbage(t *testing.T) {
+	evs := seedEvents(300)
+	data := seedSBBT(t, evs)
+	for off := 0; off < len(data); off += 13 {
+		err := drain(t, faults.NewInjector(bytes.NewReader(data), faults.Garbage(int64(off), 16, uint64(off))), openSBBT, 2*len(evs))
+		if err == nil {
+			// Garbage may reproduce the original bytes; verify it did.
+			var out bytes.Buffer
+			io.Copy(&out, faults.NewInjector(bytes.NewReader(data), faults.Garbage(int64(off), 16, uint64(off)))) //nolint:errcheck
+			if !bytes.Equal(out.Bytes(), data) {
+				t.Fatalf("garbage at %d changed bytes but was not detected", off)
+			}
+			continue
+		}
+		requireTyped(t, "garbage", err)
+	}
+}
+
+func TestSweepBT9Truncation(t *testing.T) {
+	evs := seedEvents(200)
+	data := seedBT9(t, evs)
+	// Cuts into the final line's bytes can leave a complete, count-matching
+	// sequence: a text format cannot detect the loss of trailing bytes.
+	lastLine := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), '\n') + 1
+	successes := 0
+	for off := 0; off < len(data); off++ {
+		err := drain(t, faults.NewInjector(bytes.NewReader(data), faults.Truncate(int64(off))), openBT9, 2*len(evs))
+		if err == nil {
+			if off <= lastLine {
+				t.Fatalf("truncation at %d (before final line at %d) not detected", off, lastLine)
+			}
+			successes++
+			continue
+		}
+		requireTyped(t, "truncation", err)
+	}
+	if tail := len(data) - lastLine; successes > tail {
+		t.Errorf("%d undetected truncations, more than the %d-byte final line", successes, tail)
+	}
+}
+
+func TestSweepBT9BitFlips(t *testing.T) {
+	evs := seedEvents(200)
+	data := seedBT9(t, evs)
+	for off := 0; off < len(data); off++ {
+		err := drain(t, faults.NewInjector(bytes.NewReader(data), faults.BitFlip(int64(off), uint8(off%8))), openBT9, 4*len(evs))
+		if err != nil {
+			// Text flips may land in ignorable positions (an address digit);
+			// when they do error, the error must be typed.
+			requireTyped(t, "bit flip", err)
+		}
+	}
+}
+
+func compressMLZ(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := compress.NewMLZWriter(&buf, compress.LevelBest)
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drainVerify is drain plus an exactness check on clean EOF: a checksummed
+// stream may deliver corrupted events before the chunk trailer that exposes
+// them (detection is per chunk, like gzip's per-stream CRC), but if the
+// reader reaches clean EOF every checksum passed, so the event stream must
+// equal want — a "success" can never hide corruption.
+func drainVerify(t *testing.T, r io.Reader, open func(io.Reader) (bp.Reader, error), want []bp.Event) error {
+	t.Helper()
+	br, err := open(r)
+	if err != nil {
+		return err
+	}
+	mismatch := -1
+	for i := 0; ; i++ {
+		if i > 2*len(want) {
+			t.Fatalf("reader did not terminate after %d events", 2*len(want))
+		}
+		ev, err := br.Read()
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("clean EOF after %d of %d events", i, len(want))
+			}
+			if mismatch >= 0 {
+				t.Fatalf("event %d silently corrupted, stream ended cleanly", mismatch)
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if mismatch < 0 && (i >= len(want) || ev != want[i]) {
+			mismatch = i
+		}
+	}
+}
+
+func TestSweepMLZTruncation(t *testing.T) {
+	evs := seedEvents(300)
+	data := compressMLZ(t, seedSBBT(t, evs))
+	for off := 0; off < len(data); off++ {
+		err := drainVerify(t, faults.NewInjector(bytes.NewReader(data), faults.Truncate(int64(off))), openMLZ, evs)
+		if err == nil {
+			continue // cut past everything the consumer reads; stream intact
+		}
+		requireTyped(t, "truncation", err)
+	}
+}
+
+func TestSweepMLZBitFlips(t *testing.T) {
+	evs := seedEvents(300)
+	data := compressMLZ(t, seedSBBT(t, evs))
+	for off := 0; off < len(data); off++ {
+		for bit := uint8(0); bit < 8; bit++ {
+			err := drainVerify(t, faults.NewInjector(bytes.NewReader(data), faults.BitFlip(int64(off), bit)), openMLZ, evs)
+			if err == nil {
+				continue // flip in dont-care bits; stream verified intact
+			}
+			requireTyped(t, "bit flip", err)
+		}
+	}
+}
+
+// TestSweepHostileHeaders: implausible header-declared sizes are rejected
+// with ErrLimit before the reader allocates for them.
+func TestSweepHostileHeaders(t *testing.T) {
+	huge := sbbt.NewHeader(1<<60, 1<<55).AppendTo(nil)
+	if _, err := sbbt.NewReader(bytes.NewReader(huge)); !errors.Is(err, faults.ErrLimit) {
+		t.Errorf("sbbt oversized count: %v, want ErrLimit", err)
+	}
+
+	text := bt9.Magic + "\nbranch_instruction_count: 99999999999999999\n"
+	if _, err := bt9.NewReader(bytes.NewReader([]byte(text))); !errors.Is(err, faults.ErrLimit) {
+		t.Errorf("bt9 oversized count: %v, want ErrLimit", err)
+	}
+}
+
+// TestSweepShortReads: every reader must produce identical events under any
+// read fragmentation.
+func TestSweepShortReads(t *testing.T) {
+	evs := seedEvents(500)
+	for _, tc := range []struct {
+		name string
+		data []byte
+		open func(io.Reader) (bp.Reader, error)
+	}{
+		{"sbbt", seedSBBT(t, evs), openSBBT},
+		{"bt9", seedBT9(t, evs), openBT9},
+		{"mlz", compressMLZ(t, seedSBBT(t, evs)), openMLZ},
+	} {
+		r, err := tc.open(faults.ShortReads(bytes.NewReader(tc.data), 3))
+		if err != nil {
+			t.Fatalf("%s: open: %v", tc.name, err)
+		}
+		for i, want := range evs {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("%s: Read %d: %v", tc.name, i, err)
+			}
+			if got != want {
+				t.Fatalf("%s: event %d mismatch under short reads", tc.name, i)
+			}
+		}
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("%s: tail err = %v, want io.EOF", tc.name, err)
+		}
+	}
+}

@@ -29,15 +29,35 @@
 // of the block; decoding performs an arithmetic right shift by 12, which
 // sign-extends bit 51 so that both the 48-bit x86-64 and the 52-bit ARMv8-A
 // (LVA) canonical address spaces round-trip exactly.
+//
+// # Integrity checksums
+//
+// As an extension to the paper's format, a trace may carry CRC-32C
+// checksums. The extension is flagged in bit 63 of the branch-count header
+// word, which is far beyond any plausible branch count (readers cap counts
+// at MaxTraceBranches) and is zero in every pre-existing trace, so
+// checksum-free traces keep reading unchanged. When the flag is set, the
+// 24-byte header is followed by a 4-byte little-endian CRC-32C of those 24
+// bytes, and the packet stream is divided into chunks of
+// ChecksumChunkPackets packets, each followed by a 4-byte little-endian
+// CRC-32C of the chunk's packet bytes; the final, possibly partial, chunk is
+// checksummed too. See DESIGN.md for the rationale and compatibility rules.
+//
+// All decoding errors are classified with the internal/faults taxonomy:
+// malformed bytes wrap faults.ErrCorrupt, premature end of input wraps
+// faults.ErrTruncated (aliased as bp.ErrTruncated), and implausible
+// header-declared sizes wrap faults.ErrLimit.
 package sbbt
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/faults"
 )
 
 // Signature is the 5-byte magic that opens every SBBT trace.
@@ -56,6 +76,27 @@ const (
 	PacketSize = 16
 )
 
+// Checksum-extension constants.
+const (
+	// ChecksumChunkPackets is the number of packets covered by each CRC-32C
+	// chunk trailer in a checksummed trace (64 KiB of packet data).
+	ChecksumChunkPackets = 4096
+	// ChecksumSize is the encoded size of each CRC-32C value.
+	ChecksumSize = 4
+	// checksumFlagBit is the bit of the branch-count header word that marks
+	// a checksummed trace. Branch counts occupy bits 0-62.
+	checksumFlagBit = 63
+)
+
+// MaxTraceBranches is the largest branch count a reader accepts from a
+// header. 2^48 branches is three orders of magnitude beyond the largest
+// published CBP-5 traces; a count above it marks the trace hostile or
+// corrupt and is rejected with faults.ErrLimit before any allocation.
+const MaxTraceBranches = 1 << 48
+
+// castagnoli is the CRC-32C table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Header is the decoded SBBT trace header.
 type Header struct {
 	Major, Minor, Patch uint8
@@ -64,6 +105,10 @@ type Header struct {
 	TotalInstructions uint64
 	// TotalBranches is the number of branch packets in the trace.
 	TotalBranches uint64
+	// Checksummed marks a trace that carries the CRC-32C extension: a
+	// header checksum plus per-chunk packet checksums (see the package
+	// documentation). It is encoded as bit 63 of the branch-count word.
+	Checksummed bool
 }
 
 // NewHeader returns a current-version header with the given totals.
@@ -86,25 +131,34 @@ func (h Header) AppendTo(buf []byte) []byte {
 	buf = append(buf, Signature[:]...)
 	buf = append(buf, h.Major, h.Minor, h.Patch)
 	buf = binary.LittleEndian.AppendUint64(buf, h.TotalInstructions)
-	buf = binary.LittleEndian.AppendUint64(buf, h.TotalBranches)
+	branchWord := h.TotalBranches
+	if h.Checksummed {
+		branchWord |= 1 << checksumFlagBit
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, branchWord)
 	return buf
 }
 
-// ParseHeader decodes a header from the first HeaderSize bytes of buf.
+// ParseHeader decodes a header from the first HeaderSize bytes of buf. It
+// validates only the fixed layout (signature, major version); plausibility
+// of the declared totals is enforced by NewReader, which is where the totals
+// drive allocation.
 func ParseHeader(buf []byte) (Header, error) {
 	if len(buf) < HeaderSize {
 		return Header{}, fmt.Errorf("sbbt: header needs %d bytes, have %d: %w", HeaderSize, len(buf), bp.ErrTruncated)
 	}
 	if [5]byte(buf[:5]) != Signature {
-		return Header{}, errors.New("sbbt: bad signature")
+		return Header{}, fmt.Errorf("sbbt: bad signature: %w", faults.ErrCorrupt)
 	}
+	branchWord := binary.LittleEndian.Uint64(buf[16:24])
 	h := Header{
 		Major: buf[5], Minor: buf[6], Patch: buf[7],
 		TotalInstructions: binary.LittleEndian.Uint64(buf[8:16]),
-		TotalBranches:     binary.LittleEndian.Uint64(buf[16:24]),
+		TotalBranches:     branchWord &^ (1 << checksumFlagBit),
+		Checksummed:       branchWord>>checksumFlagBit&1 == 1,
 	}
 	if h.Major != VersionMajor {
-		return Header{}, fmt.Errorf("sbbt: unsupported major version %d (want %d)", h.Major, VersionMajor)
+		return Header{}, fmt.Errorf("sbbt: unsupported major version %d (want %d): %w", h.Major, VersionMajor, faults.ErrCorrupt)
 	}
 	return h, nil
 }
@@ -166,7 +220,7 @@ func DecodePacket(buf []byte) (bp.Event, error) {
 	block1 := binary.LittleEndian.Uint64(buf[0:8])
 	block2 := binary.LittleEndian.Uint64(buf[8:16])
 	if block1>>reservedBit&0x7f != 0 {
-		return bp.Event{}, fmt.Errorf("sbbt: reserved bits set in packet %#x", block1)
+		return bp.Event{}, fmt.Errorf("sbbt: reserved bits set in packet %#x: %w", block1, faults.ErrCorrupt)
 	}
 	ev := bp.Event{
 		Branch: bp.Branch{
@@ -178,7 +232,7 @@ func DecodePacket(buf []byte) (bp.Event, error) {
 		InstrsSinceLastBranch: block2 & lowMask,
 	}
 	if err := ev.Branch.Validate(); err != nil {
-		return bp.Event{}, err
+		return bp.Event{}, fmt.Errorf("%w: %w", err, faults.ErrCorrupt)
 	}
 	return ev, nil
 }
@@ -201,6 +255,13 @@ const readerBufPackets = 4096
 // NewReader consumes and validates the header of an SBBT trace and returns
 // a Reader positioned at the first packet. The input must already be
 // decompressed (see package compress for auto-detection).
+//
+// Beyond the layout checks of ParseHeader, NewReader rejects headers whose
+// declared sizes are implausible — a branch count above MaxTraceBranches
+// (faults.ErrLimit) or more branches than instructions (faults.ErrCorrupt) —
+// so a hostile header cannot drive large allocations. For checksummed
+// traces it verifies the header CRC-32C here and then verifies each chunk
+// trailer as the packet stream is consumed.
 func NewReader(r io.Reader) (*Reader, error) {
 	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -213,7 +274,91 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{r: r, header: h, buf: make([]byte, readerBufPackets*PacketSize)}, nil
+	if h.TotalBranches > MaxTraceBranches {
+		return nil, fmt.Errorf("sbbt: header declares %d branches, limit %d: %w", h.TotalBranches, uint64(MaxTraceBranches), faults.ErrLimit)
+	}
+	if h.TotalBranches > h.TotalInstructions {
+		return nil, fmt.Errorf("sbbt: header declares %d branches but only %d instructions: %w", h.TotalBranches, h.TotalInstructions, faults.ErrCorrupt)
+	}
+	if h.Checksummed {
+		var trailer [ChecksumSize]byte
+		if _, err := io.ReadFull(r, trailer[:]); err != nil {
+			return nil, fmt.Errorf("sbbt: reading header checksum: %w", bp.ErrTruncated)
+		}
+		want := binary.LittleEndian.Uint32(trailer[:])
+		if got := crc32.Checksum(hdr[:], castagnoli); got != want {
+			return nil, fmt.Errorf("sbbt: header checksum mismatch (got %#08x, want %#08x): %w", got, want, faults.ErrCorrupt)
+		}
+		r = &crcChunkReader{r: r, packetsLeft: h.TotalBranches}
+	}
+	// Size the read-ahead buffer from the (now vetted) branch count so tiny
+	// traces do not pay for a 64 KiB buffer.
+	bufPackets := uint64(readerBufPackets)
+	if h.TotalBranches < bufPackets {
+		bufPackets = max(h.TotalBranches, 1)
+	}
+	return &Reader{r: r, header: h, buf: make([]byte, bufPackets*PacketSize)}, nil
+}
+
+// crcChunkReader sits between the raw byte stream and the packet decoder of
+// a checksummed trace. It serves only packet bytes, transparently consuming
+// and verifying the 4-byte CRC-32C trailer that follows each chunk of up to
+// ChecksumChunkPackets packets. After the last chunk's trailer it reports
+// io.EOF, so packets beyond the declared branch count are never decoded.
+type crcChunkReader struct {
+	r           io.Reader
+	packetsLeft uint64 // packets not yet assigned to a chunk
+	chunkLeft   uint64 // unread packet bytes in the current chunk
+	inChunk     bool   // a chunk is open; its trailer is still unread
+	crc         uint32
+	err         error
+}
+
+func (c *crcChunkReader) Read(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	for c.chunkLeft == 0 {
+		if c.inChunk {
+			// The current chunk's packets are fully consumed: its trailer
+			// comes next in the stream.
+			var trailer [ChecksumSize]byte
+			if _, err := io.ReadFull(c.r, trailer[:]); err != nil {
+				c.err = fmt.Errorf("sbbt: reading chunk checksum: %w", bp.ErrTruncated)
+				return 0, c.err
+			}
+			if want := binary.LittleEndian.Uint32(trailer[:]); c.crc != want {
+				c.err = fmt.Errorf("sbbt: chunk checksum mismatch (got %#08x, want %#08x): %w", c.crc, want, faults.ErrCorrupt)
+				return 0, c.err
+			}
+			c.inChunk = false
+		}
+		if c.packetsLeft == 0 {
+			c.err = io.EOF
+			return 0, c.err
+		}
+		n := c.packetsLeft
+		if n > ChecksumChunkPackets {
+			n = ChecksumChunkPackets
+		}
+		c.packetsLeft -= n
+		c.chunkLeft = n * PacketSize
+		c.crc = 0
+		c.inChunk = true
+	}
+	if uint64(len(p)) > c.chunkLeft {
+		p = p[:c.chunkLeft]
+	}
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.chunkLeft -= uint64(n)
+	if err == io.EOF && c.chunkLeft == 0 {
+		// The stream may end exactly with the last packet byte of a chunk
+		// while the trailer is still pending; surface the data now and let
+		// the next call discover the missing trailer.
+		err = nil
+	}
+	return n, err
 }
 
 // Header returns the decoded trace header.
@@ -288,12 +433,33 @@ type Writer struct {
 	written uint64
 	instrs  uint64
 	err     error
+	// Checksum-extension state (used only when header.Checksummed).
+	chunkCRC     uint32
+	chunkPackets uint64
 }
 
 // NewWriter writes the trace header and returns a Writer ready for packets.
 func NewWriter(w io.Writer, totalInstructions, totalBranches uint64) (*Writer, error) {
+	return newWriter(w, totalInstructions, totalBranches, false)
+}
+
+// NewChecksumWriter is NewWriter with the CRC-32C integrity extension
+// enabled: the emitted trace carries a header checksum and per-chunk packet
+// checksums, and readers verify both (see the package documentation).
+func NewChecksumWriter(w io.Writer, totalInstructions, totalBranches uint64) (*Writer, error) {
+	return newWriter(w, totalInstructions, totalBranches, true)
+}
+
+func newWriter(w io.Writer, totalInstructions, totalBranches uint64, checksummed bool) (*Writer, error) {
+	if totalBranches > MaxTraceBranches {
+		return nil, fmt.Errorf("sbbt: %d branches exceeds the format limit %d: %w", totalBranches, uint64(MaxTraceBranches), faults.ErrLimit)
+	}
 	h := NewHeader(totalInstructions, totalBranches)
+	h.Checksummed = checksummed
 	buf := h.AppendTo(make([]byte, 0, readerBufPackets*PacketSize))
+	if checksummed {
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[:HeaderSize], castagnoli))
+	}
 	return &Writer{w: w, header: h, buf: buf}, nil
 }
 
@@ -312,6 +478,14 @@ func (w *Writer) Write(ev bp.Event) error {
 	buf, err := EncodePacket(w.buf, ev)
 	if err != nil {
 		return err // event rejected; writer still usable
+	}
+	if w.header.Checksummed {
+		w.chunkCRC = crc32.Update(w.chunkCRC, castagnoli, buf[len(buf)-PacketSize:])
+		w.chunkPackets++
+		if w.chunkPackets == ChecksumChunkPackets {
+			buf = binary.LittleEndian.AppendUint32(buf, w.chunkCRC)
+			w.chunkCRC, w.chunkPackets = 0, 0
+		}
 	}
 	w.buf = buf
 	w.written++
@@ -338,6 +512,11 @@ func (w *Writer) flush() error {
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
+	}
+	if w.header.Checksummed && w.chunkPackets > 0 {
+		// Trailer of the final, partial chunk.
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, w.chunkCRC)
+		w.chunkCRC, w.chunkPackets = 0, 0
 	}
 	if err := w.flush(); err != nil {
 		w.err = err

@@ -1,11 +1,15 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/faults"
 )
 
 // TraceSource lazily opens one trace of a set. Open is called from a worker
@@ -16,14 +20,96 @@ type TraceSource struct {
 	Open func() (bp.Reader, io.Closer, error)
 }
 
+// FailureMode selects how a run set reacts to a per-trace failure.
+type FailureMode int
+
+// Failure modes.
+const (
+	// FailFast aborts the whole set on the first failure, the historical
+	// RunSet behavior.
+	FailFast FailureMode = iota
+	// SkipFailed records the failure and keeps simulating the remaining
+	// traces, so a 200-trace sweep with 3 corrupt traces still reports 197
+	// scores plus a failure table.
+	SkipFailed
+)
+
+// String returns the flag-style name of the mode ("failfast", "skip").
+func (m FailureMode) String() string {
+	switch m {
+	case FailFast:
+		return "failfast"
+	case SkipFailed:
+		return "skip"
+	}
+	return fmt.Sprintf("FailureMode(%d)", int(m))
+}
+
+// Policy describes how RunSetPolicy treats per-trace failures.
+type Policy struct {
+	// Mode selects abort-on-first-failure or skip-and-continue.
+	Mode FailureMode
+	// Retries is the number of additional Open attempts after a transient
+	// open failure (one the faults taxonomy does not classify as
+	// permanent, e.g. an EMFILE or a network-filesystem hiccup). Decode
+	// errors and panics are never retried: the bytes will not improve.
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// and is capped at maxBackoff. Zero means retry immediately.
+	Backoff time.Duration
+}
+
+// maxBackoff caps the exponential retry delay.
+const maxBackoff = 2 * time.Second
+
+// TraceFailure describes one trace the set could not score.
+type TraceFailure struct {
+	// Trace is the TraceSource name.
+	Trace string `json:"trace"`
+	// Class is the faults taxonomy class: "corrupt", "truncated", "limit",
+	// "panic", or "other".
+	Class string `json:"class"`
+	// Message is the full error text.
+	Message string `json:"message"`
+	// Attempts is how many times the trace was tried (1 when no retries).
+	Attempts int `json:"attempts"`
+	// Stack is the captured goroutine stack when Class is "panic".
+	Stack string `json:"stack,omitempty"`
+	// Err is the underlying error, for errors.Is/As; it is not serialized.
+	Err error `json:"-"`
+}
+
+// SetResult carries the outcome of a run set under a failure policy:
+// Results is index-aligned with the sources (nil for a failed trace) and
+// Failures lists every trace that could not be scored.
+type SetResult struct {
+	Results  []*Result
+	Failures []TraceFailure
+}
+
 // RunSet simulates a fresh predictor instance over every trace of a set,
 // running up to workers traces concurrently — the evaluation workflow of
 // the championships, where a design is scored over hundreds of traces
 // (§II). Because MBPlib is a library, the fan-out is plain user-side code:
 // each worker owns its predictor and its reader, so no locking touches the
 // hot loop. Results are returned in source order. The first error aborts
-// the set.
+// the set; use RunSetPolicy to degrade gracefully instead.
 func RunSet(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config, workers int) ([]*Result, error) {
+	set, err := RunSetPolicy(sources, newPredictor, cfg, workers, Policy{Mode: FailFast})
+	if err != nil {
+		return nil, err
+	}
+	return set.Results, nil
+}
+
+// RunSetPolicy is RunSet under an explicit failure policy. A panic inside a
+// predictor (or reader) is recovered per trace and reported as a
+// faults.ErrPredictorPanic failure with the captured stack, so one broken
+// design cannot kill a whole sweep. Under FailFast the first failure aborts
+// the set and is returned as the error, preserving RunSet's historical
+// contract; under SkipFailed the returned error is nil and per-trace
+// failures are collected in SetResult.Failures.
+func RunSetPolicy(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config, workers int, policy Policy) (*SetResult, error) {
 	if newPredictor == nil {
 		return nil, ErrNilPredictor
 	}
@@ -34,7 +120,7 @@ func RunSet(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config,
 		workers = len(sources)
 	}
 	results := make([]*Result, len(sources))
-	errs := make([]error, len(sources))
+	failures := make([]*TraceFailure, len(sources))
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -42,7 +128,7 @@ func RunSet(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config,
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = runOne(sources[i], newPredictor, cfg)
+				results[i], failures[i] = runOne(sources[i], newPredictor, cfg, policy)
 			}
 		}()
 	}
@@ -51,24 +137,76 @@ func RunSet(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config,
 	}
 	close(next)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: trace %q: %w", sources[i].Name, err)
+	set := &SetResult{Results: results}
+	for i, f := range failures {
+		if f == nil {
+			continue
 		}
+		if policy.Mode == FailFast {
+			return nil, fmt.Errorf("sim: trace %q: %w", sources[i].Name, f.Err)
+		}
+		set.Failures = append(set.Failures, *f)
 	}
-	return results, nil
+	return set, nil
 }
 
-func runOne(src TraceSource, newPredictor func() bp.Predictor, cfg Config) (*Result, error) {
-	r, closer, err := src.Open()
-	if err != nil {
-		return nil, err
+// runOne opens and simulates a single trace under the policy, converting a
+// panic anywhere in the unit — Open, the reader, or the predictor — into a
+// classified failure. Only the open phase is retried: once decoding has
+// started, a failure is a property of the trace bytes or the predictor, and
+// the bytes will not improve on a second try.
+func runOne(src TraceSource, newPredictor func() bp.Predictor, cfg Config, policy Policy) (result *Result, failure *TraceFailure) {
+	attempts := 0
+	defer func() {
+		if v := recover(); v != nil {
+			err := faults.NewPanicError(v, debug.Stack())
+			result = nil
+			failure = newFailure(src.Name, err, attempts)
+		}
+	}()
+	backoff := policy.Backoff
+	for {
+		attempts++
+		r, closer, err := src.Open()
+		if err != nil {
+			if attempts > policy.Retries || faults.Permanent(err) {
+				return nil, newFailure(src.Name, fmt.Errorf("opening: %w", err), attempts)
+			}
+			if backoff > 0 {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+			}
+			continue
+		}
+		res, err := func() (*Result, error) {
+			if closer != nil {
+				defer closer.Close() //mbpvet:ignore droppederr -- read side: a close failure cannot corrupt the already-consumed trace
+			}
+			cfg.TraceName = src.Name
+			return Run(r, newPredictor(), cfg)
+		}()
+		if err != nil {
+			return nil, newFailure(src.Name, err, attempts)
+		}
+		return res, nil
 	}
-	if closer != nil {
-		defer closer.Close() //mbpvet:ignore droppederr -- read side: a close failure cannot corrupt the already-consumed trace
+}
+
+func newFailure(trace string, err error, attempts int) *TraceFailure {
+	f := &TraceFailure{
+		Trace:    trace,
+		Class:    faults.Class(err),
+		Message:  err.Error(),
+		Attempts: attempts,
+		Err:      err,
 	}
-	cfg.TraceName = src.Name
-	return Run(r, newPredictor(), cfg)
+	var pe *faults.PanicError
+	if errors.As(err, &pe) {
+		f.Stack = string(pe.Stack)
+	}
+	return f
 }
 
 // SetSummary aggregates a RunSet outcome the way championship scoreboards
@@ -86,14 +224,17 @@ type SetSummary struct {
 	TotalSimulationSeconds float64 `json:"total_simulation_seconds"`
 }
 
-// Summarize aggregates a RunSet result list.
+// Summarize aggregates a RunSet result list. Nil entries (traces a
+// SkipFailed policy could not score) are excluded from every statistic,
+// including the trace count and the mean.
 func Summarize(results []*Result) SetSummary {
-	s := SetSummary{Traces: len(results)}
+	var s SetSummary
 	var mpkiSum float64
 	for _, r := range results {
 		if r == nil {
 			continue
 		}
+		s.Traces++
 		s.TotalInstructions += r.Metadata.SimulationInstr
 		s.TotalConditional += r.Metadata.NumConditionalBranches
 		s.TotalMispredictions += r.Metrics.Mispredictions
@@ -104,8 +245,8 @@ func Summarize(results []*Result) SetSummary {
 			s.WorstTrace = r.Metadata.Trace
 		}
 	}
-	if len(results) > 0 {
-		s.MeanMPKI = mpkiSum / float64(len(results))
+	if s.Traces > 0 {
+		s.MeanMPKI = mpkiSum / float64(s.Traces)
 	}
 	if s.TotalInstructions > 0 {
 		s.AggregateMPKI = float64(s.TotalMispredictions) / (float64(s.TotalInstructions) / 1000)

@@ -1,0 +1,52 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Rule V5 — panicfree: the trace codec packages decode untrusted bytes, so
+// a reachable panic is a denial-of-service primitive — one malformed trace
+// in a 200-trace sweep kills the whole process. Inside the configured
+// packages every call to the panic builtin is reported; hostile input must
+// surface as an error classified by the faults taxonomy instead. A panic a
+// codec keeps on purpose (an internal invariant no input can reach, e.g. a
+// constant-width mask helper) is declared with
+//
+//	//mbpvet:panicfree-exempt <justification>
+//
+// on the call's line or the line above. The check resolves the identifier
+// through go/types, so a shadowing local function or variable named "panic"
+// is not reported.
+func checkPanicFree(prog *Program, cfg Config) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Sorted() {
+		if !hasPathPrefix(pkg.Path, cfg.PanicFreePackages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, builtin := pkg.Info.Uses[id].(*types.Builtin); !builtin {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:  prog.Fset.Position(call.Pos()),
+					Rule: RulePanicFree,
+					Msg: fmt.Sprintf("panic in a decode package — untrusted input must fail with a typed error; "+
+						"annotate with %s <why> if no input can reach it", directiveExempt[2:]),
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}

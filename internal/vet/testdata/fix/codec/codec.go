@@ -86,3 +86,33 @@ func NewTablePow2(logSize int) []int8 {
 	_ = mask
 	return t
 }
+
+// DecodePanicky rejects bad input by crashing — the panicfree rule must
+// object: a codec fed untrusted bytes may only return errors.
+func DecodePanicky(b []byte) byte {
+	if len(b) == 0 {
+		panic("codec: empty input") // want panicfree
+	}
+	return b[0]
+}
+
+// maskFor keeps an internal-invariant panic under a justified exemption:
+// every call site passes a compile-time constant, no input reaches it.
+func maskFor(width int) uint64 {
+	if width <= 0 || width > 63 {
+		//mbpvet:panicfree-exempt width is a call-site constant, never input data
+		panic("codec: invalid mask width")
+	}
+	return 1<<width - 1
+}
+
+// DecodeShadowed calls a local closure that shadows the builtin; the rule
+// resolves identifiers through go/types and must stay silent here.
+func DecodeShadowed(b []byte) uint64 {
+	panic := func(string) {} // shadows the builtin in this scope
+	if len(b) == 0 {
+		panic("not the builtin")
+		return 0
+	}
+	return uint64(b[0]) & maskFor(8)
+}

@@ -8,13 +8,14 @@ import (
 	"strings"
 )
 
-// Rule names. The README documents each one; the V1-V4 numbering follows
+// Rule names. The README documents each one; the V1-V5 numbering follows
 // the order they were specified in.
 const (
 	RulePurity     = "purity"     // V1: Predict must not mutate predictor state
 	RuleRegistry   = "registry"   // V2: every predictor package is registered
 	RuleDroppedErr = "droppederr" // V3: no discarded error results in codecs
 	RuleBitWidth   = "bitwidth"   // V4: no silent truncation in codec paths
+	RulePanicFree  = "panicfree"  // V5: no panic on untrusted input in codecs
 )
 
 // Finding is one rule violation.
@@ -47,6 +48,10 @@ type Config struct {
 	// shift whose operand was passed to a guard in the same function is
 	// not reported.
 	GuardFuncs []string
+	// PanicFreePackages are the import-path prefixes that decode untrusted
+	// bytes and therefore must never call panic: hostile input has to
+	// surface as a typed error, not a crash.
+	PanicFreePackages []string
 }
 
 // DefaultConfig returns the rule configuration for this repository, with
@@ -66,6 +71,11 @@ func DefaultConfig(module string) Config {
 			module + "/internal/bt9",
 		},
 		GuardFuncs: []string{"CanonicalAddress"},
+		PanicFreePackages: []string{
+			module + "/internal/sbbt",
+			module + "/internal/bt9",
+			module + "/internal/compress",
+		},
 	}
 }
 
@@ -89,6 +99,7 @@ func Run(prog *Program, cfg Config) []Finding {
 	findings = append(findings, checkRegistry(prog, cfg)...)
 	findings = append(findings, checkDroppedErrors(prog, cfg)...)
 	findings = append(findings, checkBitWidths(prog, cfg)...)
+	findings = append(findings, checkPanicFree(prog, cfg)...)
 	findings = append(findings, dirs.malformed...)
 
 	kept := findings[:0]
@@ -110,33 +121,41 @@ func Run(prog *Program, cfg Config) []Finding {
 	return kept
 }
 
-// directives indexes //mbpvet: comments. Two forms are recognized:
+// directives indexes //mbpvet: comments. Three forms are recognized:
 //
 //	//mbpvet:impure <justification>
 //	//mbpvet:ignore <rule> -- <justification>
+//	//mbpvet:panicfree-exempt <justification>
 //
 // "impure" is the §IV-A escape hatch: placed in the doc comment of a
 // Predict method (or a helper it calls) it suppresses the purity rule for
 // that method. "ignore" suppresses the named rule for findings on the same
-// line or the line directly below the comment. Both demand a non-empty
-// justification; a bare directive is reported instead of honored.
+// line or the line directly below the comment. "panicfree-exempt" is the
+// dedicated escape hatch of the panicfree rule, for panics a codec keeps on
+// purpose (internal invariants no input can reach); it covers the same line
+// and the line below. All three demand a non-empty justification; a bare
+// directive is reported instead of honored.
 type directives struct {
 	// ignore maps file -> line -> set of rule names suppressed there.
 	ignore map[string]map[int]map[string]bool
 	// impure maps file -> line of the func keyword of an annotated decl.
-	impure    map[string]map[int]bool
+	impure map[string]map[int]bool
+	// exempt maps file -> line of a panicfree exemption.
+	exempt    map[string]map[int]bool
 	malformed []Finding
 }
 
 const (
 	directiveImpure = "//mbpvet:impure"
 	directiveIgnore = "//mbpvet:ignore"
+	directiveExempt = "//mbpvet:panicfree-exempt"
 )
 
 func collectDirectives(prog *Program) *directives {
 	d := &directives{
 		ignore: make(map[string]map[int]map[string]bool),
 		impure: make(map[string]map[int]bool),
+		exempt: make(map[string]map[int]bool),
 	}
 	for _, pkg := range prog.Sorted() {
 		for _, file := range pkg.Files {
@@ -150,6 +169,7 @@ func collectDirectives(prog *Program) *directives {
 			}
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
+					d.scanExempt(prog, c)
 					d.scanIgnore(prog, c)
 				}
 			}
@@ -186,6 +206,26 @@ func (d *directives) scanImpure(prog *Program, fn *ast.FuncDecl) bool {
 	return false
 }
 
+// scanExempt records a //mbpvet:panicfree-exempt directive for its own line
+// and the line below, reporting an unjustified one instead of honoring it.
+func (d *directives) scanExempt(prog *Program, c *ast.Comment) {
+	rest, ok := strings.CutPrefix(c.Text, directiveExempt)
+	if !ok {
+		return
+	}
+	pos := prog.Fset.Position(c.Pos())
+	if strings.TrimSpace(rest) == "" {
+		d.malformed = append(d.malformed, Finding{
+			Pos:  pos,
+			Rule: RulePanicFree,
+			Msg:  "mbpvet:panicfree-exempt directive needs a justification (\"//mbpvet:panicfree-exempt <why>\")",
+		})
+		return
+	}
+	addLine(d.exempt, pos.Filename, pos.Line)
+	addLine(d.exempt, pos.Filename, pos.Line+1)
+}
+
 func (d *directives) scanIgnore(prog *Program, c *ast.Comment) {
 	rest, ok := strings.CutPrefix(c.Text, directiveIgnore)
 	if !ok {
@@ -213,11 +253,14 @@ func (d *directives) scanIgnore(prog *Program, c *ast.Comment) {
 	}
 }
 
-// suppressed reports whether an ignore directive covers the finding.
-// (Impure annotations are consulted by the purity rule itself, since they
-// attach to methods rather than lines.)
+// suppressed reports whether an ignore or panicfree-exempt directive covers
+// the finding. (Impure annotations are consulted by the purity rule itself,
+// since they attach to methods rather than lines.)
 func (d *directives) suppressed(f Finding) bool {
-	return d.ignore[f.Pos.Filename][f.Pos.Line][f.Rule]
+	if d.ignore[f.Pos.Filename][f.Pos.Line][f.Rule] {
+		return true
+	}
+	return f.Rule == RulePanicFree && d.exempt[f.Pos.Filename][f.Pos.Line]
 }
 
 // isImpureAnnotated reports whether the function starting at pos carries a

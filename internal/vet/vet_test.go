@@ -12,18 +12,19 @@ import (
 // fixtureConfig mirrors DefaultConfig for the testdata module.
 func fixtureConfig() Config {
 	return Config{
-		RegistryPath:  "fix/predictors/registry",
-		PredictorRoot: "fix/predictors",
-		ErrorPackages: []string{"fix/codec"},
-		WidthPackages: []string{"fix/codec"},
-		GuardFuncs:    []string{"CanonicalAddress"},
+		RegistryPath:      "fix/predictors/registry",
+		PredictorRoot:     "fix/predictors",
+		ErrorPackages:     []string{"fix/codec"},
+		WidthPackages:     []string{"fix/codec"},
+		GuardFuncs:        []string{"CanonicalAddress"},
+		PanicFreePackages: []string{"fix/codec"},
 	}
 }
 
 // TestFixtureRules loads the fixture module and checks the findings against
 // the `// want <rule>` markers embedded in the sources: every marker must
 // produce a finding on its line, and every finding must be wanted. The
-// fixture contains a violating and a conforming case for each of V1-V4.
+// fixture contains a violating and a conforming case for each of V1-V5.
 func TestFixtureRules(t *testing.T) {
 	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
 	if err != nil {
@@ -56,7 +57,7 @@ func TestFixtureRules(t *testing.T) {
 		}
 	}
 
-	for _, rule := range []string{RulePurity, RuleRegistry, RuleDroppedErr, RuleBitWidth} {
+	for _, rule := range []string{RulePurity, RuleRegistry, RuleDroppedErr, RuleBitWidth, RulePanicFree} {
 		if !rulesSeen[rule] {
 			t.Errorf("fixture has no want marker for rule %s", rule)
 		}
@@ -134,6 +135,47 @@ func Drop(w io.Writer) {
 		}
 	}
 	if !haveMalformed || !haveDropped {
+		t.Errorf("findings missing expected pair: %v", findings)
+	}
+}
+
+// TestPanicFreeExemptRequiresJustification checks the panicfree escape
+// hatch: a bare //mbpvet:panicfree-exempt is reported as malformed and the
+// panic finding it tried to cover survives.
+func TestPanicFreeExemptRequiresJustification(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir, "codec/codec.go", `
+// Package codec is a directive-test fixture.
+package codec
+
+// Decode panics under an unjustified exemption.
+func Decode(b []byte) byte {
+	if len(b) == 0 {
+		//mbpvet:panicfree-exempt
+		panic("empty")
+	}
+	return b[0]
+}
+`)
+	prog, err := Load(dir, "tmpfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{PanicFreePackages: []string{"tmpfix/codec"}}
+	findings := Run(prog, cfg)
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings (malformed directive + surviving panicfree), got %v", findings)
+	}
+	var haveMalformed, havePanic bool
+	for _, f := range findings {
+		if strings.Contains(f.Msg, "needs a justification") {
+			haveMalformed = true
+		}
+		if f.Rule == RulePanicFree && strings.Contains(f.Msg, "untrusted input") {
+			havePanic = true
+		}
+	}
+	if !haveMalformed || !havePanic {
 		t.Errorf("findings missing expected pair: %v", findings)
 	}
 }
