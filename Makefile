@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke
+.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke bench bench-smoke bench-snapshot
 
-check: fmt vet build test race mbpvet fault-sweep fuzz-smoke
+check: fmt vet build test race mbpvet fault-sweep fuzz-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -35,6 +35,19 @@ mbpvet:
 # byte offset of every trace format, plus hostile headers and short reads.
 fault-sweep:
 	$(GO) test -run 'TestSweep' -v ./internal/faults/
+
+# Full timing runs of the batching benchmarks (read stage and simulation).
+bench:
+	$(GO) test -run=NONE -bench 'BenchmarkSBBTRead|BenchmarkRun' -benchtime=2s ./internal/bench/
+
+# One iteration per benchmark: proves the benchmarks still compile and run
+# without paying for stable timings. Used by CI.
+bench-smoke:
+	$(GO) test -run=NONE -bench 'BenchmarkSBBTRead|BenchmarkRun' -benchtime=1x ./internal/bench/
+
+# Regenerate the committed BENCH_sim.json over a 2M-branch trace.
+bench-snapshot:
+	$(GO) run ./cmd/mbpbench -sim-snapshot BENCH_sim.json -scale 2000000
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/

@@ -7,6 +7,10 @@
 //	mbpbench -table 3             # simulation time vs CBP5 framework and ChampSim-style model
 //	mbpbench -table 4             # CBP5 framework with gzip vs MLZ traces
 //	mbpbench -table all -scale 50000
+//	mbpbench -sim-snapshot BENCH_sim.json -scale 2000000
+//
+// -sim-snapshot skips the tables and instead records the scalar-vs-batched
+// pipeline comparison (decode stage and full runs) as JSON.
 //
 // Scale is the branch count of a short trace; the paper's absolute times
 // used 100M-instruction traces, far above what a quick run needs — the
@@ -17,22 +21,68 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"mbplib/internal/bench"
 )
 
 func main() {
 	var (
-		table    = flag.String("table", "all", "table to regenerate: 1, 3, 4 or all")
-		scale    = flag.Uint64("scale", 50_000, "branches in a short trace")
-		dir      = flag.String("dir", "", "trace directory (default: a temporary one)")
-		maxInstr = flag.Uint64("champsim-instr", 0, "instruction cap for the cycle-level runs (0 = whole trace)")
+		table      = flag.String("table", "all", "table to regenerate: 1, 3, 4 or all")
+		scale      = flag.Uint64("scale", 50_000, "branches in a short trace")
+		dir        = flag.String("dir", "", "trace directory (default: a temporary one)")
+		maxInstr   = flag.Uint64("champsim-instr", 0, "instruction cap for the cycle-level runs (0 = whole trace)")
+		snapshot   = flag.String("sim-snapshot", "", "write the scalar-vs-batched pipeline comparison to this JSON file instead of printing tables")
+		predictors = flag.String("sim-predictors", "bimodal,gshare,tage", "comma-separated predictor specs for the snapshot's full runs")
+		rounds     = flag.Int("sim-rounds", 3, "measurement rounds per snapshot variant (best is kept)")
 	)
 	flag.Parse()
-	if err := run(*table, *scale, *dir, *maxInstr); err != nil {
+	var err error
+	if *snapshot != "" {
+		err = runSnapshot(*snapshot, *scale, *dir, *predictors, *rounds)
+	} else {
+		err = run(*table, *scale, *dir, *maxInstr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbpbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSnapshot materialises one SBBT trace of the requested scale and
+// records the scalar-vs-batched comparison over it.
+func runSnapshot(out string, scale uint64, dir, predictors string, rounds int) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "mbpbench")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	ts, err := bench.PrepareSuite(dir, "cbp5-train", scale, bench.Formats{SBBT: true})
+	if err != nil {
+		return err
+	}
+	if len(ts.SBBT) == 0 {
+		return fmt.Errorf("suite produced no SBBT traces")
+	}
+	snap, err := bench.MeasureSim(ts.SBBT[0], strings.Split(predictors, ","), rounds)
+	if err != nil {
+		return err
+	}
+	// The trace lives in a throwaway directory; record just its base name.
+	snap.Trace = filepath.Base(snap.Trace)
+	if err := bench.WriteSimSnapshot(out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: decode %.2fx", out, snap.Read.Speedup)
+	for _, e := range snap.Sim {
+		fmt.Printf(", %s %.2fx", e.Predictor, e.Speedup)
+	}
+	fmt.Println()
+	return nil
 }
 
 func run(table string, scale uint64, dir string, maxInstr uint64) error {

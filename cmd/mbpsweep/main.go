@@ -32,6 +32,7 @@ import (
 	"mbplib/internal/bp"
 	"mbplib/internal/compress"
 	"mbplib/internal/predictors/registry"
+	"mbplib/internal/prof"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
 )
@@ -61,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
 		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -69,6 +72,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mbpsweep: -traces is required (see -help)")
 		return exitUsage
 	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "mbpsweep:", err)
+		}
+	}()
 	if !strings.Contains(*predSpec, "%d") {
 		fmt.Fprintf(stderr, "mbpsweep: predictor spec %q has no %%d placeholder\n", *predSpec)
 		return exitUsage

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+// benchSpec is the workload of the batching benchmarks: the kernel mix of
+// the cbp5-train suite's first trace, sized so a run takes milliseconds.
+func benchSpec(branches uint64) tracegen.Spec {
+	return tracegen.Spec{
+		Name: "bench", Seed: 7, Branches: branches,
+		Kernels: []tracegen.KernelSpec{
+			{Kind: tracegen.Biased}, {Kind: tracegen.Loop},
+			{Kind: tracegen.Correlated}, {Kind: tracegen.CallRet},
+		},
+	}
+}
+
+// benchSBBT renders the benchmark workload as an in-memory SBBT trace, so
+// reader benchmarks measure decoding, not disk.
+func benchSBBT(b *testing.B, branches uint64) []byte {
+	b.Helper()
+	spec := benchSpec(branches)
+	instr, total, err := tracegen.Totals(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := sbbt.NewWriter(&buf, instr, total)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tracegen.WriteSBBT(spec, w.Write); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const benchBranches = 200_000
+
+// BenchmarkSBBTReadScalar decodes an SBBT stream one Read call per event:
+// the pre-batching baseline.
+func BenchmarkSBBTReadScalar(b *testing.B) {
+	data := benchSBBT(b, benchBranches)
+	b.SetBytes(benchBranches * sbbt.PacketSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sbbt.NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := r.Read(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != benchBranches {
+			b.Fatalf("decoded %d events, want %d", n, benchBranches)
+		}
+	}
+	b.ReportMetric(float64(benchBranches)*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+// BenchmarkSBBTReadBatch decodes the same stream through ReadBatch into a
+// reused 4096-event buffer.
+func BenchmarkSBBTReadBatch(b *testing.B) {
+	data := benchSBBT(b, benchBranches)
+	dst := make([]bp.Event, 4096)
+	b.SetBytes(benchBranches * sbbt.PacketSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sbbt.NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for {
+			n, err := r.ReadBatch(dst)
+			total += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if total != benchBranches {
+			b.Fatalf("decoded %d events, want %d", total, benchBranches)
+		}
+	}
+	b.ReportMetric(float64(benchBranches)*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+func benchmarkRun(b *testing.B, batched bool) {
+	data := benchSBBT(b, benchBranches)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sbbt.NewReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := registry.New("gshare")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res *sim.Result
+		if batched {
+			res, err = sim.Run(r, p, sim.Config{})
+		} else {
+			res, err = sim.RunScalar(r, p, sim.Config{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Metadata.ExhaustedTrace {
+			b.Fatal("trace not exhausted")
+		}
+	}
+	b.ReportMetric(float64(benchBranches)*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+// BenchmarkRunScalar simulates gshare over the workload with the scalar
+// reference loop: the pre-batching baseline.
+func BenchmarkRunScalar(b *testing.B) { benchmarkRun(b, false) }
+
+// BenchmarkRunBatched simulates the same workload through the batched
+// decode-ahead pipeline.
+func BenchmarkRunBatched(b *testing.B) { benchmarkRun(b, true) }
+
+// TestRunBatchedAllocsBounded pins the zero-per-event-allocation property:
+// the batched pipeline's heap allocation count must not scale with the
+// event count. Both runs pay the same fixed setup (reader buffer, prefetch
+// buffers, stats, result); a per-event allocation anywhere in the hot path
+// would add ~180k mallocs to the large run and trip the bound at once.
+func TestRunBatchedAllocsBounded(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	mallocsFor := func(branches uint64) uint64 {
+		spec := benchSpec(branches)
+		g, err := tracegen.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := registry.New("gshare")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if _, err := sim.Run(g, p, sim.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	small := mallocsFor(20_000)
+	large := mallocsFor(200_000)
+	// 10× the events must not cost measurably more allocations; allow slack
+	// for goroutine scheduling noise and the stats arrays' growth.
+	if large > small+2000 {
+		t.Errorf("mallocs grew with event count: %d for 20k events, %d for 200k", small, large)
+	}
+}

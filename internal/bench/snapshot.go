@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/compress"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/sim"
+)
+
+// SimMeasurement is one measured configuration of the batching snapshot:
+// wall time, throughput and allocation behaviour over a full trace-file
+// pass (decompression and decode included, as in the paper's methodology).
+type SimMeasurement struct {
+	Seconds         float64 `json:"seconds"`
+	BranchesPerSec  float64 `json:"branches_per_sec"`
+	MallocsPerEvent float64 `json:"mallocs_per_event"`
+}
+
+// Stage pairs the scalar baseline with the batched pipeline for one
+// pipeline stage (trace decode alone, or a full simulation).
+type Stage struct {
+	Scalar  SimMeasurement `json:"scalar"`
+	Batched SimMeasurement `json:"batched"`
+	Speedup float64        `json:"speedup"`
+}
+
+// SimEntry is one full-simulation comparison: the scalar reference loop
+// against the batched decode-ahead pipeline under a given predictor.
+type SimEntry struct {
+	Predictor string `json:"predictor"`
+	Stage
+}
+
+// SimSnapshot is the committed record of the batching optimisation
+// (BENCH_sim.json). Read isolates the trace-decode stage (drain the file,
+// no predictor); Sim is the end-to-end run, whose speedup shrinks as the
+// predictor's own cost grows.
+type SimSnapshot struct {
+	Trace      string     `json:"trace"`
+	Branches   uint64     `json:"branches"`
+	GoVersion  string     `json:"go_version"`
+	GOARCH     string     `json:"goarch"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Read       Stage      `json:"read"`
+	Sim        []SimEntry `json:"sim"`
+}
+
+// openTrace opens the (possibly compressed) SBBT trace file.
+func openTrace(path string) (io.ReadCloser, *sbbt.Reader, error) {
+	f, err := compress.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := sbbt.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return f, r, nil
+}
+
+// drainVariant decodes every event of the trace file without simulating,
+// via the scalar Read loop or ReadBatch, isolating the decode stage.
+func drainVariant(path string, batched bool) (m SimMeasurement, events uint64, err error) {
+	f, r, err := openTrace(path)
+	if err != nil {
+		return SimMeasurement{}, 0, err
+	}
+	defer f.Close()
+	dst := make([]bp.Event, 4096)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for {
+		if batched {
+			_, err = r.ReadBatch(dst)
+		} else {
+			_, err = r.Read()
+		}
+		if err != nil {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != io.EOF {
+		return SimMeasurement{}, 0, err
+	}
+	events = r.TotalBranches()
+	m = SimMeasurement{Seconds: elapsed.Seconds()}
+	if events > 0 && m.Seconds > 0 {
+		m.BranchesPerSec = float64(events) / m.Seconds
+		m.MallocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+	}
+	return m, events, nil
+}
+
+// runVariant simulates the trace file once with either the scalar
+// reference loop or the batched pipeline, returning the measurement and
+// the trace's total dynamic branch count (the throughput denominator:
+// every event flows through Track, not just the conditional ones).
+func runVariant(path, predictorSpec string, batched bool) (m SimMeasurement, events uint64, err error) {
+	p, err := registry.New(predictorSpec)
+	if err != nil {
+		return SimMeasurement{}, 0, err
+	}
+	f, r, err := openTrace(path)
+	if err != nil {
+		return SimMeasurement{}, 0, err
+	}
+	defer f.Close()
+	var res *sim.Result
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if batched {
+		res, err = sim.Run(r, p, sim.Config{TraceName: path})
+	} else {
+		res, err = sim.RunScalar(r, p, sim.Config{TraceName: path})
+	}
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return SimMeasurement{}, 0, err
+	}
+	events = r.TotalBranches()
+	m = SimMeasurement{Seconds: res.Metrics.SimulationTime}
+	if events > 0 && m.Seconds > 0 {
+		m.BranchesPerSec = float64(events) / m.Seconds
+		m.MallocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+	}
+	return m, events, nil
+}
+
+// measureStage takes the best of rounds runs per variant and derives the
+// scalar-over-batched speedup.
+func measureStage(rounds int, variant func(batched bool) (SimMeasurement, uint64, error)) (Stage, uint64, error) {
+	var st Stage
+	var branches uint64
+	measure := func(batched bool) (SimMeasurement, error) {
+		best := SimMeasurement{}
+		for i := 0; i < rounds; i++ {
+			m, events, err := variant(batched)
+			if err != nil {
+				return SimMeasurement{}, err
+			}
+			branches = events
+			if best.Seconds == 0 || m.Seconds < best.Seconds {
+				best = m
+			}
+		}
+		return best, nil
+	}
+	var err error
+	if st.Scalar, err = measure(false); err != nil {
+		return Stage{}, 0, err
+	}
+	if st.Batched, err = measure(true); err != nil {
+		return Stage{}, 0, err
+	}
+	if st.Batched.Seconds > 0 {
+		st.Speedup = st.Scalar.Seconds / st.Batched.Seconds
+	}
+	return st, branches, nil
+}
+
+// MeasureSim benchmarks the scalar paths against the batched pipeline over
+// one SBBT trace file: the decode stage in isolation, then a full
+// simulation per predictor, taking the best of rounds runs per variant.
+func MeasureSim(path string, predictors []string, rounds int) (*SimSnapshot, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	snap := &SimSnapshot{
+		Trace:      path,
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var err error
+	if snap.Read, snap.Branches, err = measureStage(rounds, func(batched bool) (SimMeasurement, uint64, error) {
+		return drainVariant(path, batched)
+	}); err != nil {
+		return nil, err
+	}
+	for _, spec := range predictors {
+		st, _, err := measureStage(rounds, func(batched bool) (SimMeasurement, uint64, error) {
+			return runVariant(path, spec, batched)
+		})
+		if err != nil {
+			return nil, err
+		}
+		snap.Sim = append(snap.Sim, SimEntry{Predictor: spec, Stage: st})
+	}
+	return snap, nil
+}
+
+// WriteSimSnapshot writes the snapshot as indented JSON to path.
+func WriteSimSnapshot(path string, snap *SimSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: writing snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package bp
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// scalarReader implements only Reader, forcing ReadBatch onto the adapter
+// path.
+type scalarReader struct {
+	evs []Event
+	pos int
+	err error // returned after the events, io.EOF if nil
+}
+
+func (r *scalarReader) Read() (Event, error) {
+	if r.pos >= len(r.evs) {
+		if r.err != nil {
+			return Event{}, r.err
+		}
+		return Event{}, io.EOF
+	}
+	ev := r.evs[r.pos]
+	r.pos++
+	return ev, nil
+}
+
+// batchOnlyReader implements BatchReader with a recognisable batch size, to
+// verify the adapter delegates instead of falling back to Read.
+type batchOnlyReader struct {
+	scalarReader
+	batchCalls int
+}
+
+func (r *batchOnlyReader) ReadBatch(dst []Event) (int, error) {
+	r.batchCalls++
+	n := 0
+	for n < len(dst) {
+		ev, err := r.Read()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
+}
+
+func testEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			Branch:                Branch{IP: uint64(0x1000 + 4*i), Target: uint64(0x2000 + 4*i), Opcode: OpCondJump, Taken: i%3 == 0},
+			InstrsSinceLastBranch: uint64(i % 7),
+		}
+	}
+	return evs
+}
+
+func TestReadBatchAdapterFallback(t *testing.T) {
+	evs := testEvents(10)
+	r := &scalarReader{evs: evs}
+	dst := make([]Event, 4)
+
+	n, err := ReadBatch(r, dst)
+	if n != 4 || err != nil {
+		t.Fatalf("ReadBatch = (%d, %v), want (4, nil)", n, err)
+	}
+	for i := 0; i < 4; i++ {
+		if dst[i] != evs[i] {
+			t.Errorf("dst[%d] = %+v, want %+v", i, dst[i], evs[i])
+		}
+	}
+
+	// Partial final batch: error after n.
+	big := make([]Event, 16)
+	n, err = ReadBatch(r, big)
+	if n != 6 || err != io.EOF {
+		t.Fatalf("final ReadBatch = (%d, %v), want (6, io.EOF)", n, err)
+	}
+	for i := 0; i < 6; i++ {
+		if big[i] != evs[4+i] {
+			t.Errorf("big[%d] = %+v, want %+v", i, big[i], evs[4+i])
+		}
+	}
+}
+
+func TestReadBatchAdapterPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	r := &scalarReader{evs: testEvents(3), err: boom}
+	dst := make([]Event, 8)
+	n, err := ReadBatch(r, dst)
+	if n != 3 || err != boom {
+		t.Fatalf("ReadBatch = (%d, %v), want (3, boom)", n, err)
+	}
+}
+
+func TestReadBatchAdapterDelegates(t *testing.T) {
+	r := &batchOnlyReader{scalarReader: scalarReader{evs: testEvents(5)}}
+	dst := make([]Event, 8)
+	n, err := ReadBatch(r, dst)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("ReadBatch = (%d, %v), want (5, io.EOF)", n, err)
+	}
+	if r.batchCalls != 1 {
+		t.Errorf("native ReadBatch called %d times, want 1", r.batchCalls)
+	}
+}
+
+func TestReadBatchEmptyDst(t *testing.T) {
+	r := &scalarReader{evs: testEvents(2)}
+	n, err := ReadBatch(r, nil)
+	if n != 0 || err != nil {
+		t.Fatalf("ReadBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+	if r.pos != 0 {
+		t.Errorf("empty-dst ReadBatch consumed %d events", r.pos)
+	}
+}

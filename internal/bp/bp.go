@@ -195,6 +195,57 @@ type Reader interface {
 	Read() (Event, error)
 }
 
+// BatchReader is implemented by trace readers that can decode many events
+// per call, amortizing the per-event interface-call and bounds-check
+// overhead of Reader.Read — the difference between "one virtual call per
+// branch" and "one virtual call per few thousand branches" in the
+// simulator's hot loop.
+//
+// The contract (see also DESIGN.md, "Batched reading"):
+//
+//   - ReadBatch fills dst from the front and returns the number n of events
+//     decoded, 0 ≤ n ≤ len(dst). The caller owns dst and is expected to
+//     reuse it across calls; implementations must not retain it.
+//   - Errors follow the "error after n" rule: when err is non-nil the first
+//     n events of dst are still valid and must be consumed before the error
+//     is acted on. A clean end of trace is reported as io.EOF, possibly on
+//     the same call that delivers the final events.
+//   - Any non-nil error (including io.EOF) is terminal and sticky: every
+//     subsequent call returns (0, err) with the same error.
+//   - A call with len(dst) > 0 on a healthy stream makes progress: it
+//     returns n > 0 or a non-nil error, never (0, nil).
+//
+// Scalar readers are adapted transparently by the package-level ReadBatch
+// function; interleaving Read and ReadBatch calls on the same reader is
+// allowed and observes a single consistent stream position.
+type BatchReader interface {
+	Reader
+	// ReadBatch decodes up to len(dst) events into dst and returns how many
+	// it decoded, with the error semantics documented on BatchReader.
+	ReadBatch(dst []Event) (int, error)
+}
+
+// ReadBatch reads up to len(dst) events from r into dst, using the reader's
+// native batch decoder when it implements BatchReader and falling back to a
+// scalar Read loop otherwise. The returned values follow the BatchReader
+// contract, so callers can consume any Reader batch-wise without caring
+// which kind they were handed.
+func ReadBatch(r Reader, dst []Event) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.ReadBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		ev, err := r.Read()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
+}
+
 // Sizer is optionally implemented by trace readers that know the totals
 // recorded in their header: the number of instructions executed during
 // tracing and the number of branch events in the trace.

@@ -1,0 +1,140 @@
+package bt9
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+)
+
+func TestReadBatchMatchesRead(t *testing.T) {
+	evs := sampleEvents(5000)
+	data := writeTrace(t, evs)
+
+	want := func() []bp.Event {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("NewReader: %v", err)
+		}
+		var out []bp.Event
+		for {
+			ev, err := r.Read()
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			out = append(out, ev)
+		}
+	}()
+
+	for _, dstLen := range []int{1, 13, 512, 8192} {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("NewReader: %v", err)
+		}
+		dst := make([]bp.Event, dstLen)
+		var got []bp.Event
+		for {
+			n, err := r.ReadBatch(dst)
+			got = append(got, dst[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("dstLen %d: ReadBatch: %v", dstLen, err)
+			}
+			if n == 0 {
+				t.Fatal("ReadBatch returned (0, nil): progress guarantee violated")
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("dstLen %d: read %d events, want %d", dstLen, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dstLen %d: event %d = %+v, want %+v", dstLen, i, got[i], want[i])
+			}
+		}
+		// Sticky after EOF.
+		if n, err := r.ReadBatch(dst[:1]); n != 0 || err != io.EOF {
+			t.Errorf("dstLen %d: post-EOF ReadBatch = (%d, %v)", dstLen, n, err)
+		}
+	}
+}
+
+func TestReadBatchBadEntryMidBatch(t *testing.T) {
+	evs := sampleEvents(100)
+	data := string(writeTrace(t, evs))
+	// Corrupt the 51st sequence entry. The sequence section follows the
+	// BT9_EDGE_SEQUENCE marker, one edge id per line.
+	marker := "BT9_EDGE_SEQUENCE\n"
+	seqStart := strings.Index(data, marker)
+	if seqStart < 0 {
+		t.Fatal("no sequence section")
+	}
+	head := data[:seqStart+len(marker)]
+	lines := strings.Split(strings.TrimRight(data[seqStart+len(marker):], "\n"), "\n")
+	lines[50] = "not-a-number"
+	corrupt := head + strings.Join(lines, "\n") + "\n"
+
+	r, err := NewReader(strings.NewReader(corrupt))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	dst := make([]bp.Event, 64)
+	var got []bp.Event
+	var final error
+	for {
+		n, err := r.ReadBatch(dst)
+		got = append(got, dst[:n]...)
+		if err != nil {
+			final = err
+			break
+		}
+	}
+	if !errors.Is(final, faults.ErrCorrupt) {
+		t.Fatalf("final error = %v, want ErrCorrupt", final)
+	}
+	if len(got) != 50 {
+		t.Fatalf("decoded %d events before the bad entry, want 50", len(got))
+	}
+	for i := range got {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+	// Sticky.
+	if n, err := r.ReadBatch(dst[:1]); n != 0 || !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("post-error ReadBatch = (%d, %v)", n, err)
+	}
+}
+
+func TestReadBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	evs := sampleEvents(60000)
+	data := writeTrace(t, evs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	dst := make([]bp.Event, 4096)
+	if _, err := r.ReadBatch(dst); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := r.ReadBatch(dst); err != nil && err != io.EOF {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -315,20 +315,50 @@ func (r *Reader) Read() (bp.Event, error) {
 	if r.err != nil {
 		return bp.Event{}, r.err
 	}
+	var ev bp.Event
+	if err := r.readInto(&ev); err != nil {
+		return bp.Event{}, err
+	}
+	return ev, nil
+}
+
+// ReadBatch implements bp.BatchReader: it decodes up to len(dst) sequence
+// entries into dst without allocating per event. Errors follow the "error
+// after n" contract: dst[:n] is valid even when err is non-nil, and the
+// error is sticky thereafter.
+func (r *Reader) ReadBatch(dst []bp.Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if r.err != nil {
+			return n, r.err
+		}
+		if err := r.readInto(&dst[n]); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// readInto decodes the next sequence entry into ev. It parses the scanner's
+// byte view directly, so the per-event path performs no allocation; the
+// caller must have checked r.err. On failure it records the sticky error
+// and returns it.
+func (r *Reader) readInto(ev *bp.Event) error {
 	for r.sc.Scan() {
-		line := r.sc.Text()
-		if line == "" {
+		line := r.sc.Bytes()
+		if len(line) == 0 {
 			continue
 		}
-		id, err := strconv.Atoi(line)
-		if err != nil || id < 0 || id >= len(r.edges) {
-			r.err = fmt.Errorf("bt9: bad sequence entry %q: %w", line, faults.ErrCorrupt)
-			return bp.Event{}, r.err
+		id, ok := atoiBytes(line)
+		if !ok || id >= len(r.edges) {
+			r.err = fmt.Errorf("bt9: bad sequence entry %q: %w", string(line), faults.ErrCorrupt)
+			return r.err
 		}
-		edge := r.edges[id]
-		node := r.nodes[edge.NodeID]
+		edge := &r.edges[id]
+		node := &r.nodes[edge.NodeID]
 		r.read++
-		return bp.Event{
+		*ev = bp.Event{
 			Branch: bp.Branch{
 				IP:     node.IP,
 				Target: edge.Target,
@@ -336,18 +366,37 @@ func (r *Reader) Read() (bp.Event, error) {
 				Taken:  edge.Taken,
 			},
 			InstrsSinceLastBranch: edge.InstrCount,
-		}, nil
+		}
+		return nil
 	}
 	if err := r.sc.Err(); err != nil {
 		r.err = fmt.Errorf("bt9: scanning sequence: %w", classifyScanErr(err))
-		return bp.Event{}, r.err
+		return r.err
 	}
 	if r.read < r.totalBranches {
 		r.err = fmt.Errorf("bt9: sequence ends after %d of %d branches: %w", r.read, r.totalBranches, bp.ErrTruncated)
-		return bp.Event{}, r.err
+		return r.err
 	}
 	r.err = io.EOF
-	return bp.Event{}, io.EOF
+	return r.err
+}
+
+// atoiBytes parses a non-negative decimal edge identifier without
+// allocating. ok is false for empty input, any non-digit (including a sign,
+// which a valid identifier never carries), or a value too large to be an
+// edge id — all of which the caller reports as a corrupt sequence entry,
+// exactly as the strconv-based parse did.
+func atoiBytes(line []byte) (id int, ok bool) {
+	if len(line) == 0 {
+		return 0, false
+	}
+	for _, c := range line {
+		if c < '0' || c > '9' || id > MaxGraphEdges {
+			return 0, false
+		}
+		id = id*10 + int(c-'0')
+	}
+	return id, true
 }
 
 // edgeKey identifies a distinct dynamic outcome for the writer's graph.

@@ -1,0 +1,124 @@
+package cbp5
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+)
+
+func TestReaderMatchesFrameworkNext(t *testing.T) {
+	data := writeBT9(t, testSpec())
+
+	fr, err := newFrameworkReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("newFrameworkReader: %v", err)
+	}
+	var want []bp.Event
+	for {
+		rec, err := fr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		want = append(want, *rec)
+	}
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.TotalBranches() != uint64(len(want)) {
+		t.Errorf("TotalBranches = %d, want %d", r.TotalBranches(), len(want))
+	}
+	dst := make([]bp.Event, 1000)
+	var got []bp.Event
+	for {
+		n, err := r.ReadBatch(dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+		if n == 0 {
+			t.Fatal("ReadBatch returned (0, nil): progress guarantee violated")
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Sticky after EOF, on both paths.
+	if n, err := r.ReadBatch(dst[:1]); n != 0 || err != io.EOF {
+		t.Errorf("post-EOF ReadBatch = (%d, %v)", n, err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("post-EOF Read = %v", err)
+	}
+}
+
+func TestReaderTruncatedSequence(t *testing.T) {
+	data := writeBT9(t, testSpec())
+	// Cut the trailing 20% of the sequence section: decode stops with a
+	// typed truncation error after the events before the cut.
+	cut := data[:len(data)*8/10]
+	// Ensure the cut lands inside the sequence, not the preamble.
+	if !bytes.Contains(cut, []byte("BT9_EDGE_SEQUENCE")) {
+		t.Fatal("cut removed the whole sequence section; enlarge the spec")
+	}
+	// Trim to the last whole line so the failure is the short sequence, not
+	// a half-written entry.
+	if i := bytes.LastIndexByte(cut, '\n'); i >= 0 {
+		cut = cut[:i+1]
+	}
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	dst := make([]bp.Event, 4096)
+	var final error
+	for {
+		_, err := r.ReadBatch(dst)
+		if err != nil {
+			final = err
+			break
+		}
+	}
+	if !errors.Is(final, faults.ErrTruncated) {
+		t.Fatalf("final error = %v, want ErrTruncated", final)
+	}
+}
+
+func TestParseSeqID(t *testing.T) {
+	cases := []struct {
+		in string
+		id int
+		ok bool
+	}{
+		{"0", 0, true},
+		{"42", 42, true},
+		{"1073741824", 1073741824, true},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"+3", 0, false},
+		{"12a", 0, false},
+		{"999999999999999999999", 0, false},
+	}
+	for _, c := range cases {
+		id, ok := parseSeqID([]byte(c.in))
+		if ok != c.ok || (ok && id != c.id) {
+			t.Errorf("parseSeqID(%q) = (%d, %v), want (%d, %v)", c.in, id, ok, c.id, c.ok)
+		}
+	}
+}

@@ -612,10 +612,18 @@ func mlzDecodeBlock(dst, payload []byte, rawLen int) ([]byte, error) {
 			// Non-overlapping: one bulk copy.
 			dst = append(dst, dst[start:start+matchLen]...)
 		} else {
-			// Overlapping matches (offset < matchLen) are the run-length
-			// case and must replicate already-copied bytes one at a time.
-			for i := 0; i < matchLen; i++ {
-				dst = append(dst, dst[start+i])
+			// Overlapping match (offset < matchLen): the run-length case.
+			// Each copy may source bytes written by the previous one, so
+			// the copied region doubles per pass — O(log(matchLen/offset))
+			// copies instead of one append per byte.
+			d := len(dst)
+			if cap(dst) < d+matchLen {
+				dst = append(dst, make([]byte, matchLen)...)
+			} else {
+				dst = dst[:d+matchLen]
+			}
+			for i := 0; i < matchLen; {
+				i += copy(dst[d+i:d+matchLen], dst[start+i:d+i])
 			}
 		}
 	}

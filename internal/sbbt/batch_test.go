@@ -1,0 +1,186 @@
+package sbbt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+// drainBatches reads the whole trace through ReadBatch with the given dst
+// size, reusing dst across calls, and returns every event plus the final
+// error.
+func drainBatches(t *testing.T, r *Reader, dstLen int) ([]bp.Event, error) {
+	t.Helper()
+	dst := make([]bp.Event, dstLen)
+	var all []bp.Event
+	for {
+		n, err := r.ReadBatch(dst)
+		all = append(all, dst[:n]...)
+		if err != nil {
+			return all, err
+		}
+		if n == 0 {
+			t.Fatal("ReadBatch returned (0, nil): progress guarantee violated")
+		}
+	}
+}
+
+func TestReadBatchMatchesRead(t *testing.T) {
+	evs := sampleEvents(10000) // spans multiple reader buffer fills
+	data := writeTrace(t, evs)
+
+	// Batch sizes around the internal buffer size and awkward odd sizes.
+	for _, dstLen := range []int{1, 7, 100, 4096, 5000, 20000} {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("NewReader: %v", err)
+		}
+		got, err := drainBatches(t, r, dstLen)
+		if err != io.EOF {
+			t.Fatalf("dstLen %d: final error = %v, want io.EOF", dstLen, err)
+		}
+		if len(got) != len(evs) {
+			t.Fatalf("dstLen %d: read %d events, want %d", dstLen, len(got), len(evs))
+		}
+		for i := range evs {
+			if got[i] != evs[i] {
+				t.Fatalf("dstLen %d: event %d = %+v, want %+v", dstLen, i, got[i], evs[i])
+			}
+		}
+		// Sticky after EOF.
+		if n, err := r.ReadBatch(make([]bp.Event, 4)); n != 0 || err != io.EOF {
+			t.Errorf("dstLen %d: post-EOF ReadBatch = (%d, %v)", dstLen, n, err)
+		}
+	}
+}
+
+func TestReadBatchMixedWithRead(t *testing.T) {
+	evs := sampleEvents(1000)
+	data := writeTrace(t, evs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var got []bp.Event
+	dst := make([]bp.Event, 64)
+	for turn := 0; ; turn++ {
+		if turn%2 == 0 {
+			ev, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			got = append(got, ev)
+			continue
+		}
+		n, err := r.ReadBatch(dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("read %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestReadBatchTruncatedMidBatch(t *testing.T) {
+	evs := sampleEvents(100)
+	data := writeTrace(t, evs)
+	// Cut inside packet 51: 50 whole packets remain.
+	cut := data[:HeaderSize+50*PacketSize+3]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := drainBatches(t, r, 64)
+	if !errors.Is(err, bp.ErrTruncated) {
+		t.Fatalf("final error = %v, want ErrTruncated", err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("decoded %d events before truncation, want 50", len(got))
+	}
+	for i := range got {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], evs[i])
+		}
+	}
+	// The error must be sticky.
+	if n, err := r.ReadBatch(make([]bp.Event, 4)); n != 0 || !errors.Is(err, bp.ErrTruncated) {
+		t.Errorf("post-error ReadBatch = (%d, %v)", n, err)
+	}
+}
+
+func TestReadBatchChecksummedTrace(t *testing.T) {
+	evs := sampleEvents(5000)
+	var instrs uint64
+	for _, ev := range evs {
+		instrs += ev.InstrsSinceLastBranch + 1
+	}
+	var buf bytes.Buffer
+	w, err := NewChecksumWriter(&buf, instrs, uint64(len(evs)))
+	if err != nil {
+		t.Fatalf("NewChecksumWriter: %v", err)
+	}
+	for _, ev := range evs {
+		if err := w.Write(ev); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	got, err := drainBatches(t, r, 512)
+	if err != io.EOF {
+		t.Fatalf("final error = %v, want io.EOF", err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("read %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}
+
+func TestReadBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	evs := sampleEvents(50000)
+	data := writeTrace(t, evs)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	dst := make([]bp.Event, 4096)
+	if _, err := r.ReadBatch(dst); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := r.ReadBatch(dst); err != nil && err != io.EOF {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ReadBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sbbt
+
+// raceEnabled mirrors the build's -race flag so allocation-count tests can
+// skip themselves: race instrumentation adds its own allocations.
+const raceEnabled = true

@@ -393,6 +393,116 @@ func (r *Reader) Read() (bp.Event, error) {
 	return ev, nil
 }
 
+// Packet validity classes, precomputed over the low 12 bits of block 1
+// (opcode, reserved bits, outcome) so the batch decoder replaces the
+// generic per-packet validation with one table load. See packetClassTable.
+const (
+	packetBad        = 0 // reserved bits set, bad opcode, or bad outcome
+	packetOK         = 1 // valid regardless of the other fields
+	packetNeedNullTg = 2 // valid only with a null target (not-taken cond. ind.)
+)
+
+// packetClassTable classifies every possible low-12-bit pattern of block 1.
+// Valid packets touch at most 32 entries (reserved bits clear), so the
+// table stays cache-hot.
+var packetClassTable = func() [1 << 12]uint8 {
+	var t [1 << 12]uint8
+	for bits := range t {
+		if uint64(bits)>>reservedBit&0x7f != 0 {
+			continue // reserved bits set: packetBad
+		}
+		op := bp.Opcode(uint64(bits) & opcodeMask)
+		taken := uint64(bits)>>outcomeBit&1 == 1
+		if (bp.Branch{Opcode: op, Taken: taken}).Validate() != nil {
+			// Invalid regardless of target — unless this is the one rule
+			// that depends on the target: a not-taken conditional indirect
+			// branch is valid exactly when its target is null.
+			if op.Valid() && op.IsConditional() && op.IsIndirect() && !taken {
+				t[bits] = packetNeedNullTg
+			}
+			continue
+		}
+		if op.IsConditional() && op.IsIndirect() && !taken {
+			t[bits] = packetNeedNullTg
+			continue
+		}
+		t[bits] = packetOK
+	}
+	return t
+}()
+
+// ReadBatch implements bp.BatchReader: it decodes up to len(dst) packets
+// into dst and returns how many it decoded. Whole buffered chunks are
+// decoded per fill through a specialised loop — two 8-byte loads, a
+// table-driven validity check and a direct store into the caller's slice;
+// no per-packet function call, allocation or read syscall. Packets that
+// fail the fast check are re-decoded through DecodePacket so the error
+// text and fault class are identical to the scalar path's. Errors follow
+// the "error after n" contract: dst[:n] is valid even when err is non-nil,
+// and the error is sticky thereafter.
+func (r *Reader) ReadBatch(dst []bp.Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if r.err != nil {
+			return n, r.err
+		}
+		if r.end-r.pos < PacketSize {
+			if err := r.fill(); err != nil {
+				r.err = err
+				return n, err
+			}
+		}
+		// Decode every whole packet the buffer holds, bounded by dst.
+		avail := (r.end - r.pos) / PacketSize
+		if rem := len(dst) - n; avail > rem {
+			avail = rem
+		}
+		buf := r.buf[r.pos : r.pos+avail*PacketSize]
+		for i := 0; i+PacketSize <= len(buf); i += PacketSize {
+			block1 := binary.LittleEndian.Uint64(buf[i : i+8])
+			block2 := binary.LittleEndian.Uint64(buf[i+8 : i+16])
+			target := uint64(int64(block2) >> addrShift)
+			switch packetClassTable[block1&(1<<12-1)] {
+			case packetOK:
+			case packetNeedNullTg:
+				if target != 0 {
+					return n, r.failPacket()
+				}
+			default:
+				return n, r.failPacket()
+			}
+			dst[n] = bp.Event{
+				Branch: bp.Branch{
+					IP:     uint64(int64(block1) >> addrShift),
+					Target: target,
+					Opcode: bp.Opcode(block1 & opcodeMask),
+					Taken:  block1>>outcomeBit&1 == 1,
+				},
+				InstrsSinceLastBranch: block2 & lowMask,
+			}
+			r.pos += PacketSize
+			r.read++
+			n++
+		}
+	}
+	return n, nil
+}
+
+// failPacket re-decodes the packet at the current consume position (the
+// one the fast check just rejected; r.pos only advances past packets that
+// decoded cleanly) through the generic path, producing exactly the
+// diagnostic the scalar Read would, and latches it as the sticky error.
+func (r *Reader) failPacket() error {
+	_, err := DecodePacket(r.buf[r.pos : r.pos+PacketSize])
+	if err == nil {
+		// Unreachable unless the class table and DecodePacket disagree;
+		// fail closed as corruption rather than silently diverging.
+		err = fmt.Errorf("sbbt: packet rejected by batch decoder: %w", faults.ErrCorrupt)
+	}
+	r.err = err
+	return err
+}
+
 // fill slides leftover bytes to the front of the buffer and reads more.
 func (r *Reader) fill() error {
 	leftover := copy(r.buf, r.buf[r.pos:r.end])

@@ -161,11 +161,13 @@ func newBranchStats() *branchStats {
 func (s *branchStats) ips() []uint64 { return s.index.ips }
 
 // recordAt updates the counters of the branch with dense index i (from the
-// shared ipIndex), growing the arrays on first sight.
+// shared ipIndex), growing the arrays on first sight. Both slices grow to
+// the needed length in one step with doubling capacity, instead of one
+// element per loop iteration.
 func (s *branchStats) recordAt(i int, mispredicted bool) {
-	for i >= len(s.occ) {
-		s.occ = append(s.occ, 0)
-		s.missed = append(s.missed, 0)
+	if i >= len(s.occ) {
+		s.occ = growCounters(s.occ, i+1)
+		s.missed = growCounters(s.missed, i+1)
 	}
 	s.occ[i]++
 	if mispredicted {
@@ -173,61 +175,108 @@ func (s *branchStats) recordAt(i int, mispredicted bool) {
 	}
 }
 
-// Run simulates predictor p over the events of r under cfg.
-//
-// For every branch the simulator invokes Track; for conditional branches it
-// first obtains a prediction and invokes Train (§IV-B). Mispredictions of
-// branches whose instruction number falls within the warm-up window are not
-// counted. The returned error is non-nil only for trace decoding failures;
-// an empty or all-warm-up run yields zeroed metrics.
-func Run(r bp.Reader, p bp.Predictor, cfg Config) (*Result, error) {
-	start := time.Now()
-
-	stats := newBranchStats()
-	var (
-		instr          uint64 // instructions retired so far
-		condBranches   uint64 // conditional branches after warm-up
-		mispredictions uint64
-		exhausted      bool
-		limit          uint64 // absolute instruction limit, 0 = none
-	)
-	if cfg.SimInstructions > 0 {
-		limit = cfg.WarmupInstructions + cfg.SimInstructions
-	}
-
-	for {
-		ev, err := r.Read()
-		if err != nil {
-			if err == io.EOF {
-				exhausted = true
-				break
-			}
-			return nil, err
+// growCounters extends a counter slice to length n, zeroing the exposed
+// tail, with amortized-doubling reallocation.
+func growCounters(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		c := 2 * cap(s)
+		if c < n {
+			c = n
 		}
-		instr += ev.InstrsSinceLastBranch + 1
-		b := ev.Branch
-		idx := stats.index.lookup(b.IP)
-		if b.Opcode.IsConditional() {
-			predicted := p.Predict(b.IP)
-			if instr > cfg.WarmupInstructions {
-				condBranches++
+		if c < 64 {
+			c = 64
+		}
+		grown := make([]uint64, n, c)
+		copy(grown, s)
+		return grown
+	}
+	old := len(s)
+	s = s[:n]
+	for j := old; j < n; j++ {
+		s[j] = 0
+	}
+	return s
+}
+
+// runLoop holds the mutable state of one simulation: the per-branch
+// counters and the aggregate counts that the batched and scalar loops both
+// accumulate.
+type runLoop struct {
+	stats          *branchStats
+	instr          uint64 // instructions retired so far
+	condBranches   uint64 // conditional branches after warm-up
+	mispredictions uint64
+	warmup         uint64
+	limit          uint64 // absolute instruction limit, 0 = none
+}
+
+func newRunLoop(cfg Config) *runLoop {
+	l := &runLoop{stats: newBranchStats(), warmup: cfg.WarmupInstructions}
+	if cfg.SimInstructions > 0 {
+		l.limit = cfg.WarmupInstructions + cfg.SimInstructions
+	}
+	return l
+}
+
+// process consumes one batch of events, returning true when the instruction
+// limit was reached and the simulation must stop mid-trace.
+//
+// When the warm-up window is already behind and the limit cannot be reached
+// even if every event carries the maximum instruction gap, the whole batch
+// runs through a tight loop with the warm-up and limit checks hoisted out
+// of the per-event path; batches straddling a boundary fall back to the
+// per-event checks of the scalar reference loop.
+func (l *runLoop) process(events []bp.Event, p bp.Predictor) bool {
+	if l.instr >= l.warmup && (l.limit == 0 || l.instr+uint64(len(events))*(bp.MaxInstrGap+1) < l.limit) {
+		for i := range events {
+			ev := &events[i]
+			l.instr += ev.InstrsSinceLastBranch + 1
+			b := ev.Branch
+			idx := l.stats.index.lookup(b.IP)
+			if b.Opcode.IsConditional() {
+				predicted := p.Predict(b.IP)
+				l.condBranches++
 				miss := predicted != b.Taken
 				if miss {
-					mispredictions++
+					l.mispredictions++
 				}
-				stats.recordAt(idx, miss)
+				l.stats.recordAt(idx, miss)
+				p.Train(b)
+			}
+			p.Track(b)
+		}
+		return false
+	}
+	for i := range events {
+		ev := &events[i]
+		l.instr += ev.InstrsSinceLastBranch + 1
+		b := ev.Branch
+		idx := l.stats.index.lookup(b.IP)
+		if b.Opcode.IsConditional() {
+			predicted := p.Predict(b.IP)
+			if l.instr > l.warmup {
+				l.condBranches++
+				miss := predicted != b.Taken
+				if miss {
+					l.mispredictions++
+				}
+				l.stats.recordAt(idx, miss)
 			}
 			p.Train(b)
 		}
 		p.Track(b)
-		if limit > 0 && instr >= limit {
-			break
+		if l.limit > 0 && l.instr >= l.limit {
+			return true
 		}
 	}
+	return false
+}
 
+// result assembles the final Result from the loop state.
+func (l *runLoop) result(p bp.Predictor, cfg Config, exhausted bool, start time.Time) *Result {
 	simInstr := uint64(0)
-	if instr > cfg.WarmupInstructions {
-		simInstr = instr - cfg.WarmupInstructions
+	if l.instr > cfg.WarmupInstructions {
+		simInstr = l.instr - cfg.WarmupInstructions
 	}
 	res := &Result{
 		Metadata: Metadata{
@@ -237,24 +286,114 @@ func Run(r bp.Reader, p bp.Predictor, cfg Config) (*Result, error) {
 			WarmupInstr:            cfg.WarmupInstructions,
 			SimulationInstr:        simInstr,
 			ExhaustedTrace:         exhausted,
-			NumConditionalBranches: condBranches,
-			NumBranchInstructions:  uint64(len(stats.index.ips)),
+			NumConditionalBranches: l.condBranches,
+			NumBranchInstructions:  uint64(len(l.stats.index.ips)),
 			Predictor:              predictorMetadata(p),
 		},
 		PredictorStatistics: predictorStatistics(p),
 	}
 	res.Metrics = Metrics{
-		Mispredictions: mispredictions,
+		Mispredictions: l.mispredictions,
 		SimulationTime: time.Since(start).Seconds(),
 	}
 	if simInstr > 0 {
-		res.Metrics.MPKI = float64(mispredictions) / (float64(simInstr) / 1000)
+		res.Metrics.MPKI = float64(l.mispredictions) / (float64(simInstr) / 1000)
 	}
-	if condBranches > 0 {
-		res.Metrics.Accuracy = 1 - float64(mispredictions)/float64(condBranches)
+	if l.condBranches > 0 {
+		res.Metrics.Accuracy = 1 - float64(l.mispredictions)/float64(l.condBranches)
 	}
-	res.MostFailed, res.Metrics.NumMostFailedBranches = mostFailed(stats, mispredictions, simInstr, cfg.MostFailedLimit)
-	return res, nil
+	res.MostFailed, res.Metrics.NumMostFailedBranches = mostFailed(l.stats, l.mispredictions, simInstr, cfg.MostFailedLimit)
+	return res
+}
+
+// Run simulates predictor p over the events of r under cfg.
+//
+// For every branch the simulator invokes Track; for conditional branches it
+// first obtains a prediction and invokes Train (§IV-B). Mispredictions of
+// branches whose instruction number falls within the warm-up window are not
+// counted. The returned error is non-nil only for trace decoding failures;
+// an empty or all-warm-up run yields zeroed metrics.
+//
+// Run consumes the trace in batches (bp.ReadBatch) and decodes ahead: a
+// single prefetch goroutine double-buffers the next batch — including any
+// decompression the reader performs — while this goroutine simulates the
+// current one. Results are identical to the scalar reference loop
+// (RunScalar); a panic inside the reader is converted to a
+// faults.ErrPredictorPanic-classified error, preserving the fault-taxonomy
+// semantics of RunSetPolicy.
+func Run(r bp.Reader, p bp.Predictor, cfg Config) (*Result, error) {
+	start := time.Now()
+	loop := newRunLoop(cfg)
+	pf := startPrefetch(r, batchSizeFor(r))
+	defer pf.shutdown()
+
+	exhausted := false
+	for {
+		b, ok := pf.next()
+		if !ok {
+			break // producer stopped without a final batch; nothing more to consume
+		}
+		stop := loop.process(b.events, p)
+		pf.recycle(b.events)
+		if stop {
+			break // instruction limit reached; pending events and errors are moot
+		}
+		if b.err != nil {
+			if b.err == io.EOF {
+				exhausted = true
+				break
+			}
+			return nil, b.err
+		}
+	}
+	return loop.result(p, cfg, exhausted, start), nil
+}
+
+// RunScalar is the scalar reference implementation of Run: one Read call,
+// one event, per loop iteration, with the warm-up and limit checks in the
+// per-event path. It exists as the semantic baseline the batched pipeline
+// is tested against (and as the measured "before" of the batching
+// optimisation); new callers should prefer Run.
+func RunScalar(r bp.Reader, p bp.Predictor, cfg Config) (*Result, error) {
+	start := time.Now()
+	loop := newRunLoop(cfg)
+	exhausted := false
+	for {
+		ev, err := r.Read()
+		if err != nil {
+			if err == io.EOF {
+				exhausted = true
+				break
+			}
+			return nil, err
+		}
+		if loop.process1(ev, p) {
+			break
+		}
+	}
+	return loop.result(p, cfg, exhausted, start), nil
+}
+
+// process1 is the per-event body of the scalar reference loop, identical to
+// the careful path of process.
+func (l *runLoop) process1(ev bp.Event, p bp.Predictor) bool {
+	l.instr += ev.InstrsSinceLastBranch + 1
+	b := ev.Branch
+	idx := l.stats.index.lookup(b.IP)
+	if b.Opcode.IsConditional() {
+		predicted := p.Predict(b.IP)
+		if l.instr > l.warmup {
+			l.condBranches++
+			miss := predicted != b.Taken
+			if miss {
+				l.mispredictions++
+			}
+			l.stats.recordAt(idx, miss)
+		}
+		p.Train(b)
+	}
+	p.Track(b)
+	return l.limit > 0 && l.instr >= l.limit
 }
 
 // mostFailed returns the smallest set of branches that covers half of all

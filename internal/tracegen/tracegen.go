@@ -216,6 +216,37 @@ func (g *Generator) Read() (bp.Event, error) {
 	return ev, nil
 }
 
+// ReadBatch implements bp.BatchReader: it synthesises up to len(dst) events
+// directly into the caller's slice, skipping the per-event interface call
+// and event copy of Read. When the branch budget runs out mid-batch it
+// returns the events generated so far together with io.EOF ("error after
+// n"); thereafter every call returns (0, io.EOF).
+func (g *Generator) ReadBatch(dst []bp.Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if g.emitted >= g.spec.Branches {
+			return n, io.EOF
+		}
+		if g.chunk == 0 {
+			g.chunk = g.spec.ChunkLen
+			pick := g.sched.Intn(g.wsum)
+			for i, w := range g.weights {
+				if pick < w {
+					g.current = i
+					break
+				}
+				pick -= w
+			}
+		}
+		g.chunk--
+		g.emitted++
+		dst[n] = bp.Event{}
+		g.kernels[g.current].next(&dst[n])
+		n++
+	}
+	return n, nil
+}
+
 // Totals generates the spec once, discarding events, and returns the total
 // instruction and branch counts — what the SBBT header needs up front.
 // Generation is deterministic, so a fresh generator reproduces exactly the
