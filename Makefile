@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke bench bench-smoke bench-snapshot
+.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check
 
 check: fmt vet build test race mbpvet fault-sweep fuzz-smoke bench-smoke
 
@@ -36,18 +36,26 @@ mbpvet:
 fault-sweep:
 	$(GO) test -run 'TestSweep' -v ./internal/faults/
 
-# Full timing runs of the batching benchmarks (read stage and simulation).
+# Full timing runs of the batching benchmarks (read stage, simulation and
+# the parallel sweep scheduler).
 bench:
-	$(GO) test -run=NONE -bench 'BenchmarkSBBTRead|BenchmarkRun' -benchtime=2s ./internal/bench/
+	$(GO) test -run=NONE -bench 'BenchmarkSBBTRead|BenchmarkRun|BenchmarkSweep' -benchtime=2s ./internal/bench/
 
 # One iteration per benchmark: proves the benchmarks still compile and run
 # without paying for stable timings. Used by CI.
 bench-smoke:
-	$(GO) test -run=NONE -bench 'BenchmarkSBBTRead|BenchmarkRun' -benchtime=1x ./internal/bench/
+	$(GO) test -run=NONE -bench 'BenchmarkSBBTRead|BenchmarkRun|BenchmarkSweep' -benchtime=1x ./internal/bench/
 
 # Regenerate the committed BENCH_sim.json over a 2M-branch trace.
 bench-snapshot:
 	$(GO) run ./cmd/mbpbench -sim-snapshot BENCH_sim.json -scale 2000000
+
+# Soft regression gate: re-measure the snapshot stages at reduced scale and
+# fail only on a >2x throughput regression against the committed snapshot.
+# Absolute numbers vary wildly across machines; this catches accidents like
+# an O(n^2) decode loop, not ordinary noise.
+bench-check:
+	$(GO) run ./cmd/mbpbench -sim-check BENCH_sim.json -scale 200000 -sim-rounds 1
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/

@@ -8,9 +8,13 @@
 //	mbpbench -table 4             # CBP5 framework with gzip vs MLZ traces
 //	mbpbench -table all -scale 50000
 //	mbpbench -sim-snapshot BENCH_sim.json -scale 2000000
+//	mbpbench -sim-check BENCH_sim.json -scale 200000
 //
 // -sim-snapshot skips the tables and instead records the scalar-vs-batched
-// pipeline comparison (decode stage and full runs) as JSON.
+// pipeline comparison (decode stage and full runs) plus the parallel-sweep
+// scaling curve as JSON. -sim-check re-measures the same stages at the given
+// (usually reduced) scale and fails on a gross throughput regression against
+// the committed snapshot — the soft gate behind `make bench-check`.
 //
 // Scale is the branch count of a short trace; the paper's absolute times
 // used 100M-instruction traces, far above what a quick run needs — the
@@ -34,14 +38,21 @@ func main() {
 		dir        = flag.String("dir", "", "trace directory (default: a temporary one)")
 		maxInstr   = flag.Uint64("champsim-instr", 0, "instruction cap for the cycle-level runs (0 = whole trace)")
 		snapshot   = flag.String("sim-snapshot", "", "write the scalar-vs-batched pipeline comparison to this JSON file instead of printing tables")
+		check      = flag.String("sim-check", "", "re-measure the snapshot stages and fail on a gross throughput regression against this committed JSON file")
 		predictors = flag.String("sim-predictors", "bimodal,gshare,tage", "comma-separated predictor specs for the snapshot's full runs")
+		sweepPreds = flag.String("sweep-predictors", "always-taken,bimodal,gshare,bimodal:t=12", "comma-separated predictor specs for the parallel-sweep stage")
+		sweepSize  = flag.Int("sweep-traces", 4, "traces in the parallel-sweep matrix")
 		rounds     = flag.Int("sim-rounds", 3, "measurement rounds per snapshot variant (best is kept)")
+		factor     = flag.Float64("check-factor", 2, "allowed throughput regression factor for -sim-check")
 	)
 	flag.Parse()
 	var err error
-	if *snapshot != "" {
-		err = runSnapshot(*snapshot, *scale, *dir, *predictors, *rounds)
-	} else {
+	switch {
+	case *snapshot != "":
+		err = runSnapshot(*snapshot, *scale, *dir, *predictors, *sweepPreds, *sweepSize, *rounds)
+	case *check != "":
+		err = runCheck(*check, *scale, *dir, *predictors, *sweepPreds, *sweepSize, *rounds, *factor)
+	default:
 		err = run(*table, *scale, *dir, *maxInstr)
 	}
 	if err != nil {
@@ -50,30 +61,54 @@ func main() {
 	}
 }
 
-// runSnapshot materialises one SBBT trace of the requested scale and
-// records the scalar-vs-batched comparison over it.
-func runSnapshot(out string, scale uint64, dir, predictors string, rounds int) error {
+// measureSnapshot materialises the snapshot traces at the requested scale
+// and measures every stage: scalar-vs-batched decode and full runs over one
+// .sbbt.mlz trace, then the parallel-sweep scaling curve over a matrix of
+// gzip-compressed traces (where per-pair decompression dominates, which is
+// exactly the cost the shared decoded-trace cache removes).
+func measureSnapshot(scale uint64, dir, predictors, sweepPreds string, sweepSize, rounds int) (*bench.SimSnapshot, error) {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "mbpbench")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
 	ts, err := bench.PrepareSuite(dir, "cbp5-train", scale, bench.Formats{SBBT: true})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(ts.SBBT) == 0 {
-		return fmt.Errorf("suite produced no SBBT traces")
+		return nil, fmt.Errorf("suite produced no SBBT traces")
 	}
 	snap, err := bench.MeasureSim(ts.SBBT[0], strings.Split(predictors, ","), rounds)
 	if err != nil {
+		return nil, err
+	}
+	sweepTraces, err := bench.PrepareSweepTraces(dir, sweepSize, scale)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := bench.MeasureSweep(sweepTraces, strings.Split(sweepPreds, ","), bench.DefaultSweepWorkers(), rounds)
+	if err != nil {
+		return nil, err
+	}
+	// The traces live in a throwaway directory; record just their base names.
+	snap.Trace = filepath.Base(snap.Trace)
+	for i, path := range sweep.Traces {
+		sweep.Traces[i] = filepath.Base(path)
+	}
+	snap.Sweep = sweep
+	return snap, nil
+}
+
+// runSnapshot measures every stage and writes the committed JSON snapshot.
+func runSnapshot(out string, scale uint64, dir, predictors, sweepPreds string, sweepSize, rounds int) error {
+	snap, err := measureSnapshot(scale, dir, predictors, sweepPreds, sweepSize, rounds)
+	if err != nil {
 		return err
 	}
-	// The trace lives in a throwaway directory; record just its base name.
-	snap.Trace = filepath.Base(snap.Trace)
 	if err := bench.WriteSimSnapshot(out, snap); err != nil {
 		return err
 	}
@@ -81,7 +116,30 @@ func runSnapshot(out string, scale uint64, dir, predictors string, rounds int) e
 	for _, e := range snap.Sim {
 		fmt.Printf(", %s %.2fx", e.Predictor, e.Speedup)
 	}
+	for _, m := range snap.Sweep.Parallel {
+		fmt.Printf(", sweep@%d %.2fx", m.Workers, m.Speedup)
+	}
 	fmt.Println()
+	return nil
+}
+
+// runCheck is the soft regression gate: re-measure the snapshot stages
+// (usually at reduced scale) and fail only when throughput regressed by
+// more than factor against the committed snapshot.
+func runCheck(committedPath string, scale uint64, dir, predictors, sweepPreds string, sweepSize, rounds int, factor float64) error {
+	committed, err := bench.ReadSimSnapshot(committedPath)
+	if err != nil {
+		return err
+	}
+	fresh, err := measureSnapshot(scale, dir, predictors, sweepPreds, sweepSize, rounds)
+	if err != nil {
+		return err
+	}
+	violations := bench.CompareSnapshots(committed, fresh, factor)
+	if err := bench.CheckError(violations); err != nil {
+		return err
+	}
+	fmt.Printf("bench-check OK against %s (allowed factor %.1fx)\n", committedPath, factor)
 	return nil
 }
 

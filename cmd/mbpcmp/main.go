@@ -1,4 +1,4 @@
-// Command mbpcmp runs two predictors in parallel over one SBBT trace (the
+// Command mbpcmp runs two predictors in parallel over SBBT traces (the
 // comparison simulator of §VI-C of the MBPlib paper) and prints a JSON
 // report whose most_failed section lists the branches with the biggest MPKI
 // difference — which branches the second predictor handles better, and
@@ -7,6 +7,13 @@
 // Usage:
 //
 //	mbpcmp -trace t.sbbt.mlz -p0 tage -p1 batage
+//	mbpcmp -trace 'traces/*.sbbt.mlz' -p0 tage -p1 batage -j 4
+//
+// -trace is a glob: a single match prints one JSON object (the historical
+// format), several matches print a JSON array in sorted path order, compared
+// across -j workers (default GOMAXPROCS). A comparison interleaves two
+// predictors over one pass of the trace, so each worker streams its own
+// trace and no decoded-trace cache is involved.
 //
 // Exit codes: 0 success, 1 usage error, 3 run failure (the stderr message
 // carries the faults taxonomy class of a classified trace error).
@@ -18,6 +25,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
 
 	"mbplib/internal/bp"
 	"mbplib/internal/compress"
@@ -42,63 +53,143 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mbpcmp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		tracePath = fs.String("trace", "", "SBBT trace file (raw, .gz or .mlz)")
+		traceGlob = fs.String("trace", "", "SBBT trace file or glob (raw, .gz or .mlz)")
 		spec0     = fs.String("p0", "bimodal", "first predictor spec")
 		spec1     = fs.String("p1", "gshare", "second predictor spec")
 		warmup    = fs.Uint64("warmup", 0, "warm-up instructions")
 		simInstr  = fs.Uint64("sim", 0, "instructions to simulate after warm-up (0 = whole trace)")
 		mostN     = fs.Int("most-failed", 20, "entries in the most_failed diff report")
+		jobs      = fs.Int("j", runtime.GOMAXPROCS(0), "concurrent trace comparisons")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
-	if *tracePath == "" {
+	if *traceGlob == "" {
 		fmt.Fprintln(stderr, "mbpcmp: -trace is required (see -help)")
 		return exitUsage
 	}
-	p0, err := registry.New(*spec0)
-	if err != nil {
-		fmt.Fprintln(stderr, "mbpcmp: p0:", err)
-		return exitUsage
-	}
-	p1, err := registry.New(*spec1)
-	if err != nil {
-		fmt.Fprintln(stderr, "mbpcmp: p1:", err)
-		return exitUsage
-	}
-	if err := compare(*tracePath, p0, p1, sim.Config{
-		TraceName:          *tracePath,
-		WarmupInstructions: *warmup,
-		SimInstructions:    *simInstr,
-		MostFailedLimit:    *mostN,
-	}, stdout); err != nil {
-		if class := faults.Class(err); class != "other" {
-			fmt.Fprintf(stderr, "mbpcmp: [%s] %v\n", class, err)
-		} else {
-			fmt.Fprintln(stderr, "mbpcmp:", err)
+	// Validate both specs once before fanning out.
+	for _, s := range []struct{ name, spec string }{{"p0", *spec0}, {"p1", *spec1}} {
+		if _, err := registry.New(s.spec); err != nil {
+			fmt.Fprintf(stderr, "mbpcmp: %s: %v\n", s.name, err)
+			return exitUsage
 		}
+	}
+	paths, err := filepath.Glob(*traceGlob)
+	if err != nil {
+		fmt.Fprintln(stderr, "mbpcmp:", err)
+		return exitUsage
+	}
+	if len(paths) == 0 {
+		// Not a glob match but maybe a literal path: surface the open error.
+		paths = []string{*traceGlob}
+	}
+	sort.Strings(paths)
+
+	cfgFor := func(path string) sim.Config {
+		return sim.Config{
+			TraceName:          path,
+			WarmupInstructions: *warmup,
+			SimInstructions:    *simInstr,
+			MostFailedLimit:    *mostN,
+		}
+	}
+
+	// Compare every trace across a worker pool. Each comparison constructs
+	// fresh predictor instances (predictors are stateful) and streams its own
+	// trace; results are collected index-aligned so output order is the
+	// sorted path order regardless of completion order.
+	results := make([]*sim.CompareResult, len(paths))
+	errs := make([]error, len(paths))
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = compareOne(paths[i], *spec0, *spec1, cfgFor(paths[i]))
+			}
+		}()
+	}
+	for i := range paths {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	failed := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		if class := faults.Class(err); class != "other" {
+			fmt.Fprintf(stderr, "mbpcmp: %s: [%s] %v\n", paths[i], class, err)
+		} else {
+			fmt.Fprintf(stderr, "mbpcmp: %s: %v\n", paths[i], err)
+		}
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if len(paths) == 1 {
+		// Historical single-trace format: one bare object.
+		if errs[0] != nil {
+			return exitTotal
+		}
+		if err := enc.Encode(results[0]); err != nil {
+			fmt.Fprintln(stderr, "mbpcmp:", err)
+			return exitTotal
+		}
+		return exitOK
+	}
+	ok := make([]*sim.CompareResult, 0, len(results))
+	for _, r := range results {
+		if r != nil {
+			ok = append(ok, r)
+		}
+	}
+	if err := enc.Encode(ok); err != nil {
+		fmt.Fprintln(stderr, "mbpcmp:", err)
+		return exitTotal
+	}
+	if failed > 0 {
 		return exitTotal
 	}
 	return exitOK
 }
 
-// compare opens the trace, runs the comparison simulation, and writes the
-// JSON report.
-func compare(tracePath string, p0, p1 bp.Predictor, cfg sim.Config, stdout io.Writer) error {
+// compareOne opens one trace and runs the two-predictor comparison.
+func compareOne(tracePath, spec0, spec1 string, cfg sim.Config) (*sim.CompareResult, error) {
+	p0, err := registry.New(spec0)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := registry.New(spec1)
+	if err != nil {
+		return nil, err
+	}
+	return compare(tracePath, p0, p1, cfg)
+}
+
+// compare opens the trace and runs the comparison simulation.
+func compare(tracePath string, p0, p1 bp.Predictor, cfg sim.Config) (*sim.CompareResult, error) {
 	f, err := compress.OpenFile(tracePath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
 	r, err := sbbt.NewReader(f)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	res, err := sim.Compare(r, p0, p1, cfg)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return sim.Compare(r, p0, p1, cfg)
 }

@@ -57,7 +57,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		predSpec   = fs.String("predictor", "gshare", "predictor spec (see mbpsim -list)")
 		warmup     = fs.Uint64("warmup", 0, "warm-up instructions per trace")
 		simInstr   = fs.Uint64("sim", 0, "instructions to simulate per trace after warm-up (0 = all)")
-		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces on the legacy path (-j 1)")
+		jobs       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel scheduler workers (1 = exact legacy path)")
+		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (negative disables)")
 		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
 		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
 		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
@@ -127,7 +129,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return p
 	}
 	cfg := sim.Config{WarmupInstructions: *warmup, SimInstructions: *simInstr}
-	set, err := sim.RunSetPolicy(sources, newPredictor, cfg, *workers, policy)
+	var set *sim.SetResult
+	if *jobs == 1 {
+		set, err = sim.RunSetPolicy(sources, newPredictor, cfg, *workers, policy)
+	} else {
+		set, err = sim.RunSetParallel(sources, newPredictor, cfg, sim.ParallelOptions{
+			Workers: *jobs, CacheBytes: *cacheBytes, Policy: policy,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "mbprun:", err)
 		return exitTotal

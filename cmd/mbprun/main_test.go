@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"mbplib/internal/bench"
+)
+
+// normalizeRun parses mbprun -json output and zeroes the one nondeterministic
+// field (wall-clock seconds) so sequential and parallel runs compare equal.
+func normalizeRun(t *testing.T, out []byte) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if summary, ok := doc["summary"].(map[string]any); ok {
+		summary["total_simulation_seconds"] = 0.0
+	}
+	norm, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm
+}
+
+// TestRunParallelEquivalence: mbprun -j 4 produces the same summary and
+// failures JSON, and the same exit code, as the -j 1 legacy path.
+func TestRunParallelEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := bench.PrepareSuite(dir, "cbp5-train", 2000, bench.Formats{SBBT: true}); err != nil {
+		t.Fatal(err)
+	}
+	glob := filepath.Join(dir, "*.sbbt.mlz")
+	for _, predictor := range []string{"bimodal", "gshare:t=14,h=8"} {
+		args := []string{"-traces", glob, "-predictor", predictor, "-policy", "skip", "-json"}
+		var seqOut, seqErr bytes.Buffer
+		seqCode := run(append(args, "-j", "1"), &seqOut, &seqErr)
+		var parOut, parErr bytes.Buffer
+		parCode := run(append(args, "-j", "4"), &parOut, &parErr)
+		if seqCode != 0 || parCode != 0 {
+			t.Fatalf("%s: exit codes seq=%d par=%d (stderr: %s%s)", predictor, seqCode, parCode, seqErr.String(), parErr.String())
+		}
+		if s, p := normalizeRun(t, seqOut.Bytes()), normalizeRun(t, parOut.Bytes()); !bytes.Equal(s, p) {
+			t.Errorf("%s: JSON differs between -j 1 and -j 4\nseq: %s\npar: %s", predictor, s, p)
+		}
+	}
+}
+
+// TestRunUsageErrors: flag mistakes exit 1.
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-traces", "does-not-exist-*", "-policy", "bogus"},
+		{"-traces", "does-not-exist-*"}, // no matching traces
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}

@@ -8,6 +8,11 @@
 // The predictor spec contains a %d placeholder that receives each swept
 // value; the output is one row per value with the average MPKI.
 //
+// With -j N (default GOMAXPROCS) the whole value × trace matrix is scheduled
+// across N workers backed by a shared decoded-trace cache, so each trace is
+// decoded once and scored by every swept value concurrently. -j 1 runs the
+// exact legacy per-value loop. Output is byte-identical either way.
+//
 // Each value's trace set runs through the sim fault policy: with -policy
 // skip, traces that fail to decode (or whose predictor panics) are excluded
 // from that value's average and reported once in a failure table at the end,
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -58,7 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		from       = fs.Int("from", 6, "first swept value")
 		to         = fs.Int("to", 30, "last swept value")
 		step       = fs.Int("step", 1, "sweep step")
-		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces per swept value")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces per swept value on the legacy path (-j 1)")
+		jobs       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel scheduler workers over the value × trace matrix (1 = exact legacy path)")
+		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (negative disables)")
+		jsonOut    = fs.Bool("json", false, "print the sweep as JSON")
 		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
 		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
@@ -131,29 +140,83 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}}
 	}
 
-	fmt.Fprintf(stdout, "%-40s | avg MPKI (traces scored)\n", "predictor")
-	fmt.Fprintln(stdout, strings.Repeat("-", 70))
-	bestSpec, bestMPKI := "", 0.0
-	failed := map[string]sim.TraceFailure{} // trace name -> first failure seen
-	anyScored := false
+	// Expand and validate every swept spec before running anything.
+	var specs []string
 	for v := *from; v <= *to; v += *step {
 		spec := fmt.Sprintf(*predSpec, v)
 		if _, err := registry.New(spec); err != nil {
 			fmt.Fprintln(stderr, "mbpsweep:", err)
 			return exitUsage
 		}
-		newPredictor := func() bp.Predictor {
+		specs = append(specs, spec)
+	}
+	newFor := func(spec string) func() bp.Predictor {
+		return func() bp.Predictor {
 			p, err := registry.New(spec)
 			if err != nil {
 				panic(err) // validated above; specs are immutable strings
 			}
 			return p
 		}
-		set, err := sim.RunSetPolicy(sources, newPredictor, sim.Config{}, *workers, policy)
+	}
+
+	// Compute: one SetResult per swept value, from either path. Results and
+	// failure tables are deterministic and identical across paths.
+	sets := make([]*sim.SetResult, len(specs))
+	if *jobs == 1 {
+		for i, spec := range specs {
+			set, err := sim.RunSetPolicy(sources, newFor(spec), sim.Config{}, *workers, policy)
+			if err != nil {
+				fmt.Fprintf(stderr, "mbpsweep: %s: %v\n", spec, err)
+				return exitTotal
+			}
+			sets[i] = set
+		}
+	} else {
+		preds := make([]sim.PredictorSpec, len(specs))
+		for i, spec := range specs {
+			preds[i] = sim.PredictorSpec{Name: spec, New: newFor(spec)}
+		}
+		sets, err = sim.SweepParallel(sources, preds, sim.Config{}, sim.ParallelOptions{
+			Workers: *jobs, CacheBytes: *cacheBytes, Policy: policy,
+		})
 		if err != nil {
-			fmt.Fprintf(stderr, "mbpsweep: %s: %v\n", spec, err)
+			fmt.Fprintf(stderr, "mbpsweep: %v\n", err)
 			return exitTotal
 		}
+	}
+
+	return render(stdout, stderr, specs, sets, len(sources), *jsonOut)
+}
+
+// valueRow is one swept value's aggregate in the JSON output.
+type valueRow struct {
+	Predictor string  `json:"predictor"`
+	AvgMPKI   float64 `json:"avg_mpki"`
+	Scored    int     `json:"scored"`
+	Traces    int     `json:"traces"`
+}
+
+// failureRow is one failed trace in the JSON output. It deliberately omits
+// the panic stack, which is the one field that differs between sequential
+// and parallel execution (the goroutine dumps name different frames), so the
+// failures section is byte-identical for any -j.
+type failureRow struct {
+	Trace    string `json:"trace"`
+	Class    string `json:"class"`
+	Message  string `json:"message"`
+	Attempts int    `json:"attempts"`
+}
+
+// render prints the sweep table (or JSON) and picks the exit code. It only
+// sees per-value SetResults, so sequential and parallel schedules produce
+// identical bytes.
+func render(stdout, stderr io.Writer, specs []string, sets []*sim.SetResult, nTraces int, jsonOut bool) int {
+	bestSpec, bestMPKI := "", 0.0
+	failed := map[string]sim.TraceFailure{} // trace name -> first failure seen
+	anyScored := false
+	rows := make([]valueRow, len(specs))
+	for i, set := range sets {
 		for _, f := range set.Failures {
 			if _, ok := failed[f.Trace]; !ok {
 				failed[f.Trace] = f
@@ -167,33 +230,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 			scored++
 			sum += r.Metrics.MPKI
 		}
+		rows[i] = valueRow{Predictor: specs[i], Scored: scored, Traces: nTraces}
 		if scored == 0 {
-			fmt.Fprintf(stdout, "%-40s | no trace scored\n", spec)
 			continue
 		}
 		anyScored = true
-		avg := sum / float64(scored)
-		fmt.Fprintf(stdout, "%-40s | %.4f (%d/%d)\n", spec, avg, scored, len(sources))
-		if bestSpec == "" || avg < bestMPKI {
-			bestSpec, bestMPKI = spec, avg
+		rows[i].AvgMPKI = sum / float64(scored)
+		if bestSpec == "" || rows[i].AvgMPKI < bestMPKI {
+			bestSpec, bestMPKI = specs[i], rows[i].AvgMPKI
 		}
 	}
-	fmt.Fprintln(stdout, strings.Repeat("-", 70))
-	if bestSpec != "" {
-		fmt.Fprintf(stdout, "best: %s (%.4f MPKI)\n", bestSpec, bestMPKI)
+	failNames := make([]string, 0, len(failed))
+	for name := range failed {
+		failNames = append(failNames, name)
 	}
+	sort.Strings(failNames)
 
-	if len(failed) > 0 {
-		names := make([]string, 0, len(failed))
-		for name := range failed {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		fmt.Fprintf(stdout, "\n%d failed trace(s), excluded from averages:\n", len(failed))
-		fmt.Fprintf(stdout, "%-40s %-10s %-8s %s\n", "trace", "class", "attempts", "error")
-		for _, name := range names {
+	if jsonOut {
+		failRows := make([]failureRow, 0, len(failNames))
+		for _, name := range failNames {
 			f := failed[name]
-			fmt.Fprintf(stdout, "%-40s %-10s %-8d %s\n", filepath.Base(f.Trace), f.Class, f.Attempts, f.Message)
+			failRows = append(failRows, failureRow{f.Trace, f.Class, f.Message, f.Attempts})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Values   []valueRow   `json:"values"`
+			Best     string       `json:"best,omitempty"`
+			BestMPKI float64      `json:"best_mpki,omitempty"`
+			Failures []failureRow `json:"failures,omitempty"`
+		}{rows, bestSpec, bestMPKI, failRows}); err != nil {
+			fmt.Fprintln(stderr, "mbpsweep:", err)
+			return exitTotal
+		}
+	} else {
+		fmt.Fprintf(stdout, "%-40s | avg MPKI (traces scored)\n", "predictor")
+		fmt.Fprintln(stdout, strings.Repeat("-", 70))
+		for _, row := range rows {
+			if row.Scored == 0 {
+				fmt.Fprintf(stdout, "%-40s | no trace scored\n", row.Predictor)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-40s | %.4f (%d/%d)\n", row.Predictor, row.AvgMPKI, row.Scored, row.Traces)
+		}
+		fmt.Fprintln(stdout, strings.Repeat("-", 70))
+		if bestSpec != "" {
+			fmt.Fprintf(stdout, "best: %s (%.4f MPKI)\n", bestSpec, bestMPKI)
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(stdout, "\n%d failed trace(s), excluded from averages:\n", len(failed))
+			fmt.Fprintf(stdout, "%-40s %-10s %-8s %s\n", "trace", "class", "attempts", "error")
+			for _, name := range failNames {
+				f := failed[name]
+				fmt.Fprintf(stdout, "%-40s %-10s %-8d %s\n", filepath.Base(f.Trace), f.Class, f.Attempts, f.Message)
+			}
 		}
 	}
 	switch {

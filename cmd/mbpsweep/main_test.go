@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mbplib/internal/bench"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/tracegen"
+)
+
+// writeCorruptTrace writes a checksummed SBBT trace with a bit flipped in
+// its final chunk, so it decodes some events and then fails as corrupt.
+func writeCorruptTrace(t *testing.T, path string) {
+	t.Helper()
+	spec := tracegen.Spec{
+		Name: "corrupt", Seed: 5, Branches: 3000,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Biased}, {Kind: tracegen.Loop}},
+	}
+	instr, branches, err := tracegen.Totals(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tracegen.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := sbbt.NewChecksumWriter(&buf, instr, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err := g.Read()
+		if err != nil {
+			break
+		}
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-10] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// prepTraces materialises a small healthy suite plus (optionally) corrupt
+// traces, returning a glob matching all of them.
+func prepTraces(t *testing.T, healthy bool, corrupt int) string {
+	t.Helper()
+	dir := t.TempDir()
+	if healthy {
+		if _, err := bench.PrepareSuite(dir, "cbp5-train", 2000, bench.Formats{SBBT: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < corrupt; i++ {
+		writeCorruptTrace(t, filepath.Join(dir, "zz-corrupt-"+string(rune('a'+i))+".sbbt"))
+	}
+	return filepath.Join(dir, "*.sbbt*")
+}
+
+// TestSweepExitCodesAndJSONParallelEquivalence is the satellite-5 table: for
+// every failure scenario, -j 4 must produce the same exit code and the same
+// stdout bytes (table and JSON, failures section included) as the -j 1
+// legacy path — including exit 2 (partial) with interleaved worker failures.
+func TestSweepExitCodesAndJSONParallelEquivalence(t *testing.T) {
+	base := []string{"-predictor", "gshare:t=12,h=%d", "-from", "4", "-to", "6"}
+	for _, tc := range []struct {
+		name     string
+		healthy  bool
+		corrupt  int
+		extra    []string
+		wantCode int
+	}{
+		{"all-healthy", true, 0, []string{"-policy", "skip"}, 0},
+		{"partial-skip", true, 2, []string{"-policy", "skip"}, 2},
+		{"total-skip", false, 2, []string{"-policy", "skip"}, 3},
+		{"failfast-corrupt", true, 1, []string{"-policy", "failfast"}, 3},
+	} {
+		for _, jsonOut := range []bool{false, true} {
+			name := tc.name
+			if jsonOut {
+				name += "-json"
+			}
+			t.Run(name, func(t *testing.T) {
+				glob := prepTraces(t, tc.healthy, tc.corrupt)
+				args := append([]string{"-traces", glob}, base...)
+				args = append(args, tc.extra...)
+				if jsonOut {
+					args = append(args, "-json")
+				}
+
+				var seqOut, seqErr bytes.Buffer
+				seqCode := run(append(args, "-j", "1"), &seqOut, &seqErr)
+				var parOut, parErr bytes.Buffer
+				parCode := run(append(args, "-j", "4"), &parOut, &parErr)
+
+				if seqCode != tc.wantCode {
+					t.Errorf("-j 1 exit = %d, want %d (stderr: %s)", seqCode, tc.wantCode, seqErr.String())
+				}
+				if parCode != tc.wantCode {
+					t.Errorf("-j 4 exit = %d, want %d (stderr: %s)", parCode, tc.wantCode, parErr.String())
+				}
+				if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+					t.Errorf("stdout differs between -j 1 and -j 4\nseq:\n%s\npar:\n%s", seqOut.String(), parOut.String())
+				}
+				if jsonOut && tc.wantCode != 3 {
+					var doc struct {
+						Values   []valueRow   `json:"values"`
+						Failures []failureRow `json:"failures"`
+					}
+					if err := json.Unmarshal(parOut.Bytes(), &doc); err != nil {
+						t.Fatalf("parallel output is not JSON: %v", err)
+					}
+					if len(doc.Values) != 3 {
+						t.Errorf("values = %d, want 3", len(doc.Values))
+					}
+					if wantFail := tc.corrupt; len(doc.Failures) != wantFail {
+						t.Errorf("failures = %d, want %d", len(doc.Failures), wantFail)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSweepUsageErrors: bad flags exit 1 before any simulation runs.
+func TestSweepUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{}, // -traces missing
+		{"-traces", "x", "-from", "9", "-to", "3"}, // empty range
+		{"-traces", "x", "-predictor", "gshare"},   // no %d
+		{"-traces", "x", "-policy", "bogus"},
+	} {
+		var out, errBuf bytes.Buffer
+		if code := run(args, &out, &errBuf); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}

@@ -47,6 +47,7 @@ type TraceSet struct {
 	Specs []tracegen.Spec
 	// Per-spec file paths (empty when the format was not requested).
 	SBBT   []string // .sbbt.mlz — the MBPlib distribution format
+	SBBTGz []string // .sbbt.gz — gzip SBBT, where decompression dominates
 	BT9Gz  []string // .bt9.gz — the original CBP5 distribution format
 	BT9MLZ []string // .bt9.mlz — the recompressed traces of Table IV
 	CSTGz  []string // .cst.gz — ChampSim-style full-instruction traces
@@ -54,7 +55,7 @@ type TraceSet struct {
 
 // Formats selects which trace files PrepareSuite materialises.
 type Formats struct {
-	SBBT, BT9Gz, BT9MLZ, CSTGz bool
+	SBBT, SBBTGz, BT9Gz, BT9MLZ, CSTGz bool
 }
 
 // PrepareSuite generates the named suite at the given scale and writes the
@@ -73,6 +74,13 @@ func PrepareSuite(dir, suite string, scale uint64, formats Formats) (*TraceSet, 
 				return nil, err
 			}
 			ts.SBBT = append(ts.SBBT, path)
+		}
+		if formats.SBBTGz {
+			path := filepath.Join(dir, spec.Name+".sbbt.gz")
+			if err := writeSBBTFile(path, spec); err != nil {
+				return nil, err
+			}
+			ts.SBBTGz = append(ts.SBBTGz, path)
 		}
 		if formats.BT9Gz {
 			path := filepath.Join(dir, spec.Name+".bt9.gz")

@@ -51,6 +51,10 @@ type SimSnapshot struct {
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	Read       Stage      `json:"read"`
 	Sim        []SimEntry `json:"sim"`
+	// Sweep records the parallel sweep scheduler's scaling curve against
+	// the legacy sequential path (absent in snapshots written before the
+	// scheduler existed).
+	Sweep *SweepStage `json:"sweep,omitempty"`
 }
 
 // openTrace opens the (possibly compressed) SBBT trace file.

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+var sweepSmokePredictors = []string{"always-taken", "bimodal", "gshare", "bimodal:t=12"}
+
+func prepareSweep(tb testing.TB, scale uint64) []string {
+	tb.Helper()
+	paths, err := PrepareSweepTraces(tb.TempDir(), 4, scale)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return paths
+}
+
+// TestMeasureSweepSmoke: the sweep stage measures a small matrix end to end
+// and produces internally consistent numbers.
+func TestMeasureSweepSmoke(t *testing.T) {
+	paths := prepareSweep(t, 3000)
+	st, err := MeasureSweep(paths, sweepSmokePredictors, []int{1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalBranches == 0 {
+		t.Error("TotalBranches = 0")
+	}
+	if st.Sequential.Seconds <= 0 || st.Sequential.AggBranchesPerSec <= 0 {
+		t.Errorf("sequential measurement = %+v", st.Sequential)
+	}
+	if len(st.Parallel) != 2 {
+		t.Fatalf("parallel rows = %d, want 2", len(st.Parallel))
+	}
+	for _, m := range st.Parallel {
+		if m.Seconds <= 0 || m.Speedup <= 0 {
+			t.Errorf("workers %d: measurement = %+v", m.Workers, m)
+		}
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	committed := &SimSnapshot{
+		Read: Stage{Batched: SimMeasurement{BranchesPerSec: 100}},
+		Sim: []SimEntry{
+			{Predictor: "gshare", Stage: Stage{Batched: SimMeasurement{BranchesPerSec: 50}}},
+			{Predictor: "gone", Stage: Stage{Batched: SimMeasurement{BranchesPerSec: 50}}},
+		},
+		Sweep: &SweepStage{Parallel: []SweepMeasurement{{Workers: 4, AggBranchesPerSec: 80}}},
+	}
+	fresh := &SimSnapshot{
+		Read: Stage{Batched: SimMeasurement{BranchesPerSec: 60}}, // within 2x
+		Sim: []SimEntry{
+			{Predictor: "gshare", Stage: Stage{Batched: SimMeasurement{BranchesPerSec: 20}}}, // >2x worse
+		},
+		Sweep: &SweepStage{Parallel: []SweepMeasurement{{Workers: 4, AggBranchesPerSec: 10}}}, // >2x worse
+	}
+	violations := CompareSnapshots(committed, fresh, 2)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want 2 (sim/gshare and sweep/4-workers)", violations)
+	}
+	if err := CheckError(violations); err == nil {
+		t.Error("CheckError(violations) = nil")
+	}
+	if err := CheckError(nil); err != nil {
+		t.Errorf("CheckError(nil) = %v", err)
+	}
+	if v := CompareSnapshots(committed, committed, 2); len(v) != 0 {
+		t.Errorf("self-comparison found violations: %v", v)
+	}
+}
+
+// BenchmarkSweepParallel drives the 4-trace × 4-predictor matrix through the
+// parallel scheduler at NumCPU workers — the configuration the committed
+// snapshot's scaling curve is built from.
+func BenchmarkSweepParallel(b *testing.B) {
+	paths := prepareSweep(b, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := MeasureSweep(paths, sweepSmokePredictors, []int{runtime.NumCPU()}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.Parallel[0].AggBranchesPerSec, "branches/s")
+		b.ReportMetric(st.Parallel[0].Speedup, "speedup")
+	}
+}

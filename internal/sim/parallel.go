@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+	"mbplib/internal/sim/tracecache"
+)
+
+// PredictorSpec names one predictor configuration of a sweep and knows how
+// to construct fresh instances of it. Construction happens on the worker
+// goroutine that simulates each (trace, predictor) pair — predictors are
+// stateful, so instances are never shared across workers or traces.
+type PredictorSpec struct {
+	Name string
+	New  func() bp.Predictor
+}
+
+// DefaultCacheBytes is the default decoded-trace cache budget of the
+// parallel scheduler: at 32 bytes per event, 1 GiB pins about 33M branches
+// of decoded trace.
+const DefaultCacheBytes int64 = 1 << 30
+
+// ParallelOptions configures the parallel sweep scheduler.
+type ParallelOptions struct {
+	// Workers is the number of concurrent (trace, predictor) simulations.
+	// ≤ 0 means GOMAXPROCS.
+	Workers int
+	// CacheBytes bounds the shared decoded-trace cache. 0 means
+	// DefaultCacheBytes; negative disables the cache (every pair streams
+	// and re-decodes its trace, like the sequential path does).
+	CacheBytes int64
+	// Policy is the per-pair failure policy, with RunSetPolicy semantics.
+	Policy Policy
+}
+
+// SweepError is the error SweepParallel returns under FailFast: the
+// lowest-indexed (predictor, trace) failure observed before cancellation.
+// When several pairs fail close together, the reported pair may differ
+// from the one a sequential sweep would have hit first — cancellation
+// stops lower-indexed pairs from running — but the text format matches
+// the sequential path: "<predictor>: sim: trace "<name>": <cause>".
+type SweepError struct {
+	Predictor string
+	Trace     string
+	Err       error
+}
+
+func (e *SweepError) Error() string {
+	return fmt.Sprintf("%s: sim: trace %q: %v", e.Predictor, e.Trace, e.Err)
+}
+
+func (e *SweepError) Unwrap() error { return e.Err }
+
+// SweepParallel scores every predictor of a sweep over every trace of a
+// set, fanning the (trace, predictor) pairs across a worker pool backed by
+// a shared decoded-trace cache: each trace is read, decompressed and
+// decoded once (subject to the cache budget) and then simulated by many
+// predictors, instead of being re-decoded once per predictor the way
+// sequential per-predictor RunSetPolicy calls would.
+//
+// Results are deterministic regardless of completion order: the returned
+// slice is indexed like predictors, each SetResult.Results like sources,
+// and failures are listed in source order — byte-identical JSON to the
+// sequential path. Under SkipFailed a failing pair costs exactly its own
+// cell; under FailFast the first failure cancels in-flight workers via
+// context and is returned as a *SweepError.
+func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config, opts ParallelOptions) ([]*SetResult, error) {
+	for _, ps := range predictors {
+		if ps.New == nil {
+			return nil, ErrNilPredictor
+		}
+	}
+	nP, nT := len(predictors), len(sources)
+	results := make([][]*Result, nP)
+	failures := make([][]*TraceFailure, nP)
+	for pi := range predictors {
+		results[pi] = make([]*Result, nT)
+		failures[pi] = make([]*TraceFailure, nT)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nP*nT {
+		workers = nP * nT
+	}
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	cache := tracecache.New(cacheBytes) // nil (stream everything) when negative
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type pair struct{ pi, ti int }
+	tasks := make(chan pair)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				if ctx.Err() != nil {
+					continue // cancelled: leave the cell empty, the sweep is aborting
+				}
+				res, fail := runPair(ctx, cache, sources[tk.ti], predictors[tk.pi], cfg, opts.Policy)
+				if fail != nil && errors.Is(fail.Err, context.Canceled) {
+					continue // a cancellation echo, not a trace failure
+				}
+				results[tk.pi][tk.ti], failures[tk.pi][tk.ti] = res, fail
+				if fail != nil && opts.Policy.Mode == FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	// Trace-major order maximises decode sharing: the nP pairs of one trace
+	// cluster in time, so its cache entry is loaded once, read nP times,
+	// and then becomes the eviction candidate.
+	for ti := range sources {
+		for pi := range predictors {
+			tasks <- pair{pi, ti}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	out := make([]*SetResult, nP)
+	var firstErr *SweepError
+	for pi := range predictors {
+		set := &SetResult{Results: results[pi]}
+		for ti := range sources {
+			if f := failures[pi][ti]; f != nil {
+				set.Failures = append(set.Failures, *f)
+				if opts.Policy.Mode == FailFast && firstErr == nil {
+					firstErr = &SweepError{Predictor: predictors[pi].Name, Trace: sources[ti].Name, Err: f.Err}
+				}
+			}
+		}
+		out[pi] = set
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// RunSetParallel is the single-predictor form of SweepParallel: one
+// predictor configuration over a trace set, with the scheduler's cache and
+// cancellation semantics. Under FailFast the returned error matches
+// RunSetPolicy's format. The sequential equivalent — and the exact legacy
+// path behind a CLI's -j 1 — is RunSetPolicy.
+func RunSetParallel(sources []TraceSource, newPredictor func() bp.Predictor, cfg Config, opts ParallelOptions) (*SetResult, error) {
+	if newPredictor == nil {
+		return nil, ErrNilPredictor
+	}
+	sets, err := SweepParallel(sources, []PredictorSpec{{Name: "predictor", New: newPredictor}}, cfg, opts)
+	if err != nil {
+		var se *SweepError
+		if errors.As(err, &se) {
+			return nil, fmt.Errorf("sim: trace %q: %w", se.Trace, se.Err)
+		}
+		return nil, err
+	}
+	return sets[0], nil
+}
+
+// runPair simulates one (trace, predictor) pair, preferring the decoded
+// cache and falling back to streaming for traces too big to pin. A panic
+// anywhere in the pair — predictor or replayed decode — is recovered and
+// classified, exactly like runOne on the sequential path.
+func runPair(ctx context.Context, cache *tracecache.Cache, src TraceSource, pred PredictorSpec, cfg Config, policy Policy) (result *Result, failure *TraceFailure) {
+	attempts := 1
+	defer func() {
+		if v := recover(); v != nil {
+			err := faults.NewPanicError(v, debug.Stack())
+			result = nil
+			failure = newFailure(src.Name, err, attempts)
+		}
+	}()
+	entry, err := cache.Acquire(ctx, src.Name, func() (bp.Reader, io.Closer, int, error) {
+		return openWithRetry(ctx, src, policy)
+	})
+	if err != nil {
+		return nil, newFailure(src.Name, err, attempts) // ctx cancelled while waiting
+	}
+	defer cache.Release(entry)
+	attempts = entry.Attempts()
+	if entry.TooBig() {
+		return runOne(ctxSource(ctx, src), pred.New, cfg, policy)
+	}
+	cfg.TraceName = src.Name
+	res, err := runEntry(ctx, entry, pred.New(), cfg)
+	if err != nil {
+		return nil, newFailure(src.Name, err, attempts)
+	}
+	return res, nil
+}
+
+// runEntry simulates a predictor over a pinned decoded trace. The batches
+// replay the exact event stream the prefetched Run would deliver, and the
+// entry's terminal error is honoured with the same precedence: an
+// instruction-limit stop discards a pending decode error, so a limited run
+// succeeds even over a trace corrupt past the stop point.
+func runEntry(ctx context.Context, entry *tracecache.Entry, p bp.Predictor, cfg Config) (*Result, error) {
+	start := time.Now()
+	loop := newRunLoop(cfg)
+	for _, b := range entry.Batches() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if loop.process(b, p) {
+			return loop.result(p, cfg, false, start), nil
+		}
+	}
+	if err := entry.Err(); err != io.EOF {
+		return nil, err
+	}
+	return loop.result(p, cfg, true, start), nil
+}
+
+// openWithRetry opens a trace source with the policy's transient-open
+// retry loop (the same schedule as the sequential runOne), reporting the
+// attempt count for failure accounting. Open failures are wrapped as
+// "opening: ..." to match sequential failure messages.
+func openWithRetry(ctx context.Context, src TraceSource, policy Policy) (bp.Reader, io.Closer, int, error) {
+	backoff := policy.Backoff
+	attempts := 0
+	for {
+		attempts++
+		if err := ctx.Err(); err != nil {
+			return nil, nil, attempts, err
+		}
+		r, closer, err := src.Open()
+		if err == nil {
+			return r, closer, attempts, nil
+		}
+		if attempts > policy.Retries || faults.Permanent(err) {
+			return nil, nil, attempts, fmt.Errorf("opening: %w", err)
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
+}
+
+// ctxSource wraps a trace source so its readers observe context
+// cancellation between batches, letting FailFast interrupt an in-flight
+// streaming simulation.
+func ctxSource(ctx context.Context, src TraceSource) TraceSource {
+	return TraceSource{Name: src.Name, Open: func() (bp.Reader, io.Closer, error) {
+		r, closer, err := src.Open()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &ctxReader{ctx: ctx, r: r}, closer, nil
+	}}
+}
+
+// ctxReader checks for cancellation before each read of the wrapped
+// reader. The context error is surfaced through the normal sticky-error
+// path, so the prefetch pipeline shuts down cleanly.
+type ctxReader struct {
+	ctx context.Context
+	r   bp.Reader
+}
+
+func (c *ctxReader) Read() (bp.Event, error) {
+	if err := c.ctx.Err(); err != nil {
+		return bp.Event{}, err
+	}
+	return c.r.Read()
+}
+
+func (c *ctxReader) ReadBatch(dst []bp.Event) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return bp.ReadBatch(c.r, dst)
+}

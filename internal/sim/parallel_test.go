@@ -1,0 +1,334 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+// takenPredictor is a trivial deterministic predictor for equivalence runs.
+type takenPredictor struct{}
+
+func (takenPredictor) Predict(uint64) bool { return true }
+func (takenPredictor) Train(bp.Branch)     {}
+func (takenPredictor) Track(bp.Branch)     {}
+
+// fusedPredictor panics after a fixed number of predictions.
+type fusedPredictor struct{ fuse int }
+
+func (p *fusedPredictor) Predict(uint64) bool {
+	if p.fuse--; p.fuse < 0 {
+		panic("deliberate test panic")
+	}
+	return true
+}
+func (p *fusedPredictor) Train(bp.Branch) {}
+func (p *fusedPredictor) Track(bp.Branch) {}
+
+func genSource(spec tracegen.Spec) sim.TraceSource {
+	return sim.TraceSource{Name: spec.Name, Open: func() (bp.Reader, io.Closer, error) {
+		g, err := tracegen.New(spec)
+		return g, nil, err
+	}}
+}
+
+func suiteSpecs(t *testing.T, n uint64) []tracegen.Spec {
+	t.Helper()
+	specs, err := tracegen.Suite("cbp5-train", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+func genSources(t *testing.T, n uint64) []sim.TraceSource {
+	t.Helper()
+	var srcs []sim.TraceSource
+	for _, spec := range suiteSpecs(t, n) {
+		srcs = append(srcs, genSource(spec))
+	}
+	return srcs
+}
+
+// lateCorruptSource encodes a checksummed SBBT trace of the spec's events and
+// flips a bit in the final chunk, so the decode delivers most of the stream
+// before failing with a corruption error.
+func lateCorruptSource(t *testing.T, name string, spec tracegen.Spec) sim.TraceSource {
+	t.Helper()
+	data := encodeSBBT(t, generate(t, spec), true)
+	data[len(data)-10] ^= 0x01
+	return sim.TraceSource{Name: name, Open: func() (bp.Reader, io.Closer, error) {
+		r, err := sbbt.NewReader(bytes.NewReader(data))
+		return r, nil, err
+	}}
+}
+
+var equivPredictors = []sim.PredictorSpec{
+	{Name: "taken", New: func() bp.Predictor { return takenPredictor{} }},
+	{Name: "gshare", New: func() bp.Predictor { return gshare.New() }},
+}
+
+// sequentialSweep is the legacy path the parallel scheduler must match:
+// one single-worker RunSetPolicy per predictor.
+func sequentialSweep(t *testing.T, srcs []sim.TraceSource, preds []sim.PredictorSpec, cfg sim.Config, policy sim.Policy) []*sim.SetResult {
+	t.Helper()
+	out := make([]*sim.SetResult, len(preds))
+	for i, ps := range preds {
+		set, err := sim.RunSetPolicy(srcs, ps.New, cfg, 1, policy)
+		if err != nil {
+			t.Fatalf("sequential sweep, predictor %s: %v", ps.Name, err)
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// setJSON renders a SetResult with the nondeterministic fields zeroed: each
+// result's wall-clock time, and failure stacks (goroutine dumps name
+// different frames on the sequential and parallel paths).
+func setJSON(t *testing.T, set *sim.SetResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("{\"results\":[")
+	for i, r := range set.Results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		if r == nil {
+			buf.WriteString("null")
+			continue
+		}
+		buf.Write(resultJSON(t, r))
+	}
+	buf.WriteString("],\"failures\":[")
+	for i, f := range set.Failures {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "{%q,%q,%q,%d}", f.Trace, f.Class, f.Message, f.Attempts)
+	}
+	buf.WriteString("]}")
+	return buf.Bytes()
+}
+
+func diffSweeps(t *testing.T, seq, par []*sim.SetResult, preds []sim.PredictorSpec) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		sj, pj := setJSON(t, seq[i]), setJSON(t, par[i])
+		if !bytes.Equal(sj, pj) {
+			t.Errorf("predictor %s: parallel result differs from sequential\nseq: %s\npar: %s",
+				preds[i].Name, sj, pj)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSequential is the core acceptance suite: for every
+// reader kind and several warmup/limit configs, a 4-worker sweep must produce
+// byte-identical result JSON to per-predictor single-worker RunSetPolicy.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	specA, specB := equivSpec(12000), equivSpec(8000)
+	specB.Name, specB.Seed = "equiv-b", 31
+	readersA := equivReaders(t, specA)
+	readersB := equivReaders(t, specB)
+	configs := map[string]sim.Config{
+		"plain":  {},
+		"warmup": {WarmupInstructions: 4000},
+		"limit":  {SimInstructions: 6000},
+		"both":   {WarmupInstructions: 2000, SimInstructions: 5000},
+	}
+	for kind := range readersA {
+		openA, openB := readersA[kind], readersB[kind]
+		srcs := []sim.TraceSource{
+			{Name: "a-" + kind, Open: func() (bp.Reader, io.Closer, error) { return openA(), nil, nil }},
+			{Name: "b-" + kind, Open: func() (bp.Reader, io.Closer, error) { return openB(), nil, nil }},
+		}
+		for cname, cfg := range configs {
+			t.Run(kind+"/"+cname, func(t *testing.T) {
+				seq := sequentialSweep(t, srcs, equivPredictors, cfg, sim.Policy{Mode: sim.SkipFailed})
+				par, err := sim.SweepParallel(srcs, equivPredictors, cfg, sim.ParallelOptions{
+					Workers: 4, Policy: sim.Policy{Mode: sim.SkipFailed},
+				})
+				if err != nil {
+					t.Fatalf("SweepParallel: %v", err)
+				}
+				diffSweeps(t, seq, par, equivPredictors)
+			})
+		}
+	}
+}
+
+// TestSweepParallelLimitBeforeCorruption: a trace corrupt near its end
+// succeeds under an instruction limit that stops before the bad bytes — on
+// both paths — and fails identically once the limit passes the corruption.
+// The second predictor exercises the cached partial-batches replay.
+func TestSweepParallelLimitBeforeCorruption(t *testing.T) {
+	srcs := []sim.TraceSource{lateCorruptSource(t, "late-corrupt", equivSpec(20000))}
+	for _, tc := range []struct {
+		name    string
+		cfg     sim.Config
+		wantErr bool
+	}{
+		{"limit-stops-early", sim.Config{SimInstructions: 1000}, false},
+		{"limit-past-fault", sim.Config{}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := sequentialSweep(t, srcs, equivPredictors, tc.cfg, sim.Policy{Mode: sim.SkipFailed})
+			par, err := sim.SweepParallel(srcs, equivPredictors, tc.cfg, sim.ParallelOptions{
+				Workers: 2, Policy: sim.Policy{Mode: sim.SkipFailed},
+			})
+			if err != nil {
+				t.Fatalf("SweepParallel: %v", err)
+			}
+			for pi := range equivPredictors {
+				failed := len(par[pi].Failures) > 0
+				if failed != tc.wantErr {
+					t.Errorf("predictor %d: failed=%v, want %v", pi, failed, tc.wantErr)
+				}
+				if tc.wantErr && par[pi].Failures[0].Class != "corrupt" {
+					t.Errorf("predictor %d: class %q, want corrupt", pi, par[pi].Failures[0].Class)
+				}
+			}
+			diffSweeps(t, seq, par, equivPredictors)
+		})
+	}
+}
+
+// TestSweepParallelInterleavedFailures: a corrupt trace and a panicking
+// predictor poison exactly their own (trace, predictor) cells. Every other
+// cell matches the sequential sweep byte for byte.
+func TestSweepParallelInterleavedFailures(t *testing.T) {
+	srcs := genSources(t, 2000)
+	if len(srcs) < 4 {
+		t.Fatalf("suite too small: %d traces", len(srcs))
+	}
+	corruptAt := 1
+	srcs[corruptAt] = lateCorruptSource(t, "corrupt-trace", equivSpec(2000))
+	preds := []sim.PredictorSpec{
+		{Name: "taken", New: func() bp.Predictor { return takenPredictor{} }},
+		{Name: "fused", New: func() bp.Predictor { return &fusedPredictor{fuse: 40} }},
+		{Name: "gshare", New: func() bp.Predictor { return gshare.New() }},
+	}
+	policy := sim.Policy{Mode: sim.SkipFailed}
+	seq := sequentialSweep(t, srcs, preds, sim.Config{}, policy)
+	par, err := sim.SweepParallel(srcs, preds, sim.Config{}, sim.ParallelOptions{Workers: 4, Policy: policy})
+	if err != nil {
+		t.Fatalf("SweepParallel: %v", err)
+	}
+	diffSweeps(t, seq, par, preds)
+
+	// The fused predictor fails on every trace; the healthy predictors fail
+	// only on the corrupt trace.
+	for pi, ps := range preds {
+		for ti := range srcs {
+			got := par[pi].Results[ti] != nil
+			want := ps.Name != "fused" && ti != corruptAt
+			if got != want {
+				t.Errorf("cell (%s, %s): scored=%v, want %v", ps.Name, srcs[ti].Name, got, want)
+			}
+		}
+	}
+	for ti, f := range par[1].Failures {
+		if ti == corruptAt {
+			continue // fuse may or may not blow before the corruption point
+		}
+		if f.Class != "panic" || !errors.Is(f.Err, faults.ErrPredictorPanic) {
+			t.Errorf("fused failure on %s: class %q err %v, want panic", f.Trace, f.Class, f.Err)
+		}
+	}
+	if f := par[0].Failures[0]; f.Trace != "corrupt-trace" || f.Class != "corrupt" {
+		t.Errorf("taken failure = %+v, want corrupt-trace/corrupt", f)
+	}
+}
+
+// TestSweepParallelFailFast: the first failure cancels the sweep and is
+// returned as a *SweepError carrying the fault taxonomy.
+func TestSweepParallelFailFast(t *testing.T) {
+	srcs := genSources(t, 1500)
+	srcs[0] = lateCorruptSource(t, "corrupt-trace", equivSpec(1500))
+	_, err := sim.SweepParallel(srcs, equivPredictors, sim.Config{}, sim.ParallelOptions{
+		Workers: 4, Policy: sim.Policy{Mode: sim.FailFast},
+	})
+	if err == nil {
+		t.Fatal("FailFast sweep with a corrupt trace returned nil error")
+	}
+	var se *sim.SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *SweepError", err, err)
+	}
+	if se.Trace != "corrupt-trace" || !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("SweepError = %+v, want corrupt-trace wrapping ErrCorrupt", se)
+	}
+}
+
+// TestRunSetParallelMatchesRunSetPolicy: the single-predictor wrapper is
+// equivalent to sequential RunSetPolicy, failures included, and its FailFast
+// error text matches the sequential format.
+func TestRunSetParallelMatchesRunSetPolicy(t *testing.T) {
+	srcs := genSources(t, 2500)
+	srcs[2] = lateCorruptSource(t, "corrupt-trace", equivSpec(2500))
+	newPred := func() bp.Predictor { return gshare.New() }
+	policy := sim.Policy{Mode: sim.SkipFailed}
+
+	seq, err := sim.RunSetPolicy(srcs, newPred, sim.Config{}, 1, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sim.RunSetParallel(srcs, newPred, sim.Config{}, sim.ParallelOptions{Workers: 4, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := setJSON(t, seq), setJSON(t, par); !bytes.Equal(s, p) {
+		t.Errorf("RunSetParallel differs from RunSetPolicy\nseq: %s\npar: %s", s, p)
+	}
+
+	_, seqErr := sim.RunSetPolicy(srcs, newPred, sim.Config{}, 1, sim.Policy{Mode: sim.FailFast})
+	_, parErr := sim.RunSetParallel(srcs, newPred, sim.Config{}, sim.ParallelOptions{
+		Workers: 4, Policy: sim.Policy{Mode: sim.FailFast},
+	})
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("FailFast errors: seq=%v par=%v, want both non-nil", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("FailFast error text differs:\nseq: %v\npar: %v", seqErr, parErr)
+	}
+}
+
+// TestSweepParallelCacheBudgets: a cache too small to pin anything and a
+// disabled cache both fall back to streaming with identical results.
+func TestSweepParallelCacheBudgets(t *testing.T) {
+	srcs := genSources(t, 2000)
+	seq := sequentialSweep(t, srcs, equivPredictors, sim.Config{}, sim.Policy{Mode: sim.SkipFailed})
+	for _, budget := range []int64{64, -1} {
+		par, err := sim.SweepParallel(srcs, equivPredictors, sim.Config{}, sim.ParallelOptions{
+			Workers: 4, CacheBytes: budget, Policy: sim.Policy{Mode: sim.SkipFailed},
+		})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		diffSweeps(t, seq, par, equivPredictors)
+	}
+}
+
+func TestSweepParallelNilPredictor(t *testing.T) {
+	srcs := genSources(t, 500)
+	_, err := sim.SweepParallel(srcs, []sim.PredictorSpec{{Name: "nil"}}, sim.Config{}, sim.ParallelOptions{})
+	if !errors.Is(err, sim.ErrNilPredictor) {
+		t.Errorf("err = %v, want ErrNilPredictor", err)
+	}
+	_, err = sim.RunSetParallel(srcs, nil, sim.Config{}, sim.ParallelOptions{})
+	if !errors.Is(err, sim.ErrNilPredictor) {
+		t.Errorf("RunSetParallel err = %v, want ErrNilPredictor", err)
+	}
+}

@@ -1,0 +1,485 @@
+package tracecache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+	"mbplib/internal/sbbt"
+	"mbplib/internal/tracegen"
+)
+
+func testSpec(name string, branches uint64) tracegen.Spec {
+	return tracegen.Spec{
+		Name: name, Seed: 7, Branches: branches,
+		Kernels: []tracegen.KernelSpec{{Kind: tracegen.Biased}, {Kind: tracegen.Loop}},
+	}
+}
+
+// genOpen opens a synthetic trace, counting open calls. The generator
+// implements bp.Sizer, so the cache can pre-judge oversized traces.
+func genOpen(t *testing.T, spec tracegen.Spec, opens *atomic.Int32) OpenFunc {
+	t.Helper()
+	return func() (bp.Reader, io.Closer, int, error) {
+		if opens != nil {
+			opens.Add(1)
+		}
+		g, err := tracegen.New(spec)
+		return g, nil, 1, err
+	}
+}
+
+// hideSizer strips the Sizer interface so mid-decode budget enforcement is
+// exercised instead of the header pre-check.
+type hideSizer struct{ r bp.Reader }
+
+func (h hideSizer) Read() (bp.Event, error) { return h.r.Read() }
+
+func drain(t *testing.T, e *Entry) []bp.Event {
+	t.Helper()
+	var evs []bp.Event
+	for _, b := range e.Batches() {
+		evs = append(evs, b...)
+	}
+	return evs
+}
+
+func readAll(t *testing.T, spec tracegen.Spec) []bp.Event {
+	t.Helper()
+	g, err := tracegen.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []bp.Event
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			return evs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func TestAcquireDecodesOnce(t *testing.T) {
+	spec := testSpec("t0", 10_000)
+	want := readAll(t, spec)
+	c := New(1 << 20)
+	var opens atomic.Int32
+	open := genOpen(t, spec, &opens)
+	ctx := context.Background()
+
+	const readers = 8
+	entries := make([]*Entry, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := c.Acquire(ctx, "t0", open)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Concurrent readers of one entry: walk every event.
+			evs := drain(t, e)
+			if len(evs) != len(want) {
+				t.Errorf("reader %d saw %d events, want %d", i, len(evs), len(want))
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if got := opens.Load(); got != 1 {
+		t.Errorf("trace opened %d times, want 1 (single-flight)", got)
+	}
+	for i, e := range entries {
+		if e == nil {
+			t.Fatalf("reader %d got no entry", i)
+		}
+		if e.Err() != io.EOF {
+			t.Errorf("entry err = %v, want io.EOF", e.Err())
+		}
+		if !equalEvents(drain(t, e), want) {
+			t.Errorf("reader %d events differ from direct decode", i)
+		}
+		c.Release(e)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != readers-1 {
+		t.Errorf("stats = %+v, want 1 miss, %d hits", st, readers-1)
+	}
+	if st.Entries != 1 || st.BytesUsed != int64(len(want))*eventBytes {
+		t.Errorf("stats = %+v, want 1 entry of %d bytes", st, int64(len(want))*eventBytes)
+	}
+}
+
+func equalEvents(a, b []bp.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEvictionUnderTinyBudget(t *testing.T) {
+	const branches = 2000
+	// Budget fits one decoded trace (2000 events) but not two.
+	c := New(3000 * eventBytes)
+	ctx := context.Background()
+	names := []string{"a", "b", "c"}
+	var opens [3]atomic.Int32
+	for round := 0; round < 2; round++ {
+		for i, name := range names {
+			e, err := c.Acquire(ctx, name, genOpen(t, testSpec(name, branches), &opens[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.TooBig() {
+				t.Fatalf("round %d, trace %s: unexpected too-big verdict", round, name)
+			}
+			if got := len(drain(t, e)); got != branches {
+				t.Fatalf("round %d, trace %s: %d events, want %d", round, name, got, branches)
+			}
+			c.Release(e)
+			if st := c.Stats(); st.BytesUsed > 3000*eventBytes {
+				t.Fatalf("budget exceeded: %+v", st)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions under a one-trace budget: %+v", st)
+	}
+	// With every access a capacity miss, each trace is re-decoded per round.
+	for i := range names {
+		if got := opens[i].Load(); got != 2 {
+			t.Errorf("trace %s opened %d times, want 2", names[i], got)
+		}
+	}
+}
+
+func TestLRUPrefersColdEntries(t *testing.T) {
+	const branches = 1000
+	// Budget fits two decoded traces.
+	c := New(2500 * eventBytes)
+	ctx := context.Background()
+	var opensA atomic.Int32
+	acquire := func(name string, opens *atomic.Int32) {
+		t.Helper()
+		e, err := c.Acquire(ctx, name, genOpen(t, testSpec(name, branches), opens))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release(e)
+	}
+	acquire("a", &opensA)
+	acquire("b", nil)
+	acquire("a", &opensA) // refresh a: b becomes the LRU victim
+	acquire("c", nil)     // evicts b, not a
+	acquire("a", &opensA)
+	if got := opensA.Load(); got != 1 {
+		t.Errorf("recently-used trace re-opened: %d opens, want 1", got)
+	}
+}
+
+func TestTooBigFallsBackToStreaming(t *testing.T) {
+	c := New(100 * eventBytes)
+	ctx := context.Background()
+
+	// Sizer pre-check: the header already rules the trace out — the decode
+	// must not even start, and the verdict is cached.
+	var opens atomic.Int32
+	spec := testSpec("big", 5000)
+	for i := 0; i < 2; i++ {
+		e, err := c.Acquire(ctx, "big", genOpen(t, spec, &opens))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.TooBig() {
+			t.Fatalf("acquire %d: want too-big verdict", i)
+		}
+		if len(e.Batches()) != 0 || e.Bytes() != 0 {
+			t.Errorf("too-big entry retains data: %d batches, %d bytes", len(e.Batches()), e.Bytes())
+		}
+		c.Release(e)
+	}
+	if got := opens.Load(); got != 1 {
+		t.Errorf("size verdict not cached: %d opens, want 1", got)
+	}
+
+	// Without a Sizer the decode discovers the overflow mid-stream.
+	noSizer := func() (bp.Reader, io.Closer, int, error) {
+		g, err := tracegen.New(testSpec("big-nosizer", 5000))
+		return hideSizer{g}, nil, 1, err
+	}
+	e, err := c.Acquire(ctx, "big-nosizer", noSizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.TooBig() {
+		t.Fatal("mid-decode overflow not detected")
+	}
+	c.Release(e)
+	if st := c.Stats(); st.BytesUsed != 0 || st.TooBig != 2 {
+		t.Errorf("stats after too-big loads = %+v", st)
+	}
+}
+
+func TestContentionTooBigIsVolatile(t *testing.T) {
+	const branches = 1000
+	c := New(1500 * eventBytes) // fits one trace
+	ctx := context.Background()
+	held, err := c.Acquire(ctx, "held", genOpen(t, testSpec("held", branches), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.TooBig() {
+		t.Fatal("first trace should fit")
+	}
+	// While "held" is pinned, a second trace cannot evict it: streamed, but
+	// the verdict must not stick.
+	var opens atomic.Int32
+	e, err := c.Acquire(ctx, "later", genOpen(t, testSpec("later", branches), &opens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.TooBig() {
+		t.Fatal("want contention too-big while the budget is pinned")
+	}
+	c.Release(e)
+	c.Release(held)
+	// With the pin gone, the same trace now caches normally.
+	e, err = c.Acquire(ctx, "later", genOpen(t, testSpec("later", branches), &opens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TooBig() {
+		t.Fatal("contention verdict was cached; want a fresh load after release")
+	}
+	if got := len(drain(t, e)); got != branches {
+		t.Fatalf("reloaded entry has %d events, want %d", got, branches)
+	}
+	c.Release(e)
+}
+
+// corruptSBBT returns checksummed SBBT bytes with a bit flipped mid-stream,
+// so the decode fails with a typed corruption error after some valid events.
+func corruptSBBT(t *testing.T, branches int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := sbbt.NewChecksumWriter(&buf, uint64(branches), uint64(branches))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < branches; i++ {
+		ev := bp.Event{Branch: bp.Branch{IP: 0x400000 + uint64(i)*4, Target: 0x500000, Opcode: bp.OpCondJump, Taken: i%3 == 0}}
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x10 // reserved bit inside a packet
+	return data
+}
+
+func TestCorruptTracePoisonsOnlyItself(t *testing.T) {
+	data := corruptSBBT(t, 4096)
+	c := New(1 << 20)
+	ctx := context.Background()
+	var opens atomic.Int32
+	openCorrupt := func() (bp.Reader, io.Closer, int, error) {
+		opens.Add(1)
+		r, err := sbbt.NewReader(bytes.NewReader(data))
+		return r, nil, 1, err
+	}
+	for i := 0; i < 3; i++ {
+		e, err := c.Acquire(ctx, "corrupt", openCorrupt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Err() == nil || e.Err() == io.EOF {
+			t.Fatalf("acquire %d: corrupt trace decoded cleanly", i)
+		}
+		if got := faults.Class(e.Err()); got != "corrupt" {
+			t.Errorf("acquire %d: class = %q, want corrupt", i, got)
+		}
+		if len(e.Batches()) == 0 {
+			t.Errorf("acquire %d: events before the fault were dropped", i)
+		}
+		c.Release(e)
+	}
+	// Permanent decode faults are cached: one decode serves every predictor.
+	if got := opens.Load(); got != 1 {
+		t.Errorf("corrupt trace decoded %d times, want 1", got)
+	}
+	// The cache itself stays healthy for other traces.
+	e, err := c.Acquire(ctx, "healthy", genOpen(t, testSpec("healthy", 2000), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TooBig() || e.Err() != io.EOF {
+		t.Errorf("healthy trace affected by corrupt neighbour: tooBig=%v err=%v", e.TooBig(), e.Err())
+	}
+	c.Release(e)
+}
+
+func TestTransientOpenFailureNotCached(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	var opens atomic.Int32
+	spec := testSpec("flaky", 1000)
+	open := func() (bp.Reader, io.Closer, int, error) {
+		if opens.Add(1) == 1 {
+			return nil, nil, 1, errors.New("transient: too many open files")
+		}
+		g, err := tracegen.New(spec)
+		return g, nil, 1, err
+	}
+	e, err := c.Acquire(ctx, "flaky", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Err() == nil || e.Err() == io.EOF {
+		t.Fatal("first acquire should surface the open failure")
+	}
+	c.Release(e)
+	// The failure was transient, so the entry must not have been cached.
+	e, err = c.Acquire(ctx, "flaky", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Err() != io.EOF {
+		t.Fatalf("second acquire err = %v, want clean decode", e.Err())
+	}
+	c.Release(e)
+	if got := opens.Load(); got != 2 {
+		t.Errorf("opens = %d, want 2", got)
+	}
+
+	// A permanent open failure, by contrast, is cached.
+	var permOpens atomic.Int32
+	permanent := func() (bp.Reader, io.Closer, int, error) {
+		permOpens.Add(1)
+		return nil, nil, 1, faults.ErrCorrupt
+	}
+	for i := 0; i < 2; i++ {
+		e, err := c.Acquire(ctx, "perm", permanent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(e.Err(), faults.ErrCorrupt) {
+			t.Fatalf("acquire %d err = %v, want ErrCorrupt", i, e.Err())
+		}
+		c.Release(e)
+	}
+	if got := permOpens.Load(); got != 1 {
+		t.Errorf("permanent failure re-opened: %d opens, want 1", got)
+	}
+}
+
+func TestDisabledCacheStreamsEverything(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		c := New(budget)
+		e, err := c.Acquire(context.Background(), "t", genOpen(t, testSpec("t", 100), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.TooBig() {
+			t.Errorf("budget %d: want too-big verdict from a disabled cache", budget)
+		}
+		c.Release(e) // must not panic on a nil cache
+		if st := c.Stats(); st != (Stats{}) {
+			t.Errorf("budget %d: stats = %+v, want zero", budget, st)
+		}
+	}
+}
+
+func TestReplayReaderMatchesDirectDecode(t *testing.T) {
+	spec := testSpec("replay", 9000) // spans multiple internal batches
+	want := readAll(t, spec)
+	c := New(1 << 20)
+	e, err := c.Acquire(context.Background(), "replay", genOpen(t, spec, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(e)
+
+	// Scalar replay.
+	r := e.Reader()
+	var got []bp.Event
+	for {
+		ev, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if !equalEvents(got, want) {
+		t.Fatalf("scalar replay differs: %d events vs %d", len(got), len(want))
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("terminal error not sticky: %v", err)
+	}
+
+	// Batched replay with an awkward batch size.
+	r = e.Reader()
+	got = got[:0]
+	dst := make([]bp.Event, 1000)
+	for {
+		n, err := bp.ReadBatch(r, dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !equalEvents(got, want) {
+		t.Fatalf("batched replay differs: %d events vs %d", len(got), len(want))
+	}
+}
+
+func TestAcquireCancelledWhileWaiting(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	slowOpen := func() (bp.Reader, io.Closer, int, error) {
+		close(started)
+		<-unblock
+		g, err := tracegen.New(testSpec("slow", 100))
+		return g, nil, 1, err
+	}
+	go func() {
+		e, err := c.Acquire(context.Background(), "slow", slowOpen)
+		if err == nil {
+			c.Release(e)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Acquire(ctx, "slow", slowOpen); !errors.Is(err, context.Canceled) {
+		t.Errorf("Acquire under cancelled ctx = %v, want context.Canceled", err)
+	}
+	close(unblock)
+}
