@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check
+.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead golden
 
 check: fmt vet build test race mbpvet fault-sweep fuzz-smoke bench-smoke
 
@@ -56,6 +56,17 @@ bench-snapshot:
 # an O(n^2) decode loop, not ordinary noise.
 bench-check:
 	$(GO) run ./cmd/mbpbench -sim-check BENCH_sim.json -scale 200000 -sim-rounds 1
+
+# Timing half of the observability contract: instrumented sim.Run within
+# 10% of a metrics-disabled run. Env-gated because it is machine-sensitive;
+# CI runs it in the continue-on-error bench-check job.
+metrics-overhead:
+	MBP_METRICS_OVERHEAD=1 $(GO) test -run TestMetricsOverheadSmoke -v ./internal/bench/
+
+# Regenerate the golden files for the example programs after an intentional
+# output change; the diff is the review artifact.
+golden:
+	$(GO) test ./examples -update
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"mbplib/internal/bench"
+	"mbplib/internal/cliflags"
 )
 
 func main() {
@@ -44,8 +45,12 @@ func main() {
 		sweepSize  = flag.Int("sweep-traces", 4, "traces in the parallel-sweep matrix")
 		rounds     = flag.Int("sim-rounds", 3, "measurement rounds per snapshot variant (best is kept)")
 		factor     = flag.Float64("check-factor", 2, "allowed throughput regression factor for -sim-check")
+		metricsTo  = flag.String("metrics", "", "write a session-wide pipeline metrics JSON snapshot to this file ('-' = stderr)")
+		progress   = flag.Bool("progress", false, "render a live progress line on stderr")
 	)
 	flag.Parse()
+	metrics := cliflags.NewMetrics(*metricsTo, *progress, os.Stderr)
+	bench.SetCollector(metrics.Collector())
 	var err error
 	switch {
 	case *snapshot != "":
@@ -54,6 +59,9 @@ func main() {
 		err = runCheck(*check, *scale, *dir, *predictors, *sweepPreds, *sweepSize, *rounds, *factor)
 	default:
 		err = run(*table, *scale, *dir, *maxInstr)
+	}
+	if merr := metrics.Close(); merr != nil {
+		fmt.Fprintln(os.Stderr, "mbpbench:", merr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbpbench:", err)

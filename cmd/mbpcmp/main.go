@@ -31,8 +31,10 @@ import (
 	"sync"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/cliflags"
 	"mbplib/internal/compress"
 	"mbplib/internal/faults"
+	"mbplib/internal/obs"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
@@ -60,12 +62,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		simInstr  = fs.Uint64("sim", 0, "instructions to simulate after warm-up (0 = whole trace)")
 		mostN     = fs.Int("most-failed", 20, "entries in the most_failed diff report")
 		jobs      = fs.Int("j", runtime.GOMAXPROCS(0), "concurrent trace comparisons")
+		metricsTo = fs.String("metrics", "", "write a pipeline metrics JSON snapshot to this file ('-' = stderr)")
+		progress  = fs.Bool("progress", false, "render a live progress line on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 	if *traceGlob == "" {
 		fmt.Fprintln(stderr, "mbpcmp: -trace is required (see -help)")
+		return exitUsage
+	}
+	if err := cliflags.ValidateWorkers(*jobs); err != nil {
+		fmt.Fprintln(stderr, "mbpcmp:", err)
 		return exitUsage
 	}
 	// Validate both specs once before fanning out.
@@ -99,12 +107,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// fresh predictor instances (predictors are stateful) and streams its own
 	// trace; results are collected index-aligned so output order is the
 	// sorted path order regardless of completion order.
+	metrics := cliflags.NewMetrics(*metricsTo, *progress, stderr)
+	col := metrics.Collector()
+	col.Ctr(obs.CtrCellsTotal).Store(uint64(len(paths)))
 	results := make([]*sim.CompareResult, len(paths))
 	errs := make([]error, len(paths))
 	workers := *jobs
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > len(paths) {
 		workers = len(paths)
 	}
@@ -112,10 +120,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		ws := col.Worker(w)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				tCell := col.Now()
 				results[i], errs[i] = compareOne(paths[i], *spec0, *spec1, cfgFor(paths[i]))
+				cellDur := col.Now().Sub(tCell)
+				ws.Record(cellDur)
+				col.Hist(obs.HistCellNs).ObserveDuration(cellDur)
+				col.Ctr(obs.CtrCellsDone).Add(1)
 			}
 		}()
 	}
@@ -124,6 +138,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	close(next)
 	wg.Wait()
+	if err := metrics.Close(); err != nil {
+		fmt.Fprintln(stderr, "mbpcmp:", err)
+	}
 
 	failed := 0
 	for i, err := range errs {

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/cliflags"
 	"mbplib/internal/compress"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/prof"
@@ -59,8 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		simInstr   = fs.Uint64("sim", 0, "instructions to simulate per trace after warm-up (0 = all)")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces on the legacy path (-j 1)")
 		jobs       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel scheduler workers (1 = exact legacy path)")
-		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (negative disables)")
+		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (0 disables)")
 		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
+		metricsTo  = fs.String("metrics", "", "write a pipeline metrics JSON snapshot to this file ('-' = stderr)")
+		progress   = fs.Bool("progress", false, "render a live progress line on stderr")
 		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
 		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
@@ -72,6 +75,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *globs == "" {
 		fmt.Fprintln(stderr, "mbprun: -traces is required (see -help)")
+		return exitUsage
+	}
+	if err := cliflags.ValidateWorkers(*jobs); err != nil {
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitUsage
+	}
+	if err := cliflags.ValidateCacheBytes(*cacheBytes); err != nil {
+		fmt.Fprintln(stderr, "mbprun:", err)
 		return exitUsage
 	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
@@ -128,19 +139,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return p
 	}
-	cfg := sim.Config{WarmupInstructions: *warmup, SimInstructions: *simInstr}
+	metrics := cliflags.NewMetrics(*metricsTo, *progress, stderr)
+	closeMetrics := func() {
+		if err := metrics.Close(); err != nil {
+			fmt.Fprintln(stderr, "mbprun:", err)
+		}
+	}
+	cfg := sim.Config{WarmupInstructions: *warmup, SimInstructions: *simInstr, Metrics: metrics.Collector()}
 	var set *sim.SetResult
 	if *jobs == 1 {
 		set, err = sim.RunSetPolicy(sources, newPredictor, cfg, *workers, policy)
 	} else {
 		set, err = sim.RunSetParallel(sources, newPredictor, cfg, sim.ParallelOptions{
-			Workers: *jobs, CacheBytes: *cacheBytes, Policy: policy,
+			Workers: *jobs, CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
+			Metrics: metrics.Collector(),
 		})
 	}
 	if err != nil {
+		closeMetrics()
 		fmt.Fprintln(stderr, "mbprun:", err)
 		return exitTotal
 	}
+	closeMetrics()
 
 	scored := 0
 	for _, r := range set.Results {

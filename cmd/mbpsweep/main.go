@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/cliflags"
 	"mbplib/internal/compress"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/prof"
@@ -66,8 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		step       = fs.Int("step", 1, "sweep step")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces per swept value on the legacy path (-j 1)")
 		jobs       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel scheduler workers over the value × trace matrix (1 = exact legacy path)")
-		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (negative disables)")
+		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (0 disables)")
 		jsonOut    = fs.Bool("json", false, "print the sweep as JSON")
+		metricsTo  = fs.String("metrics", "", "write a pipeline metrics JSON snapshot to this file ('-' = stderr)")
+		progress   = fs.Bool("progress", false, "render a live progress line on stderr")
 		policyName = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
 		retries    = fs.Int("retries", 0, "retry transient trace-open failures this many times")
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
@@ -97,6 +100,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *step <= 0 || *to < *from {
 		fmt.Fprintf(stderr, "mbpsweep: invalid sweep range [%d, %d] step %d\n", *from, *to, *step)
+		return exitUsage
+	}
+	if err := cliflags.ValidateWorkers(*jobs); err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
+	}
+	if err := cliflags.ValidateCacheBytes(*cacheBytes); err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
 		return exitUsage
 	}
 	policy := sim.Policy{Retries: *retries, Backoff: *backoff}
@@ -161,12 +172,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// Compute: one SetResult per swept value, from either path. Results and
-	// failure tables are deterministic and identical across paths.
+	// failure tables are deterministic and identical across paths — metrics
+	// collection only observes, so -metrics/-progress never change stdout.
+	metrics := cliflags.NewMetrics(*metricsTo, *progress, stderr)
+	closeMetrics := func() {
+		if err := metrics.Close(); err != nil {
+			fmt.Fprintln(stderr, "mbpsweep:", err)
+		}
+	}
+	cfg := sim.Config{Metrics: metrics.Collector()}
 	sets := make([]*sim.SetResult, len(specs))
 	if *jobs == 1 {
 		for i, spec := range specs {
-			set, err := sim.RunSetPolicy(sources, newFor(spec), sim.Config{}, *workers, policy)
+			set, err := sim.RunSetPolicy(sources, newFor(spec), cfg, *workers, policy)
 			if err != nil {
+				closeMetrics()
 				fmt.Fprintf(stderr, "mbpsweep: %s: %v\n", spec, err)
 				return exitTotal
 			}
@@ -177,14 +197,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i, spec := range specs {
 			preds[i] = sim.PredictorSpec{Name: spec, New: newFor(spec)}
 		}
-		sets, err = sim.SweepParallel(sources, preds, sim.Config{}, sim.ParallelOptions{
-			Workers: *jobs, CacheBytes: *cacheBytes, Policy: policy,
+		sets, err = sim.SweepParallel(sources, preds, cfg, sim.ParallelOptions{
+			Workers: *jobs, CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
+			Metrics: metrics.Collector(),
 		})
 		if err != nil {
+			closeMetrics()
 			fmt.Fprintf(stderr, "mbpsweep: %v\n", err)
 			return exitTotal
 		}
 	}
+	closeMetrics()
 
 	return render(stdout, stderr, specs, sets, len(sources), *jsonOut)
 }

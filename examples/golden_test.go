@@ -1,0 +1,71 @@
+// Golden-output tests for the example programs. The examples are the
+// paper's user-facing surface — Listing 1's JSON, the classroom table, the
+// sweep chart — so their exact output is pinned: a refactor that changes
+// what a reader of the paper sees must show up as a reviewed golden diff,
+// not slip through silently.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./examples -update
+package examples
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current example output")
+
+// simTimeRe matches the one non-deterministic value in example output: the
+// wall-clock simulation_time field of the Listing 1 JSON result.
+var simTimeRe = regexp.MustCompile(`"simulation_time": [0-9.e+-]+`)
+
+func normalize(out []byte) []byte {
+	return simTimeRe.ReplaceAll(out, []byte(`"simulation_time": 0`))
+}
+
+func TestExamplesGoldenOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run full simulations; skipped with -short")
+	}
+	examples := []string{"classroom", "composition", "optimize", "quickstart", "sweep"}
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = ".." // module root, so the examples' relative imports resolve
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", name, err, stderr.String())
+			}
+			got := normalize(stdout.Bytes())
+
+			goldenPath := filepath.Join("testdata", "golden", name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run 'go test ./examples -update'): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("output of examples/%s diverged from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					name, goldenPath, got, want)
+			}
+		})
+	}
+}

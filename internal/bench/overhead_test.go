@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"mbplib/internal/obs"
+	"mbplib/internal/predictors/registry"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+// TestMetricsOverheadSmoke asserts the observability contract's performance
+// half on the bench-smoke workload: a fully instrumented sim.Run must stay
+// within 10% of a metrics-disabled run. Timing assertions are inherently
+// machine-sensitive, so the test only runs when MBP_METRICS_OVERHEAD is set
+// (CI runs it in the continue-on-error bench job, not the tier-1 test job).
+func TestMetricsOverheadSmoke(t *testing.T) {
+	if os.Getenv("MBP_METRICS_OVERHEAD") == "" {
+		t.Skip("set MBP_METRICS_OVERHEAD=1 to run the metrics overhead smoke")
+	}
+	specs, err := tracegen.Suite("cbp5-train", 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specs[0]
+
+	run := func(col *obs.Collector) time.Duration {
+		g, err := tracegen.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := registry.New("gshare")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := sim.Run(g, p, sim.Config{TraceName: spec.Name, Metrics: col}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Best-of-rounds on both sides damps scheduler noise; one warmup run
+	// pays the lazy-initialisation costs outside the measurement.
+	const rounds = 5
+	run(nil)
+	best := func(col *obs.Collector) time.Duration {
+		bestD := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			if d := run(col); bestD == 0 || d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	off := best(nil)
+	on := best(obs.New())
+	if limit := off + off/10; on > limit {
+		t.Errorf("metrics overhead too high: %v with metrics vs %v without (limit %v)", on, off, limit)
+	}
+	t.Logf("metrics overhead: %v on vs %v off (%.1f%%)", on, off, 100*(float64(on)/float64(off)-1))
+}

@@ -10,6 +10,7 @@ import (
 
 	"mbplib/internal/bp"
 	"mbplib/internal/compress"
+	"mbplib/internal/obs"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
@@ -22,6 +23,11 @@ type SimMeasurement struct {
 	Seconds         float64 `json:"seconds"`
 	BranchesPerSec  float64 `json:"branches_per_sec"`
 	MallocsPerEvent float64 `json:"mallocs_per_event"`
+	// StageSeconds breaks the batched pipeline's time down by obs stage
+	// (read, warmup, sim, prefetch_stall, produce_stall) — recorded through
+	// an obs.Collector, so it is absent on scalar variants and on snapshots
+	// written before the observability layer existed.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 // Stage pairs the scalar baseline with the batched pipeline for one
@@ -55,6 +61,45 @@ type SimSnapshot struct {
 	// the legacy sequential path (absent in snapshots written before the
 	// scheduler existed).
 	Sweep *SweepStage `json:"sweep,omitempty"`
+}
+
+// collector is the optional command-installed obs collector: when mbpbench
+// runs with -metrics, every measured simulation accrues into it so the final
+// snapshot covers the whole bench session. Measurements that need a per-run
+// stage breakdown diff its snapshots around the run instead of assuming it
+// starts empty.
+var collector *obs.Collector
+
+// SetCollector installs the session-wide obs collector (nil disables, the
+// default). Call before any Measure function; not safe to change while a
+// measurement is running.
+func SetCollector(col *obs.Collector) { collector = col }
+
+// runCollector returns the collector to instrument one measured run: the
+// session-wide one when installed, else a fresh local one so the stage
+// breakdown is still recorded.
+func runCollector() *obs.Collector {
+	if collector != nil {
+		return collector
+	}
+	return obs.New()
+}
+
+// diffStageSeconds returns the per-stage seconds accrued between two
+// snapshots of the same collector, skipping stages that did not advance.
+func diffStageSeconds(before, after obs.Snapshot) map[string]float64 {
+	var out map[string]float64
+	for name, st := range after.Stages {
+		delta := st.Seconds - before.Stages[name].Seconds
+		if delta <= 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64, len(after.Stages))
+		}
+		out[name] = delta
+	}
+	return out
 }
 
 // openTrace opens the (possibly compressed) SBBT trace file.
@@ -122,10 +167,14 @@ func runVariant(path, predictorSpec string, batched bool) (m SimMeasurement, eve
 	}
 	defer f.Close()
 	var res *sim.Result
+	var col *obs.Collector
+	var stagesBefore obs.Snapshot
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	if batched {
-		res, err = sim.Run(r, p, sim.Config{TraceName: path})
+		col = runCollector()
+		stagesBefore = col.Snapshot()
+		res, err = sim.Run(r, p, sim.Config{TraceName: path, Metrics: col})
 	} else {
 		res, err = sim.RunScalar(r, p, sim.Config{TraceName: path})
 	}
@@ -138,6 +187,9 @@ func runVariant(path, predictorSpec string, batched bool) (m SimMeasurement, eve
 	if events > 0 && m.Seconds > 0 {
 		m.BranchesPerSec = float64(events) / m.Seconds
 		m.MallocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+	}
+	if col != nil {
+		m.StageSeconds = diffStageSeconds(stagesBefore, col.Snapshot())
 	}
 	return m, events, nil
 }

@@ -172,7 +172,8 @@ func MeasureSweep(paths, predictorSpecs []string, workersList []int, rounds int)
 
 	seqSec, err := best(func() error {
 		for _, ps := range preds {
-			if _, err := sim.RunSetPolicy(sources, ps.New, sim.Config{}, 1, sim.Policy{}); err != nil {
+			cfg := sim.Config{Metrics: collector}
+			if _, err := sim.RunSetPolicy(sources, ps.New, cfg, 1, sim.Policy{}); err != nil {
 				return err
 			}
 		}
@@ -188,7 +189,9 @@ func MeasureSweep(paths, predictorSpecs []string, workersList []int, rounds int)
 
 	for _, w := range workersList {
 		parSec, err := best(func() error {
-			_, err := sim.SweepParallel(sources, preds, sim.Config{}, sim.ParallelOptions{Workers: w})
+			_, err := sim.SweepParallel(sources, preds, sim.Config{}, sim.ParallelOptions{
+				Workers: w, Metrics: collector,
+			})
 			return err
 		})
 		if err != nil {

@@ -1,0 +1,95 @@
+// Package cliflags holds the flag validation and observability plumbing
+// shared by the mbp* commands, so every command rejects the same bad inputs
+// with the same messages and emits the same metrics JSON.
+package cliflags
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mbplib/internal/obs"
+)
+
+// ValidateWorkers rejects non-positive -j values. Commands used to clamp
+// them silently; an explicit -j 0 or -j -4 is now a usage error, caught
+// before any trace is opened.
+func ValidateWorkers(j int) error {
+	if j < 1 {
+		return fmt.Errorf("-j must be >= 1 (got %d)", j)
+	}
+	return nil
+}
+
+// ValidateCacheBytes rejects negative -cache-bytes values. 0 disables the
+// decoded-trace cache (every simulation streams); positive values bound it.
+func ValidateCacheBytes(b int64) error {
+	if b < 0 {
+		return fmt.Errorf("-cache-bytes must be >= 0 (got %d; use 0 to disable the cache)", b)
+	}
+	return nil
+}
+
+// CacheBudget translates the CLI's -cache-bytes convention (0 = disabled)
+// into the library's (tracecache.New treats <= 0 as disabled, but
+// sim.ParallelOptions treats 0 as "use default"), after validation.
+func CacheBudget(b int64) int64 {
+	if b == 0 {
+		return -1 // explicit disable for sim.ParallelOptions
+	}
+	return b
+}
+
+// Metrics is the state behind a command's -metrics and -progress flags:
+// an optional collector and where to serialise its final snapshot.
+type Metrics struct {
+	col  *obs.Collector
+	dest string
+	errw io.Writer
+	stop func()
+}
+
+// NewMetrics builds the metrics state for one command invocation.
+// metricsDest is the -metrics flag value: "" leaves collection disabled,
+// "-" writes the snapshot to errw (conventionally stderr, keeping stdout
+// byte-identical to an uninstrumented run), anything else is a file path.
+// When progress is set, a live status line refreshes on errw until Close.
+func NewMetrics(metricsDest string, progress bool, errw io.Writer) *Metrics {
+	m := &Metrics{dest: metricsDest, errw: errw, stop: func() {}}
+	if metricsDest != "" || progress {
+		m.col = obs.New()
+	}
+	if progress {
+		m.stop = obs.StartProgress(errw, m.col, 0)
+	}
+	return m
+}
+
+// Collector returns the collector to thread through the pipeline — nil when
+// neither -metrics nor -progress was given, which disables collection at
+// zero cost.
+func (m *Metrics) Collector() *obs.Collector { return m.col }
+
+// Close stops the progress line and writes the final metrics snapshot to
+// the -metrics destination. Call exactly once, after the results have been
+// rendered. Returns an error only for metrics-file I/O failures.
+func (m *Metrics) Close() error {
+	m.stop()
+	if m.dest == "" || m.col == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(m.col.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding metrics: %w", err)
+	}
+	data = append(data, '\n')
+	if m.dest == "-" {
+		_, err = m.errw.Write(data)
+		return err
+	}
+	if err := os.WriteFile(m.dest, data, 0o644); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return nil
+}

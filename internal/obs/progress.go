@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// DefaultProgressInterval is how often the progress line refreshes.
+const DefaultProgressInterval = 500 * time.Millisecond
+
+// Progress periodically renders a single carriage-return-refreshed status
+// line for a long sweep: cells done/total, simulated events per second,
+// decoded-trace cache hit rate, and an ETA extrapolated from the completion
+// rate. It reads the collector's counters; it never touches the pipeline.
+type Progress struct {
+	w        io.Writer
+	col      *Collector
+	interval time.Duration
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartProgress launches a reporter writing to w (conventionally stderr)
+// every interval (<= 0 means DefaultProgressInterval). It returns a stop
+// function that renders one final line, terminates it with a newline, and
+// waits for the reporter goroutine to exit; the stop function is safe to
+// call exactly once. A nil collector yields a no-op reporter.
+func StartProgress(w io.Writer, col *Collector, interval time.Duration) (stop func()) {
+	if col == nil || w == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = DefaultProgressInterval
+	}
+	p := &Progress{
+		w: w, col: col, interval: interval, start: time.Now(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go p.run()
+	return func() {
+		close(p.stop)
+		<-p.done
+	}
+}
+
+func (p *Progress) run() {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Fprintf(p.w, "\r%s", p.line())
+		case <-p.stop:
+			fmt.Fprintf(p.w, "\r%s\n", p.line())
+			return
+		}
+	}
+}
+
+// line renders the current status from the collector's counters.
+func (p *Progress) line() string {
+	elapsed := time.Since(p.start)
+	return RenderProgress(p.col.Snapshot(), elapsed)
+}
+
+// RenderProgress formats one progress line from a snapshot and the elapsed
+// wall time. Exposed as a pure function so tests can pin the format.
+func RenderProgress(s Snapshot, elapsed time.Duration) string {
+	done := s.Counters[ctrNames[CtrCellsDone]]
+	total := s.Counters[ctrNames[CtrCellsTotal]]
+	events := s.Counters[ctrNames[CtrEvents]]
+	hits := s.Counters[ctrNames[CtrCacheHits]]
+	misses := s.Counters[ctrNames[CtrCacheMisses]]
+
+	line := fmt.Sprintf("%d/%d cells", done, total)
+	if sec := elapsed.Seconds(); sec > 0 {
+		line += fmt.Sprintf(" | %s ev/s", siRate(float64(events)/sec))
+	}
+	if hits+misses > 0 {
+		line += fmt.Sprintf(" | cache %.1f%% hit", 100*float64(hits)/float64(hits+misses))
+	}
+	switch {
+	case total > 0 && done >= total:
+		line += fmt.Sprintf(" | done in %s", roundDuration(elapsed))
+	case done > 0 && total > done:
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		line += fmt.Sprintf(" | ETA %s", roundDuration(eta))
+	}
+	return line
+}
+
+// siRate renders an events-per-second rate with an SI suffix.
+func siRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// roundDuration trims a duration to a human scale for the progress line.
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond)
+	}
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,193 @@
+package predtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/sim"
+	"mbplib/internal/tracegen"
+)
+
+// This file is the predictor conformance suite: behavioural contracts every
+// registry predictor must satisfy, checked dynamically against the same
+// mixed workload. Each check constructs fresh instances through newP —
+// predictors are stateful, and several contracts are statements about two
+// instances fed the same stream.
+
+// conformanceEvents replays the mixed workload to f, stopping at io.EOF.
+func conformanceEvents(t *testing.T, branches uint64, f func(bp.Event)) {
+	t.Helper()
+	g, err := tracegen.New(MixedSpec(branches))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err := g.Read()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(ev)
+	}
+}
+
+// predictionStream drives one fresh predictor over the mixed workload and
+// packs every conditional prediction into a bitstream. extraPredicts adds
+// that many redundant Predict calls before the recorded one, to observe
+// whether Predict mutates state.
+func predictionStream(t *testing.T, newP func() bp.Predictor, branches uint64, extraPredicts int) []byte {
+	t.Helper()
+	p := newP()
+	var bits []byte
+	n := 0
+	conformanceEvents(t, branches, func(ev bp.Event) {
+		b := ev.Branch
+		if b.IsConditional() {
+			for i := 0; i < extraPredicts; i++ {
+				p.Predict(b.IP)
+			}
+			if n%8 == 0 {
+				bits = append(bits, 0)
+			}
+			if p.Predict(b.IP) {
+				bits[n/8] |= 1 << (n % 8)
+			}
+			n++
+			p.Train(b)
+		}
+		p.Track(b)
+	})
+	return bits
+}
+
+// CheckReplayDeterminism verifies that two fresh instances driven by the
+// same event stream make identical predictions — a predictor must not
+// depend on anything but its inputs (no clocks, no map iteration order, no
+// global RNG), or sweep results would not be reproducible.
+func CheckReplayDeterminism(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	a := predictionStream(t, newP, branches, 0)
+	b := predictionStream(t, newP, branches, 0)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two replays of the same stream predicted differently")
+	}
+}
+
+// CheckPredictSideEffectFree is the dynamic form of mbpvet's V1 rule: extra
+// Predict calls between training events must not change any subsequent
+// prediction. A predictor updating state in Predict (speculative history,
+// allocation on lookup) diverges here.
+func CheckPredictSideEffectFree(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	clean := predictionStream(t, newP, branches, 0)
+	noisy := predictionStream(t, newP, branches, 3)
+	if !bytes.Equal(clean, noisy) {
+		t.Errorf("redundant Predict calls changed later predictions (Predict mutates state)")
+	}
+}
+
+// CheckCallOrderTolerance verifies a predictor survives call patterns other
+// than the canonical Predict/Train/Track cycle: Train without a preceding
+// Predict (the simulator's warm-up fast path), and Track-only streams
+// (unconditional branches). The predictor must not panic and must still
+// answer afterwards — and training without predicts must leave it in the
+// same state as training with them (Predict is read-only, so the two
+// schedules are indistinguishable).
+func CheckCallOrderTolerance(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	defer func() {
+		if v := recover(); v != nil {
+			t.Errorf("predictor panicked under non-canonical call order: %v", v)
+		}
+	}()
+	// Train/Track with no Predict at all.
+	blind := newP()
+	conformanceEvents(t, branches, func(ev bp.Event) {
+		if ev.Branch.IsConditional() {
+			blind.Train(ev.Branch)
+		}
+		blind.Track(ev.Branch)
+	})
+	// Predict/Train/Track, same stream.
+	sighted := newP()
+	conformanceEvents(t, branches, func(ev bp.Event) {
+		if ev.Branch.IsConditional() {
+			sighted.Predict(ev.Branch.IP)
+			sighted.Train(ev.Branch)
+		}
+		sighted.Track(ev.Branch)
+	})
+	// Both must agree afterwards: predicting is observation, not training.
+	diverged := false
+	conformanceEvents(t, branches/4, func(ev bp.Event) {
+		b := ev.Branch
+		if b.IsConditional() && !diverged {
+			if blind.Predict(b.IP) != sighted.Predict(b.IP) {
+				diverged = true
+			}
+			blind.Train(b)
+			sighted.Train(b)
+		}
+		blind.Track(b)
+		sighted.Track(b)
+	})
+	if diverged {
+		t.Errorf("training without Predict calls produced a different state than training with them")
+	}
+	// Track-only stream (all-unconditional trace) on a fresh instance.
+	trackOnly := newP()
+	conformanceEvents(t, branches/4, func(ev bp.Event) {
+		trackOnly.Track(ev.Branch)
+	})
+	trackOnly.Predict(0x40_0000)
+}
+
+// CheckBatchScalarEquivalence verifies the predictor behaves identically
+// under the batched pipeline and the scalar reference loop: byte-identical
+// result JSON across warm-up and limit configurations. A predictor cannot
+// tell the difference between the two loops unless it is sensitive to
+// something outside the bp.Predictor contract.
+func CheckBatchScalarEquivalence(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	spec := MixedSpec(branches)
+	configs := []sim.Config{
+		{TraceName: "conformance"},
+		{TraceName: "conformance", WarmupInstructions: 3 * branches}, // lands mid-trace
+		{TraceName: "conformance", SimInstructions: 4 * branches},
+	}
+	for i, cfg := range configs {
+		newGen := func() *tracegen.Generator {
+			g, err := tracegen.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}
+		scalar, err := sim.RunScalar(newGen(), newP(), cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: RunScalar: %v", i, err)
+		}
+		batched, err := sim.Run(newGen(), newP(), cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: Run: %v", i, err)
+		}
+		scalar.Metrics.SimulationTime = 0
+		batched.Metrics.SimulationTime = 0
+		sj, err := json.Marshal(scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, bj) {
+			t.Errorf("cfg %d: batched result differs from scalar:\nscalar:  %s\nbatched: %s", i, sj, bj)
+		}
+	}
+}

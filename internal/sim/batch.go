@@ -6,6 +6,7 @@ import (
 
 	"mbplib/internal/bp"
 	"mbplib/internal/faults"
+	"mbplib/internal/obs"
 )
 
 // batchEvents is the number of events per prefetched batch. At 32 bytes per
@@ -57,17 +58,19 @@ type prefetcher struct {
 	done    chan struct{}   // closed to request producer shutdown
 	stopped chan struct{}   // closed by the producer on exit
 	once    sync.Once       // guards close(done)
+	col     *obs.Collector  // nil when metrics are disabled
 }
 
 // startPrefetch launches the producer goroutine reading from r in batches
 // of size events each. Ownership of r passes to the prefetcher until
-// shutdown returns.
-func startPrefetch(r bp.Reader, size int) *prefetcher {
+// shutdown returns. col may be nil (metrics disabled).
+func startPrefetch(r bp.Reader, size int, col *obs.Collector) *prefetcher {
 	pf := &prefetcher{
 		filled:  make(chan batch, 1),
 		free:    make(chan []bp.Event, 2),
 		done:    make(chan struct{}),
 		stopped: make(chan struct{}),
+		col:     col,
 	}
 	// Two buffers: one being consumed, one being filled. With filled
 	// buffered to depth 1, the producer can stay one full batch ahead.
@@ -79,14 +82,22 @@ func startPrefetch(r bp.Reader, size int) *prefetcher {
 
 func (pf *prefetcher) produce(r bp.Reader) {
 	defer close(pf.stopped)
+	col := pf.col
 	for {
 		var buf []bp.Event
+		tStall := col.Now()
 		select {
 		case <-pf.done:
 			return
 		case buf = <-pf.free:
 		}
+		tRead := col.Now()
+		col.Stage(obs.StageProduceStall).Add(tRead.Sub(tStall))
 		n, err := readBatchSafe(r, buf[:cap(buf)])
+		readDur := col.Now().Sub(tRead)
+		col.Stage(obs.StageRead).Add(readDur)
+		col.Hist(obs.HistBatchReadNs).ObserveDuration(readDur)
+		col.Ctr(obs.CtrBatches).Add(1)
 		select {
 		case <-pf.done:
 			return

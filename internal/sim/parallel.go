@@ -12,6 +12,7 @@ import (
 
 	"mbplib/internal/bp"
 	"mbplib/internal/faults"
+	"mbplib/internal/obs"
 	"mbplib/internal/sim/tracecache"
 )
 
@@ -40,6 +41,10 @@ type ParallelOptions struct {
 	CacheBytes int64
 	// Policy is the per-pair failure policy, with RunSetPolicy semantics.
 	Policy Policy
+	// Metrics receives scheduler observability (per-worker utilisation,
+	// cells done, queue depth, cache counters) when non-nil. nil disables
+	// collection at zero cost; results are identical either way.
+	Metrics *obs.Collector
 }
 
 // SweepError is the error SweepParallel returns under FailFast: the
@@ -98,6 +103,11 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 		cacheBytes = DefaultCacheBytes
 	}
 	cache := tracecache.New(cacheBytes) // nil (stream everything) when negative
+	col := opts.Metrics
+	cache.SetCollector(col)
+	cfg.Metrics = col // stage timings and event counts accrue per pair
+	col.Ctr(obs.CtrCellsTotal).Store(uint64(nP * nT))
+	col.Ctr(obs.CtrQueueDepth).Store(uint64(nP * nT))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -106,13 +116,20 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		ws := col.Worker(w) // registered up front so snapshots list idle workers
 		go func() {
 			defer wg.Done()
 			for tk := range tasks {
 				if ctx.Err() != nil {
 					continue // cancelled: leave the cell empty, the sweep is aborting
 				}
+				tCell := col.Now()
 				res, fail := runPair(ctx, cache, sources[tk.ti], predictors[tk.pi], cfg, opts.Policy)
+				cellDur := col.Now().Sub(tCell)
+				ws.Record(cellDur)
+				col.Hist(obs.HistCellNs).ObserveDuration(cellDur)
+				col.Ctr(obs.CtrCellsDone).Add(1)
+				col.Ctr(obs.CtrQueueDepth).Store(uint64(nP*nT) - col.Ctr(obs.CtrCellsDone).Load())
 				if fail != nil && errors.Is(fail.Err, context.Canceled) {
 					continue // a cancellation echo, not a trace failure
 				}
@@ -213,12 +230,21 @@ func runPair(ctx context.Context, cache *tracecache.Cache, src TraceSource, pred
 // succeeds even over a trace corrupt past the stop point.
 func runEntry(ctx context.Context, entry *tracecache.Entry, p bp.Predictor, cfg Config) (*Result, error) {
 	start := time.Now()
+	col := cfg.Metrics
 	loop := newRunLoop(cfg)
 	for _, b := range entry.Batches() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if loop.process(b, p) {
+		simStage := obs.StageSim
+		if loop.instr < loop.warmup {
+			simStage = obs.StageWarmup
+		}
+		tSim := col.Now()
+		stop := loop.process(b, p)
+		col.Stage(simStage).Since(tSim)
+		col.Ctr(obs.CtrEvents).Add(uint64(len(b)))
+		if stop {
 			return loop.result(p, cfg, false, start), nil
 		}
 	}

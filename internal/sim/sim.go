@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/obs"
 )
 
 // Name and Version identify the simulator in result metadata, as in
@@ -40,6 +41,11 @@ type Config struct {
 	// branch needed to cover half of all mispredictions, as the paper's
 	// num_most_failed_branches metric defines.
 	MostFailedLimit int
+	// Metrics receives pipeline observability data (stage timings, event
+	// counts) when non-nil. A nil collector is the disabled state: the
+	// instrumentation points are zero-allocation no-ops, and results are
+	// byte-identical either way — collectors only observe (see internal/obs).
+	Metrics *obs.Collector
 }
 
 // Metadata is the "metadata" section of a result (Listing 1). The paper's
@@ -323,17 +329,29 @@ func (l *runLoop) result(p bp.Predictor, cfg Config, exhausted bool, start time.
 // semantics of RunSetPolicy.
 func Run(r bp.Reader, p bp.Predictor, cfg Config) (*Result, error) {
 	start := time.Now()
+	col := cfg.Metrics
 	loop := newRunLoop(cfg)
-	pf := startPrefetch(r, batchSizeFor(r))
+	pf := startPrefetch(r, batchSizeFor(r), col)
 	defer pf.shutdown()
 
 	exhausted := false
 	for {
+		tWait := col.Now()
 		b, ok := pf.next()
+		col.Stage(obs.StagePrefetchStall).Since(tWait)
 		if !ok {
 			break // producer stopped without a final batch; nothing more to consume
 		}
+		// Stage attribution is per batch: a batch starting inside the warm-up
+		// window counts as warm-up even if it crosses the boundary.
+		simStage := obs.StageSim
+		if loop.instr < loop.warmup {
+			simStage = obs.StageWarmup
+		}
+		tSim := col.Now()
 		stop := loop.process(b.events, p)
+		col.Stage(simStage).Since(tSim)
+		col.Ctr(obs.CtrEvents).Add(uint64(len(b.events)))
 		pf.recycle(b.events)
 		if stop {
 			break // instruction limit reached; pending events and errors are moot

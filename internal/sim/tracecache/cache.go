@@ -36,6 +36,7 @@ import (
 
 	"mbplib/internal/bp"
 	"mbplib/internal/faults"
+	"mbplib/internal/obs"
 )
 
 // batchEvents matches the simulator's prefetch batch size: entries hold the
@@ -62,6 +63,10 @@ type Stats struct {
 	// waits on an in-flight load); Misses counts loads started.
 	Hits   uint64
 	Misses uint64
+	// Coalesced counts the subset of Hits that joined another worker's
+	// still-in-flight load instead of finding a completed entry
+	// (single-flight sharing saved a redundant decode).
+	Coalesced uint64
 	// Evictions counts idle entries discarded to make room; TooBig counts
 	// loads that exceeded the budget and fell back to streaming.
 	Evictions uint64
@@ -78,6 +83,7 @@ type Cache struct {
 	clock   uint64 // LRU timestamp source, advanced under mu
 	entries map[string]*Entry
 	stats   Stats
+	col     *obs.Collector // nil when metrics are disabled
 }
 
 // New returns a cache bounded to budget bytes of decoded events. A budget
@@ -132,6 +138,19 @@ func (e *Entry) Attempts() int { return e.attempts }
 // Bytes reports the budget bytes charged to this entry.
 func (e *Entry) Bytes() int64 { return e.bytes }
 
+// SetCollector mirrors the cache counters into col as they change, so a
+// live progress reporter can read hit rates without polling Stats. Call it
+// before the first Acquire; a nil col (the default) disables mirroring.
+// Safe on a nil (disabled) cache.
+func (c *Cache) SetCollector(col *obs.Collector) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.col = col
+	c.mu.Unlock()
+}
+
 // Acquire returns the decoded form of the named trace, loading it through
 // open on first use. Concurrent Acquires of the same name share one load:
 // the first caller decodes, the rest wait. The returned entry is pinned;
@@ -148,11 +167,24 @@ func (c *Cache) Acquire(ctx context.Context, name string, open OpenFunc) (*Entry
 	if e, ok := c.entries[name]; ok {
 		e.refs++
 		c.stats.Hits++
-		c.mu.Unlock()
+		c.col.Ctr(obs.CtrCacheHits).Add(1)
+		// A hit on an entry whose load has not published yet is a coalesce:
+		// single-flight sharing spared this caller a redundant decode.
 		select {
 		case <-e.ready:
+		default:
+			c.stats.Coalesced++
+			c.col.Ctr(obs.CtrCacheCoalesced).Add(1)
+		}
+		col := c.col
+		c.mu.Unlock()
+		tWait := col.Now()
+		select {
+		case <-e.ready:
+			col.Stage(obs.StageCacheWait).Since(tWait)
 			return e, nil
 		case <-ctx.Done():
+			col.Stage(obs.StageCacheWait).Since(tWait)
 			c.Release(e)
 			return nil, ctx.Err()
 		}
@@ -160,6 +192,7 @@ func (c *Cache) Acquire(ctx context.Context, name string, open OpenFunc) (*Entry
 	e := &Entry{c: c, name: name, ready: make(chan struct{}), refs: 1}
 	c.entries[name] = e
 	c.stats.Misses++
+	c.col.Ctr(obs.CtrCacheMisses).Add(1)
 	c.mu.Unlock()
 	e.load(ctx, open)
 	return e, nil
@@ -223,13 +256,21 @@ func (e *Entry) load(ctx context.Context, open OpenFunc) {
 			return
 		}
 	}
+	e.c.mu.Lock()
+	col := e.c.col
+	e.c.mu.Unlock()
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			e.fail(cerr, true)
 			return
 		}
 		buf := make([]bp.Event, batchEvents)
+		tRead := col.Now()
 		n, rerr := readBatchSafe(r, buf)
+		readDur := col.Now().Sub(tRead)
+		col.Stage(obs.StageRead).Add(readDur)
+		col.Hist(obs.HistBatchReadNs).ObserveDuration(readDur)
+		col.Ctr(obs.CtrBatches).Add(1)
 		if n > 0 {
 			ok, contention := e.c.reserve(e, int64(n)*eventBytes)
 			if !ok {
@@ -291,6 +332,7 @@ func (e *Entry) markTooBig(contention bool) {
 	c.unreserve(e)
 	e.batches = nil
 	c.stats.TooBig++
+	c.col.Ctr(obs.CtrCacheTooBig).Add(1)
 	if contention {
 		delete(c.entries, e.name)
 	}
@@ -301,6 +343,7 @@ func (e *Entry) markTooBig(contention bool) {
 func (c *Cache) unreserve(e *Entry) {
 	c.used -= e.bytes
 	e.bytes = 0
+	c.col.Ctr(obs.CtrCacheBytes).Store(uint64(c.used))
 }
 
 // reserve charges delta more bytes to a loading entry, evicting idle
@@ -321,9 +364,11 @@ func (c *Cache) reserve(e *Entry, delta int64) (ok, contention bool) {
 		c.used -= victim.bytes
 		delete(c.entries, victim.name)
 		c.stats.Evictions++
+		c.col.Ctr(obs.CtrCacheEvictions).Add(1)
 	}
 	c.used += delta
 	e.bytes += delta
+	c.col.Ctr(obs.CtrCacheBytes).Store(uint64(c.used))
 	return true, false
 }
 
