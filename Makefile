@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead golden
+.PHONY: check fmt vet build test race mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead golden
 
 check: fmt vet build test race mbpvet fault-sweep fuzz-smoke bench-smoke
 
@@ -30,6 +30,16 @@ race:
 
 mbpvet:
 	$(GO) run ./cmd/mbpvet ./...
+
+# Apply mbpvet's suggested fixes (atomic load/store rewrites, context
+# substitutions) in place, then report whatever remains.
+vet-fix:
+	$(GO) run ./cmd/mbpvet -fix ./...
+
+# Render the findings as SARIF 2.1.0 for code-scanning upload; exit status
+# still reports findings, so `|| true` when only the report is wanted.
+vet-sarif:
+	$(GO) run ./cmd/mbpvet -sarif ./...
 
 # The exhaustive fault-injection sweep: truncations and bit-flips at every
 # byte offset of every trace format, plus hostile headers and short reads.

@@ -1,6 +1,8 @@
 // Command mbpvet is MBPlib's own static analyzer. It loads the module's
 // source with go/parser and go/types (stdlib only, no external tooling) and
-// enforces the contracts the paper states in prose:
+// runs nine rules through the internal/vet/driver analyzer framework,
+// enforcing the contracts the paper states in prose plus the repository's
+// concurrency conventions:
 //
 //	V1 purity     — Predict must not mutate predictor state (§IV-A)
 //	V2 registry   — every predictor package is constructible by name
@@ -8,74 +10,149 @@
 //	V4 bitwidth   — no silent truncation on the SBBT/BT9 codec paths,
 //	                power-of-two table sizes wherever a mask is derived
 //	V5 panicfree  — no reachable panic in the packages that decode
-//	                untrusted trace bytes (sbbt, bt9, compress); hostile
-//	                input must fail with a typed error from the faults
-//	                taxonomy
+//	                untrusted trace bytes (sbbt, bt9, compress)
+//	V6 goroutine  — every go statement in sim/obs/cmd has a provable join
+//	                or cancel path
+//	V7 guardedby  — mutex-guarded fields are never accessed bare
+//	V8 atomic     — atomically-accessed fields are never accessed plainly;
+//	                64-bit atomics are alignment-safe
+//	V9 ctxprop    — a received context.Context is propagated, not dropped
 //
 // Usage:
 //
-//	mbpvet [./...]
+//	mbpvet [flags] [dir|./...]
 //
-// Findings print as "file:line: rule: message" and a nonzero exit status
-// reports that at least one rule fired. Documented exceptions are declared
-// in the source with //mbpvet:impure (on a Predict method),
-// //mbpvet:ignore <rule> -- <justification>, or
-// //mbpvet:panicfree-exempt <justification> (on a deliberate internal
-// invariant panic); see README.md.
+//	-rules purity,goroutine   run only the named rules (vN aliases work)
+//	-json                     render findings as JSON on stdout
+//	-sarif                    render findings as SARIF 2.1.0 on stdout
+//	-fix                      apply suggested fixes, then re-run and report
+//	-list                     print the rule catalogue and exit
+//
+// Findings print as "file:line: rule: message" and exit status 1 reports
+// that at least one rule fired; exit 2 is a usage or load error. Documented
+// exceptions are declared in the source with //mbpvet:impure,
+// //mbpvet:ignore <rule> -- <justification>,
+// //mbpvet:panicfree-exempt <justification>,
+// //mbpvet:goroutine-exempt <justification>, or a //mbpvet:guardedby
+// contract annotation; see README.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"mbplib/internal/cliflags"
 	"mbplib/internal/vet"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbpvet [dir|./...]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, so tests can drive the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbpvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mbpvet [flags] [dir|./...]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	var (
+		jsonOut  = fs.Bool("json", false, "render findings as JSON on stdout")
+		sarifOut = fs.Bool("sarif", false, "render findings as SARIF 2.1.0 on stdout")
+		applyFix = fs.Bool("fix", false, "apply suggested fixes in place, then report what remains")
+		rulesArg = fs.String("rules", "", "comma-separated rules to run (names or v1..v9 aliases; default all)")
+		list     = fs.Bool("list", false, "print the rule catalogue and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for i, r := range vet.AllRules() {
+			fmt.Fprintf(stdout, "v%d %-10s %s\n", i+1, r, vet.RuleDoc(r))
+		}
+		return 0
+	}
+	if err := cliflags.ValidateVetOutput(*jsonOut, *sarifOut); err != nil {
+		fmt.Fprintln(stderr, "mbpvet:", err)
+		return 2
+	}
+	rules := cliflags.SplitVetRules(*rulesArg)
 
 	dir := "."
-	if flag.NArg() > 0 {
+	if fs.NArg() > 0 {
 		// The conventional "./..." spelling means "the whole module"; any
 		// other argument names the directory to start from.
-		if arg := flag.Arg(0); arg != "./..." && arg != "..." {
+		if arg := fs.Arg(0); arg != "./..." && arg != "..." {
 			dir = filepath.Clean(arg)
 		}
 	}
 
 	root, err := vet.FindModuleRoot(dir)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	module, err := vet.ModulePath(root)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	prog, err := vet.Load(root, module)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
-	findings := vet.Run(prog, vet.DefaultConfig(module))
-	for _, f := range findings {
-		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-			f.Pos.Filename = rel
+	cfg := vet.DefaultConfig(module)
+	findings, err := vet.RunAnalyzers(prog, cfg, rules)
+	if err != nil {
+		return fatal(stderr, err)
+	}
+
+	if *applyFix {
+		changed, err := vet.ApplyFixes(prog.Fset, findings)
+		if err != nil {
+			return fatal(stderr, err)
 		}
-		fmt.Println(f)
+		for _, path := range changed {
+			if rel, err := filepath.Rel(root, path); err == nil {
+				path = rel
+			}
+			fmt.Fprintf(stderr, "mbpvet: fixed %s\n", path)
+		}
+		if len(changed) > 0 {
+			// Re-load and re-run: the fixes moved positions, and a fix can
+			// resolve (or expose) findings.
+			prog, err = vet.Load(root, module)
+			if err != nil {
+				return fatal(stderr, err)
+			}
+			findings, err = vet.RunAnalyzers(prog, cfg, rules)
+			if err != nil {
+				return fatal(stderr, err)
+			}
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		err = vet.WriteJSON(stdout, findings, root)
+	case *sarifOut:
+		err = vet.WriteSARIF(stdout, findings, root)
+	default:
+		err = vet.WriteText(stdout, findings, root)
+	}
+	if err != nil {
+		return fatal(stderr, err)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mbpvet: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mbpvet: %d finding(s)\n", len(findings))
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mbpvet:", err)
-	os.Exit(2)
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "mbpvet:", err)
+	return 2
 }

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mbplib/internal/vet"
+)
+
+// tmpModule writes a throwaway module with the given files (path -> source)
+// and returns its root.
+func tmpModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const leakySim = `// Package sim is a CLI-test fixture with one goroutine leak.
+package sim
+
+// Leak launches a goroutine with no join path.
+func Leak() {
+	go func() {
+		var n int
+		n++
+		_ = n
+	}()
+}
+`
+
+const cleanSim = `// Package sim is a conforming CLI-test fixture.
+package sim
+
+// Nothing is here on purpose.
+func Nothing() {}
+`
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunCleanModuleExitsZero(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": cleanSim})
+	code, stdout, stderr := runCLI(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run printed: %q", stdout)
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": leakySim})
+	code, stdout, stderr := runCLI(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "goroutine") || !strings.Contains(stdout, "internal/sim/sim.go:6") {
+		t.Errorf("text output missing the finding: %q", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Errorf("stderr missing the count: %q", stderr)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": leakySim})
+	code, stdout, _ := runCLI(t, "-json", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Version  int `json:"version"`
+		Count    int `json:"count"`
+		Findings []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Rule string `json:"rule"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, stdout)
+	}
+	if doc.Count != 1 || len(doc.Findings) != 1 {
+		t.Fatalf("want exactly 1 finding, got %+v", doc)
+	}
+	f := doc.Findings[0]
+	if f.Rule != "goroutine" || f.File != "internal/sim/sim.go" || f.Line != 6 {
+		t.Errorf("finding = %+v, want goroutine at internal/sim/sim.go:6", f)
+	}
+}
+
+func TestRunSARIFOutput(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": leakySim})
+	code, stdout, _ := runCLI(t, "-sarif", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 || len(doc.Runs[0].Results) != 1 || doc.Runs[0].Results[0].RuleID != "goroutine" {
+		t.Errorf("unexpected SARIF shape: %s", stdout)
+	}
+}
+
+func TestRunJSONAndSARIFAreMutuallyExclusive(t *testing.T) {
+	code, _, stderr := runCLI(t, "-json", "-sarif", ".")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("stderr = %q, want a mutually-exclusive diagnostic", stderr)
+	}
+}
+
+func TestRunUnknownRuleExitsTwo(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": cleanSim})
+	code, _, stderr := runCLI(t, "-rules", "nosuchrule", dir)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("stderr = %q, want an unknown-rule diagnostic", stderr)
+	}
+}
+
+func TestRunRuleSelection(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": leakySim})
+	// The leak is a V6 finding; running only V9 must be clean.
+	code, _, _ := runCLI(t, "-rules", "v9", dir)
+	if code != 0 {
+		t.Fatalf("-rules v9 exit = %d, want 0 (the leak is a v6 finding)", code)
+	}
+	code, stdout, _ := runCLI(t, "-rules", "v6,ctxprop", dir)
+	if code != 1 || !strings.Contains(stdout, "goroutine") {
+		t.Fatalf("-rules v6,ctxprop exit = %d, want 1 with the goroutine finding\n%s", code, stdout)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != len(vet.AllRules()) {
+		t.Fatalf("-list printed %d lines, want %d", len(lines), len(vet.AllRules()))
+	}
+	for i, rule := range vet.AllRules() {
+		if !strings.Contains(lines[i], rule) {
+			t.Errorf("-list line %d = %q, want rule %s", i, lines[i], rule)
+		}
+	}
+}
+
+func TestRunFixRewritesModule(t *testing.T) {
+	dir := tmpModule(t, map[string]string{"internal/sim/sim.go": `// Package sim is the CLI autofix fixture.
+package sim
+
+import "context"
+
+// Wait detaches its context.
+func Wait(ctx context.Context) error {
+	return block(context.Background())
+}
+
+func block(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+`})
+	code, stdout, stderr := runCLI(t, "-fix", dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 after fixing\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "fixed "+filepath.Join("internal", "sim", "sim.go")) {
+		t.Errorf("stderr = %q, want a fixed-file note", stderr)
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "internal", "sim", "sim.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "block(ctx)") {
+		t.Errorf("fix not applied:\n%s", src)
+	}
+}

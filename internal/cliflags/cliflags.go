@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"mbplib/internal/obs"
 )
@@ -92,4 +93,31 @@ func (m *Metrics) Close() error {
 		return fmt.Errorf("writing metrics: %w", err)
 	}
 	return nil
+}
+
+// ValidateVetOutput rejects contradictory mbpvet output selections: -json
+// and -sarif both claim stdout, so asking for both is a usage error rather
+// than a silent preference.
+func ValidateVetOutput(jsonOut, sarifOut bool) error {
+	if jsonOut && sarifOut {
+		return fmt.Errorf("-json and -sarif are mutually exclusive (both write the findings document to stdout)")
+	}
+	return nil
+}
+
+// SplitVetRules splits a -rules value ("purity,goroutine" or "v1,v6") into
+// its entries, trimming whitespace and dropping empties. Validation of the
+// names themselves happens in the vet package, which owns the catalogue;
+// an unknown name surfaces as a usage error (exit 2).
+func SplitVetRules(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -119,3 +119,43 @@ func TestMetricsProgressLine(t *testing.T) {
 		t.Errorf("no final progress line: %q", errw.String())
 	}
 }
+
+func TestValidateVetOutput(t *testing.T) {
+	cases := []struct {
+		json, sarif bool
+		ok          bool
+	}{
+		{false, false, true}, {true, false, true}, {false, true, true}, {true, true, false},
+	}
+	for _, c := range cases {
+		err := ValidateVetOutput(c.json, c.sarif)
+		if (err == nil) != c.ok {
+			t.Errorf("ValidateVetOutput(%v, %v) = %v, want ok=%v", c.json, c.sarif, err, c.ok)
+		}
+	}
+}
+
+func TestSplitVetRules(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"purity", []string{"purity"}},
+		{"v6,v7", []string{"v6", "v7"}},
+		{" goroutine , atomic ", []string{"goroutine", "atomic"}},
+		{"a,,b,", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		got := SplitVetRules(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitVetRules(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitVetRules(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -151,6 +151,13 @@ func (c *Cache) SetCollector(col *obs.Collector) {
 	c.mu.Unlock()
 }
 
+// collector returns the current metrics collector (nil when disabled).
+func (c *Cache) collector() *obs.Collector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.col
+}
+
 // Acquire returns the decoded form of the named trace, loading it through
 // open on first use. Concurrent Acquires of the same name share one load:
 // the first caller decodes, the rest wait. The returned entry is pinned;
@@ -201,15 +208,14 @@ func (c *Cache) Acquire(ctx context.Context, name string, open OpenFunc) (*Entry
 // Release unpins an entry obtained from Acquire. Once an entry's last
 // holder releases it, it becomes eligible for LRU eviction.
 func (e *Entry) release() {
-	c := e.c
-	if c == nil {
+	if e.c == nil {
 		return
 	}
-	c.mu.Lock()
+	e.c.mu.Lock()
 	e.refs--
-	c.clock++
-	e.lastUse = c.clock
-	c.mu.Unlock()
+	e.c.clock++
+	e.lastUse = e.c.clock
+	e.c.mu.Unlock()
 }
 
 // Release unpins an entry obtained from Acquire. Safe on entries from a nil
@@ -256,9 +262,7 @@ func (e *Entry) load(ctx context.Context, open OpenFunc) {
 			return
 		}
 	}
-	e.c.mu.Lock()
-	col := e.c.col
-	e.c.mu.Unlock()
+	col := e.c.collector()
 	for {
 		if cerr := ctx.Err(); cerr != nil {
 			e.fail(cerr, true)
@@ -310,7 +314,7 @@ func (e *Entry) fail(err error, volatile bool) {
 	e.volatile = volatile
 	c := e.c
 	c.mu.Lock()
-	c.unreserve(e)
+	c.unreserveLocked(e)
 	e.batches = nil
 	if volatile {
 		delete(c.entries, e.name)
@@ -329,7 +333,7 @@ func (e *Entry) markTooBig(contention bool) {
 	e.volatile = contention
 	c := e.c
 	c.mu.Lock()
-	c.unreserve(e)
+	c.unreserveLocked(e)
 	e.batches = nil
 	c.stats.TooBig++
 	c.col.Ctr(obs.CtrCacheTooBig).Add(1)
@@ -339,8 +343,8 @@ func (e *Entry) markTooBig(contention bool) {
 	c.mu.Unlock()
 }
 
-// unreserve returns an entry's bytes to the budget. Caller holds c.mu.
-func (c *Cache) unreserve(e *Entry) {
+// unreserveLocked returns an entry's bytes to the budget. Caller holds c.mu.
+func (c *Cache) unreserveLocked(e *Entry) {
 	c.used -= e.bytes
 	e.bytes = 0
 	c.col.Ctr(obs.CtrCacheBytes).Store(uint64(c.used))

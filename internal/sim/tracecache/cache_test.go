@@ -11,6 +11,7 @@ import (
 
 	"mbplib/internal/bp"
 	"mbplib/internal/faults"
+	"mbplib/internal/obs"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/tracegen"
 )
@@ -482,4 +483,115 @@ func TestAcquireCancelledWhileWaiting(t *testing.T) {
 		t.Errorf("Acquire under cancelled ctx = %v, want context.Canceled", err)
 	}
 	close(unblock)
+}
+
+// TestSetCollectorDuringLoads pins the locking protocol around the metrics
+// collector: loads read it through Cache.collector (under c.mu), so wiring a
+// collector while decodes are in flight must be race-free and must not
+// disturb byte accounting. Regression test for the mbpvet guardedby audit,
+// which also renamed unreserve to unreserveLocked to document that budget
+// accounting happens only under c.mu.
+func TestSetCollectorDuringLoads(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	var wg, spinner sync.WaitGroup
+	stop := make(chan struct{})
+	spinner.Add(1)
+	go func() {
+		defer spinner.Done()
+		col := obs.New()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.SetCollector(col)
+			c.SetCollector(nil)
+		}
+	}()
+	const traces = 4
+	var total int64
+	var mu sync.Mutex
+	for i := 0; i < traces; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := testSpec("sc"+string(rune('a'+i)), 2_000)
+			e, err := c.Acquire(ctx, spec.Name, genOpen(t, spec, nil))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if e.Err() != io.EOF {
+				t.Errorf("trace %d err = %v, want io.EOF", i, e.Err())
+			}
+			mu.Lock()
+			total += int64(len(drain(t, e))) * eventBytes
+			mu.Unlock()
+			c.Release(e)
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	spinner.Wait()
+	st := c.Stats()
+	if st.Misses != traces {
+		t.Errorf("misses = %d, want %d", st.Misses, traces)
+	}
+	if st.BytesUsed != total {
+		t.Errorf("bytes used = %d, want %d", st.BytesUsed, total)
+	}
+}
+
+// TestCancelledLoadReturnsBudget locks in unreserveLocked's contract: a
+// load abandoned by context cancellation gives its partially charged bytes
+// back to the budget, drops its batches, and is removed from the map so a
+// later Acquire retries.
+func TestCancelledLoadReturnsBudget(t *testing.T) {
+	c := New(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	open := func() (bp.Reader, io.Closer, int, error) {
+		g, err := tracegen.New(testSpec("cancelled", 100_000))
+		if err != nil {
+			return nil, nil, 1, err
+		}
+		return &cancelAfter{r: g, after: 5_000, cancel: cancel}, nil, 1, nil
+	}
+	e, err := c.Acquire(ctx, "cancelled", open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("entry err = %v, want context.Canceled", e.Err())
+	}
+	if got := len(drain(t, e)); got != 0 {
+		t.Errorf("abandoned entry kept %d events, want 0", got)
+	}
+	c.Release(e)
+	st := c.Stats()
+	if st.BytesUsed != 0 {
+		t.Errorf("bytes used = %d after abandoned load, want 0 (unreserveLocked must return the budget)", st.BytesUsed)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d, want 0 (cancellation is volatile: a later Acquire retries)", st.Entries)
+	}
+}
+
+// cancelAfter cancels the surrounding context after n events, so the load
+// loop observes ctx.Err() at its next batch boundary.
+type cancelAfter struct {
+	r      bp.Reader
+	n      int
+	after  int
+	cancel context.CancelFunc
+}
+
+func (f *cancelAfter) Read() (bp.Event, error) {
+	f.n++
+	if f.n == f.after {
+		f.cancel()
+	}
+	return f.r.Read()
 }

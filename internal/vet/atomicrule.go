@@ -1,0 +1,250 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mbplib/internal/vet/driver"
+)
+
+// Rule V8 — atomic discipline: a field that is ever accessed through
+// sync/atomic (passed as &x.f to atomic.AddUint64, LoadInt64, ...) must be
+// accessed that way everywhere — one plain read racing one atomic write is
+// still a data race, and it hides from casual review precisely because "the
+// field is atomic". The rule also checks the classic 32-bit trap: a 64-bit
+// atomically-accessed field must sit at an 8-byte-aligned offset, which is
+// verified under 386 struct layout (the sync/atomic panic that only fires
+// on 32-bit ARM/x86). Fields of the method-style types (atomic.Int64 and
+// friends) are aligned and encapsulated by construction, so they are out of
+// scope by design.
+//
+// Plain reads and simple plain writes carry a suggested fix (atomic.LoadXxx
+// / atomic.StoreXxx) when the file already imports sync/atomic.
+
+// atomicUse records how one field is accessed atomically: the width-typed
+// function suffix (for fix naming) and the &x.f selector nodes that belong
+// to atomic calls (so they are not reported as plain accesses).
+type atomicUse struct {
+	suffix string
+	sels   map[*ast.SelectorExpr]bool
+}
+
+func atomicFindings(files []*ast.File, info *types.Info) []driver.Diagnostic {
+	uses := collectAtomicUses(files, info)
+	if len(uses) == 0 {
+		return nil
+	}
+	var out []driver.Diagnostic
+	for _, file := range files {
+		hasAtomicImport := importsPath(file, "sync/atomic")
+		ast.Inspect(file, func(n ast.Node) bool {
+			// A simple plain write `x.f = v` gets a Store fix spanning the
+			// whole statement; report it here and skip re-reporting its LHS
+			// as a plain access.
+			if assign, ok := n.(*ast.AssignStmt); ok && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 && assign.Tok.String() == "=" {
+				if sel, ok := ast.Unparen(assign.Lhs[0]).(*ast.SelectorExpr); ok {
+					if fv, u := atomicField(info, uses, sel); u != nil {
+						d := driver.Diagnostic{
+							Pos:      sel.Pos(),
+							Category: RuleAtomic,
+							Message: fmt.Sprintf("%s is accessed atomically elsewhere but assigned plainly here — a plain write races every atomic access; use atomic.Store%s or annotate with //mbpvet:ignore %s",
+								fv.Name(), u.suffix, RuleAtomic),
+						}
+						if hasAtomicImport && u.suffix != "" {
+							d.SuggestedFixes = []driver.SuggestedFix{{
+								Message: fmt.Sprintf("replace the plain write with atomic.Store%s", u.suffix),
+								TextEdits: []driver.TextEdit{
+									{Pos: assign.Pos(), End: assign.Lhs[0].End(), NewText: []byte(fmt.Sprintf("atomic.Store%s(&%s", u.suffix, types.ExprString(assign.Lhs[0])))},
+									{Pos: assign.Lhs[0].End(), End: assign.Rhs[0].Pos(), NewText: []byte(", ")},
+									{Pos: assign.Rhs[0].End(), End: assign.Rhs[0].End(), NewText: []byte(")")},
+								},
+							}}
+						}
+						out = append(out, d)
+						// The RHS may still contain plain reads.
+						ast.Inspect(assign.Rhs[0], func(m ast.Node) bool {
+							if sel, ok := m.(*ast.SelectorExpr); ok {
+								out = append(out, plainReadDiag(info, uses, hasAtomicImport, sel)...)
+							}
+							return true
+						})
+						return false
+					}
+				}
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				out = append(out, plainReadDiag(info, uses, hasAtomicImport, sel)...)
+			}
+			return true
+		})
+	}
+	out = append(out, atomicAlignmentDiags(files, info, uses)...)
+	return out
+}
+
+// collectAtomicUses indexes every field passed as &x.f to a sync/atomic
+// function.
+func collectAtomicUses(files []*ast.File, info *types.Info) map[*types.Var]*atomicUse {
+	uses := make(map[*types.Var]*atomicUse)
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := atomicCallName(info, call)
+			if !ok {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op.String() != "&" {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok || !fv.IsField() {
+				return true
+			}
+			u := uses[fv]
+			if u == nil {
+				u = &atomicUse{sels: make(map[*ast.SelectorExpr]bool)}
+				uses[fv] = u
+			}
+			u.sels[sel] = true
+			if u.suffix == "" {
+				u.suffix = atomicSuffix(name)
+			}
+			return true
+		})
+	}
+	return uses
+}
+
+// atomicField resolves sel to an atomically-used field, excluding the
+// selector nodes that are themselves part of atomic calls.
+func atomicField(info *types.Info, uses map[*types.Var]*atomicUse, sel *ast.SelectorExpr) (*types.Var, *atomicUse) {
+	fv, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil, nil
+	}
+	u := uses[fv]
+	if u == nil || u.sels[sel] {
+		return nil, nil
+	}
+	return fv, u
+}
+
+// plainReadDiag reports sel when it is a plain access to an atomic field,
+// with a Load fix for the common read shape.
+func plainReadDiag(info *types.Info, uses map[*types.Var]*atomicUse, hasAtomicImport bool, sel *ast.SelectorExpr) []driver.Diagnostic {
+	fv, u := atomicField(info, uses, sel)
+	if u == nil {
+		return nil
+	}
+	d := driver.Diagnostic{
+		Pos:      sel.Pos(),
+		Category: RuleAtomic,
+		Message: fmt.Sprintf("%s is accessed atomically elsewhere but read plainly here — pair every atomic write with atomic loads; use atomic.Load%s or annotate with //mbpvet:ignore %s",
+			fv.Name(), u.suffix, RuleAtomic),
+	}
+	if hasAtomicImport && u.suffix != "" {
+		d.SuggestedFixes = []driver.SuggestedFix{{
+			Message: fmt.Sprintf("replace the plain read with atomic.Load%s", u.suffix),
+			TextEdits: []driver.TextEdit{
+				{Pos: sel.Pos(), End: sel.End(), NewText: []byte(fmt.Sprintf("atomic.Load%s(&%s)", u.suffix, types.ExprString(sel)))},
+			},
+		}}
+	}
+	return []driver.Diagnostic{d}
+}
+
+// atomicAlignmentDiags checks 64-bit atomic fields against 386 struct
+// layout, reporting misaligned ones at their declaration.
+func atomicAlignmentDiags(files []*ast.File, info *types.Info, uses map[*types.Var]*atomicUse) []driver.Diagnostic {
+	sizes := types.SizesFor("gc", "386")
+	var out []driver.Diagnostic
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if _, ok := ts.Type.(*ast.StructType); !ok {
+				return true
+			}
+			tn, ok := info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			strct, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, strct.NumFields())
+			for i := range fields {
+				fields[i] = strct.Field(i)
+			}
+			offsets := sizes.Offsetsof(fields)
+			for i, fv := range fields {
+				u := uses[fv]
+				if u == nil || !is64BitSuffix(u.suffix) || offsets[i]%8 == 0 {
+					continue
+				}
+				out = append(out, driver.Diagnostic{
+					Pos:      fv.Pos(),
+					Category: RuleAtomic,
+					Message: fmt.Sprintf("64-bit atomic field %s sits at offset %d under 32-bit struct layout; sync/atomic requires 8-byte alignment — move it to the front of %s or pad the fields before it",
+						fv.Name(), offsets[i], ts.Name.Name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// atomicCallName matches atomic.<Name>(...) against the sync/atomic package
+// and returns the function name.
+func atomicCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// atomicSuffix extracts the width-typed suffix of an atomic function name
+// (AddUint64 -> Uint64, CompareAndSwapInt32 -> Int32).
+func atomicSuffix(name string) string {
+	for _, s := range []string{"Int64", "Uint64", "Int32", "Uint32", "Uintptr", "Pointer"} {
+		if strings.HasSuffix(name, s) {
+			return s
+		}
+	}
+	return ""
+}
+
+func is64BitSuffix(s string) bool { return s == "Int64" || s == "Uint64" }
+
+// importsPath reports whether file imports the given path.
+func importsPath(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}

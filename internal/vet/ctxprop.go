@@ -1,0 +1,112 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"mbplib/internal/vet/driver"
+)
+
+// Rule V9 — context propagation: a function in the simulator packages that
+// receives a context.Context must actually thread it through. Two shapes
+// are reported:
+//
+//   - a named, non-blank context parameter the body never uses: the caller
+//     believes cancellation works, but the function cannot be interrupted;
+//   - a call to context.Background() or context.TODO() inside a function
+//     that already has a context parameter: the fresh root context detaches
+//     everything below it from the caller's cancellation, which is exactly
+//     the sweep-scheduler bug class the ROADMAP's mbpd daemon must not
+//     inherit. This shape carries a suggested fix substituting the
+//     parameter.
+//
+// Functions without a context parameter may call context.Background freely
+// (something has to create the root), and a parameter named _ is an
+// explicit statement that the function is not cancellable.
+func ctxPropFindings(files []*ast.File, info *types.Info) []driver.Diagnostic {
+	var out []driver.Diagnostic
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			ctxName, ctxObj := contextParam(info, fn.Type.Params)
+			if ctxObj == nil {
+				return true
+			}
+			used := false
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.Ident:
+					if info.Uses[m] == ctxObj {
+						used = true
+					}
+				case *ast.CallExpr:
+					if name, ok := contextRootCall(info, m); ok {
+						out = append(out, driver.Diagnostic{
+							Pos:      m.Pos(),
+							Category: RuleCtxProp,
+							Message: fmt.Sprintf("context.%s() inside %s discards the caller's context — everything below it becomes uncancellable; pass %s down instead",
+								name, fn.Name.Name, ctxName),
+							SuggestedFixes: []driver.SuggestedFix{{
+								Message: fmt.Sprintf("replace context.%s() with %s", name, ctxName),
+								TextEdits: []driver.TextEdit{
+									{Pos: m.Pos(), End: m.End(), NewText: []byte(ctxName)},
+								},
+							}},
+						})
+					}
+				}
+				return true
+			})
+			if !used {
+				out = append(out, driver.Diagnostic{
+					Pos:      ctxObj.Pos(),
+					Category: RuleCtxProp,
+					Message: fmt.Sprintf("%s receives context %s but never uses it — thread it through the blocking calls or rename the parameter to _ to declare the function uncancellable",
+						fn.Name.Name, ctxName),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// contextParam returns the first named, non-blank context.Context parameter.
+func contextParam(info *types.Info, params *ast.FieldList) (string, types.Object) {
+	if params == nil {
+		return "", nil
+	}
+	for _, field := range params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && interfaceNamed(obj.Type(), "context", "Context") {
+				return name.Name, obj
+			}
+		}
+	}
+	return "", nil
+}
+
+// contextRootCall matches context.Background() / context.TODO().
+func contextRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,414 @@
+// Package driver is mbpvet's analyzer framework: a dependency-free
+// re-implementation of the golang.org/x/tools/go/analysis architecture.
+// Each rule is an *Analyzer value — a named unit of analysis with a Run
+// function, declared dependencies (Requires) and declared fact types — and
+// the driver schedules them over the packages of a module, threading
+// results and facts between passes and collecting diagnostics with
+// optional suggested fixes.
+//
+// Two deliberate deviations from x/tools (documented in DESIGN.md) make
+// the module-scoped rules of mbpvet expressible:
+//
+//   - Execution is analyzer-major: an analyzer runs over every package of
+//     the module (in import-topological order) before any analyzer that
+//     Requires it runs at all. Facts are therefore complete across the
+//     whole module, not just the import cone, by the time a dependent
+//     analyzer reads them.
+//   - Facts of required analyzers are readable: AllPackageFacts and
+//     ImportObjectFact resolve facts exported by the pass's own analyzer
+//     and by anything in its Requires closure. (x/tools restricts facts to
+//     the exporting analyzer; mbpvet's registry rule needs to see export
+//     facts from packages the registry does not import, which x/tools
+//     cannot express at all.)
+//
+// Facts are shared in memory rather than serialized; the driver runs over
+// one process-lifetime load of the module, so no gob round-trip is needed.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// An Analyzer is one unit of analysis: a named rule (or helper) with its
+// entry point and declared dependencies.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and rule selection.
+	Name string
+	// Doc is the one-line description shown by rule listings.
+	Doc string
+	// Requires lists analyzers whose results (ResultOf) and facts this
+	// analyzer reads. Required analyzers run to completion over the whole
+	// module first.
+	Requires []*Analyzer
+	// FactTypes declares the fact types the analyzer exports. Exporting an
+	// undeclared fact type is a driver error, as in x/tools.
+	FactTypes []Fact
+	// Run executes the analyzer on one package. The returned value is made
+	// available to dependent analyzers through Pass.ResultOf.
+	Run func(*Pass) (any, error)
+}
+
+// A Fact is a typed datum attached to a package or object, flowing from
+// defining packages to dependent passes. Implementations must be pointers.
+type Fact interface{ AFact() }
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// A SuggestedFix is one machine-applicable resolution of a diagnostic: a
+// message plus the text edits that implement it. Edits of one fix must not
+// overlap.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos token.Pos
+	// End is the optional end of the flagged range (NoPos if unknown).
+	End token.Pos
+	// Category is the rule name; the vet layer maps it to a Finding rule.
+	Category string
+	Message  string
+	// SuggestedFixes are optional machine-applicable resolutions.
+	SuggestedFixes []SuggestedFix
+}
+
+// Package is one loaded, type-checked package presented to the driver.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Pass provides one analyzer's view of one package plus the reporting
+// and fact APIs, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ResultOf maps each analyzer in Requires to its Run result for this
+	// same package.
+	ResultOf map[*Analyzer]any
+
+	diags *[]Diagnostic
+	store *factStore
+	// readable is the Requires closure (plus the analyzer itself): the
+	// namespaces whose facts this pass may read.
+	readable map[*Analyzer]bool
+}
+
+// Report records a diagnostic against the pass's package.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf is Report with a formatted message and no fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj in this analyzer's namespace. The
+// fact type must be declared in FactTypes and obj must be non-nil.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("driver: ExportObjectFact on nil object")
+	}
+	p.checkDeclared(fact)
+	p.store.setObject(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact copies into fact the fact of fact's type attached to
+// obj by this analyzer or anything in its Requires closure, reporting
+// whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.store.getObject(p.readable, obj, fact)
+}
+
+// ExportPackageFact attaches fact to the pass's package.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	p.checkDeclared(fact)
+	p.store.setPackage(p.Analyzer, p.Pkg, fact)
+}
+
+// ImportPackageFact copies into fact the fact of fact's type attached to
+// pkg, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	return p.store.getPackage(p.readable, pkg, fact)
+}
+
+// PackageFact pairs a package with one fact attached to it.
+type PackageFact struct {
+	Package *types.Package
+	Fact    Fact
+}
+
+// AllPackageFacts returns every package fact readable by this pass, across
+// the whole module, in deterministic package-path order. Because execution
+// is analyzer-major, facts of required analyzers are complete over all
+// packages — including packages this one does not import.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	return p.store.allPackage(p.readable)
+}
+
+// checkDeclared panics unless fact's type is declared in the analyzer's
+// FactTypes, keeping fact usage honest the way x/tools does.
+func (p *Pass) checkDeclared(fact Fact) {
+	t := reflect.TypeOf(fact)
+	for _, d := range p.Analyzer.FactTypes {
+		if reflect.TypeOf(d) == t {
+			return
+		}
+	}
+	panic(fmt.Sprintf("driver: analyzer %q exports undeclared fact type %T", p.Analyzer.Name, fact))
+}
+
+// factStore holds all facts of one driver run, namespaced by analyzer.
+type factStore struct {
+	obj map[objKey]Fact
+	pkg map[pkgKey]Fact
+	// pkgOrder remembers insertion order of package facts for
+	// deterministic AllPackageFacts output.
+	pkgOrder []pkgKey
+}
+
+type objKey struct {
+	a   *Analyzer
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgKey struct {
+	a   *Analyzer
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{obj: make(map[objKey]Fact), pkg: make(map[pkgKey]Fact)}
+}
+
+func (s *factStore) setObject(a *Analyzer, obj types.Object, fact Fact) {
+	s.obj[objKey{a, obj, reflect.TypeOf(fact)}] = fact
+}
+
+func (s *factStore) getObject(readable map[*Analyzer]bool, obj types.Object, fact Fact) bool {
+	t := reflect.TypeOf(fact)
+	for a := range readable {
+		if got, ok := s.obj[objKey{a, obj, t}]; ok {
+			copyFact(fact, got)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) setPackage(a *Analyzer, pkg *types.Package, fact Fact) {
+	k := pkgKey{a, pkg, reflect.TypeOf(fact)}
+	if _, ok := s.pkg[k]; !ok {
+		s.pkgOrder = append(s.pkgOrder, k)
+	}
+	s.pkg[k] = fact
+}
+
+func (s *factStore) getPackage(readable map[*Analyzer]bool, pkg *types.Package, fact Fact) bool {
+	t := reflect.TypeOf(fact)
+	for a := range readable {
+		if got, ok := s.pkg[pkgKey{a, pkg, t}]; ok {
+			copyFact(fact, got)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) allPackage(readable map[*Analyzer]bool) []PackageFact {
+	var out []PackageFact
+	for _, k := range s.pkgOrder {
+		if readable[k.a] {
+			out = append(out, PackageFact{Package: k.pkg, Fact: s.pkg[k]})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Package.Path() < out[j].Package.Path()
+	})
+	return out
+}
+
+// copyFact copies the stored fact value into the caller's pointer, so the
+// caller owns an independent view (mirroring the gob round-trip of
+// x/tools without the serialization).
+func copyFact(dst, src Fact) {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() != reflect.Pointer || sv.Kind() != reflect.Pointer {
+		panic("driver: facts must be pointers")
+	}
+	dv.Elem().Set(sv.Elem())
+}
+
+// Result is the outcome of one (package, analyzer) pass.
+type Result struct {
+	Package     *Package
+	Analyzer    *Analyzer
+	Diagnostics []Diagnostic
+}
+
+// Run executes analyzers (and their Requires closure) over pkgs and
+// returns every pass's diagnostics. Packages run in import-topological
+// order (dependencies first) so object facts resolve; analyzers run in
+// Requires-topological order, each completing over the whole module before
+// its dependents start (the fact-completeness guarantee the module-scoped
+// rules rely on). An error from any Run aborts the whole driver run.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Result, error) {
+	order, err := analyzerOrder(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	pkgOrder := packageOrder(pkgs)
+	store := newFactStore()
+
+	// results[pkg][analyzer] = Run result, for ResultOf plumbing.
+	results := make(map[*Package]map[*Analyzer]any, len(pkgs))
+	for _, pkg := range pkgs {
+		results[pkg] = make(map[*Analyzer]any)
+	}
+
+	var out []Result
+	for _, a := range order {
+		readable := requiresClosure(a)
+		for _, pkg := range pkgOrder {
+			resultOf := make(map[*Analyzer]any, len(a.Requires))
+			for _, req := range a.Requires {
+				resultOf[req] = results[pkg][req]
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				ResultOf:  resultOf,
+				diags:     &diags,
+				store:     store,
+				readable:  readable,
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			results[pkg][a] = res
+			if len(diags) > 0 {
+				out = append(out, Result{Package: pkg, Analyzer: a, Diagnostics: diags})
+			}
+		}
+	}
+	return out, nil
+}
+
+// requiresClosure returns a plus everything reachable through Requires.
+func requiresClosure(a *Analyzer) map[*Analyzer]bool {
+	seen := make(map[*Analyzer]bool)
+	var visit func(*Analyzer)
+	visit = func(x *Analyzer) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, r := range x.Requires {
+			visit(r)
+		}
+	}
+	visit(a)
+	return seen
+}
+
+// analyzerOrder topologically sorts the analyzers (dependencies first),
+// expanding the Requires closure and rejecting cycles.
+func analyzerOrder(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var order []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(*Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("driver: Requires cycle through analyzer %q", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, r := range a.Requires {
+			if err := visit(r); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// packageOrder sorts packages dependencies-first along their import edges
+// (restricted to the given set), with ties broken by import path so runs
+// are deterministic.
+func packageOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+
+	var order []*Package
+	state := make(map[string]int)
+	var visit func(string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return // visiting (import cycle: loader rejects) or done
+		}
+		state[path] = 1
+		pkg := byPath[path]
+		if pkg.Types != nil {
+			imps := make([]string, 0, len(pkg.Types.Imports()))
+			for _, imp := range pkg.Types.Imports() {
+				if _, ok := byPath[imp.Path()]; ok {
+					imps = append(imps, imp.Path())
+				}
+			}
+			sort.Strings(imps)
+			for _, imp := range imps {
+				visit(imp)
+			}
+		}
+		state[path] = 2
+		order = append(order, pkg)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return order
+}

@@ -1,0 +1,269 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildPackages type-checks a chain of tiny packages (later ones importing
+// earlier ones) and returns them in import-topological order.
+func buildPackages(t *testing.T, sources map[string]string, order []string) (*token.FileSet, []*Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	byPath := make(map[string]*types.Package)
+	var pkgs []*Package
+	for _, path := range order {
+		file, err := parser.ParseFile(fset, path+".go", sources[path], parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := &types.Info{
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: chainImporter{byPath: byPath, std: importer.Default()}}
+		tpkg, err := conf.Check(path, fset, []*ast.File{file}, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", path, err)
+		}
+		byPath[path] = tpkg
+		pkgs = append(pkgs, &Package{Path: path, Files: []*ast.File{file}, Types: tpkg, Info: info})
+	}
+	return fset, pkgs
+}
+
+type chainImporter struct {
+	byPath map[string]*types.Package
+	std    types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.byPath[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+type markFact struct{ Tag string }
+
+func (*markFact) AFact() {}
+
+type pkgMarkFact struct{ N int }
+
+func (*pkgMarkFact) AFact() {}
+
+const srcLeaf = `package leaf
+
+func Exported() int { return 1 }
+`
+
+const srcRoot = `package root
+
+import "leaf"
+
+func Use() int { return leaf.Exported() }
+`
+
+// TestAnalyzerMajorOrder pins the driver's two ordering contracts: packages
+// run dependencies-first, and a required analyzer completes over every
+// package before its dependent starts anywhere (analyzer-major execution).
+func TestAnalyzerMajorOrder(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf, "root": srcRoot}, []string{"leaf", "root"})
+	var trace []string
+	base := &Analyzer{
+		Name: "base",
+		Run: func(p *Pass) (any, error) {
+			trace = append(trace, "base:"+p.Pkg.Path())
+			return "result-" + p.Pkg.Path(), nil
+		},
+	}
+	dep := &Analyzer{
+		Name: "dep",
+		Run: func(p *Pass) (any, error) {
+			trace = append(trace, "dep:"+p.Pkg.Path())
+			return nil, nil
+		},
+	}
+	dep.Requires = []*Analyzer{base}
+	if _, err := Run(fset, pkgs, []*Analyzer{dep}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"base:leaf", "base:root", "dep:leaf", "dep:root"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Errorf("execution order = %v, want %v", trace, want)
+	}
+}
+
+// TestResultOf checks that a dependent pass sees its requirement's result
+// for the same package.
+func TestResultOf(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf}, []string{"leaf"})
+	base := &Analyzer{
+		Name: "base",
+		Run:  func(p *Pass) (any, error) { return 42, nil },
+	}
+	checked := false
+	dep := &Analyzer{
+		Name:     "dep",
+		Requires: []*Analyzer{base},
+		Run: func(p *Pass) (any, error) {
+			if got := p.ResultOf[base]; got != 42 {
+				t.Errorf("ResultOf[base] = %v, want 42", got)
+			}
+			checked = true
+			return nil, nil
+		},
+	}
+	if _, err := Run(fset, pkgs, []*Analyzer{dep}); err != nil {
+		t.Fatal(err)
+	}
+	if !checked {
+		t.Fatal("dependent analyzer never ran")
+	}
+}
+
+// TestObjectFactsCrossPackage exports a fact on leaf.Exported and imports
+// it while analyzing root, the flow the purity analyzer relies on.
+func TestObjectFactsCrossPackage(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf, "root": srcRoot}, []string{"leaf", "root"})
+	exporter := &Analyzer{
+		Name:      "exporter",
+		FactTypes: []Fact{(*markFact)(nil)},
+		Run: func(p *Pass) (any, error) {
+			if obj := p.Pkg.Scope().Lookup("Exported"); obj != nil {
+				p.ExportObjectFact(obj, &markFact{Tag: "seen-" + p.Pkg.Path()})
+			}
+			return nil, nil
+		},
+	}
+	var imported string
+	reader := &Analyzer{
+		Name:     "reader",
+		Requires: []*Analyzer{exporter},
+		Run: func(p *Pass) (any, error) {
+			if p.Pkg.Path() != "root" {
+				return nil, nil
+			}
+			leaf := p.Pkg.Imports()[0]
+			obj := leaf.Scope().Lookup("Exported")
+			var f markFact
+			if p.ImportObjectFact(obj, &f) {
+				imported = f.Tag
+			}
+			return nil, nil
+		},
+	}
+	if _, err := Run(fset, pkgs, []*Analyzer{reader}); err != nil {
+		t.Fatal(err)
+	}
+	if imported != "seen-leaf" {
+		t.Errorf("imported fact = %q, want seen-leaf", imported)
+	}
+}
+
+// TestPackageFactsVisibleToDependents exercises ExportPackageFact plus
+// AllPackageFacts through the Requires closure — the registry rule's flow,
+// where the registry package reads facts about packages it does not import.
+func TestPackageFactsVisibleToDependents(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf, "root": srcRoot}, []string{"leaf", "root"})
+	exporter := &Analyzer{
+		Name:      "pkgexporter",
+		FactTypes: []Fact{(*pkgMarkFact)(nil)},
+		Run: func(p *Pass) (any, error) {
+			p.ExportPackageFact(&pkgMarkFact{N: len(p.Pkg.Path())})
+			return nil, nil
+		},
+	}
+	seen := make(map[string]int)
+	reader := &Analyzer{
+		Name:     "pkgreader",
+		Requires: []*Analyzer{exporter},
+		Run: func(p *Pass) (any, error) {
+			if p.Pkg.Path() != "root" {
+				return nil, nil
+			}
+			for _, pf := range p.AllPackageFacts() {
+				if m, ok := pf.Fact.(*pkgMarkFact); ok {
+					seen[pf.Package.Path()] = m.N
+				}
+			}
+			return nil, nil
+		},
+	}
+	if _, err := Run(fset, pkgs, []*Analyzer{reader}); err != nil {
+		t.Fatal(err)
+	}
+	// Facts for BOTH packages must be visible, including leaf's, even
+	// though the reader pass runs on root.
+	if seen["leaf"] != 4 || seen["root"] != 4 {
+		t.Errorf("package facts seen = %v, want leaf:4 root:4", seen)
+	}
+}
+
+// TestUndeclaredFactPanics pins the x/tools-compatible misuse check.
+func TestUndeclaredFactPanics(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf}, []string{"leaf"})
+	bad := &Analyzer{
+		Name: "bad",
+		Run: func(p *Pass) (any, error) {
+			defer func() {
+				if recover() == nil {
+					t.Error("exporting an undeclared fact type did not panic")
+				}
+			}()
+			p.ExportPackageFact(&pkgMarkFact{N: 1})
+			return nil, nil
+		},
+	}
+	if _, err := Run(fset, pkgs, []*Analyzer{bad}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequiresCycleIsAnError checks the driver rejects cyclic Requires
+// instead of hanging or stack-overflowing.
+func TestRequiresCycleIsAnError(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf}, []string{"leaf"})
+	a := &Analyzer{Name: "a", Run: func(*Pass) (any, error) { return nil, nil }}
+	b := &Analyzer{Name: "b", Run: func(*Pass) (any, error) { return nil, nil }}
+	a.Requires = []*Analyzer{b}
+	b.Requires = []*Analyzer{a}
+	if _, err := Run(fset, pkgs, []*Analyzer{a}); err == nil {
+		t.Fatal("cyclic Requires did not error")
+	}
+}
+
+// TestDiagnosticsRouted checks Report/Reportf land in the pass's Result.
+func TestDiagnosticsRouted(t *testing.T) {
+	fset, pkgs := buildPackages(t, map[string]string{"leaf": srcLeaf}, []string{"leaf"})
+	an := &Analyzer{
+		Name: "diag",
+		Run: func(p *Pass) (any, error) {
+			p.Reportf(p.Files[0].Name.Pos(), "hello %s", p.Pkg.Path())
+			return nil, nil
+		},
+	}
+	results, err := Run(fset, pkgs, []*Analyzer{an})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, r := range results {
+		for _, d := range r.Diagnostics {
+			msgs = append(msgs, d.Message)
+			if d.Category != "diag" {
+				t.Errorf("category = %q, want the analyzer name", d.Category)
+			}
+		}
+	}
+	if len(msgs) != 1 || msgs[0] != "hello leaf" {
+		t.Errorf("diagnostics = %v, want [hello leaf]", msgs)
+	}
+}

@@ -23,52 +23,60 @@ func checkDroppedErrors(prog *Program, cfg Config) []Finding {
 		if !hasPathPrefix(pkg.Path, cfg.ErrorPackages) {
 			continue
 		}
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				switch n := n.(type) {
-				case *ast.ExprStmt:
-					if call, ok := n.X.(*ast.CallExpr); ok {
-						findings = append(findings, checkDiscardedCall(prog, pkg, call, "result of %s discarded")...)
-					}
-				case *ast.DeferStmt:
-					findings = append(findings, checkDiscardedCall(prog, pkg, n.Call, "deferred %s discards its error")...)
-				case *ast.GoStmt:
-					findings = append(findings, checkDiscardedCall(prog, pkg, n.Call, "go %s discards its error")...)
-				case *ast.AssignStmt:
-					findings = append(findings, checkBlankError(prog, pkg, n)...)
-				}
-				return true
-			})
-		}
+		findings = append(findings, renderFindings(prog.Fset, droppedErrorFindings(pkg.Files, pkg.Info))...)
 	}
 	return findings
 }
 
-// checkDiscardedCall flags a call statement whose last result is an error.
-func checkDiscardedCall(prog *Program, pkg *Package, call *ast.CallExpr, format string) []Finding {
-	tv, ok := pkg.Info.Types[call]
+// droppedErrorFindings is the per-package body shared by the legacy driver
+// and the droppederr analyzer.
+func droppedErrorFindings(files []*ast.File, info *types.Info) []rawFinding {
+	var findings []rawFinding
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					findings = append(findings, discardedCall(info, call, "result of %s discarded")...)
+				}
+			case *ast.DeferStmt:
+				findings = append(findings, discardedCall(info, n.Call, "deferred %s discards its error")...)
+			case *ast.GoStmt:
+				findings = append(findings, discardedCall(info, n.Call, "go %s discards its error")...)
+			case *ast.AssignStmt:
+				findings = append(findings, blankError(info, n)...)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// discardedCall flags a call statement whose last result is an error.
+func discardedCall(info *types.Info, call *ast.CallExpr, format string) []rawFinding {
+	tv, ok := info.Types[call]
 	if !ok || !lastResultIsError(tv.Type) {
 		return nil
 	}
-	if isExemptPrinter(pkg, call) {
+	if isExemptPrinter(info, call) {
 		return nil
 	}
-	return []Finding{{
-		Pos:  prog.Fset.Position(call.Pos()),
-		Rule: RuleDroppedErr,
-		Msg:  fmt.Sprintf(format+" — handle it or annotate with //mbpvet:ignore %s", callName(pkg, call), RuleDroppedErr),
+	return []rawFinding{{
+		pos:  call.Pos(),
+		rule: RuleDroppedErr,
+		msg:  fmt.Sprintf(format+" — handle it or annotate with //mbpvet:ignore %s", callName(call), RuleDroppedErr),
 	}}
 }
 
-// checkBlankError flags `_` in the position of an error result, including
-// the explicit `_ = f()` discard.
-func checkBlankError(prog *Program, pkg *Package, n *ast.AssignStmt) []Finding {
-	var findings []Finding
+// blankError flags `_` in the position of an error result, including the
+// explicit `_ = f()` discard.
+func blankError(info *types.Info, n *ast.AssignStmt) []rawFinding {
+	var findings []rawFinding
 	flag := func(pos ast.Node, what string) {
-		findings = append(findings, Finding{
-			Pos:  prog.Fset.Position(pos.Pos()),
-			Rule: RuleDroppedErr,
-			Msg:  fmt.Sprintf("error result of %s assigned to _ — handle it or annotate with //mbpvet:ignore %s", what, RuleDroppedErr),
+		findings = append(findings, rawFinding{
+			pos:  pos.Pos(),
+			rule: RuleDroppedErr,
+			msg:  fmt.Sprintf("error result of %s assigned to _ — handle it or annotate with //mbpvet:ignore %s", what, RuleDroppedErr),
 		})
 	}
 	// Multi-value form: x, _ := f().
@@ -77,14 +85,14 @@ func checkBlankError(prog *Program, pkg *Package, n *ast.AssignStmt) []Finding {
 		if !ok {
 			return nil
 		}
-		tuple, ok := pkg.Info.Types[call].Type.(*types.Tuple)
+		tuple, ok := info.Types[call].Type.(*types.Tuple)
 		if !ok || tuple.Len() != len(n.Lhs) {
 			return nil
 		}
 		for i, lhs := range n.Lhs {
 			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(tuple.At(i).Type()) {
-				if !isExemptPrinter(pkg, call) {
-					flag(n, callName(pkg, call))
+				if !isExemptPrinter(info, call) {
+					flag(n, callName(call))
 				}
 			}
 		}
@@ -96,7 +104,7 @@ func checkBlankError(prog *Program, pkg *Package, n *ast.AssignStmt) []Finding {
 		if !ok || id.Name != "_" || i >= len(n.Rhs) {
 			continue
 		}
-		if tv, ok := pkg.Info.Types[n.Rhs[i]]; ok && isErrorType(tv.Type) {
+		if tv, ok := info.Types[n.Rhs[i]]; ok && isErrorType(tv.Type) {
 			flag(n, "expression")
 		}
 	}
@@ -116,7 +124,7 @@ func lastResultIsError(t types.Type) bool {
 
 // isExemptPrinter reports whether call is fmt.Fprint{,f,ln} writing into a
 // sticky-error or in-memory writer.
-func isExemptPrinter(pkg *Package, call *ast.CallExpr) bool {
+func isExemptPrinter(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || len(call.Args) == 0 {
 		return false
@@ -125,13 +133,13 @@ func isExemptPrinter(pkg *Package, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	if obj, ok := pkg.Info.Uses[id].(*types.PkgName); !ok || obj.Imported().Path() != "fmt" {
+	if obj, ok := info.Uses[id].(*types.PkgName); !ok || obj.Imported().Path() != "fmt" {
 		return false
 	}
 	if !strings.HasPrefix(sel.Sel.Name, "Fprint") {
 		return false
 	}
-	tv, ok := pkg.Info.Types[call.Args[0]]
+	tv, ok := info.Types[call.Args[0]]
 	if !ok {
 		return false
 	}
@@ -140,7 +148,7 @@ func isExemptPrinter(pkg *Package, call *ast.CallExpr) bool {
 		interfaceNamed(tv.Type, "strings", "Builder")
 }
 
-func callName(pkg *Package, call *ast.CallExpr) string {
+func callName(call *ast.CallExpr) string {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		return fun.Name

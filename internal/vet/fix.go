@@ -1,0 +1,64 @@
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fix of every finding that carries one,
+// rewriting the affected files in place. Within a file, edits apply
+// back-to-front so earlier offsets stay valid; overlapping edits are an
+// error (the caller should re-run the analysis after every apply cycle
+// rather than force conflicting rewrites). Returns the paths of the files
+// it modified, sorted.
+func ApplyFixes(fset *token.FileSet, findings []Finding) ([]string, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, te := range f.Fix.TextEdits {
+			start := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if start.Filename == "" || start.Filename != end.Filename {
+				return nil, fmt.Errorf("vet: fix for %s spans files", f.Rule)
+			}
+			perFile[start.Filename] = append(perFile[start.Filename], edit{
+				start: start.Offset, end: end.Offset, text: te.NewText,
+			})
+		}
+	}
+	var changed []string
+	for path, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			// Descending by start: edits[i] precedes edits[i-1] in the file.
+			if edits[i].end > edits[i-1].start {
+				return nil, fmt.Errorf("vet: overlapping fixes in %s (offsets %d-%d and %d-%d); apply and re-run",
+					path, edits[i].start, edits[i].end, edits[i-1].start, edits[i-1].end)
+			}
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("vet: fix offsets out of range in %s", path)
+			}
+			src = append(src[:e.start], append(append([]byte(nil), e.text...), src[e.end:]...)...)
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			return nil, err
+		}
+		changed = append(changed, path)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}

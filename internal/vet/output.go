@@ -1,0 +1,180 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Output rendering for cmd/mbpvet. Both formats print module-relative,
+// forward-slash paths so output is byte-stable across checkouts and
+// platforms — the golden tests depend on it, and SARIF consumers resolve
+// the URIs against the repository root (%SRCROOT%).
+
+// ruleDocs is the one-line description of each rule, used as SARIF rule
+// metadata and by the -rules listing.
+var ruleDocs = map[string]string{
+	RulePurity:     "Predict must not mutate predictor state (§IV-A)",
+	RuleRegistry:   "every predictor package is constructible through the registry",
+	RuleDroppedErr: "no discarded error results in the codec and simulator packages",
+	RuleBitWidth:   "no silent truncation in codec paths; mask-indexed tables are power-of-two sized",
+	RulePanicFree:  "no panic on untrusted input in the decode packages",
+	RuleGoroutine:  "every go statement has a provable join or cancel path",
+	RuleGuardedBy:  "mutex-guarded fields are never accessed without the lock",
+	RuleAtomic:     "atomically-accessed fields are never accessed plainly and 64-bit atomics are aligned",
+	RuleCtxProp:    "a received context.Context is propagated, not dropped",
+}
+
+// RuleDoc returns the one-line description of a rule.
+func RuleDoc(rule string) string { return ruleDocs[rule] }
+
+// relPath renders filename relative to root with forward slashes, falling
+// back to the absolute path when filename is outside root.
+func relPath(root, filename string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Fix is the one-line description of the suggested fix, if any.
+	Fix string `json:"fix,omitempty"`
+}
+
+// WriteJSON renders findings as a stable JSON document. root anchors the
+// relative paths (pass the module root).
+func WriteJSON(w io.Writer, findings []Finding, root string) error {
+	doc := struct {
+		Version  int           `json:"version"`
+		Count    int           `json:"count"`
+		Findings []jsonFinding `json:"findings"`
+	}{Version: 1, Count: len(findings), Findings: []jsonFinding{}}
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:    relPath(root, f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Rule:    f.Rule,
+			Message: f.Msg,
+		}
+		if f.Fix != nil {
+			jf.Fix = f.Fix.Message
+		}
+		doc.Findings = append(doc.Findings, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(doc)
+}
+
+// sarifSchema is the canonical SARIF 2.1.0 schema URI.
+const sarifSchema = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/cos02/schemas/sarif-schema-2.1.0.json"
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log with one run. Rule
+// metadata covers the full catalogue (not just the rules that fired) so
+// code-scanning UIs can show the rule help for a clean run too.
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	type text struct {
+		Text string `json:"text"`
+	}
+	type rule struct {
+		ID               string `json:"id"`
+		ShortDescription text   `json:"shortDescription"`
+	}
+	type artifactLocation struct {
+		URI       string `json:"uri"`
+		URIBaseID string `json:"uriBaseId"`
+	}
+	type region struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           region           `json:"region"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID    string     `json:"ruleId"`
+		RuleIndex int        `json:"ruleIndex"`
+		Level     string     `json:"level"`
+		Message   text       `json:"message"`
+		Locations []location `json:"locations"`
+	}
+
+	rules := make([]rule, 0, len(AllRules()))
+	index := make(map[string]int)
+	for i, r := range AllRules() {
+		rules = append(rules, rule{ID: r, ShortDescription: text{Text: ruleDocs[r]}})
+		index[r] = i
+	}
+	results := make([]result, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := index[f.Rule]
+		if !ok {
+			// Malformed-directive findings can carry an unknown rule field
+			// (the bad directive's own text); map them to index -1 per SARIF
+			// ("no metadata available").
+			idx = -1
+		}
+		results = append(results, result{
+			RuleID:    f.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   text{Text: f.Msg},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifactLocation{URI: relPath(root, f.Pos.Filename), URIBaseID: "%SRCROOT%"},
+				Region:           region{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+
+	doc := map[string]any{
+		"$schema": sarifSchema,
+		"version": "2.1.0",
+		"runs": []any{map[string]any{
+			"tool": map[string]any{"driver": map[string]any{
+				"name":           "mbpvet",
+				"informationUri": "https://github.com/mbplib/mbplib",
+				"rules":          rules,
+			}},
+			"results":    results,
+			"columnKind": "utf16CodeUnits",
+			"originalUriBaseIds": map[string]any{
+				"%SRCROOT%": map[string]any{"uri": "file:///"},
+			},
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	return enc.Encode(doc)
+}
+
+// WriteText renders findings in the classic file:line: rule: message form.
+func WriteText(w io.Writer, findings []Finding, root string) error {
+	for _, f := range findings {
+		g := f
+		g.Pos.Filename = relPath(root, f.Pos.Filename)
+		if _, err := fmt.Fprintln(w, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}

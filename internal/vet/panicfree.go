@@ -1,7 +1,6 @@
 package vet
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -25,28 +24,36 @@ func checkPanicFree(prog *Program, cfg Config) []Finding {
 		if !hasPathPrefix(pkg.Path, cfg.PanicFreePackages) {
 			continue
 		}
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				id, ok := call.Fun.(*ast.Ident)
-				if !ok || id.Name != "panic" {
-					return true
-				}
-				if _, builtin := pkg.Info.Uses[id].(*types.Builtin); !builtin {
-					return true
-				}
-				findings = append(findings, Finding{
-					Pos:  prog.Fset.Position(call.Pos()),
-					Rule: RulePanicFree,
-					Msg: fmt.Sprintf("panic in a decode package — untrusted input must fail with a typed error; "+
-						"annotate with %s <why> if no input can reach it", directiveExempt[2:]),
-				})
+		findings = append(findings, renderFindings(prog.Fset, panicFreeFindings(pkg.Files, pkg.Info))...)
+	}
+	return findings
+}
+
+// panicFreeFindings is the per-package body shared by the legacy driver and
+// the panicfree analyzer.
+func panicFreeFindings(files []*ast.File, info *types.Info) []rawFinding {
+	var findings []rawFinding
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
 				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			findings = append(findings, rawFinding{
+				pos:  call.Pos(),
+				rule: RulePanicFree,
+				msg: "panic in a decode package — untrusted input must fail with a typed error; " +
+					"annotate with mbpvet:panicfree-exempt <why> if no input can reach it",
 			})
-		}
+			return true
+		})
 	}
 	return findings
 }

@@ -3,6 +3,7 @@ package vet
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -38,9 +39,32 @@ type methodInfo struct {
 	returnsRecvRef bool
 }
 
+// methodSummary is the callee-facing view of a method: everything a caller's
+// scan needs to judge its own purity. The legacy whole-program driver
+// resolves summaries from its module-wide map; the analyzer port resolves
+// local methods directly and imported ones through driver object facts.
+type methodSummary struct {
+	writes         bool
+	returnsRecvRef bool
+}
+
+// summaryResolver resolves a callee to its summary; the boolean reports
+// whether the callee is a known module method at all (an unresolvable callee
+// is treated conservatively by the scan).
+type summaryResolver func(*types.Func) (methodSummary, bool)
+
 type purityAnalysis struct {
 	prog    *Program
 	methods map[*types.Func]*methodInfo
+}
+
+// resolve is the legacy driver's summaryResolver: straight map lookup.
+func (a *purityAnalysis) resolve(callee *types.Func) (methodSummary, bool) {
+	mi := a.methods[callee]
+	if mi == nil {
+		return methodSummary{}, false
+	}
+	return methodSummary{writes: mi.writes, returnsRecvRef: mi.returnsRecvRef}, true
 }
 
 func checkPurity(prog *Program, dirs *directives) []Finding {
@@ -51,7 +75,7 @@ func checkPurity(prog *Program, dirs *directives) []Finding {
 	var findings []Finding
 	seen := make(map[*types.Func]bool)
 	for _, pkg := range prog.Sorted() {
-		for _, named := range predictorTypes(pkg) {
+		for _, named := range predictorTypes(pkg.Types) {
 			predict := lookupMethod(named, "Predict")
 			if predict == nil || seen[predict] {
 				continue
@@ -61,7 +85,7 @@ func checkPurity(prog *Program, dirs *directives) []Finding {
 			if info == nil || !info.writes {
 				continue
 			}
-			if dirs.isImpureAnnotated(prog, info.decl) {
+			if dirs.isImpureAnnotated(prog.Fset, info.decl) {
 				continue
 			}
 			findings = append(findings, Finding{
@@ -77,9 +101,9 @@ func checkPurity(prog *Program, dirs *directives) []Finding {
 
 // predictorTypes returns the named types of pkg whose pointer method set
 // has the Predictor shape.
-func predictorTypes(pkg *Package) []*types.Named {
+func predictorTypes(pkg *types.Package) []*types.Named {
 	var out []*types.Named
-	scope := pkg.Types.Scope()
+	scope := pkg.Scope()
 	for _, name := range scope.Names() {
 		tn, ok := scope.Lookup(name).(*types.TypeName)
 		if !ok || tn.IsAlias() {
@@ -148,26 +172,36 @@ func lookupMethod(named *types.Named, name string) *types.Func {
 // index records every function declaration of the module.
 func (a *purityAnalysis) index() {
 	for _, pkg := range a.prog.Sorted() {
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				mi := &methodInfo{pkg: pkg, decl: fn}
-				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
-					if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
-						if rv, ok := pkg.Info.Defs[fn.Recv.List[0].Names[0]].(*types.Var); ok {
-							mi.recv = rv
-						}
+		p := pkg
+		forEachFuncDecl(pkg.Files, pkg.Info, func(obj *types.Func, decl *ast.FuncDecl, recv *types.Var) {
+			a.methods[obj] = &methodInfo{pkg: p, decl: decl, recv: recv}
+		})
+	}
+}
+
+// forEachFuncDecl visits every function declaration with a body in files,
+// resolving its object and (when the receiver is a single named variable)
+// its receiver object. Shared by the legacy index and the purity analyzer.
+func forEachFuncDecl(files []*ast.File, info *types.Info, visit func(obj *types.Func, decl *ast.FuncDecl, recv *types.Var)) {
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var recv *types.Var
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+					if rv, ok := info.Defs[fn.Recv.List[0].Names[0]].(*types.Var); ok {
+						recv = rv
 					}
 				}
-				a.methods[obj] = mi
 			}
+			visit(obj, fn, recv)
 		}
 	}
 }
@@ -181,7 +215,7 @@ func (a *purityAnalysis) solve() {
 			if mi.recv == nil || mi.writes && mi.returnsRecvRef {
 				continue
 			}
-			s := &methodScan{a: a, mi: mi, tainted: make(map[types.Object]bool)}
+			s := newMethodScan(a.prog.Fset, mi.pkg.Info, mi.pkg.Types.Scope(), mi.decl, mi.recv, a.resolve)
 			s.run()
 			if (s.writes && !mi.writes) || (s.returnsRef && !mi.returnsRecvRef) {
 				mi.writes = mi.writes || s.writes
@@ -196,14 +230,27 @@ func (a *purityAnalysis) solve() {
 }
 
 // methodScan walks one method body, tracking which locals alias receiver
-// state and whether any statement writes through the receiver.
+// state and whether any statement writes through the receiver. It is shared
+// by the legacy driver and the purity analyzer; callee summaries come
+// through the resolver, so the scan itself is per-package.
 type methodScan struct {
-	a          *purityAnalysis
-	mi         *methodInfo
+	fset       *token.FileSet
+	info       *types.Info
+	scope      *types.Scope // package scope, to exclude package-level vars
+	decl       *ast.FuncDecl
+	recv       *types.Var
+	resolve    summaryResolver
 	tainted    map[types.Object]bool
 	writes     bool
 	writeNote  string
 	returnsRef bool
+}
+
+func newMethodScan(fset *token.FileSet, info *types.Info, scope *types.Scope, decl *ast.FuncDecl, recv *types.Var, resolve summaryResolver) *methodScan {
+	return &methodScan{
+		fset: fset, info: info, scope: scope, decl: decl, recv: recv,
+		resolve: resolve, tainted: make(map[types.Object]bool),
+	}
 }
 
 func (s *methodScan) run() {
@@ -211,16 +258,16 @@ func (s *methodScan) run() {
 	// `l := p.cached(ip); e := l.entry` chains resolve in any order.
 	for {
 		before := len(s.tainted)
-		ast.Inspect(s.mi.decl.Body, s.visit)
+		ast.Inspect(s.decl.Body, s.visit)
 		if len(s.tainted) == before {
 			break
 		}
 	}
 	// A tainted named result escapes through a bare return.
-	if res := s.mi.decl.Type.Results; res != nil {
+	if res := s.decl.Type.Results; res != nil {
 		for _, field := range res.List {
 			for _, name := range field.Names {
-				if obj := s.mi.pkg.Info.Defs[name]; obj != nil && s.tainted[obj] {
+				if obj := s.info.Defs[name]; obj != nil && s.tainted[obj] {
 					s.returnsRef = true
 				}
 			}
@@ -233,7 +280,7 @@ func (s *methodScan) note(n ast.Node, format string, args ...any) {
 		return
 	}
 	s.writes = true
-	pos := s.a.prog.Fset.Position(n.Pos())
+	pos := s.fset.Position(n.Pos())
 	s.writeNote = fmt.Sprintf(format, args...) + fmt.Sprintf(" at %s:%d", pos.Filename, pos.Line)
 }
 
@@ -295,7 +342,7 @@ func (s *methodScan) visit(n ast.Node) bool {
 }
 
 func (s *methodScan) visitCall(call *ast.CallExpr) {
-	info := s.mi.pkg.Info
+	info := s.info
 	// Builtins that mutate their argument.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
@@ -325,10 +372,10 @@ func (s *methodScan) visitCall(call *ast.CallExpr) {
 				return
 			}
 			sig := callee.Type().(*types.Signature)
-			if mi := s.a.methods[callee]; mi != nil {
+			if sum, known := s.resolve(callee); known {
 				// Module-local method with a summary. A mutating method only
 				// affects the caller's state through a pointer receiver.
-				if mi.writes && isPointerRecv(sig) {
+				if sum.writes && isPointerRecv(sig) {
 					s.note(call, "call to %s, which mutates receiver state", callee.Name())
 				}
 				return
@@ -362,17 +409,16 @@ func (s *methodScan) visitCall(call *ast.CallExpr) {
 // localObj returns the object of id when it names a local variable
 // (including the receiver's siblings: params and results), or nil.
 func (s *methodScan) localObj(id *ast.Ident) *types.Var {
-	info := s.mi.pkg.Info
-	obj := info.Defs[id]
+	obj := s.info.Defs[id]
 	if obj == nil {
-		obj = info.Uses[id]
+		obj = s.info.Uses[id]
 	}
 	v, ok := obj.(*types.Var)
-	if !ok || v.IsField() || v == s.mi.recv {
+	if !ok || v.IsField() || v == s.recv {
 		return nil
 	}
 	// Package-level variables are shared state, not locals.
-	if v.Parent() == s.mi.pkg.Types.Scope() {
+	if v.Parent() == s.scope {
 		return nil
 	}
 	return v
@@ -382,13 +428,13 @@ func (s *methodScan) localObj(id *ast.Ident) *types.Var {
 func (s *methodScan) rooted(e ast.Expr) bool {
 	switch e := e.(type) {
 	case *ast.Ident:
-		obj := s.mi.pkg.Info.Uses[e]
+		obj := s.info.Uses[e]
 		if obj == nil {
-			obj = s.mi.pkg.Info.Defs[e]
+			obj = s.info.Defs[e]
 		}
-		return obj != nil && (obj == s.mi.recv || s.tainted[obj])
+		return obj != nil && (obj == s.recv || s.tainted[obj])
 	case *ast.SelectorExpr:
-		if s.mi.pkg.Info.Selections[e] == nil {
+		if s.info.Selections[e] == nil {
 			return false // qualified identifier (pkg.Name)
 		}
 		return s.rooted(e.X)
@@ -418,9 +464,9 @@ func (s *methodScan) rooted(e ast.Expr) bool {
 		// A method that returns a receiver-derived reference propagates
 		// rootedness to its result (lookup-cache accessors).
 		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
-			if selection := s.mi.pkg.Info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+			if selection := s.info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
 				if callee, _ := selection.Obj().(*types.Func); callee != nil {
-					if mi := s.a.methods[callee]; mi != nil && mi.returnsRecvRef && s.rooted(sel.X) {
+					if sum, known := s.resolve(callee); known && sum.returnsRecvRef && s.rooted(sel.X) {
 						return true
 					}
 				}
@@ -432,7 +478,7 @@ func (s *methodScan) rooted(e ast.Expr) bool {
 }
 
 func (s *methodScan) typeOf(e ast.Expr) types.Type {
-	if tv, ok := s.mi.pkg.Info.Types[e]; ok {
+	if tv, ok := s.info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil

@@ -31,7 +31,7 @@ func checkRegistry(prog *Program, cfg Config) []Finding {
 			!strings.HasPrefix(pkg.Path, cfg.PredictorRoot+"/") {
 			continue
 		}
-		name := exportedPredictorName(pkg)
+		name := exportedPredictorName(pkg.Types)
 		if name == "" || imported[pkg.Path] {
 			continue
 		}
@@ -47,7 +47,7 @@ func checkRegistry(prog *Program, cfg Config) []Finding {
 
 // exportedPredictorName returns the name of an exported type of pkg whose
 // pointer method set has the Predictor shape, or "".
-func exportedPredictorName(pkg *Package) string {
+func exportedPredictorName(pkg *types.Package) string {
 	for _, named := range predictorTypes(pkg) {
 		if obj := named.Obj(); obj.Exported() {
 			return obj.Name()

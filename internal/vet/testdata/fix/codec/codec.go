@@ -26,6 +26,7 @@ func DropAll(w io.Writer, f interface{ Close() error }) {
 	_ = sink(w) // want droppederr
 }
 
+// negative droppederr
 // HandleAll is the conforming counterpart: checked errors, the exempt
 // Fprint-to-buffered-writer idiom, and a justified suppression.
 func HandleAll(w io.Writer, bw *bufio.Writer) error {
@@ -54,6 +55,7 @@ func EncodeLossy(ip uint64, op uint16) uint64 {
 	return b
 }
 
+// negative bitwidth
 // EncodeSafe is the conforming counterpart: masked, shifted, guarded or
 // bounds-checked operands.
 func EncodeSafe(ip uint64, op uint16, gap uint64) uint64 {
@@ -96,6 +98,7 @@ func DecodePanicky(b []byte) byte {
 	return b[0]
 }
 
+// negative panicfree
 // maskFor keeps an internal-invariant panic under a justified exemption:
 // every call site passes a compile-time constant, no input reaches it.
 func maskFor(width int) uint64 {

@@ -1,0 +1,55 @@
+package conc
+
+import "sync/atomic"
+
+// Ticker mixes atomic and plain access to its counter, and places the
+// 64-bit field after a 32-bit one so 386 layout misaligns it.
+type Ticker struct {
+	gate  uint32
+	ticks uint64 // want atomic
+}
+
+// negative atomic
+// Tick advances the counter atomically.
+func (t *Ticker) Tick() { atomic.AddUint64(&t.ticks, 1) }
+
+// negative atomic
+// Arm opens the gate atomically.
+func (t *Ticker) Arm() { atomic.StoreUint32(&t.gate, 1) }
+
+// negative atomic
+// Armed loads the gate atomically.
+func (t *Ticker) Armed() bool { return atomic.LoadUint32(&t.gate) == 1 }
+
+// Racy reads the atomically-written counter plainly.
+func (t *Ticker) Racy() uint64 {
+	return t.ticks // want atomic
+}
+
+// Reset writes the atomically-read counter plainly.
+func (t *Ticker) Reset() {
+	t.ticks = 0 // want atomic
+}
+
+// Meter is the conforming counterpart: the 64-bit field leads the struct,
+// aligned under every layout, and every access goes through sync/atomic.
+type Meter struct {
+	total uint64 // negative atomic
+	open  uint32
+}
+
+// negative atomic
+// Observe adds atomically.
+func (m *Meter) Observe(n uint64) { atomic.AddUint64(&m.total, n) }
+
+// negative atomic
+// Total loads atomically.
+func (m *Meter) Total() uint64 { return atomic.LoadUint64(&m.total) }
+
+// negative atomic
+// Open touches a field that is never accessed atomically: plain access to
+// plain fields is out of scope.
+func (m *Meter) Open() uint32 {
+	m.open++
+	return m.open
+}

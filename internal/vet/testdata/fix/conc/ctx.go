@@ -1,0 +1,47 @@
+package conc
+
+import (
+	"context"
+	"time"
+)
+
+// Detach consults its context but detaches everything below it with a
+// fresh root.
+func Detach(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return wait(context.Background()) // want ctxprop
+}
+
+// Fresh severs cancellation with a TODO root despite holding a context.
+func Fresh(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return wait(context.TODO()) // want ctxprop
+}
+
+// Drop receives a context and never threads it anywhere.
+func Drop(ctx context.Context, d time.Duration) { // want ctxprop
+	time.Sleep(d)
+}
+
+// negative ctxprop
+// wait threads its context into the blocking select.
+func wait(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// negative ctxprop
+// Uncancellable declares itself so with a blank parameter.
+func Uncancellable(_ context.Context, d time.Duration) {
+	time.Sleep(d)
+}
+
+// negative ctxprop
+// Root has no context parameter, so creating the root is its job.
+func Root() context.Context {
+	return context.Background()
+}

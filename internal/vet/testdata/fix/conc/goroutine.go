@@ -1,0 +1,74 @@
+// Package conc is the mbpvet fixture for the concurrency rules (V6-V9):
+// every `// want <rule>` line is a violation, every `// negative <rule>`
+// comment marks a conforming counterpart the rules must stay silent on.
+package conc
+
+import "sync"
+
+// LeakPlain launches a named function with no join or cancel path.
+func LeakPlain() {
+	go spin() // want goroutine
+}
+
+// spin holds no lifecycle evidence of any kind.
+func spin() {
+	for i := 0; i < 1000; i++ {
+		_ = i
+	}
+}
+
+// LeakLit launches a function literal with no join or cancel path.
+func LeakLit(n *int) {
+	go func() { // want goroutine
+		*n++
+	}()
+}
+
+// LeakDynamic launches a stored function value; the analyzer cannot see
+// into it and reports conservatively.
+func LeakDynamic(fn func()) {
+	go fn() // want goroutine
+}
+
+// negative goroutine
+// JoinWaitGroup joins through a WaitGroup: Done in the goroutine, Wait in
+// the owner.
+func JoinWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		spin()
+	}()
+	wg.Wait()
+}
+
+// negative goroutine
+// JoinClose signals completion by closing the channel the owner drains.
+func JoinClose() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		defer close(ch)
+		ch <- 1
+	}()
+	return ch
+}
+
+// negative goroutine
+// JoinHelper delegates to a same-package helper that carries the evidence.
+func JoinHelper(ch chan int) {
+	go produce(ch)
+}
+
+// produce closes its channel when done: the owner joins by draining it.
+func produce(ch chan int) {
+	defer close(ch)
+	ch <- 42
+}
+
+// negative goroutine
+// Exempted is a deliberately process-long goroutine, declared as such.
+func Exempted() {
+	//mbpvet:goroutine-exempt process-long flusher by design, exits with the process
+	go spin()
+}

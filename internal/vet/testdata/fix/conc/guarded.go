@@ -1,0 +1,80 @@
+package conc
+
+import "sync"
+
+// Hits is the locked-field fixture: n's guard is inferred from Add's locked
+// write, label's guard is declared by annotation.
+type Hits struct {
+	mu sync.Mutex
+	n  int
+
+	// label is set by an external configurator before readers start, but
+	// the declared guard still binds every method access.
+	//
+	//mbpvet:guardedby mu
+	label string
+}
+
+// Add locks mu and writes n, so n is inferred to be guarded by mu.
+func (h *Hits) Add() {
+	h.mu.Lock()
+	h.n++
+	h.mu.Unlock()
+}
+
+// Peek reads the inferred-guarded counter without the lock.
+func (h *Hits) Peek() int {
+	return h.n // want guardedby
+}
+
+// Label reads the declared-guarded field without the lock.
+func (h *Hits) Label() string {
+	return h.label // want guardedby
+}
+
+// negative guardedby
+// Snapshot locks before touching guarded state.
+func (h *Hits) Snapshot() (int, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n, h.label
+}
+
+// negative guardedby
+// bumpLocked asserts caller-held locking through its name suffix.
+func (h *Hits) bumpLocked() { h.n++ }
+
+// reset asserts caller-held locking through its doc directive.
+// negative guardedby
+//
+//mbpvet:guardedby mu
+func (h *Hits) reset() {
+	h.n = 0
+	h.label = ""
+}
+
+// Node exercises the back-pointer guard shape (tracecache.Entry's): its
+// field is guarded by the owning struct's mutex, reached through a pointer.
+type Node struct {
+	owner *Hits
+
+	//mbpvet:guardedby owner.mu
+	score int
+}
+
+// negative guardedby
+// Bump locks through the back-pointer before writing.
+func (n *Node) Bump() {
+	n.owner.mu.Lock()
+	n.score++
+	n.owner.mu.Unlock()
+}
+
+// Score reads the back-pointer-guarded field without any lock.
+func (n *Node) Score() int {
+	return n.score // want guardedby
+}
+
+// keep the caller-holds helpers alive for the type checker.
+var _ = (*Hits).bumpLocked
+var _ = (*Hits).reset

@@ -14,6 +14,8 @@ type counter struct {
 // not confuse receiver kind with mutation.
 func (c *counter) get() int8 { return c.v }
 
+// negative purity
+// negative registry
 // Predictor is pure and registered.
 type Predictor struct {
 	table []counter

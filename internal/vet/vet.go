@@ -6,9 +6,11 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"mbplib/internal/vet/driver"
 )
 
-// Rule names. The README documents each one; the V1-V5 numbering follows
+// Rule names. The README documents each one; the V1-V9 numbering follows
 // the order they were specified in.
 const (
 	RulePurity     = "purity"     // V1: Predict must not mutate predictor state
@@ -16,17 +18,61 @@ const (
 	RuleDroppedErr = "droppederr" // V3: no discarded error results in codecs
 	RuleBitWidth   = "bitwidth"   // V4: no silent truncation in codec paths
 	RulePanicFree  = "panicfree"  // V5: no panic on untrusted input in codecs
+	RuleGoroutine  = "goroutine"  // V6: every go statement has a join/cancel path
+	RuleGuardedBy  = "guardedby"  // V7: mutex-guarded fields never accessed bare
+	RuleAtomic     = "atomic"     // V8: atomic fields never accessed plainly, 64-bit aligned
+	RuleCtxProp    = "ctxprop"    // V9: a received context is propagated, not dropped
 )
+
+// AllRules lists every rule in V-number order; -rules validation, the
+// README table and the fixture meta-test iterate it.
+func AllRules() []string {
+	return []string{
+		RulePurity, RuleRegistry, RuleDroppedErr, RuleBitWidth, RulePanicFree,
+		RuleGoroutine, RuleGuardedBy, RuleAtomic, RuleCtxProp,
+	}
+}
+
+// RuleAliases maps the short vN spellings accepted by -rules to rule names.
+func RuleAliases() map[string]string {
+	m := make(map[string]string)
+	for i, r := range AllRules() {
+		m[fmt.Sprintf("v%d", i+1)] = r
+	}
+	return m
+}
 
 // Finding is one rule violation.
 type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// Fix is an optional machine-applicable resolution carried over from the
+	// analyzer driver (the legacy driver never sets it). mbpvet -fix applies
+	// it; the JSON and SARIF renderers describe it.
+	Fix *driver.SuggestedFix
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// rawFinding is a finding whose position is still a token.Pos. The shared
+// per-package rule bodies return these; the legacy driver renders them to
+// Findings eagerly, while the analyzers report them as driver diagnostics.
+type rawFinding struct {
+	pos  token.Pos
+	rule string
+	msg  string
+}
+
+// renderFindings resolves raw findings against fset.
+func renderFindings(fset *token.FileSet, raws []rawFinding) []Finding {
+	out := make([]Finding, 0, len(raws))
+	for _, r := range raws {
+		out = append(out, Finding{Pos: fset.Position(r.pos), Rule: r.rule, Msg: r.msg})
+	}
+	return out
 }
 
 // Config selects which packages each rule applies to. Paths are import
@@ -52,6 +98,15 @@ type Config struct {
 	// bytes and therefore must never call panic: hostile input has to
 	// surface as a typed error, not a crash.
 	PanicFreePackages []string
+	// ConcurrencyPackages are the import-path prefixes audited by the
+	// concurrency rules (V6 goroutine lifecycle, V7 guarded fields, V8
+	// atomic discipline): the scheduler, cache, observability and command
+	// packages that spawn goroutines and share state.
+	ConcurrencyPackages []string
+	// ContextPackages are the import-path prefixes where a received
+	// context.Context must be propagated (V9), not dropped or shadowed by
+	// context.Background/TODO.
+	ContextPackages []string
 }
 
 // DefaultConfig returns the rule configuration for this repository, with
@@ -76,6 +131,14 @@ func DefaultConfig(module string) Config {
 			module + "/internal/bt9",
 			module + "/internal/compress",
 		},
+		ConcurrencyPackages: []string{
+			module + "/internal/sim",
+			module + "/internal/obs",
+			module + "/cmd",
+		},
+		ContextPackages: []string{
+			module + "/internal/sim",
+		},
 	}
 }
 
@@ -88,10 +151,17 @@ func hasPathPrefix(path string, prefixes []string) bool {
 	return false
 }
 
-// Run executes every rule over the program and returns the surviving
+// Run is the legacy whole-program driver for the original V1-V5 rules: it
+// executes each check over the loaded program and returns the surviving
 // findings sorted by position. Findings suppressed by a justified
 // //mbpvet: directive are dropped; a directive without a justification is
 // itself reported, so suppressions stay documented.
+//
+// Run is kept as the reference implementation the analyzer-based driver
+// (RunAnalyzers) is verified against: both must produce byte-identical
+// findings over the V1-V5 fixture corpus. New callers — including
+// cmd/mbpvet — use RunAnalyzers, which also runs the V6-V9 concurrency
+// rules and carries suggested fixes.
 func Run(prog *Program, cfg Config) []Finding {
 	dirs := collectDirectives(prog)
 	var findings []Finding
@@ -108,54 +178,74 @@ func Run(prog *Program, cfg Config) []Finding {
 			kept = append(kept, f)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	sortFindings(kept)
+	return kept
+}
+
+// sortFindings orders findings by file, line, rule and finally message, so
+// every driver renders the same corpus in the same byte order.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	return kept
 }
 
-// directives indexes //mbpvet: comments. Three forms are recognized:
+// directives indexes //mbpvet: comments. Four forms are recognized:
 //
 //	//mbpvet:impure <justification>
 //	//mbpvet:ignore <rule> -- <justification>
 //	//mbpvet:panicfree-exempt <justification>
+//	//mbpvet:goroutine-exempt <justification>
 //
 // "impure" is the §IV-A escape hatch: placed in the doc comment of a
 // Predict method (or a helper it calls) it suppresses the purity rule for
 // that method. "ignore" suppresses the named rule for findings on the same
-// line or the line directly below the comment. "panicfree-exempt" is the
-// dedicated escape hatch of the panicfree rule, for panics a codec keeps on
-// purpose (internal invariants no input can reach); it covers the same line
-// and the line below. All three demand a non-empty justification; a bare
-// directive is reported instead of honored.
+// line or the line directly below the comment. The "-exempt" directives are
+// the dedicated escape hatches of the panicfree and goroutine rules — for
+// panics a codec keeps on purpose, and for goroutines whose lifetime is
+// deliberately process-long; each covers the same line and the line below.
+// All forms demand a non-empty justification; a bare directive is reported
+// instead of honored. (The //mbpvet:guardedby annotation is not a
+// suppression — it declares a lock-protection contract and is parsed by the
+// guardedby rule itself.)
 type directives struct {
 	// ignore maps file -> line -> set of rule names suppressed there.
 	ignore map[string]map[int]map[string]bool
 	// impure maps file -> line of the func keyword of an annotated decl.
 	impure map[string]map[int]bool
-	// exempt maps file -> line of a panicfree exemption.
-	exempt    map[string]map[int]bool
+	// exempt maps rule -> file -> lines covered by that rule's dedicated
+	// -exempt directive.
+	exempt    map[string]map[string]map[int]bool
 	malformed []Finding
 }
 
 const (
 	directiveImpure = "//mbpvet:impure"
 	directiveIgnore = "//mbpvet:ignore"
-	directiveExempt = "//mbpvet:panicfree-exempt"
 )
+
+// exemptDirectives maps each dedicated escape-hatch directive to the rule
+// it suppresses.
+var exemptDirectives = map[string]string{
+	"//mbpvet:panicfree-exempt": RulePanicFree,
+	"//mbpvet:goroutine-exempt": RuleGoroutine,
+}
 
 func collectDirectives(prog *Program) *directives {
 	d := &directives{
 		ignore: make(map[string]map[int]map[string]bool),
 		impure: make(map[string]map[int]bool),
-		exempt: make(map[string]map[int]bool),
+		exempt: make(map[string]map[string]map[int]bool),
 	}
 	for _, pkg := range prog.Sorted() {
 		for _, file := range pkg.Files {
@@ -206,24 +296,32 @@ func (d *directives) scanImpure(prog *Program, fn *ast.FuncDecl) bool {
 	return false
 }
 
-// scanExempt records a //mbpvet:panicfree-exempt directive for its own line
-// and the line below, reporting an unjustified one instead of honoring it.
+// scanExempt records the dedicated -exempt directives (panicfree-exempt,
+// goroutine-exempt) for their own line and the line below, reporting an
+// unjustified one instead of honoring it.
 func (d *directives) scanExempt(prog *Program, c *ast.Comment) {
-	rest, ok := strings.CutPrefix(c.Text, directiveExempt)
-	if !ok {
+	for directive, rule := range exemptDirectives {
+		rest, ok := strings.CutPrefix(c.Text, directive)
+		if !ok {
+			continue
+		}
+		pos := prog.Fset.Position(c.Pos())
+		if strings.TrimSpace(rest) == "" {
+			name := strings.TrimPrefix(directive, "//")
+			d.malformed = append(d.malformed, Finding{
+				Pos:  pos,
+				Rule: rule,
+				Msg:  fmt.Sprintf("%s directive needs a justification (\"%s <why>\")", name, directive),
+			})
+			return
+		}
+		if d.exempt[rule] == nil {
+			d.exempt[rule] = make(map[string]map[int]bool)
+		}
+		addLine(d.exempt[rule], pos.Filename, pos.Line)
+		addLine(d.exempt[rule], pos.Filename, pos.Line+1)
 		return
 	}
-	pos := prog.Fset.Position(c.Pos())
-	if strings.TrimSpace(rest) == "" {
-		d.malformed = append(d.malformed, Finding{
-			Pos:  pos,
-			Rule: RulePanicFree,
-			Msg:  "mbpvet:panicfree-exempt directive needs a justification (\"//mbpvet:panicfree-exempt <why>\")",
-		})
-		return
-	}
-	addLine(d.exempt, pos.Filename, pos.Line)
-	addLine(d.exempt, pos.Filename, pos.Line+1)
 }
 
 func (d *directives) scanIgnore(prog *Program, c *ast.Comment) {
@@ -253,19 +351,19 @@ func (d *directives) scanIgnore(prog *Program, c *ast.Comment) {
 	}
 }
 
-// suppressed reports whether an ignore or panicfree-exempt directive covers
-// the finding. (Impure annotations are consulted by the purity rule itself,
-// since they attach to methods rather than lines.)
+// suppressed reports whether an ignore or rule-dedicated -exempt directive
+// covers the finding. (Impure annotations are consulted by the purity rule
+// itself, since they attach to methods rather than lines.)
 func (d *directives) suppressed(f Finding) bool {
 	if d.ignore[f.Pos.Filename][f.Pos.Line][f.Rule] {
 		return true
 	}
-	return f.Rule == RulePanicFree && d.exempt[f.Pos.Filename][f.Pos.Line]
+	return d.exempt[f.Rule][f.Pos.Filename][f.Pos.Line]
 }
 
 // isImpureAnnotated reports whether the function starting at pos carries a
 // justified //mbpvet:impure doc directive.
-func (d *directives) isImpureAnnotated(prog *Program, fn *ast.FuncDecl) bool {
-	pos := prog.Fset.Position(fn.Pos())
+func (d *directives) isImpureAnnotated(fset *token.FileSet, fn *ast.FuncDecl) bool {
+	pos := fset.Position(fn.Pos())
 	return d.impure[pos.Filename][pos.Line]
 }

@@ -12,32 +12,23 @@ import (
 // fixtureConfig mirrors DefaultConfig for the testdata module.
 func fixtureConfig() Config {
 	return Config{
-		RegistryPath:      "fix/predictors/registry",
-		PredictorRoot:     "fix/predictors",
-		ErrorPackages:     []string{"fix/codec"},
-		WidthPackages:     []string{"fix/codec"},
-		GuardFuncs:        []string{"CanonicalAddress"},
-		PanicFreePackages: []string{"fix/codec"},
+		RegistryPath:        "fix/predictors/registry",
+		PredictorRoot:       "fix/predictors",
+		ErrorPackages:       []string{"fix/codec"},
+		WidthPackages:       []string{"fix/codec"},
+		GuardFuncs:          []string{"CanonicalAddress"},
+		PanicFreePackages:   []string{"fix/codec"},
+		ConcurrencyPackages: []string{"fix/conc"},
+		ContextPackages:     []string{"fix/conc"},
 	}
 }
 
-// TestFixtureRules loads the fixture module and checks the findings against
-// the `// want <rule>` markers embedded in the sources: every marker must
-// produce a finding on its line, and every finding must be wanted. The
-// fixture contains a violating and a conforming case for each of V1-V5.
-func TestFixtureRules(t *testing.T) {
-	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
-	if err != nil {
-		t.Fatalf("loading fixtures: %v", err)
-	}
-	got := make(map[string][]string) // file:line -> rules
-	for _, f := range Run(prog, fixtureConfig()) {
-		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
-		got[key] = append(got[key], f.Rule)
-	}
-
-	want := make(map[string][]string)
-	rulesSeen := make(map[string]bool)
+// fixtureMarkers scans the fixture sources for `// want <rule>` markers
+// (keep is nil for all rules) and returns file:line -> expected rules plus
+// the set of rules that have at least one marker.
+func fixtureMarkers(prog *Program, keep map[string]bool) (want map[string][]string, rulesSeen map[string]bool) {
+	want = make(map[string][]string)
+	rulesSeen = make(map[string]bool)
 	for _, pkg := range prog.Sorted() {
 		for _, file := range pkg.Files {
 			for _, cg := range file.Comments {
@@ -49,6 +40,9 @@ func TestFixtureRules(t *testing.T) {
 					pos := prog.Fset.Position(c.Pos())
 					key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
 					for _, rule := range strings.Fields(rest) {
+						if keep != nil && !keep[rule] {
+							continue
+						}
 						want[key] = append(want[key], rule)
 						rulesSeen[rule] = true
 					}
@@ -56,11 +50,17 @@ func TestFixtureRules(t *testing.T) {
 			}
 		}
 	}
+	return want, rulesSeen
+}
 
-	for _, rule := range []string{RulePurity, RuleRegistry, RuleDroppedErr, RuleBitWidth, RulePanicFree} {
-		if !rulesSeen[rule] {
-			t.Errorf("fixture has no want marker for rule %s", rule)
-		}
+// checkAgainstMarkers demands an exact match between findings and markers:
+// every marker line produces exactly its rules, and no finding is unwanted.
+func checkAgainstMarkers(t *testing.T, want map[string][]string, findings []Finding) {
+	t.Helper()
+	got := make(map[string][]string)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f.Rule)
 	}
 	for key, rules := range want {
 		sort.Strings(rules)
@@ -73,6 +73,119 @@ func TestFixtureRules(t *testing.T) {
 	for key, rules := range got {
 		if _, ok := want[key]; !ok {
 			t.Errorf("%s: unwanted findings %v", key, rules)
+		}
+	}
+}
+
+// TestFixtureRules loads the fixture module and checks the findings against
+// the `// want <rule>` markers embedded in the sources: every marker must
+// produce a finding on its line, and every finding must be wanted. The
+// fixture contains a violating and a conforming case for each of V1-V5.
+func TestFixtureRules(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	legacy := map[string]bool{
+		RulePurity: true, RuleRegistry: true, RuleDroppedErr: true,
+		RuleBitWidth: true, RulePanicFree: true,
+	}
+	want, rulesSeen := fixtureMarkers(prog, legacy)
+	for rule := range legacy {
+		if !rulesSeen[rule] {
+			t.Errorf("fixture has no want marker for rule %s", rule)
+		}
+	}
+	checkAgainstMarkers(t, want, Run(prog, fixtureConfig()))
+}
+
+// TestFixtureRulesAnalyzers runs all nine rules through the analyzer driver
+// over the same fixture module and checks every marker, including the
+// V6-V9 concurrency fixtures the legacy driver does not implement.
+func TestFixtureRulesAnalyzers(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := RunAnalyzers(prog, fixtureConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, rulesSeen := fixtureMarkers(prog, nil)
+	for _, rule := range AllRules() {
+		if !rulesSeen[rule] {
+			t.Errorf("fixture has no want marker for rule %s", rule)
+		}
+	}
+	checkAgainstMarkers(t, want, findings)
+}
+
+// TestAnalyzersMatchLegacyDriver is the byte-equivalence gate for the port:
+// over the fixture corpus, the analyzer driver restricted to V1-V5 must
+// render exactly the findings the legacy whole-program driver renders —
+// same files, lines, columns, rules, and message bytes, in the same order.
+func TestAnalyzersMatchLegacyDriver(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	cfg := fixtureConfig()
+	legacy := Run(prog, cfg)
+	ported, err := RunAnalyzers(prog, cfg, []string{RulePurity, RuleRegistry, RuleDroppedErr, RuleBitWidth, RulePanicFree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) == 0 {
+		t.Fatal("fixture corpus produced no legacy findings; equivalence test is vacuous")
+	}
+	render := func(fs []Finding) []string {
+		out := make([]string, len(fs))
+		for i, f := range fs {
+			out[i] = f.String()
+		}
+		return out
+	}
+	l, p := render(legacy), render(ported)
+	if len(l) != len(p) {
+		t.Fatalf("legacy driver: %d findings, analyzer driver: %d\nlegacy: %v\nanalyzers: %v", len(l), len(p), l, p)
+	}
+	for i := range l {
+		if l[i] != p[i] {
+			t.Errorf("finding %d differs:\nlegacy:    %s\nanalyzers: %s", i, l[i], p[i])
+		}
+	}
+}
+
+// TestEveryRuleHasFixtures is the corpus meta-test: each of the nine rules
+// must keep at least one violating fixture line (`// want <rule>`) and one
+// conforming counterpart (a `// negative <rule>` comment), so a regressed
+// rule cannot pass by matching nothing.
+func TestEveryRuleHasFixtures(t *testing.T) {
+	prog, err := Load(filepath.Join("testdata", "fix"), "fix")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	_, positives := fixtureMarkers(prog, nil)
+	negatives := make(map[string]bool)
+	for _, pkg := range prog.Sorted() {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if rest, ok := strings.CutPrefix(c.Text, "// negative "); ok {
+						for _, rule := range strings.Fields(rest) {
+							negatives[rule] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, rule := range AllRules() {
+		if !positives[rule] {
+			t.Errorf("rule %s has no positive fixture (`// want %s` marker)", rule, rule)
+		}
+		if !negatives[rule] {
+			t.Errorf("rule %s has no negative fixture (`// negative %s` comment)", rule, rule)
 		}
 	}
 }
@@ -96,6 +209,13 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 	for _, f := range Run(prog, DefaultConfig(module)) {
 		t.Errorf("unexpected finding: %s", f)
+	}
+	findings, err := RunAnalyzers(prog, DefaultConfig(module), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected analyzer finding: %s", f)
 	}
 }
 

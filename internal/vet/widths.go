@@ -30,27 +30,36 @@ func checkBitWidths(prog *Program, cfg Config) []Finding {
 	var findings []Finding
 	for _, pkg := range prog.Sorted() {
 		codec := hasPathPrefix(pkg.Path, cfg.WidthPackages)
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Body == nil {
-					continue
-				}
-				w := &widthScan{prog: prog, pkg: pkg, fn: fn, guards: cfg.GuardFuncs}
-				if codec {
-					findings = append(findings, w.checkConversions()...)
-					findings = append(findings, w.checkShifts()...)
-				}
-				findings = append(findings, w.checkTableMasks()...)
+		findings = append(findings, renderFindings(prog.Fset, bitWidthFindings(pkg.Files, pkg.Info, codec, cfg.GuardFuncs))...)
+	}
+	return findings
+}
+
+// bitWidthFindings is the per-package body shared by the legacy driver and
+// the bitwidth analyzer. codec selects the conversion/shift checks, which
+// apply only to the configured codec packages; the table-mask check runs
+// everywhere.
+func bitWidthFindings(files []*ast.File, info *types.Info, codec bool, guards []string) []rawFinding {
+	var findings []rawFinding
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
 			}
+			w := &widthScan{info: info, fn: fn, guards: guards}
+			if codec {
+				findings = append(findings, w.checkConversions()...)
+				findings = append(findings, w.checkShifts()...)
+			}
+			findings = append(findings, w.checkTableMasks()...)
 		}
 	}
 	return findings
 }
 
 type widthScan struct {
-	prog   *Program
-	pkg    *Package
+	info   *types.Info
 	fn     *ast.FuncDecl
 	guards []string
 }
@@ -78,14 +87,14 @@ func intWidth(t types.Type) int {
 }
 
 func (w *widthScan) typeOf(e ast.Expr) types.Type {
-	if tv, ok := w.pkg.Info.Types[e]; ok {
+	if tv, ok := w.info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil
 }
 
 func (w *widthScan) constVal(e ast.Expr) constant.Value {
-	if tv, ok := w.pkg.Info.Types[e]; ok {
+	if tv, ok := w.info.Types[e]; ok {
 		return tv.Value
 	}
 	return nil
@@ -93,14 +102,14 @@ func (w *widthScan) constVal(e ast.Expr) constant.Value {
 
 // checkConversions flags T(x) where T is narrower than x and nothing in
 // the function establishes that x fits.
-func (w *widthScan) checkConversions() []Finding {
-	var findings []Finding
+func (w *widthScan) checkConversions() []rawFinding {
+	var findings []rawFinding
 	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || len(call.Args) != 1 {
 			return true
 		}
-		tv, ok := w.pkg.Info.Types[call.Fun]
+		tv, ok := w.info.Types[call.Fun]
 		if !ok || !tv.IsType() {
 			return true
 		}
@@ -116,10 +125,10 @@ func (w *widthScan) checkConversions() []Finding {
 		if w.boundedTo(operand, dst) || w.comparisonGuarded(operand) {
 			return true
 		}
-		findings = append(findings, Finding{
-			Pos:  w.prog.Fset.Position(call.Pos()),
-			Rule: RuleBitWidth,
-			Msg: fmt.Sprintf("conversion of %d-bit value %s to %d bits may truncate; mask, bounds-check, or annotate with //mbpvet:ignore %s",
+		findings = append(findings, rawFinding{
+			pos:  call.Pos(),
+			rule: RuleBitWidth,
+			msg: fmt.Sprintf("conversion of %d-bit value %s to %d bits may truncate; mask, bounds-check, or annotate with //mbpvet:ignore %s",
 				src, types.ExprString(operand), dst, RuleBitWidth),
 		})
 		return true
@@ -128,8 +137,8 @@ func (w *widthScan) checkConversions() []Finding {
 }
 
 // checkShifts flags x << k that can drop high bits of a non-constant x.
-func (w *widthScan) checkShifts() []Finding {
-	var findings []Finding
+func (w *widthScan) checkShifts() []rawFinding {
+	var findings []rawFinding
 	consider := func(n ast.Node, x ast.Expr, k ast.Expr) {
 		kv := w.constVal(k)
 		if kv == nil {
@@ -149,10 +158,10 @@ func (w *widthScan) checkShifts() []Finding {
 		if w.boundedTo(x, width-int(shift)) || w.guarded(x) || w.comparisonGuarded(x) {
 			return
 		}
-		findings = append(findings, Finding{
-			Pos:  w.prog.Fset.Position(n.Pos()),
-			Rule: RuleBitWidth,
-			Msg: fmt.Sprintf("%s << %d silently drops the top %d bits; mask the operand, guard it (%v), or annotate with //mbpvet:ignore %s",
+		findings = append(findings, rawFinding{
+			pos:  n.Pos(),
+			rule: RuleBitWidth,
+			msg: fmt.Sprintf("%s << %d silently drops the top %d bits; mask the operand, guard it (%v), or annotate with //mbpvet:ignore %s",
 				types.ExprString(x), shift, shift, w.guards, RuleBitWidth),
 		})
 	}
@@ -276,8 +285,8 @@ func (w *widthScan) comparisonGuarded(e ast.Expr) bool {
 // checkTableMasks flags make([]T, n) where n is not shaped like a power of
 // two while the function also computes n-1 (an index mask): predictor
 // tables must be power-of-two sized for mask indexing to be correct.
-func (w *widthScan) checkTableMasks() []Finding {
-	var findings []Finding
+func (w *widthScan) checkTableMasks() []rawFinding {
+	var findings []rawFinding
 	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || len(call.Args) < 2 {
@@ -287,7 +296,7 @@ func (w *widthScan) checkTableMasks() []Finding {
 		if !ok || id.Name != "make" {
 			return true
 		}
-		if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		if _, isBuiltin := w.info.Uses[id].(*types.Builtin); !isBuiltin {
 			return true
 		}
 		t := w.typeOf(call)
@@ -304,10 +313,10 @@ func (w *widthScan) checkTableMasks() []Finding {
 		if !w.derivesMask(size) {
 			return true
 		}
-		findings = append(findings, Finding{
-			Pos:  w.prog.Fset.Position(call.Pos()),
-			Rule: RuleBitWidth,
-			Msg: fmt.Sprintf("table of size %s is indexed through a mask derived from its size, but the size is not provably a power of two (use 1<<logSize)",
+		findings = append(findings, rawFinding{
+			pos:  call.Pos(),
+			rule: RuleBitWidth,
+			msg: fmt.Sprintf("table of size %s is indexed through a mask derived from its size, but the size is not provably a power of two (use 1<<logSize)",
 				types.ExprString(size)),
 		})
 		return true
@@ -358,7 +367,7 @@ func (w *widthScan) derivesMask(size ast.Expr) bool {
 	// `x & conv(size-1)` also counts: unwrap one conversion layer.
 	unwrap := func(e ast.Expr) ast.Expr {
 		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(call.Args) == 1 {
-			if tv, ok := w.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
 				return call.Args[0]
 			}
 		}
