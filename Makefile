@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead golden
+.PHONY: check fmt vet build test race mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead journal-overhead golden
 
 check: fmt vet build test race mbpvet fault-sweep fuzz-smoke bench-smoke
 
@@ -73,6 +73,12 @@ bench-check:
 metrics-overhead:
 	MBP_METRICS_OVERHEAD=1 $(GO) test -run TestMetricsOverheadSmoke -v ./internal/bench/
 
+# Timing half of the durability contract: journalling every cell result must
+# stay under 3% of cell time at snapshot scale. Env-gated like the metrics
+# smoke; CI runs it in the continue-on-error bench-check job.
+journal-overhead:
+	MBP_JOURNAL_OVERHEAD=1 $(GO) test -run TestJournalOverheadSmoke -v ./internal/bench/
+
 # Regenerate the golden files for the example programs after an intentional
 # output change; the diff is the review artifact.
 golden:
@@ -82,3 +88,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/
 	$(GO) test -run=NONE -fuzz=FuzzBT9RoundTrip -fuzztime=$(FUZZTIME) ./internal/bt9/
 	$(GO) test -run=NONE -fuzz=FuzzMLZRoundTrip -fuzztime=$(FUZZTIME) ./internal/compress/
+	$(GO) test -run=NONE -fuzz=FuzzJournalRecord -fuzztime=$(FUZZTIME) ./internal/sim/journal/

@@ -11,8 +11,8 @@
 //	mbpbench -sim-check BENCH_sim.json -scale 200000
 //
 // -sim-snapshot skips the tables and instead records the scalar-vs-batched
-// pipeline comparison (decode stage and full runs) plus the parallel-sweep
-// scaling curve as JSON. -sim-check re-measures the same stages at the given
+// pipeline comparison (decode stage and full runs), the parallel-sweep
+// scaling curve and the resume-journal write overhead as JSON. -sim-check re-measures the same stages at the given
 // (usually reduced) scale and fails on a gross throughput regression against
 // the committed snapshot — the soft gate behind `make bench-check`.
 //
@@ -102,6 +102,24 @@ func measureSnapshot(scale uint64, dir, predictors, sweepPreds string, sweepSize
 	if err != nil {
 		return nil, err
 	}
+	// Journal-write overhead at mbpsweep's default -checkpoint-every interval.
+	// The fsync cost is per cell, so this stage needs cells of realistic size
+	// to say anything about the amortized contract: a dedicated trace at 4x
+	// the snapshot scale and the full-run predictor set (including TAGE)
+	// rather than the deliberately tiny sweep matrix.
+	jnlDir := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(jnlDir, 0o755); err != nil {
+		return nil, err
+	}
+	jnlTraces, err := bench.PrepareSweepTraces(jnlDir, 1, 4*scale)
+	if err != nil {
+		return nil, err
+	}
+	jnl, err := bench.MeasureJournal(jnlTraces, strings.Split(predictors, ","), cliflags.DefaultCheckpointEvery, rounds)
+	if err != nil {
+		return nil, err
+	}
+	snap.Journal = jnl
 	// The traces live in a throwaway directory; record just their base names.
 	snap.Trace = filepath.Base(snap.Trace)
 	for i, path := range sweep.Traces {
@@ -127,6 +145,7 @@ func runSnapshot(out string, scale uint64, dir, predictors, sweepPreds string, s
 	for _, m := range snap.Sweep.Parallel {
 		fmt.Printf(", sweep@%d %.2fx", m.Workers, m.Speedup)
 	}
+	fmt.Printf(", journal %+.1f%%", 100*snap.Journal.OverheadFraction)
 	fmt.Println()
 	return nil
 }

@@ -15,12 +15,18 @@
 // predictors over one pass of the trace, so each worker streams its own
 // trace and no decoded-trace cache is involved.
 //
+// SIGINT/SIGTERM drain gracefully: comparisons not yet started are skipped
+// and reported as drained, in-flight ones finish, and the command exits 4;
+// a second signal aborts immediately.
+//
 // Exit codes: 0 success, 1 usage error, 3 run failure (the stderr message
-// carries the faults taxonomy class of a classified trace error).
+// carries the faults taxonomy class of a classified trace error), 4 drained
+// (interrupted before every comparison ran).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,9 +48,10 @@ import (
 
 // Exit codes.
 const (
-	exitOK    = 0
-	exitUsage = 1
-	exitTotal = 3
+	exitOK      = 0
+	exitUsage   = 1
+	exitTotal   = 3
+	exitDrained = 4
 )
 
 func main() {
@@ -133,8 +140,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 	}
+	drain, stopSignals := cliflags.DrainOnSignal("mbpcmp", stderr)
+	defer stopSignals()
 	for i := range paths {
-		next <- i
+		admitted := false
+		select {
+		case next <- i:
+			admitted = true
+		case <-drain:
+		}
+		if !admitted {
+			// Draining: in-flight comparisons finish, the rest never start.
+			for j := i; j < len(paths); j++ {
+				errs[j] = fmt.Errorf("not started: %w", faults.ErrDrained)
+			}
+			break
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -142,12 +163,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mbpcmp:", err)
 	}
 
-	failed := 0
+	failed, drained := 0, 0
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
 		failed++
+		if errors.Is(err, faults.ErrDrained) {
+			drained++
+		}
 		if class := faults.Class(err); class != "other" {
 			fmt.Fprintf(stderr, "mbpcmp: %s: [%s] %v\n", paths[i], class, err)
 		} else {
@@ -160,6 +184,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(paths) == 1 {
 		// Historical single-trace format: one bare object.
 		if errs[0] != nil {
+			if drained > 0 {
+				return exitDrained
+			}
 			return exitTotal
 		}
 		if err := enc.Encode(results[0]); err != nil {
@@ -177,6 +204,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := enc.Encode(ok); err != nil {
 		fmt.Fprintln(stderr, "mbpcmp:", err)
 		return exitTotal
+	}
+	if drained > 0 {
+		return exitDrained
 	}
 	if failed > 0 {
 		return exitTotal

@@ -14,12 +14,21 @@
 // taxonomy (corrupt / truncated / limit / panic / other). Transient open
 // errors can be retried with -retries and -retry-backoff.
 //
+// With -resume DIR the run is crash-safe: finished traces are appended to a
+// durable journal in DIR and replay on a re-run instead of simulating, with
+// -checkpoint-every snapshotting in-flight traces of checkpointable
+// predictors. SIGINT/SIGTERM drain gracefully — unfinished traces are
+// reported as resumable and the command exits 4; a second signal aborts.
+// -cell-timeout bounds each trace's wall time.
+//
 // Exit codes: 0 success, 1 usage error, 2 partial failure (some traces
-// scored, some failed), 3 total failure.
+// scored, some failed), 3 total failure, 4 drained (interrupted; re-run
+// with -resume to finish the rest).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,10 +41,12 @@ import (
 	"mbplib/internal/bp"
 	"mbplib/internal/cliflags"
 	"mbplib/internal/compress"
+	"mbplib/internal/faults"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/prof"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
+	"mbplib/internal/sim/journal"
 )
 
 // Exit codes.
@@ -44,6 +55,7 @@ const (
 	exitUsage   = 1
 	exitPartial = 2
 	exitTotal   = 3
+	exitDrained = 4
 )
 
 func main() {
@@ -69,6 +81,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		resume     = fs.String("resume", "", "journal directory for crash-safe, resumable runs")
+		ckptEvery  = fs.Uint64("checkpoint-every", cliflags.DefaultCheckpointEvery, "events between in-flight trace checkpoints (with -resume; 0 disables)")
+		cellTime   = fs.Duration("cell-timeout", 0, "wall-time budget per trace (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -82,6 +97,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	if err := cliflags.ValidateCacheBytes(*cacheBytes); err != nil {
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitUsage
+	}
+	if err := cliflags.ValidateCellTimeout(*cellTime); err != nil {
+		fmt.Fprintln(stderr, "mbprun:", err)
+		return exitUsage
+	}
+	ckptSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "checkpoint-every" {
+			ckptSet = true
+		}
+	})
+	if err := cliflags.ValidateResumeOptions(*resume, ckptSet); err != nil {
 		fmt.Fprintln(stderr, "mbprun:", err)
 		return exitUsage
 	}
@@ -132,6 +161,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return r, f, nil
 		}}
 	}
+	var jnl *journal.Journal
+	if *resume != "" {
+		if jnl, err = journal.Open(*resume); err != nil {
+			fmt.Fprintln(stderr, "mbprun: opening resume journal:", err)
+			return exitUsage
+		}
+		// Cells are keyed by trace content digest, so renamed trace files
+		// still replay; unreadable files fall back to their path.
+		for i, path := range paths {
+			if d, derr := journal.DigestFile(path); derr == nil {
+				sources[i].Digest = d
+			}
+		}
+	}
 	newPredictor := func() bp.Predictor {
 		p, err := registry.New(*predSpec)
 		if err != nil {
@@ -146,21 +189,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	cfg := sim.Config{WarmupInstructions: *warmup, SimInstructions: *simInstr, Metrics: metrics.Collector()}
+	drain, stopSignals := cliflags.DrainOnSignal("mbprun", stderr)
+	defer stopSignals()
 	var set *sim.SetResult
-	if *jobs == 1 {
-		set, err = sim.RunSetPolicy(sources, newPredictor, cfg, *workers, policy)
+	if *jobs == 1 && jnl == nil && *cellTime == 0 {
+		// Exact legacy path; the drain wrapper fails unstarted and
+		// in-flight traces as resumable once a signal lands.
+		set, err = sim.RunSetPolicy(sim.DrainSources(sources, drain), newPredictor, cfg, *workers, policy)
 	} else {
 		set, err = sim.RunSetParallel(sources, newPredictor, cfg, sim.ParallelOptions{
 			Workers: *jobs, CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
 			Metrics: metrics.Collector(),
+			Journal: jnl, CheckpointEvery: *ckptEvery, Drain: drain, CellTimeout: *cellTime,
 		})
 	}
 	if err != nil {
 		closeMetrics()
 		fmt.Fprintln(stderr, "mbprun:", err)
+		if errors.Is(err, faults.ErrDrained) {
+			return exitDrained
+		}
 		return exitTotal
 	}
 	closeMetrics()
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintln(stderr, "mbprun: closing resume journal:", err)
+		}
+	}
 
 	scored := 0
 	for _, r := range set.Results {
@@ -197,9 +253,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		printFailures(stdout, set.Failures)
 	}
 
+	anyResumable := false
+	for _, f := range set.Failures {
+		if f.Resumable {
+			anyResumable = true
+		}
+	}
 	switch {
 	case len(set.Failures) == 0:
 		return exitOK
+	case anyResumable:
+		// Drained work is not a verdict: re-running with -resume finishes
+		// the rest, so the drained code wins over partial/total.
+		return exitDrained
 	case scored > 0:
 		return exitPartial
 	default:
@@ -230,8 +296,13 @@ func printFailures(w io.Writer, failures []sim.TraceFailure) {
 		return
 	}
 	fmt.Fprintf(w, "\n%d failed trace(s):\n", len(failures))
-	fmt.Fprintf(w, "%-40s %-10s %-8s %s\n", "trace", "class", "attempts", "error")
+	fmt.Fprintf(w, "%-40s %-10s %-8s %-9s %-9s %s\n", "trace", "class", "attempts", "time", "resumable", "error")
 	for _, f := range failures {
-		fmt.Fprintf(w, "%-40s %-10s %-8d %s\n", filepath.Base(f.Trace), f.Class, f.Attempts, f.Message)
+		resumable := "no"
+		if f.Resumable {
+			resumable = "yes"
+		}
+		fmt.Fprintf(w, "%-40s %-10s %-8d %-9s %-9s %s\n",
+			filepath.Base(f.Trace), f.Class, f.Attempts, fmt.Sprintf("%.2fs", f.Seconds), resumable, f.Message)
 	}
 }

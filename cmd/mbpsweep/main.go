@@ -19,12 +19,24 @@
 // classified by the faults taxonomy. Transient open errors can be retried
 // with -retries and -retry-backoff.
 //
+// With -resume DIR the sweep is crash-safe: every finished (value, trace)
+// cell is appended to a durable journal in DIR before the sweep moves on,
+// and a re-run with the same flags replays finished cells instead of
+// simulating them. -checkpoint-every N additionally snapshots in-flight
+// cells of checkpointable predictors every N events, so an interrupted cell
+// resumes mid-trace. SIGINT/SIGTERM drain gracefully: no new cells start,
+// in-flight cells checkpoint, and unfinished work is reported as resumable
+// (exit code 4); a second signal aborts immediately. -cell-timeout bounds
+// each cell's wall time; a blown deadline is a final, journalled failure.
+//
 // Exit codes: 0 success, 1 usage error, 2 partial failure (some traces
-// failed but every value still scored), 3 total failure.
+// failed but every value still scored), 3 total failure, 4 drained (the
+// run was interrupted; re-run with -resume to finish the rest).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,10 +50,12 @@ import (
 	"mbplib/internal/bp"
 	"mbplib/internal/cliflags"
 	"mbplib/internal/compress"
+	"mbplib/internal/faults"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/prof"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
+	"mbplib/internal/sim/journal"
 )
 
 // Exit codes.
@@ -50,6 +64,7 @@ const (
 	exitUsage   = 1
 	exitPartial = 2
 	exitTotal   = 3
+	exitDrained = 4
 )
 
 func main() {
@@ -76,6 +91,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		backoff    = fs.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry (doubles per attempt)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		resume     = fs.String("resume", "", "journal directory for crash-safe, resumable sweeps")
+		ckptEvery  = fs.Uint64("checkpoint-every", cliflags.DefaultCheckpointEvery, "events between in-flight cell checkpoints (with -resume; 0 disables)")
+		cellTime   = fs.Duration("cell-timeout", 0, "wall-time budget per (value, trace) cell (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -107,6 +125,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 	if err := cliflags.ValidateCacheBytes(*cacheBytes); err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
+	}
+	if err := cliflags.ValidateCellTimeout(*cellTime); err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
+	}
+	ckptSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "checkpoint-every" {
+			ckptSet = true
+		}
+	})
+	if err := cliflags.ValidateResumeOptions(*resume, ckptSet); err != nil {
 		fmt.Fprintln(stderr, "mbpsweep:", err)
 		return exitUsage
 	}
@@ -151,6 +183,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}}
 	}
 
+	// A resume journal keys cells by trace content digest, so a renamed or
+	// moved trace file still replays; an unreadable file falls back to its
+	// path (the open will fail properly during the sweep).
+	var jnl *journal.Journal
+	if *resume != "" {
+		if jnl, err = journal.Open(*resume); err != nil {
+			fmt.Fprintln(stderr, "mbpsweep: opening resume journal:", err)
+			return exitUsage
+		}
+		for i, path := range paths {
+			if d, derr := journal.DigestFile(path); derr == nil {
+				sources[i].Digest = d
+			}
+		}
+	}
+
 	// Expand and validate every swept spec before running anything.
 	var specs []string
 	for v := *from; v <= *to; v += *step {
@@ -181,13 +229,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	cfg := sim.Config{Metrics: metrics.Collector()}
+	drain, stopSignals := cliflags.DrainOnSignal("mbpsweep", stderr)
+	defer stopSignals()
 	sets := make([]*sim.SetResult, len(specs))
-	if *jobs == 1 {
+	if *jobs == 1 && jnl == nil && *cellTime == 0 {
+		// Exact legacy path; the drain wrapper fails unstarted and
+		// in-flight traces as resumable once a signal lands.
+		drained := sim.DrainSources(sources, drain)
 		for i, spec := range specs {
-			set, err := sim.RunSetPolicy(sources, newFor(spec), cfg, *workers, policy)
+			set, err := sim.RunSetPolicy(drained, newFor(spec), cfg, *workers, policy)
 			if err != nil {
 				closeMetrics()
 				fmt.Fprintf(stderr, "mbpsweep: %s: %v\n", spec, err)
+				if errors.Is(err, faults.ErrDrained) {
+					return exitDrained
+				}
 				return exitTotal
 			}
 			sets[i] = set
@@ -200,6 +256,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sets, err = sim.SweepParallel(sources, preds, cfg, sim.ParallelOptions{
 			Workers: *jobs, CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
 			Metrics: metrics.Collector(),
+			Journal: jnl, CheckpointEvery: *ckptEvery, Drain: drain, CellTimeout: *cellTime,
 		})
 		if err != nil {
 			closeMetrics()
@@ -208,6 +265,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	closeMetrics()
+	if jnl != nil {
+		if err := jnl.Close(); err != nil {
+			fmt.Fprintln(stderr, "mbpsweep: closing resume journal:", err)
+		}
+	}
 
 	return render(stdout, stderr, specs, sets, len(sources), *jsonOut)
 }
@@ -224,11 +286,14 @@ type valueRow struct {
 // the panic stack, which is the one field that differs between sequential
 // and parallel execution (the goroutine dumps name different frames), so the
 // failures section is byte-identical for any -j.
+// Wall time is likewise omitted from JSON: it differs run to run, and the
+// JSON output is the machine-diffable format.
 type failureRow struct {
-	Trace    string `json:"trace"`
-	Class    string `json:"class"`
-	Message  string `json:"message"`
-	Attempts int    `json:"attempts"`
+	Trace     string `json:"trace"`
+	Class     string `json:"class"`
+	Message   string `json:"message"`
+	Attempts  int    `json:"attempts"`
+	Resumable bool   `json:"resumable,omitempty"`
 }
 
 // render prints the sweep table (or JSON) and picks the exit code. It only
@@ -273,7 +338,7 @@ func render(stdout, stderr io.Writer, specs []string, sets []*sim.SetResult, nTr
 		failRows := make([]failureRow, 0, len(failNames))
 		for _, name := range failNames {
 			f := failed[name]
-			failRows = append(failRows, failureRow{f.Trace, f.Class, f.Message, f.Attempts})
+			failRows = append(failRows, failureRow{f.Trace, f.Class, f.Message, f.Attempts, f.Resumable})
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -302,16 +367,31 @@ func render(stdout, stderr io.Writer, specs []string, sets []*sim.SetResult, nTr
 		}
 		if len(failed) > 0 {
 			fmt.Fprintf(stdout, "\n%d failed trace(s), excluded from averages:\n", len(failed))
-			fmt.Fprintf(stdout, "%-40s %-10s %-8s %s\n", "trace", "class", "attempts", "error")
+			fmt.Fprintf(stdout, "%-40s %-10s %-8s %-9s %-9s %s\n", "trace", "class", "attempts", "time", "resumable", "error")
 			for _, name := range failNames {
 				f := failed[name]
-				fmt.Fprintf(stdout, "%-40s %-10s %-8d %s\n", filepath.Base(f.Trace), f.Class, f.Attempts, f.Message)
+				resumable := "no"
+				if f.Resumable {
+					resumable = "yes"
+				}
+				fmt.Fprintf(stdout, "%-40s %-10s %-8d %-9s %-9s %s\n",
+					filepath.Base(f.Trace), f.Class, f.Attempts, fmt.Sprintf("%.2fs", f.Seconds), resumable, f.Message)
 			}
+		}
+	}
+	anyResumable := false
+	for _, f := range failed {
+		if f.Resumable {
+			anyResumable = true
 		}
 	}
 	switch {
 	case len(failed) == 0:
 		return exitOK
+	case anyResumable:
+		// Drained work is not a verdict: re-running with -resume finishes
+		// the rest, so the drained code wins over partial/total.
+		return exitDrained
 	case anyScored:
 		return exitPartial
 	default:

@@ -5,12 +5,19 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 
 	"mbplib/internal/bench"
 	"mbplib/internal/sbbt"
 	"mbplib/internal/tracegen"
 )
+
+// cellTimes matches the wall-time column of the text failure table — the one
+// legitimately nondeterministic field, scrubbed before byte comparisons.
+var cellTimes = regexp.MustCompile(`\d+\.\d\ds`)
+
+func scrubTimes(b []byte) []byte { return cellTimes.ReplaceAll(b, []byte("X.XXs")) }
 
 // writeCorruptTrace writes a checksummed SBBT trace with a bit flipped in
 // its final chunk, so it decodes some events and then fails as corrupt.
@@ -110,7 +117,7 @@ func TestSweepExitCodesAndJSONParallelEquivalence(t *testing.T) {
 				if parCode != tc.wantCode {
 					t.Errorf("-j 4 exit = %d, want %d (stderr: %s)", parCode, tc.wantCode, parErr.String())
 				}
-				if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+				if !bytes.Equal(scrubTimes(seqOut.Bytes()), scrubTimes(parOut.Bytes())) {
 					t.Errorf("stdout differs between -j 1 and -j 4\nseq:\n%s\npar:\n%s", seqOut.String(), parOut.String())
 				}
 				if jsonOut && tc.wantCode != 3 {
@@ -140,6 +147,8 @@ func TestSweepUsageErrors(t *testing.T) {
 		{"-traces", "x", "-from", "9", "-to", "3"}, // empty range
 		{"-traces", "x", "-predictor", "gshare"},   // no %d
 		{"-traces", "x", "-policy", "bogus"},
+		{"-traces", "x", "-checkpoint-every", "4096"}, // requires -resume
+		{"-traces", "x", "-cell-timeout", "-1s"},
 	} {
 		var out, errBuf bytes.Buffer
 		if code := run(args, &out, &errBuf); code != exitUsage {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mbplib/internal/bench"
+)
+
+// helperEnv carries the mbpsweep argument vector (unit-separated) into a
+// re-exec'd copy of this test binary; TestMain intercepts it and runs the
+// real command instead of the test suite. That gives the kill-and-resume
+// test a genuine child process to signal and SIGKILL.
+const helperEnv = "MBPSWEEP_HELPER_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(helperEnv); args != "" {
+		os.Exit(run(strings.Split(args, "\x1f"), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// waitForJournal blocks until the resume journal holds at least one
+// committed record (segment bigger than its magic by a real frame), so the
+// signal lands mid-sweep, after crash safety has something to protect.
+func waitForJournal(t *testing.T, dir string, done <-chan error) {
+	t.Helper()
+	seg := filepath.Join(dir, "journal-000000.mbpj")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			t.Fatalf("sweep exited before the signal could land: %v", err)
+		default:
+		}
+		if fi, err := os.Stat(seg); err == nil && fi.Size() > 200 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("journal %s never saw a committed cell", seg)
+}
+
+// TestSweepKillAndResume is the crash-safety acceptance test: a sweep
+// interrupted by SIGTERM (graceful drain, exit 4) or SIGKILL (no chance to
+// clean up) and re-run with the same -resume journal must finish with
+// byte-identical stdout to a sweep that was never interrupted — at -j 1 and
+// -j 4 both.
+func TestSweepKillAndResume(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-driven test")
+	}
+	traceDir := t.TempDir()
+	if _, err := bench.PrepareSuite(traceDir, "cbp5-train", 60_000, bench.Formats{SBBT: true}); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{
+		"-traces", filepath.Join(traceDir, "*.sbbt*"),
+		"-predictor", "gshare:t=14,h=%d", "-from", "4", "-to", "12",
+		"-policy", "skip",
+	}
+
+	// The uninterrupted reference, in-process.
+	var want bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-j", "4"), &want, io.Discard); code != exitOK {
+		t.Fatalf("uninterrupted sweep exited %d", code)
+	}
+
+	for _, tc := range []struct {
+		name string
+		sig  syscall.Signal
+		j    string
+	}{
+		{"sigterm-j4", syscall.SIGTERM, "4"},
+		{"sigterm-j1", syscall.SIGTERM, "1"},
+		{"sigkill-j4", syscall.SIGKILL, "4"},
+		{"sigkill-j1", syscall.SIGKILL, "1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			jdir := t.TempDir()
+			args := append(append([]string{}, base...),
+				"-resume", jdir, "-checkpoint-every", "4096", "-j", tc.j)
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), helperEnv+"="+strings.Join(args, "\x1f"))
+			var childOut, childErr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &childOut, &childErr
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			waitForJournal(t, jdir, done)
+			if err := cmd.Process.Signal(tc.sig); err != nil {
+				t.Fatal(err)
+			}
+			err := <-done
+			switch tc.sig {
+			case syscall.SIGTERM:
+				// Graceful drain: unfinished cells are resumable, exit 4.
+				if code := cmd.ProcessState.ExitCode(); code != exitDrained {
+					t.Fatalf("SIGTERM exit = %d (err %v), want %d\nstderr: %s",
+						code, err, exitDrained, childErr.String())
+				}
+			case syscall.SIGKILL:
+				if cmd.ProcessState.ExitCode() != -1 {
+					t.Fatalf("SIGKILL did not kill: state %v", cmd.ProcessState)
+				}
+			}
+
+			var got bytes.Buffer
+			resumeArgs := append(append([]string{}, base...), "-resume", jdir, "-j", tc.j)
+			if code := run(resumeArgs, &got, io.Discard); code != exitOK {
+				t.Fatalf("resumed sweep exited %d", code)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("resumed stdout differs from the uninterrupted sweep\nresumed:\n%s\nuninterrupted:\n%s",
+					got.String(), want.String())
+			}
+		})
+	}
+}

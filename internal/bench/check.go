@@ -48,6 +48,10 @@ func CompareSnapshots(committed, fresh *SimSnapshot, factor float64) []string {
 		}
 		check("sim/"+e.Predictor+"/batched", e.Batched.BranchesPerSec, f.Batched.BranchesPerSec)
 	}
+	if committed.Journal != nil && fresh.Journal != nil {
+		check("journal/journalled", committed.Journal.Journalled.AggBranchesPerSec,
+			fresh.Journal.Journalled.AggBranchesPerSec)
+	}
 	if committed.Sweep != nil && fresh.Sweep != nil {
 		freshPar := map[int]SweepMeasurement{}
 		for _, m := range fresh.Sweep.Parallel {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"mbplib/internal/cliflags"
 	"mbplib/internal/obs"
 	"mbplib/internal/predictors/registry"
 	"mbplib/internal/sim"
@@ -61,4 +62,32 @@ func TestMetricsOverheadSmoke(t *testing.T) {
 		t.Errorf("metrics overhead too high: %v with metrics vs %v without (limit %v)", on, off, limit)
 	}
 	t.Logf("metrics overhead: %v on vs %v off (%.1f%%)", on, off, 100*(float64(on)/float64(off)-1))
+}
+
+// TestJournalOverheadSmoke asserts the resumable-sweep durability contract's
+// performance half: journalling every cell result (fsync per record) at the
+// default checkpoint interval must cost under 3% of cell time. The fsync
+// cost is per cell, so the bound only holds for cells of realistic size —
+// hence an 8M-event trace and the full-run predictor set including TAGE,
+// matching the snapshot's journal stage — and the same env gate as the
+// metrics smoke (CI runs it in the continue-on-error bench job).
+func TestJournalOverheadSmoke(t *testing.T) {
+	if os.Getenv("MBP_JOURNAL_OVERHEAD") == "" {
+		t.Skip("set MBP_JOURNAL_OVERHEAD=1 to run the journal overhead smoke")
+	}
+	dir := t.TempDir()
+	paths, err := PrepareSweepTraces(dir, 1, 8_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MeasureJournal(paths, []string{"bimodal", "gshare", "tage"}, cliflags.DefaultCheckpointEvery, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OverheadFraction > 0.03 {
+		t.Errorf("journal overhead too high: %.2f%% (%.4fs journalling in a %.3fs sweep, limit 3%%)",
+			100*st.OverheadFraction, st.JournalSeconds, st.Journalled.Seconds)
+	}
+	t.Logf("journal overhead: %.2f%% over %d cells (%.4fs journalling; plain %.3fs, journalled %.3fs)",
+		100*st.OverheadFraction, st.Cells, st.JournalSeconds, st.Plain.Seconds, st.Journalled.Seconds)
 }

@@ -61,6 +61,10 @@ type SimSnapshot struct {
 	// the legacy sequential path (absent in snapshots written before the
 	// scheduler existed).
 	Sweep *SweepStage `json:"sweep,omitempty"`
+	// Journal records the crash-safety journal's write overhead over the
+	// sweep matrix (absent in snapshots written before resumable sweeps
+	// existed).
+	Journal *JournalStage `json:"journal,omitempty"`
 }
 
 // collector is the optional command-installed obs collector: when mbpbench

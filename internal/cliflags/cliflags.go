@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"mbplib/internal/obs"
 )
@@ -40,6 +43,62 @@ func CacheBudget(b int64) int64 {
 		return -1 // explicit disable for sim.ParallelOptions
 	}
 	return b
+}
+
+// DefaultCheckpointEvery is the default -checkpoint-every interval: events
+// between in-flight cell checkpoints when a resume journal is active. A
+// checkpoint encodes and fsyncs the full predictor state plus per-branch
+// statistics (hundreds of KB at default table sizes), so the interval must
+// be large enough that this amortizes below a few percent of cell time —
+// 16M events keeps it there for every bundled predictor while bounding the
+// work a SIGKILL can lose to seconds of re-simulation.
+const DefaultCheckpointEvery = 1 << 24
+
+// ValidateCellTimeout rejects negative -cell-timeout values. 0 disables the
+// per-cell deadline.
+func ValidateCellTimeout(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("-cell-timeout must be >= 0 (got %v; use 0 for no deadline)", d)
+	}
+	return nil
+}
+
+// ValidateResumeOptions rejects flag combinations the resumable-sweep
+// machinery cannot honour: -checkpoint-every snapshots go to the journal, so
+// asking for them without -resume would silently drop every checkpoint.
+func ValidateResumeOptions(resume string, checkpointEverySet bool) error {
+	if resume == "" && checkpointEverySet {
+		return fmt.Errorf("-checkpoint-every requires -resume (checkpoints are written to the resume journal)")
+	}
+	return nil
+}
+
+// DrainOnSignal arms the graceful-drain contract shared by the mbp*
+// commands: the first SIGINT/SIGTERM closes the returned channel — the
+// scheduler stops admitting cells, checkpoints in-flight work when
+// journalling, and the command exits with the drained code — and a second
+// signal aborts the process immediately. The returned stop function releases
+// the signal handler; call it once the run has completed normally.
+func DrainOnSignal(name string, errw io.Writer) (<-chan struct{}, func()) {
+	drain := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigs
+		if !ok {
+			return
+		}
+		fmt.Fprintf(errw, "%s: %v: draining — finishing in-flight work, signal again to abort\n", name, sig)
+		close(drain)
+		if sig, ok = <-sigs; ok {
+			fmt.Fprintf(errw, "%s: %v: aborting\n", name, sig)
+			os.Exit(130)
+		}
+	}()
+	return drain, func() {
+		signal.Stop(sigs)
+		close(sigs)
+	}
 }
 
 // Metrics is the state behind a command's -metrics and -progress flags:

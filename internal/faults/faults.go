@@ -11,6 +11,10 @@
 //	                  honor it bounds allocations on hostile inputs
 //	ErrPredictorPanic a predictor (or other user callback) panicked and
 //	                  the simulator converted the panic to an error
+//	ErrDeadline       a sweep cell exceeded its configured wall-clock
+//	                  budget (-cell-timeout) and was abandoned
+//	ErrDrained        a sweep was asked to stop (SIGINT/SIGTERM drain)
+//	                  before this cell finished; the work is resumable
 //
 // The package also provides the fault-injection harness (Injector,
 // ShortReads) used by the corruption sweep tests: deterministic bit-flips,
@@ -41,6 +45,14 @@ var (
 	// ErrPredictorPanic reports a panic recovered inside the simulator's
 	// per-trace unit of work.
 	ErrPredictorPanic = errors.New("predictor panicked")
+	// ErrDeadline reports a sweep cell that ran past its configured
+	// wall-clock deadline. It is permanent by classification: retrying the
+	// same cell under the same budget would time out again.
+	ErrDeadline = errors.New("cell deadline exceeded")
+	// ErrDrained reports work abandoned because the sweep was draining
+	// (graceful shutdown on SIGINT/SIGTERM). Unlike the other classes it
+	// does not indict the trace or the code: the cell is resumable.
+	ErrDrained = errors.New("sweep drained")
 )
 
 // PanicError carries a recovered panic value and the goroutine stack that
@@ -64,8 +76,8 @@ func (e *PanicError) Error() string {
 func (e *PanicError) Unwrap() error { return ErrPredictorPanic }
 
 // Class names the fault class of err for failure tables and JSON output:
-// "corrupt", "truncated", "limit", "panic", or "other" for errors outside
-// the taxonomy (I/O failures, usage errors).
+// "corrupt", "truncated", "limit", "panic", "deadline", "drained", or
+// "other" for errors outside the taxonomy (I/O failures, usage errors).
 func Class(err error) string {
 	switch {
 	case err == nil:
@@ -78,6 +90,10 @@ func Class(err error) string {
 		return "truncated"
 	case errors.Is(err, ErrLimit):
 		return "limit"
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrDrained):
+		return "drained"
 	}
 	return "other"
 }

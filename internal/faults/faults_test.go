@@ -21,6 +21,10 @@ func TestClass(t *testing.T) {
 		{fmt.Errorf("sbbt: bad signature: %w", ErrCorrupt), "corrupt"},
 		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrTruncated)), "truncated"},
 		{NewPanicError("boom", []byte("stack")), "panic"},
+		{ErrDeadline, "deadline"},
+		{ErrDrained, "drained"},
+		{fmt.Errorf("cell gshare/trace0: %w", ErrDeadline), "deadline"},
+		{fmt.Errorf("cell gshare/trace0: %w", ErrDrained), "drained"},
 		{errors.New("something else"), "other"},
 		{io.EOF, "other"},
 	}
@@ -48,6 +52,11 @@ func TestPanicError(t *testing.T) {
 func TestPermanent(t *testing.T) {
 	if !Permanent(ErrCorrupt) || !Permanent(ErrLimit) || !Permanent(NewPanicError("x", nil)) {
 		t.Errorf("classified faults must be permanent")
+	}
+	// Deadline and drain outcomes must not enter the transient-retry loop:
+	// a timed-out cell would time out again, and a draining sweep must stop.
+	if !Permanent(ErrDeadline) || !Permanent(ErrDrained) {
+		t.Errorf("deadline/drained must be permanent (no in-process retry)")
 	}
 	if Permanent(errors.New("EMFILE-ish transient")) {
 		t.Errorf("unclassified errors must be retryable")

@@ -60,12 +60,16 @@ const (
 	// StageCacheWait is worker time blocked waiting for another worker's
 	// in-flight load of the same trace (single-flight coalescing).
 	StageCacheWait
+	// StageJournal is worker time spent making sweep results durable:
+	// encoding, writing and fsyncing cell records and in-flight checkpoints
+	// of the resume journal.
+	StageJournal
 	numStages
 )
 
 // stageNames indexes Stage for snapshots; keep in sync with the constants.
 var stageNames = [numStages]string{
-	"read", "warmup", "sim", "prefetch_stall", "produce_stall", "cache_wait",
+	"read", "warmup", "sim", "prefetch_stall", "produce_stall", "cache_wait", "journal",
 }
 
 // Ctr enumerates the counters of the pipeline.
@@ -93,6 +97,22 @@ const (
 	CtrCacheTooBig
 	// CtrCacheBytes is the decoded bytes currently resident (gauge).
 	CtrCacheBytes
+	// CtrJournalRecords is records durably appended to the sweep journal
+	// (finished cells plus in-flight checkpoints).
+	CtrJournalRecords
+	// CtrJournalBytes is bytes appended to the sweep journal, framing
+	// included — the numerator of the journal-overhead bench stage.
+	CtrJournalBytes
+	// CtrCheckpoints is in-flight cell checkpoints written to the journal.
+	CtrCheckpoints
+	// CtrCellsReplayed is sweep cells satisfied from the journal of a
+	// previous run without simulating (gauge, set once before dispatch).
+	CtrCellsReplayed
+	// CtrCellsDrained is sweep cells abandoned by a graceful drain —
+	// never started, or interrupted and checkpointed for resume.
+	CtrCellsDrained
+	// CtrDraining is 1 once a graceful drain was requested (gauge).
+	CtrDraining
 	numCtrs
 )
 
@@ -101,6 +121,8 @@ var ctrNames = [numCtrs]string{
 	"events", "batches", "cells_done", "cells_total", "queue_depth",
 	"cache_hits", "cache_misses", "cache_evictions", "cache_coalesced",
 	"cache_too_big", "cache_bytes",
+	"journal_records", "journal_bytes", "checkpoints",
+	"cells_replayed", "cells_drained", "draining",
 }
 
 // Hist enumerates the histograms of the pipeline.

@@ -8,6 +8,7 @@ package bimodal
 
 import (
 	"fmt"
+	"io"
 
 	"mbplib/internal/bp"
 	"mbplib/internal/utils"
@@ -81,4 +82,33 @@ func (p *Predictor) Metadata() map[string]any {
 		"log_table_size": p.logSize,
 		"counter_bits":   p.counterBits,
 	}
+}
+
+// ckptVersion is the checkpoint format version of this predictor.
+const ckptVersion = 1
+
+// Checkpoint implements bp.Checkpointer.
+func (p *Predictor) Checkpoint(w io.Writer) error {
+	cw := bp.NewCkptWriter(w)
+	cw.Header("bimodal", ckptVersion)
+	cw.Int(p.logSize)
+	cw.Int(p.counterBits)
+	for i := range p.table {
+		cw.I64(int64(p.table[i].Get()))
+	}
+	return cw.Err()
+}
+
+// Restore implements bp.Checkpointer.
+func (p *Predictor) Restore(r io.Reader) error {
+	cr := bp.NewCkptReader(r)
+	if v := cr.Header("bimodal"); cr.Err() == nil && v != ckptVersion {
+		cr.Corrupt("unknown bimodal checkpoint version %d", v)
+	}
+	cr.ExpectInt("log_table_size", p.logSize)
+	cr.ExpectInt("counter_bits", p.counterBits)
+	for i := range p.table {
+		p.table[i].Set(int(cr.I64()))
+	}
+	return cr.Err()
 }

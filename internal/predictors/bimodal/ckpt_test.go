@@ -1,0 +1,23 @@
+package bimodal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mbplib/internal/faults"
+
+	"mbplib/internal/predictors/gshare"
+)
+
+// A checkpoint names its predictor; restoring another predictor's bytes
+// must fail as corrupt, never reinterpret them.
+func TestRestoreRejectsForeignCheckpoint(t *testing.T) {
+	var ckpt bytes.Buffer
+	if err := gshare.New().Checkpoint(&ckpt); err != nil {
+		t.Fatalf("gshare Checkpoint: %v", err)
+	}
+	if err := New().Restore(bytes.NewReader(ckpt.Bytes())); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("restoring a gshare checkpoint into bimodal: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,40 @@
+package gshare
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+)
+
+// The generic round-trip law lives in predtest; this covers the rejection
+// half of the versioning contract: a checkpoint must only restore into an
+// instance of the same predictor and configuration.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	src := New(WithHistoryLength(12), WithLogSize(10))
+	for i := 0; i < 500; i++ {
+		b := bp.Branch{IP: uint64(0x4000 + 4*i), Opcode: bp.OpCondJump, Taken: i%3 == 0}
+		src.Predict(b.IP)
+		src.Train(b)
+		src.Track(b)
+	}
+	var ckpt bytes.Buffer
+	if err := src.Checkpoint(&ckpt); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	// Different history length.
+	if err := New(WithHistoryLength(13), WithLogSize(10)).Restore(bytes.NewReader(ckpt.Bytes())); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("history-length mismatch: err = %v, want ErrCorrupt", err)
+	}
+	// Different table size.
+	if err := New(WithHistoryLength(12), WithLogSize(11)).Restore(bytes.NewReader(ckpt.Bytes())); !errors.Is(err, faults.ErrCorrupt) {
+		t.Errorf("table-size mismatch: err = %v, want ErrCorrupt", err)
+	}
+	// Matching configuration restores cleanly.
+	if err := New(WithHistoryLength(12), WithLogSize(10)).Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Errorf("matching restore: %v", err)
+	}
+}

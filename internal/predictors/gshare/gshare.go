@@ -7,6 +7,7 @@ package gshare
 
 import (
 	"fmt"
+	"io"
 
 	"mbplib/internal/bp"
 	"mbplib/internal/utils"
@@ -94,4 +95,35 @@ func (p *Predictor) Metadata() map[string]any {
 		"history_length": p.histLen,
 		"log_table_size": p.logSize,
 	}
+}
+
+// ckptVersion is the checkpoint format version of this predictor.
+const ckptVersion = 1
+
+// Checkpoint implements bp.Checkpointer.
+func (p *Predictor) Checkpoint(w io.Writer) error {
+	cw := bp.NewCkptWriter(w)
+	cw.Header("gshare", ckptVersion)
+	cw.Int(p.histLen)
+	cw.Int(p.logSize)
+	cw.U64(p.ghist)
+	for i := range p.table {
+		cw.I64(int64(p.table[i].Get()))
+	}
+	return cw.Err()
+}
+
+// Restore implements bp.Checkpointer.
+func (p *Predictor) Restore(r io.Reader) error {
+	cr := bp.NewCkptReader(r)
+	if v := cr.Header("gshare"); cr.Err() == nil && v != ckptVersion {
+		cr.Corrupt("unknown gshare checkpoint version %d", v)
+	}
+	cr.ExpectInt("history_length", p.histLen)
+	cr.ExpectInt("log_table_size", p.logSize)
+	p.ghist = cr.U64() & p.hmask
+	for i := range p.table {
+		p.table[i].Set(int(cr.I64()))
+	}
+	return cr.Err()
 }

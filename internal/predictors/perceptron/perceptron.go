@@ -9,6 +9,7 @@ package perceptron
 
 import (
 	"fmt"
+	"io"
 
 	"mbplib/internal/bp"
 	"mbplib/internal/utils"
@@ -203,4 +204,102 @@ func (p *Predictor) Statistics() map[string]any {
 		"threshold":        p.theta,
 		"weight_trainings": p.trainings,
 	}
+}
+
+// ckptVersion is the checkpoint format version of this predictor.
+const ckptVersion = 1
+
+// Checkpoint implements bp.Checkpointer. The prediction cache and the
+// statistics counters are part of the state: a restored instance reproduces
+// not only predictions but the exact Statistics() output.
+func (p *Predictor) Checkpoint(w io.Writer) error {
+	cw := bp.NewCkptWriter(w)
+	cw.Header("perceptron", ckptVersion)
+	cw.Int(len(p.lengths))
+	for _, l := range p.lengths {
+		cw.Int(l)
+	}
+	cw.Int(p.logSize)
+	cw.Int(p.wBits)
+	for t := range p.tables {
+		for i := range p.tables[t] {
+			cw.I64(int64(p.tables[t][i].Get()))
+		}
+	}
+	for t := range p.folded {
+		cw.U64(p.folded[t].Value())
+	}
+	cw.U64s(p.ghist.Words())
+	buf, head, packed := p.phist.State()
+	cw.Int(head)
+	cw.U64(packed)
+	cw.Int(len(buf))
+	for _, v := range buf {
+		cw.U64(uint64(v))
+	}
+	cw.Int(p.theta)
+	cw.I64(int64(p.tc.Get()))
+	cw.U64(p.lastIP)
+	cw.I64(int64(p.lastSum))
+	cw.Bool(p.haveSum)
+	cw.U64(p.trainings)
+	return cw.Err()
+}
+
+// Restore implements bp.Checkpointer.
+func (p *Predictor) Restore(r io.Reader) error {
+	cr := bp.NewCkptReader(r)
+	if v := cr.Header("perceptron"); cr.Err() == nil && v != ckptVersion {
+		cr.Corrupt("unknown perceptron checkpoint version %d", v)
+	}
+	cr.ExpectInt("table count", len(p.lengths))
+	for i, l := range p.lengths {
+		cr.ExpectInt(fmt.Sprintf("history length %d", i), l)
+	}
+	cr.ExpectInt("log_table_size", p.logSize)
+	cr.ExpectInt("weight_bits", p.wBits)
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	for t := range p.tables {
+		for i := range p.tables[t] {
+			p.tables[t][i].Set(int(cr.I64()))
+		}
+	}
+	for t := range p.folded {
+		p.folded[t].SetValue(cr.U64())
+	}
+	words := cr.U64s()
+	head := cr.Int()
+	packed := cr.U64()
+	n := cr.Int()
+	if n != 8 { // NewPathHistory(8, 8) above
+		cr.Corrupt("path history holds %d entries, restoring instance has 8", n)
+	}
+	buf := make([]uint16, 8)
+	for i := range buf {
+		buf[i] = uint16(cr.U64())
+	}
+	theta := cr.Int()
+	tc := int(cr.I64())
+	lastIP := cr.U64()
+	lastSum := int(cr.I64())
+	haveSum := cr.Bool()
+	trainings := cr.U64()
+	if wantWords := (p.ghist.Len() + 63) / 64; len(words) != wantWords {
+		cr.Corrupt("global history of %d words, restoring instance has %d", len(words), wantWords)
+	}
+	if head < 0 || head >= 8 {
+		cr.Corrupt("path history head %d out of range", head)
+	}
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	p.ghist.SetWords(words)
+	p.phist.SetState(buf, head, packed)
+	p.theta = theta
+	p.tc.Set(tc)
+	p.lastIP, p.lastSum, p.haveSum = lastIP, lastSum, haveSum
+	p.trainings = trainings
+	return nil
 }

@@ -147,6 +147,96 @@ func CheckCallOrderTolerance(t *testing.T, newP func() bp.Predictor, branches ui
 	trackOnly.Predict(0x40_0000)
 }
 
+// CheckCheckpointRoundTrip is the conformance law for bp.Checkpointer: a
+// checkpoint taken mid-stream and restored into a fresh instance of the
+// same configuration must be indistinguishable from the original from then
+// on — identical predictions over the rest of the stream, identical
+// statistics, and an identical second checkpoint. Predictors that do not
+// implement Checkpointer skip.
+func CheckCheckpointRoundTrip(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	probe, ok := newP().(bp.Checkpointer)
+	if !ok {
+		t.Skip("predictor does not implement bp.Checkpointer")
+	}
+	_ = probe
+
+	var events []bp.Event
+	conformanceEvents(t, branches, func(ev bp.Event) { events = append(events, ev) })
+	drive := func(p bp.Predictor, evs []bp.Event, other bp.Predictor) {
+		for i, ev := range evs {
+			b := ev.Branch
+			if b.IsConditional() {
+				got := p.Predict(b.IP)
+				if other != nil {
+					if want := other.Predict(b.IP); got != want {
+						t.Fatalf("event %d after restore: prediction %v, original predicts %v", i, got, want)
+					}
+				}
+				p.Train(b)
+				if other != nil {
+					other.Train(b)
+				}
+			}
+			p.Track(b)
+			if other != nil {
+				other.Track(b)
+			}
+		}
+	}
+
+	original := newP()
+	drive(original, events[:len(events)/2], nil)
+
+	var ckpt bytes.Buffer
+	if err := original.(bp.Checkpointer).Checkpoint(&ckpt); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	restored := newP()
+	if err := restored.(bp.Checkpointer).Restore(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	// Same predictions for the rest of the stream.
+	drive(restored, events[len(events)/2:], original)
+
+	// Same statistics, when the predictor reports any.
+	if so, ok := original.(bp.StatsProvider); ok {
+		ss := restored.(bp.StatsProvider).Statistics()
+		for k, want := range so.Statistics() {
+			if got := ss[k]; got != want {
+				t.Errorf("statistic %q = %v after restore, original has %v", k, got, want)
+			}
+		}
+	}
+
+	// A second checkpoint of both instances must be byte-identical: the
+	// serialized states, not just the visible behaviour, have converged.
+	var a, b bytes.Buffer
+	if err := original.(bp.Checkpointer).Checkpoint(&a); err != nil {
+		t.Fatalf("second Checkpoint (original): %v", err)
+	}
+	if err := restored.(bp.Checkpointer).Checkpoint(&b); err != nil {
+		t.Fatalf("second Checkpoint (restored): %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("checkpoints diverge after restore: %d vs %d bytes", a.Len(), b.Len())
+	}
+
+	// Every truncation of a checkpoint must be rejected with an error, and
+	// never panic. (The truncated restore may leave its instance in an
+	// unspecified state; a fresh one is used each time.)
+	full := ckpt.Bytes()
+	for _, n := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		if n >= len(full) {
+			continue
+		}
+		if err := newP().(bp.Checkpointer).Restore(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("Restore of %d/%d-byte prefix succeeded", n, len(full))
+		}
+	}
+}
+
 // CheckBatchScalarEquivalence verifies the predictor behaves identically
 // under the batched pipeline and the scalar reference loop: byte-identical
 // result JSON across warm-up and limit configurations. A predictor cannot

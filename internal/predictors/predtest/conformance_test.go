@@ -46,6 +46,25 @@ func TestRegistryConformance(t *testing.T) {
 			t.Run("batch-vs-scalar", func(t *testing.T) {
 				predtest.CheckBatchScalarEquivalence(t, newP, 3000)
 			})
+			t.Run("checkpoint-round-trip", func(t *testing.T) {
+				predtest.CheckCheckpointRoundTrip(t, newP, 4000)
+			})
 		})
+	}
+}
+
+// TestCheckpointablePredictors pins the set of registry predictors that
+// promise bp.Checkpointer: the resumable-sweep machinery checkpoints
+// in-flight cells only for these, and silently losing the capability (a
+// refactor that drops a method) would degrade resume to event zero.
+func TestCheckpointablePredictors(t *testing.T) {
+	for _, name := range []string{"bimodal", "gshare", "perceptron", "tage"} {
+		p, err := registry.New(name)
+		if err != nil {
+			t.Fatalf("registry.New(%q): %v", name, err)
+		}
+		if _, ok := p.(bp.Checkpointer); !ok {
+			t.Errorf("%s no longer implements bp.Checkpointer", name)
+		}
 	}
 }

@@ -14,6 +14,7 @@ package tage
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"mbplib/internal/bp"
@@ -401,4 +402,108 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// ckptVersion is the checkpoint format version of this predictor.
+const ckptVersion = 1
+
+// Checkpoint implements bp.Checkpointer. The PRNG state, tick counter and
+// statistics are included so that a restored instance makes the same
+// allocation decisions and reports the same Statistics() as the original.
+// The prediction cache is derived state (recomputed by the next cached()
+// call from unchanged tables) and is deliberately not serialized.
+func (p *Predictor) Checkpoint(w io.Writer) error {
+	cw := bp.NewCkptWriter(w)
+	cw.Header("tage", ckptVersion)
+	cw.Int(p.logBase)
+	cw.Int(p.resetLog)
+	cw.Int(len(p.tables))
+	for i := range p.tables {
+		ts := p.tables[i].spec
+		cw.Int(ts.HistLen)
+		cw.Int(ts.LogSize)
+		cw.Int(ts.TagBits)
+		cw.Int(ts.CtrBits)
+	}
+	for i := range p.base {
+		cw.I64(int64(p.base[i].Get()))
+	}
+	for i := range p.tables {
+		t := &p.tables[i]
+		for ei := range t.entries {
+			e := &t.entries[ei]
+			cw.U64(uint64(e.tag))
+			cw.I64(int64(e.ctr.Get()))
+			cw.U64(uint64(e.u.Get()))
+		}
+		cw.U64(t.idxFold.Value())
+		cw.U64(t.tagFold[0].Value())
+		cw.U64(t.tagFold[1].Value())
+	}
+	cw.U64s(p.ghist.Words())
+	cw.I64(int64(p.useAlt.Get()))
+	cw.U64(p.rng.State())
+	cw.U64(p.ticks)
+	cw.Bool(p.uPhase)
+	cw.U64(p.allocations)
+	cw.U64(p.uResets)
+	return cw.Err()
+}
+
+// Restore implements bp.Checkpointer.
+func (p *Predictor) Restore(r io.Reader) error {
+	cr := bp.NewCkptReader(r)
+	if v := cr.Header("tage"); cr.Err() == nil && v != ckptVersion {
+		cr.Corrupt("unknown tage checkpoint version %d", v)
+	}
+	cr.ExpectInt("log_base", p.logBase)
+	cr.ExpectInt("reset_log", p.resetLog)
+	cr.ExpectInt("table count", len(p.tables))
+	for i := range p.tables {
+		ts := p.tables[i].spec
+		cr.ExpectInt(fmt.Sprintf("table %d history length", i), ts.HistLen)
+		cr.ExpectInt(fmt.Sprintf("table %d log size", i), ts.LogSize)
+		cr.ExpectInt(fmt.Sprintf("table %d tag bits", i), ts.TagBits)
+		cr.ExpectInt(fmt.Sprintf("table %d counter bits", i), ts.CtrBits)
+	}
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	for i := range p.base {
+		p.base[i].Set(int(cr.I64()))
+	}
+	for i := range p.tables {
+		t := &p.tables[i]
+		for ei := range t.entries {
+			e := &t.entries[ei]
+			e.tag = uint16(cr.U64())
+			e.ctr.Set(int(cr.I64()))
+			e.u.Set(uint(cr.U64()))
+		}
+		t.idxFold.SetValue(cr.U64())
+		t.tagFold[0].SetValue(cr.U64())
+		t.tagFold[1].SetValue(cr.U64())
+	}
+	words := cr.U64s()
+	if wantWords := (p.ghist.Len() + 63) / 64; len(words) != wantWords && cr.Err() == nil {
+		cr.Corrupt("global history of %d words, restoring instance has %d", len(words), wantWords)
+	}
+	useAlt := int(cr.I64())
+	rngState := cr.U64()
+	ticks := cr.U64()
+	uPhase := cr.Bool()
+	allocations := cr.U64()
+	uResets := cr.U64()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	p.ghist.SetWords(words)
+	p.useAlt.Set(useAlt)
+	p.rng.SetState(rngState)
+	p.ticks = ticks
+	p.uPhase = uPhase
+	p.allocations = allocations
+	p.uResets = uResets
+	p.haveCache = false
+	return nil
 }

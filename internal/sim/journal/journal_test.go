@@ -1,0 +1,355 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mbplib/internal/faults"
+)
+
+func mustOpen(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func cellRec(key, result string) CellRecord {
+	return CellRecord{Key: key, Result: json.RawMessage(result)}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	if _, err := j.AppendCell(cellRec("k1", `{"mpki":1.5}`)); err != nil {
+		t.Fatalf("AppendCell: %v", err)
+	}
+	if _, err := j.AppendCell(CellRecord{Key: "k2", Failure: json.RawMessage(`{"class":"corrupt"}`)}); err != nil {
+		t.Fatalf("AppendCell failure: %v", err)
+	}
+	if _, err := j.AppendCheckpoint(CheckpointRecord{Key: "k3", Events: 42, State: []byte{1, 2, 3}}); err != nil {
+		t.Fatalf("AppendCheckpoint: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := mustOpen(t, dir)
+	defer r.Close()
+	if got := r.CellCount(); got != 2 {
+		t.Fatalf("CellCount = %d, want 2", got)
+	}
+	if rec, ok := r.Cell("k1"); !ok || string(rec.Result) != `{"mpki":1.5}` {
+		t.Errorf("Cell(k1) = %+v, %v", rec, ok)
+	}
+	if rec, ok := r.Cell("k2"); !ok || string(rec.Failure) != `{"class":"corrupt"}` {
+		t.Errorf("Cell(k2) = %+v, %v", rec, ok)
+	}
+	if rec, ok := r.Checkpoint("k3"); !ok || rec.Events != 42 || len(rec.State) != 3 {
+		t.Errorf("Checkpoint(k3) = %+v, %v", rec, ok)
+	}
+	if _, ok := r.Cell("k3"); ok {
+		t.Errorf("checkpoint leaked into cells")
+	}
+}
+
+func TestJournalLaterRecordsWin(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	for i := 1; i <= 3; i++ {
+		if _, err := j.AppendCheckpoint(CheckpointRecord{Key: "cell", Events: uint64(i * 100), State: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ck, ok := j.Checkpoint("cell"); !ok || ck.Events != 300 {
+		t.Fatalf("live checkpoint = %+v, %v; want Events 300", ck, ok)
+	}
+	// Reopen: replay must keep only the newest checkpoint.
+	j.Close()
+	j = mustOpen(t, dir)
+	if ck, ok := j.Checkpoint("cell"); !ok || ck.Events != 300 || ck.State[0] != 3 {
+		t.Fatalf("replayed checkpoint = %+v, %v; want Events 300", ck, ok)
+	}
+	// A cell record finishes the cell: checkpoints disappear, live and replayed.
+	if _, err := j.AppendCell(cellRec("cell", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Checkpoint("cell"); ok {
+		t.Errorf("checkpoint survived the cell record (live)")
+	}
+	j.Close()
+	j = mustOpen(t, dir)
+	defer j.Close()
+	if _, ok := j.Checkpoint("cell"); ok {
+		t.Errorf("checkpoint survived the cell record (replayed)")
+	}
+	if _, ok := j.Cell("cell"); !ok {
+		t.Errorf("cell record lost")
+	}
+}
+
+// activeSegment returns the path of the single (or last) segment file.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments in %s (%v)", dir, err)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestJournalTruncatesTornTail(t *testing.T) {
+	tails := [][]byte{
+		{0x01},                   // torn frame header
+		{0xff, 0xff, 0xff, 0x7f}, // implausible length, header incomplete
+		func() []byte { // complete header, missing payload
+			b := make([]byte, frameHeader)
+			binary.LittleEndian.PutUint32(b, 100)
+			return b
+		}(),
+		func() []byte { // complete frame, wrong CRC
+			payload := []byte(`{"cell":{"key":"x","result":{}}}`)
+			b := make([]byte, frameHeader+len(payload))
+			binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+			binary.LittleEndian.PutUint32(b[4:], 0xdeadbeef)
+			copy(b[frameHeader:], payload)
+			return b
+		}(),
+	}
+	for i, tail := range tails {
+		t.Run(fmt.Sprintf("tail%d", i), func(t *testing.T) {
+			dir := t.TempDir()
+			j := mustOpen(t, dir)
+			if _, err := j.AppendCell(cellRec("committed", `{"ok":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			seg := activeSegment(t, dir)
+			clean, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, append(append([]byte{}, clean...), tail...), 0o666); err != nil {
+				t.Fatal(err)
+			}
+
+			r := mustOpen(t, dir)
+			if _, ok := r.Cell("committed"); !ok {
+				t.Fatalf("committed record lost to torn-tail recovery")
+			}
+			// The tail must be physically gone and the journal appendable.
+			after, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(after) != len(clean) {
+				t.Errorf("segment is %d bytes after recovery, want %d", len(after), len(clean))
+			}
+			if _, err := r.AppendCell(cellRec("next", `{}`)); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			r.Close()
+			rr := mustOpen(t, dir)
+			defer rr.Close()
+			if rr.CellCount() != 2 {
+				t.Errorf("CellCount after recovery+append = %d, want 2", rr.CellCount())
+			}
+		})
+	}
+}
+
+// Every byte-level prefix of a segment must recover exactly the records
+// whose frames are complete in that prefix — no committed record lost, no
+// torn record surfaced, no panic.
+func TestJournalEveryPrefixRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	var ends []int64 // cumulative segment size after each append
+	size := int64(len(segMagic))
+	for i := 0; i < 5; i++ {
+		n, err := j.AppendCell(cellRec(fmt.Sprintf("k%d", i), fmt.Sprintf(`{"i":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		size += int64(n)
+		ends = append(ends, size)
+	}
+	j.Close()
+	seg := activeSegment(t, dir)
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != size {
+		t.Fatalf("segment is %d bytes, bookkeeping says %d", len(full), size)
+	}
+
+	for n := 0; n <= len(full); n++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, segPrefix+"000000"+segSuffix), full[:n], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(sub)
+		if err != nil {
+			t.Fatalf("prefix %d: Open: %v", n, err)
+		}
+		wantCells := 0
+		for _, e := range ends {
+			if int64(n) >= e {
+				wantCells++
+			}
+		}
+		if got := r.CellCount(); got != wantCells {
+			t.Fatalf("prefix %d: recovered %d cells, want %d", n, got, wantCells)
+		}
+		r.Close()
+	}
+}
+
+func TestJournalRejectsCorruptClosedSegment(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	j.MaxSegmentBytes = 1 // rotate on every append
+	for i := 0; i < 3; i++ {
+		if _, err := j.AppendCell(cellRec(fmt.Sprintf("k%d", i), `{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v (%v)", segs, err)
+	}
+	// Flip a payload byte in the first (closed) segment.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, faults.ErrCorrupt) {
+		t.Fatalf("Open over corrupt closed segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	j.MaxSegmentBytes = 256
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := j.AppendCell(cellRec(fmt.Sprintf("cell-%02d", i), `{"x":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	r := mustOpen(t, dir)
+	defer r.Close()
+	if got := r.CellCount(); got != n {
+		t.Fatalf("recovered %d cells across segments, want %d", got, n)
+	}
+	// Appends continue into the newest segment, not a fresh one per open.
+	before := len(segs)
+	if _, err := r.AppendCell(cellRec("one-more", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) != before && len(segs) != before+1 {
+		t.Errorf("segment count jumped from %d to %d on one append", before, len(segs))
+	}
+}
+
+func TestJournalRemovesLeftoverTmp(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir).Close()
+	tmp := filepath.Join(dir, segPrefix+"000099"+segSuffix+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	mustOpen(t, dir).Close()
+	if _, err := os.Stat(tmp); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("leftover tmp file survived Open: %v", err)
+	}
+}
+
+// TestJournalRefusesCommittedUndecodableRecord: a frame whose CRC is intact
+// but whose payload does not decode was fully committed — it cannot be a
+// torn tail, so Open must refuse the journal (even in the final segment)
+// rather than truncate it away along with everything after it. This is the
+// failure mode of a caller violating the payload-is-json.Marshal-output
+// contract, which the appender deliberately does not re-validate.
+func TestJournalRefusesCommittedUndecodableRecord(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir)
+	if _, err := j.AppendCell(cellRec("good", `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendCell(cellRec("bad", `not json`)); err != nil {
+		t.Fatalf("AppendCell embeds payloads verbatim, got %v", err)
+	}
+	j.Close()
+	if _, err := Open(dir); !errors.Is(err, faults.ErrCorrupt) {
+		t.Fatalf("Open over committed undecodable record: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalValidatesRecords(t *testing.T) {
+	j := mustOpen(t, t.TempDir())
+	defer j.Close()
+	if _, err := j.AppendCell(CellRecord{Key: "", Result: json.RawMessage(`{}`)}); err == nil {
+		t.Errorf("empty key accepted")
+	}
+	if _, err := j.AppendCell(CellRecord{Key: "k"}); err == nil {
+		t.Errorf("cell with neither result nor failure accepted")
+	}
+	if _, err := j.AppendCell(CellRecord{Key: "k", Result: json.RawMessage(`{}`), Failure: json.RawMessage(`{}`)}); err == nil {
+		t.Errorf("cell with both result and failure accepted")
+	}
+	if _, err := j.AppendCheckpoint(CheckpointRecord{Key: ""}); err == nil {
+		t.Errorf("checkpoint with empty key accepted")
+	}
+}
+
+func TestJournalAppendAfterClose(t *testing.T) {
+	j := mustOpen(t, t.TempDir())
+	j.Close()
+	if _, err := j.AppendCell(cellRec("k", `{}`)); err == nil {
+		t.Errorf("append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestDigestFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.sbbt")
+	if err := os.WriteFile(path, []byte("abc"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SHA-256("abc"), the FIPS 180 test vector.
+	want := "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+	if got != want {
+		t.Errorf("DigestFile = %s, want %s", got, want)
+	}
+	if _, err := DigestFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Errorf("DigestFile on missing file succeeded")
+	}
+}

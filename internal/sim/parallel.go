@@ -13,6 +13,7 @@ import (
 	"mbplib/internal/bp"
 	"mbplib/internal/faults"
 	"mbplib/internal/obs"
+	"mbplib/internal/sim/journal"
 	"mbplib/internal/sim/tracecache"
 )
 
@@ -45,6 +46,27 @@ type ParallelOptions struct {
 	// cells done, queue depth, cache counters) when non-nil. nil disables
 	// collection at zero cost; results are identical either way.
 	Metrics *obs.Collector
+	// Journal, when non-nil, makes the sweep crash-safe: every finished
+	// cell is appended durably before the sweep moves on, cells already on
+	// record (keyed by CellKey) replay verbatim without simulating, and
+	// in-flight cells of checkpointable predictors snapshot their state
+	// every CheckpointEvery events. A sweep restarted against the same
+	// journal produces byte-identical results to an uninterrupted run.
+	Journal *journal.Journal
+	// CheckpointEvery is the event interval between in-flight checkpoints
+	// when Journal is set and the predictor implements bp.Checkpointer.
+	// 0 disables checkpointing: interrupted cells restart from zero.
+	CheckpointEvery uint64
+	// Drain, when non-nil, requests a graceful drain once closed: no new
+	// cells are admitted, in-flight cells checkpoint (when journalling)
+	// and fail as resumable faults.ErrDrained, and the sweep returns with
+	// everything it finished. Drained failures never trip FailFast.
+	Drain <-chan struct{}
+	// CellTimeout bounds the wall time of one cell. An expired cell fails
+	// with a faults.ErrDeadline-classified failure and is journalled as
+	// final — a cell that blows its budget once will blow it again.
+	// 0 means no deadline.
+	CellTimeout time.Duration
 }
 
 // SweepError is the error SweepParallel returns under FailFast: the
@@ -78,6 +100,13 @@ func (e *SweepError) Unwrap() error { return e.Err }
 // sequential path. Under SkipFailed a failing pair costs exactly its own
 // cell; under FailFast the first failure cancels in-flight workers via
 // context and is returned as a *SweepError.
+//
+// With opts.Journal set the sweep is crash-safe and resumable: journalled
+// cells replay verbatim before dispatch, finished cells are appended
+// durably as they complete, and a drain (opts.Drain) checkpoints in-flight
+// cells so a later run with the same journal picks up mid-trace. Drained
+// cells surface as resumable faults.ErrDrained failures and never trip
+// FailFast — a drain is an interruption, not a verdict.
 func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config, opts ParallelOptions) ([]*SetResult, error) {
 	for _, ps := range predictors {
 		if ps.New == nil {
@@ -87,10 +116,39 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 	nP, nT := len(predictors), len(sources)
 	results := make([][]*Result, nP)
 	failures := make([][]*TraceFailure, nP)
+	skip := make([][]bool, nP)
 	for pi := range predictors {
 		results[pi] = make([]*Result, nT)
 		failures[pi] = make([]*TraceFailure, nT)
+		skip[pi] = make([]bool, nT)
 	}
+	col := opts.Metrics
+	cfg.Metrics = col // stage timings and event counts accrue per pair
+
+	// Replay: cells the journal already holds are filled in up front and
+	// never scheduled; only the missing ones cost simulation time. An
+	// undecodable record (foreign schema, truncated by hand) re-runs the
+	// cell rather than failing the sweep.
+	jnl := opts.Journal
+	replayed := 0
+	if jnl != nil {
+		for pi := range predictors {
+			for ti := range sources {
+				rec, ok := jnl.Cell(CellKey(sources[ti], predictors[pi].Name, cfg))
+				if !ok {
+					continue
+				}
+				res, fail, err := decodeCell(rec)
+				if err != nil {
+					continue
+				}
+				results[pi][ti], failures[pi][ti] = res, fail
+				skip[pi][ti] = true
+				replayed++
+			}
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -103,14 +161,19 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 		cacheBytes = DefaultCacheBytes
 	}
 	cache := tracecache.New(cacheBytes) // nil (stream everything) when negative
-	col := opts.Metrics
 	cache.SetCollector(col)
-	cfg.Metrics = col // stage timings and event counts accrue per pair
 	col.Ctr(obs.CtrCellsTotal).Store(uint64(nP * nT))
-	col.Ctr(obs.CtrQueueDepth).Store(uint64(nP * nT))
+	col.Ctr(obs.CtrCellsReplayed).Store(uint64(replayed))
+	col.Ctr(obs.CtrCellsDone).Store(uint64(replayed))
+	col.Ctr(obs.CtrQueueDepth).Store(uint64(nP*nT - replayed))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// The first journal-append failure ends the sweep with an error: a
+	// sweep that silently stopped journalling would break the crash-safety
+	// its caller asked for.
+	var jmu sync.Mutex
+	var jerr error
 	type pair struct{ pi, ti int }
 	tasks := make(chan pair)
 	var wg sync.WaitGroup
@@ -124,7 +187,7 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 					continue // cancelled: leave the cell empty, the sweep is aborting
 				}
 				tCell := col.Now()
-				res, fail := runPair(ctx, cache, sources[tk.ti], predictors[tk.pi], cfg, opts.Policy)
+				res, fail := runPair(ctx, cache, sources[tk.ti], predictors[tk.pi], cfg, opts)
 				cellDur := col.Now().Sub(tCell)
 				ws.Record(cellDur)
 				col.Hist(obs.HistCellNs).ObserveDuration(cellDur)
@@ -134,6 +197,21 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 					continue // a cancellation echo, not a trace failure
 				}
 				results[tk.pi][tk.ti], failures[tk.pi][tk.ti] = res, fail
+				if fail != nil && fail.Resumable {
+					col.Ctr(obs.CtrCellsDrained).Add(1)
+					continue // drained: not final, not journalled, no FailFast
+				}
+				if jnl != nil {
+					key := CellKey(sources[tk.ti], predictors[tk.pi].Name, cfg)
+					if err := journalCell(jnl, col, key, res, fail); err != nil {
+						jmu.Lock()
+						if jerr == nil {
+							jerr = err
+						}
+						jmu.Unlock()
+						cancel()
+					}
+				}
 				if fail != nil && opts.Policy.Mode == FailFast {
 					cancel()
 				}
@@ -142,10 +220,31 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 	}
 	// Trace-major order maximises decode sharing: the nP pairs of one trace
 	// cluster in time, so its cache entry is loaded once, read nP times,
-	// and then becomes the eviction candidate.
+	// and then becomes the eviction candidate. A drain stops admission at
+	// the current cell; everything not yet admitted is marked drained so
+	// the caller can report (and later resume) exactly what remains.
+	pending := make([]pair, 0, nP*nT-replayed)
 	for ti := range sources {
 		for pi := range predictors {
-			tasks <- pair{pi, ti}
+			if !skip[pi][ti] {
+				pending = append(pending, pair{pi, ti})
+			}
+		}
+	}
+	for i, tk := range pending {
+		admitted := false
+		select {
+		case tasks <- pair{tk.pi, tk.ti}:
+			admitted = true
+		case <-opts.Drain:
+		}
+		if !admitted {
+			col.Ctr(obs.CtrDraining).Store(1)
+			for _, rest := range pending[i:] {
+				failures[rest.pi][rest.ti] = drainedFailure(sources[rest.ti].Name)
+				col.Ctr(obs.CtrCellsDrained).Add(1)
+			}
+			break
 		}
 	}
 	close(tasks)
@@ -158,7 +257,7 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 		for ti := range sources {
 			if f := failures[pi][ti]; f != nil {
 				set.Failures = append(set.Failures, *f)
-				if opts.Policy.Mode == FailFast && firstErr == nil {
+				if opts.Policy.Mode == FailFast && firstErr == nil && !f.Resumable {
 					firstErr = &SweepError{Predictor: predictors[pi].Name, Trace: sources[ti].Name, Err: f.Err}
 				}
 			}
@@ -167,6 +266,11 @@ func SweepParallel(sources []TraceSource, predictors []PredictorSpec, cfg Config
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	jmu.Lock()
+	defer jmu.Unlock()
+	if jerr != nil {
+		return nil, fmt.Errorf("sweep journal: %w", jerr)
 	}
 	return out, nil
 }
@@ -194,72 +298,60 @@ func RunSetParallel(sources []TraceSource, newPredictor func() bp.Predictor, cfg
 // runPair simulates one (trace, predictor) pair, preferring the decoded
 // cache and falling back to streaming for traces too big to pin. A panic
 // anywhere in the pair — predictor or replayed decode — is recovered and
-// classified, exactly like runOne on the sequential path.
-func runPair(ctx context.Context, cache *tracecache.Cache, src TraceSource, pred PredictorSpec, cfg Config, policy Policy) (result *Result, failure *TraceFailure) {
+// classified, exactly like runOne on the sequential path. With a cell
+// timeout configured the whole pair (cache wait included) runs under a
+// per-cell deadline.
+func runPair(ctx context.Context, cache *tracecache.Cache, src TraceSource, pred PredictorSpec, cfg Config, opts ParallelOptions) (result *Result, failure *TraceFailure) {
+	policy := opts.Policy
+	start := time.Now()
 	attempts := 1
 	defer func() {
 		if v := recover(); v != nil {
 			err := faults.NewPanicError(v, debug.Stack())
 			result = nil
-			failure = newFailure(src.Name, err, attempts)
+			failure = newFailure(src.Name, err, attempts, start)
 		}
 	}()
+	if opts.CellTimeout > 0 {
+		var cancelCell context.CancelFunc
+		ctx, cancelCell = context.WithTimeout(ctx, opts.CellTimeout)
+		defer cancelCell()
+	}
+	var jc *cellJournal
+	if opts.Journal != nil {
+		jc = &cellJournal{j: opts.Journal, key: CellKey(src, pred.Name, cfg), every: opts.CheckpointEvery, col: cfg.Metrics}
+	}
 	entry, err := cache.Acquire(ctx, src.Name, func() (bp.Reader, io.Closer, int, error) {
 		return openWithRetry(ctx, src, policy)
 	})
 	if err != nil {
-		return nil, newFailure(src.Name, err, attempts) // ctx cancelled while waiting
+		// ctx expired or was cancelled while waiting on the cache.
+		return nil, newFailure(src.Name, mapDeadline(err), attempts, start)
 	}
 	defer cache.Release(entry)
 	attempts = entry.Attempts()
 	if entry.TooBig() {
-		return runOne(ctxSource(ctx, src), pred.New, cfg, policy)
+		if jc == nil {
+			return runOne(interruptSource(ctx, opts.Drain, src), pred.New, cfg, policy)
+		}
+		return runStream(ctx, opts.Drain, src, pred, cfg, policy, jc, start)
 	}
 	cfg.TraceName = src.Name
-	res, err := runEntry(ctx, entry, pred.New(), cfg)
+	res, err := runCell(ctx, opts.Drain, &entryStream{entry: entry}, pred.New, cfg, jc)
 	if err != nil {
-		return nil, newFailure(src.Name, err, attempts)
+		// mapDeadline covers a deadline surfacing through the entry's
+		// terminal decode error rather than through interruptErr.
+		return nil, newFailure(src.Name, mapDeadline(err), attempts, start)
 	}
 	return res, nil
 }
 
-// runEntry simulates a predictor over a pinned decoded trace. The batches
-// replay the exact event stream the prefetched Run would deliver, and the
-// entry's terminal error is honoured with the same precedence: an
-// instruction-limit stop discards a pending decode error, so a limited run
-// succeeds even over a trace corrupt past the stop point.
-func runEntry(ctx context.Context, entry *tracecache.Entry, p bp.Predictor, cfg Config) (*Result, error) {
-	start := time.Now()
-	col := cfg.Metrics
-	loop := newRunLoop(cfg)
-	for _, b := range entry.Batches() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		simStage := obs.StageSim
-		if loop.instr < loop.warmup {
-			simStage = obs.StageWarmup
-		}
-		tSim := col.Now()
-		stop := loop.process(b, p)
-		col.Stage(simStage).Since(tSim)
-		col.Ctr(obs.CtrEvents).Add(uint64(len(b)))
-		if stop {
-			return loop.result(p, cfg, false, start), nil
-		}
-	}
-	if err := entry.Err(); err != io.EOF {
-		return nil, err
-	}
-	return loop.result(p, cfg, true, start), nil
-}
-
 // openWithRetry opens a trace source with the policy's transient-open
-// retry loop (the same schedule as the sequential runOne), reporting the
-// attempt count for failure accounting. Open failures are wrapped as
-// "opening: ..." to match sequential failure messages.
+// retry loop (the same full-jitter schedule as the sequential runOne),
+// reporting the attempt count for failure accounting. Open failures are
+// wrapped as "opening: ..." to match sequential failure messages.
 func openWithRetry(ctx context.Context, src TraceSource, policy Policy) (bp.Reader, io.Closer, int, error) {
-	backoff := policy.Backoff
+	bo := newBackoff(policy, src.Name)
 	attempts := 0
 	for {
 		attempts++
@@ -273,46 +365,8 @@ func openWithRetry(ctx context.Context, src TraceSource, policy Policy) (bp.Read
 		if attempts > policy.Retries || faults.Permanent(err) {
 			return nil, nil, attempts, fmt.Errorf("opening: %w", err)
 		}
-		if backoff > 0 {
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > maxBackoff {
-				backoff = maxBackoff
-			}
+		if d := bo.nextDelay(); d > 0 {
+			time.Sleep(d)
 		}
 	}
-}
-
-// ctxSource wraps a trace source so its readers observe context
-// cancellation between batches, letting FailFast interrupt an in-flight
-// streaming simulation.
-func ctxSource(ctx context.Context, src TraceSource) TraceSource {
-	return TraceSource{Name: src.Name, Open: func() (bp.Reader, io.Closer, error) {
-		r, closer, err := src.Open()
-		if err != nil {
-			return nil, nil, err
-		}
-		return &ctxReader{ctx: ctx, r: r}, closer, nil
-	}}
-}
-
-// ctxReader checks for cancellation before each read of the wrapped
-// reader. The context error is surfaced through the normal sticky-error
-// path, so the prefetch pipeline shuts down cleanly.
-type ctxReader struct {
-	ctx context.Context
-	r   bp.Reader
-}
-
-func (c *ctxReader) Read() (bp.Event, error) {
-	if err := c.ctx.Err(); err != nil {
-		return bp.Event{}, err
-	}
-	return c.r.Read()
-}
-
-func (c *ctxReader) ReadBatch(dst []bp.Event) (int, error) {
-	if err := c.ctx.Err(); err != nil {
-		return 0, err
-	}
-	return bp.ReadBatch(c.r, dst)
 }

@@ -1,0 +1,433 @@
+package sim
+
+// This file is the crash-safe resumable-sweep machinery: it lets
+// SweepParallel journal finished cells, checkpoint in-flight ones, replay a
+// previous run's journal, and drain gracefully on a signal. See
+// internal/sim/journal for the durability substrate and DESIGN.md
+// ("Resumable sweeps") for the recovery rules.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+	"mbplib/internal/obs"
+	"mbplib/internal/sim/journal"
+	"mbplib/internal/sim/tracecache"
+)
+
+// CellKey is the journal identity of one (trace, predictor) cell: the trace
+// identity (content digest when the source carries one), the canonical
+// predictor spec, and the simulation window. Any difference — other trace
+// bytes, other predictor configuration, other warmup/limit — yields another
+// key, so a journal never replays a result the current invocation would not
+// have produced itself.
+func CellKey(src TraceSource, predictor string, cfg Config) string {
+	id := src.Digest
+	if id == "" {
+		id = src.Name
+	}
+	return fmt.Sprintf("%s|%s|w=%d|s=%d", id, predictor, cfg.WarmupInstructions, cfg.SimInstructions)
+}
+
+// journalCell durably appends one finished cell. Resumable (drained)
+// failures are never journalled: the cell must run again on resume.
+func journalCell(jnl *journal.Journal, col *obs.Collector, key string, res *Result, fail *TraceFailure) error {
+	start := col.Now()
+	defer col.Stage(obs.StageJournal).Since(start)
+	rec := journal.CellRecord{Key: key}
+	var err error
+	if res != nil {
+		rec.Result, err = json.Marshal(res)
+	} else {
+		rec.Failure, err = json.Marshal(fail)
+	}
+	if err != nil {
+		return err
+	}
+	n, err := jnl.AppendCell(rec)
+	if err != nil {
+		return err
+	}
+	col.Ctr(obs.CtrJournalRecords).Add(1)
+	col.Ctr(obs.CtrJournalBytes).Add(uint64(n))
+	return nil
+}
+
+// decodeCell rehydrates one journalled cell. Replayed results are
+// re-marshalled from the typed structs downstream, which is where the
+// byte-identical-output guarantee of a resumed sweep is enforced (the
+// journal envelope itself only promises semantic JSON equality).
+func decodeCell(rec journal.CellRecord) (*Result, *TraceFailure, error) {
+	if rec.Result != nil {
+		var res Result
+		if err := json.Unmarshal(rec.Result, &res); err != nil {
+			return nil, nil, err
+		}
+		return &res, nil, nil
+	}
+	var fail TraceFailure
+	if err := json.Unmarshal(rec.Failure, &fail); err != nil {
+		return nil, nil, err
+	}
+	fail.Err = &replayedError{msg: fail.Message, class: classErr(fail.Class)}
+	return nil, &fail, nil
+}
+
+// replayedError resurrects the fault class of a journalled failure so
+// errors.Is-based decisions (FailFast selection, drained exit codes) behave
+// the same on replay as they did live.
+type replayedError struct {
+	msg   string
+	class error
+}
+
+func (e *replayedError) Error() string { return e.msg }
+func (e *replayedError) Unwrap() error { return e.class }
+
+// classErr maps a faults taxonomy class name back to its sentinel; nil for
+// "other" (and anything unknown), whose failures carry no sentinel.
+func classErr(class string) error {
+	switch class {
+	case "corrupt":
+		return faults.ErrCorrupt
+	case "truncated":
+		return faults.ErrTruncated
+	case "limit":
+		return faults.ErrLimit
+	case "panic":
+		return faults.ErrPredictorPanic
+	case "deadline":
+		return faults.ErrDeadline
+	case "drained":
+		return faults.ErrDrained
+	}
+	return nil
+}
+
+// drainedFailure marks a cell the drain stopped before it was admitted.
+func drainedFailure(trace string) *TraceFailure {
+	err := fmt.Errorf("not started: %w", faults.ErrDrained)
+	return &TraceFailure{
+		Trace:     trace,
+		Class:     faults.Class(err),
+		Message:   err.Error(),
+		Resumable: true,
+		Err:       err,
+	}
+}
+
+// mapDeadline rewrites a cell-timeout expiry into the typed deadline fault;
+// anything else — in particular context.Canceled, which the worker's
+// cancellation-echo check matches on — passes through untouched.
+func mapDeadline(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("cell deadline exceeded: %w", faults.ErrDeadline)
+	}
+	return err
+}
+
+// interruptErr reports why an in-flight cell must stop: the sweep is
+// draining (faults.ErrDrained, resumable), its deadline expired
+// (faults.ErrDeadline), or the sweep was cancelled (raw context.Canceled).
+// nil means keep going; a nil drain channel never fires.
+func interruptErr(ctx context.Context, drain <-chan struct{}) error {
+	select {
+	case <-drain:
+		return fmt.Errorf("interrupted: %w", faults.ErrDrained)
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return mapDeadline(err)
+	}
+	return nil
+}
+
+// interruptSource wraps a trace source so its readers observe cancellation,
+// the cell deadline and the drain between batches, letting the scheduler
+// interrupt an in-flight streaming simulation. The open-phase check covers
+// only the drain: drained opens must fail permanently (no retry), while
+// context errors keep flowing through the reader as before.
+func interruptSource(ctx context.Context, drain <-chan struct{}, src TraceSource) TraceSource {
+	return TraceSource{Name: src.Name, Digest: src.Digest, Open: func() (bp.Reader, io.Closer, error) {
+		select {
+		case <-drain:
+			return nil, nil, fmt.Errorf("not started: %w", faults.ErrDrained)
+		default:
+		}
+		r, closer, err := src.Open()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &interruptReader{ctx: ctx, drain: drain, r: r}, closer, nil
+	}}
+}
+
+// interruptReader checks for interruption before each read of the wrapped
+// reader. The error surfaces through the normal sticky-error path, so the
+// prefetch pipeline shuts down cleanly.
+type interruptReader struct {
+	ctx   context.Context
+	drain <-chan struct{}
+	r     bp.Reader
+}
+
+func (c *interruptReader) Read() (bp.Event, error) {
+	if err := interruptErr(c.ctx, c.drain); err != nil {
+		return bp.Event{}, err
+	}
+	return c.r.Read()
+}
+
+func (c *interruptReader) ReadBatch(dst []bp.Event) (int, error) {
+	if err := interruptErr(c.ctx, c.drain); err != nil {
+		return 0, err
+	}
+	return bp.ReadBatch(c.r, dst)
+}
+
+// cellJournal is the journalling context of one in-flight cell.
+type cellJournal struct {
+	j     *journal.Journal
+	key   string
+	every uint64
+	col   *obs.Collector
+}
+
+// checkpoint durably snapshots the cell at consumed events.
+func (jc *cellJournal) checkpoint(loop *runLoop, p bp.Predictor, consumed uint64) error {
+	start := jc.col.Now()
+	defer jc.col.Stage(obs.StageJournal).Since(start)
+	state, err := encodeCellState(loop, p)
+	if err != nil {
+		return err
+	}
+	n, err := jc.j.AppendCheckpoint(journal.CheckpointRecord{Key: jc.key, Events: consumed, State: state})
+	if err != nil {
+		return err
+	}
+	jc.col.Ctr(obs.CtrCheckpoints).Add(1)
+	jc.col.Ctr(obs.CtrJournalRecords).Add(1)
+	jc.col.Ctr(obs.CtrJournalBytes).Add(uint64(n))
+	return nil
+}
+
+// cellStateVersion versions the sim-owned half of a cell checkpoint (the
+// loop counters and branch statistics around the predictor's own payload).
+const cellStateVersion = 1
+
+// encodeCellState serializes the resumable state of an in-flight cell: the
+// loop counters, the per-branch statistics, and the predictor's own
+// checkpoint, all through the bp checkpoint codec.
+func encodeCellState(loop *runLoop, p bp.Predictor) ([]byte, error) {
+	ck, ok := p.(bp.Checkpointer)
+	if !ok {
+		return nil, errors.New("sim: predictor does not implement bp.Checkpointer")
+	}
+	var pstate bytes.Buffer
+	if err := ck.Checkpoint(&pstate); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	cw := bp.NewCkptWriter(&buf)
+	cw.Header("simcell", cellStateVersion)
+	cw.U64(loop.instr)
+	cw.U64(loop.condBranches)
+	cw.U64(loop.mispredictions)
+	cw.U64s(loop.stats.index.ips)
+	cw.U64s(loop.stats.occ)
+	cw.U64s(loop.stats.missed)
+	cw.Bytes(pstate.Bytes())
+	if err := cw.Err(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restoreCellState rebuilds loop and predictor state from a checkpoint. On
+// error the receivers are unspecified; the caller restarts the cell on
+// fresh instances (a bad checkpoint must never condemn the cell).
+func restoreCellState(state []byte, loop *runLoop, p bp.Predictor) error {
+	ck, ok := p.(bp.Checkpointer)
+	if !ok {
+		return fmt.Errorf("sim: predictor does not implement bp.Checkpointer: %w", faults.ErrCorrupt)
+	}
+	cr := bp.NewCkptReader(bytes.NewReader(state))
+	if v := cr.Header("simcell"); cr.Err() == nil && v != cellStateVersion {
+		cr.Corrupt("simcell checkpoint version %d, want %d", v, cellStateVersion)
+	}
+	instr := cr.U64()
+	cond := cr.U64()
+	miss := cr.U64()
+	ips := cr.U64s()
+	occ := cr.U64s()
+	missed := cr.U64s()
+	pstate := cr.Bytes()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	if len(occ) > len(ips) || len(missed) != len(occ) {
+		return fmt.Errorf("simcell checkpoint: %d stats rows over %d branches: %w", len(occ), len(ips), faults.ErrCorrupt)
+	}
+	// Reinserting the dense key array in order reproduces the exact dense
+	// indices the counters were recorded under.
+	for _, ip := range ips {
+		loop.stats.index.lookup(ip)
+	}
+	loop.stats.occ, loop.stats.missed = occ, missed
+	loop.instr, loop.condBranches, loop.mispredictions = instr, cond, miss
+	return ck.Restore(bytes.NewReader(pstate))
+}
+
+// batchStream abstracts how a worker consumes a trace: replayed cached
+// batches or direct streaming reads. next returns a non-empty batch, or
+// (nil, io.EOF) on clean exhaustion, or (nil, err) on a decode error —
+// always after every event decoded before the error was delivered.
+type batchStream interface {
+	next() ([]bp.Event, error)
+}
+
+// entryStream replays the batches of a pinned decoded-trace cache entry.
+type entryStream struct {
+	entry *tracecache.Entry
+	i     int
+}
+
+func (s *entryStream) next() ([]bp.Event, error) {
+	batches := s.entry.Batches()
+	for s.i < len(batches) {
+		b := batches[s.i]
+		s.i++
+		if len(b) > 0 {
+			return b, nil
+		}
+	}
+	return nil, s.entry.Err() // io.EOF when fully decoded
+}
+
+// readStream batches a reader directly. A terminal error arriving with a
+// non-empty batch is held back until that batch was delivered, preserving
+// the "error after n events" precedence of the prefetched pipeline.
+type readStream struct {
+	r   bp.Reader
+	buf []bp.Event
+	err error
+}
+
+func (s *readStream) next() ([]bp.Event, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	n, err := bp.ReadBatch(s.r, s.buf)
+	if n == 0 {
+		if err == nil {
+			err = io.EOF // defensive: a healthy reader never returns (0, nil)
+		}
+		return nil, err
+	}
+	s.err = err
+	return s.buf[:n], nil
+}
+
+// runCell simulates one predictor over a batch stream with the
+// resumable-cell machinery: restore from a journalled checkpoint, periodic
+// checkpointing every jc.every events, and drain/deadline observation
+// between batches. With a nil jc and a never-closed drain it reduces to the
+// exact historical cached-entry loop, so results stay byte-identical to the
+// sequential path. On a drain the current state is checkpointed (when
+// journalling a checkpointable predictor) before the drained error returns,
+// so the resumed sweep continues mid-trace instead of starting over.
+func runCell(ctx context.Context, drain <-chan struct{}, stream batchStream, newP func() bp.Predictor, cfg Config, jc *cellJournal) (*Result, error) {
+	start := time.Now()
+	col := cfg.Metrics
+	loop := newRunLoop(cfg)
+	p := newP()
+	var consumed, toSkip, lastCkpt uint64
+	every := uint64(0)
+	if jc != nil {
+		if _, ok := p.(bp.Checkpointer); ok {
+			every = jc.every
+		}
+		if rec, ok := jc.j.Checkpoint(jc.key); ok {
+			if err := restoreCellState(rec.State, loop, p); err != nil {
+				loop, p = newRunLoop(cfg), newP() // bad checkpoint: restart clean
+			} else {
+				consumed, toSkip, lastCkpt = rec.Events, rec.Events, rec.Events
+			}
+		}
+	}
+	for {
+		if err := interruptErr(ctx, drain); err != nil {
+			if errors.Is(err, faults.ErrDrained) {
+				col.Ctr(obs.CtrDraining).Store(1)
+				if every > 0 && consumed > lastCkpt {
+					if cerr := jc.checkpoint(loop, p, consumed); cerr != nil {
+						return nil, cerr
+					}
+				}
+			}
+			return nil, err
+		}
+		b, err := stream.next()
+		if err != nil {
+			if err == io.EOF {
+				return loop.result(p, cfg, true, start), nil
+			}
+			return nil, err
+		}
+		if toSkip >= uint64(len(b)) {
+			// Entirely inside the restored prefix: the loop and predictor
+			// already account for these events.
+			toSkip -= uint64(len(b))
+			continue
+		}
+		b = b[toSkip:]
+		toSkip = 0
+		simStage := obs.StageSim
+		if loop.instr < loop.warmup {
+			simStage = obs.StageWarmup
+		}
+		tSim := col.Now()
+		stop := loop.process(b, p)
+		col.Stage(simStage).Since(tSim)
+		col.Ctr(obs.CtrEvents).Add(uint64(len(b)))
+		consumed += uint64(len(b))
+		if stop {
+			// Instruction limit hit: a pending decode error past the stop
+			// point is moot, exactly like Run's precedence.
+			return loop.result(p, cfg, false, start), nil
+		}
+		if every > 0 && consumed-lastCkpt >= every {
+			if err := jc.checkpoint(loop, p, consumed); err != nil {
+				return nil, err
+			}
+			lastCkpt = consumed
+		}
+	}
+}
+
+// runStream is the journalling variant of the too-big-to-cache path: it
+// streams the trace directly — no prefetch goroutine, so checkpoints cut at
+// a consistent "events consumed" boundary — through the same resumable loop
+// as cached cells.
+func runStream(ctx context.Context, drain <-chan struct{}, src TraceSource, pred PredictorSpec, cfg Config, policy Policy, jc *cellJournal, start time.Time) (*Result, *TraceFailure) {
+	r, closer, attempts, err := openWithRetry(ctx, src, policy)
+	if err != nil {
+		return nil, newFailure(src.Name, mapDeadline(err), attempts, start)
+	}
+	if closer != nil {
+		defer closer.Close() //mbpvet:ignore droppederr -- read side: a close failure cannot corrupt the already-consumed trace
+	}
+	cfg.TraceName = src.Name
+	res, err := runCell(ctx, drain, &readStream{r: r, buf: make([]bp.Event, batchSizeFor(r))}, pred.New, cfg, jc)
+	if err != nil {
+		return nil, newFailure(src.Name, mapDeadline(err), attempts, start)
+	}
+	return res, nil
+}

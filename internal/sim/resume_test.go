@@ -1,0 +1,332 @@
+package sim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/faults"
+	"mbplib/internal/predictors/gshare"
+	"mbplib/internal/sim"
+	"mbplib/internal/sim/journal"
+)
+
+func openJournal(t *testing.T, dir string) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(dir)
+	if err != nil {
+		t.Fatalf("journal.Open(%s): %v", dir, err)
+	}
+	return j
+}
+
+// ckptSpy wraps gshare with a prediction counter and an optional trigger
+// that fires once after a given number of predictions — the deterministic
+// way to close a drain channel mid-cell. Checkpoint, Restore and Metadata
+// promote from the embedded predictor, so the spy is a bp.Checkpointer and
+// its results are indistinguishable from plain gshare.
+type ckptSpy struct {
+	*gshare.Predictor
+	n       *atomic.Uint64
+	after   uint64
+	trigger func()
+}
+
+func (s *ckptSpy) Predict(ip uint64) bool {
+	if n := s.n.Add(1); s.trigger != nil && n == s.after {
+		s.trigger()
+	}
+	return s.Predictor.Predict(ip)
+}
+
+func spySpec(n *atomic.Uint64, after uint64, trigger func()) sim.PredictorSpec {
+	return sim.PredictorSpec{Name: "gshare-spy", New: func() bp.Predictor {
+		return &ckptSpy{Predictor: gshare.New(), n: n, after: after, trigger: trigger}
+	}}
+}
+
+// TestSweepParallelJournalReplay: a journalled sweep re-run against the same
+// journal replays every cell — no predictor is ever constructed — and the
+// replayed sets marshal byte-identically to the live ones, wall-clock times
+// included.
+func TestSweepParallelJournalReplay(t *testing.T) {
+	srcs := genSources(t, 4000)
+	cfg := sim.Config{WarmupInstructions: 10_000}
+	dir := t.TempDir()
+
+	jnl := openJournal(t, dir)
+	first, err := sim.SweepParallel(srcs, equivPredictors, cfg, sim.ParallelOptions{Workers: 4, Journal: jnl})
+	if err != nil {
+		t.Fatalf("journalled sweep: %v", err)
+	}
+	if got, want := jnl.CellCount(), len(srcs)*len(equivPredictors); got != want {
+		t.Fatalf("journal holds %d cells, want %d", got, want)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	var constructed atomic.Uint64
+	counting := make([]sim.PredictorSpec, len(equivPredictors))
+	for i, ps := range equivPredictors {
+		inner := ps.New
+		counting[i] = sim.PredictorSpec{Name: ps.Name, New: func() bp.Predictor {
+			constructed.Add(1)
+			return inner()
+		}}
+	}
+	jnl2 := openJournal(t, dir)
+	defer jnl2.Close()
+	second, err := sim.SweepParallel(srcs, counting, cfg, sim.ParallelOptions{Workers: 4, Journal: jnl2})
+	if err != nil {
+		t.Fatalf("replay sweep: %v", err)
+	}
+	if n := constructed.Load(); n != 0 {
+		t.Errorf("replay constructed %d predictors, want 0 (every cell on record)", n)
+	}
+	fj, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fj, sj) {
+		t.Errorf("replayed sweep is not byte-identical to the live one\nlive:   %s\nreplay: %s", fj, sj)
+	}
+}
+
+// TestSweepParallelCheckpointDrainResume is the end-to-end resumable-cell
+// law: drain a sweep mid-cell, verify the in-flight cell checkpointed and
+// everything unfinished surfaced as resumable drained failures, then resume
+// against the same journal and require (a) results identical to an
+// uninterrupted baseline and (b) strictly fewer predictions than a from-zero
+// run — proof the checkpointed prefix was skipped, not re-simulated.
+func TestSweepParallelCheckpointDrainResume(t *testing.T) {
+	specs := suiteSpecs(t, 30_000)[:2]
+	srcs := []sim.TraceSource{genSource(specs[0]), genSource(specs[1])}
+	evs := generate(t, specs[0])
+	cond := 0
+	for _, ev := range evs {
+		if ev.Branch.IsConditional() {
+			cond++
+		}
+	}
+	// The drain trigger must fire beyond the first checkpoint interval and
+	// well before the trace ends, with room for multiple batches.
+	if len(evs) <= 3*4096 || cond <= 6000 {
+		t.Fatalf("trace %s too small to drain mid-flight: %d events, %d conditional", specs[0].Name, len(evs), cond)
+	}
+	cfg := sim.Config{WarmupInstructions: 5000}
+
+	var baseN atomic.Uint64
+	base := []sim.PredictorSpec{spySpec(&baseN, 0, nil)}
+	baseline, err := sim.SweepParallel(srcs, base, cfg, sim.ParallelOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("baseline sweep: %v", err)
+	}
+
+	dir := t.TempDir()
+	jnl := openJournal(t, dir)
+	drain := make(chan struct{})
+	var once sync.Once
+	var cutN atomic.Uint64
+	cut := []sim.PredictorSpec{spySpec(&cutN, 6000, func() { once.Do(func() { close(drain) }) })}
+	cutSets, err := sim.SweepParallel(srcs, cut, cfg, sim.ParallelOptions{
+		Workers: 1, Journal: jnl, CheckpointEvery: 4096, Drain: drain,
+	})
+	if err != nil {
+		t.Fatalf("drained sweep: %v (drained failures must not error the sweep)", err)
+	}
+	fails := cutSets[0].Failures
+	if len(fails) != len(srcs) {
+		t.Fatalf("drained sweep: %d failures, want %d (every unfinished cell): %+v", len(fails), len(srcs), fails)
+	}
+	for _, f := range fails {
+		if f.Class != "drained" || !f.Resumable || !errors.Is(f.Err, faults.ErrDrained) {
+			t.Errorf("drained cell %s: class=%q resumable=%v err=%v, want a resumable drained failure", f.Trace, f.Class, f.Resumable, f.Err)
+		}
+	}
+	if n := jnl.CellCount(); n != 0 {
+		t.Errorf("journal holds %d final cells after a full drain, want 0 (drained cells must re-run)", n)
+	}
+	key := sim.CellKey(srcs[0], "gshare-spy", cfg)
+	ck, ok := jnl.Checkpoint(key)
+	if !ok || ck.Events < 4096 {
+		t.Fatalf("no usable checkpoint for the in-flight cell: ok=%v events=%d", ok, ck.Events)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	jnl2 := openJournal(t, dir)
+	var resumeN atomic.Uint64
+	resume := []sim.PredictorSpec{spySpec(&resumeN, 0, nil)}
+	resumed, err := sim.SweepParallel(srcs, resume, cfg, sim.ParallelOptions{
+		Workers: 1, Journal: jnl2, CheckpointEvery: 4096,
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	// Marshal before diffSweeps: resultJSON zeroes wall-clock times in
+	// place, and the replay comparison below wants the live values.
+	rj, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSweeps(t, baseline, resumed, base)
+	if len(resumed[0].Failures) != 0 {
+		t.Errorf("resumed sweep still has failures: %+v", resumed[0].Failures)
+	}
+	if resumeN.Load() == 0 || resumeN.Load() >= baseN.Load() {
+		t.Errorf("resume made %d predictions vs %d uninterrupted — the checkpointed prefix was not skipped", resumeN.Load(), baseN.Load())
+	}
+	if got, want := jnl2.CellCount(), len(srcs); got != want {
+		t.Errorf("journal holds %d final cells after resume, want %d", got, want)
+	}
+	if err := jnl2.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	// Third run: everything is on record, so nothing simulates and the
+	// replay marshals byte-identically to the resumed run.
+	jnl3 := openJournal(t, dir)
+	defer jnl3.Close()
+	var replayN atomic.Uint64
+	replaySpecs := []sim.PredictorSpec{spySpec(&replayN, 0, nil)}
+	replayed, err := sim.SweepParallel(srcs, replaySpecs, cfg, sim.ParallelOptions{Workers: 1, Journal: jnl3})
+	if err != nil {
+		t.Fatalf("replay sweep: %v", err)
+	}
+	if n := replayN.Load(); n != 0 {
+		t.Errorf("replay made %d predictions, want 0", n)
+	}
+	pj, err := json.Marshal(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rj, pj) {
+		t.Errorf("replay is not byte-identical to the resumed run\nresumed: %s\nreplay:  %s", rj, pj)
+	}
+}
+
+// TestSweepParallelCellTimeout: an expired per-cell deadline classifies as a
+// permanent deadline fault, is journalled as final, and replays as the same
+// verdict without re-running the cell.
+func TestSweepParallelCellTimeout(t *testing.T) {
+	srcs := genSources(t, 30_000)[:1]
+	dir := t.TempDir()
+	jnl := openJournal(t, dir)
+	preds := []sim.PredictorSpec{{Name: "taken", New: func() bp.Predictor { return takenPredictor{} }}}
+	sets, err := sim.SweepParallel(srcs, preds, sim.Config{}, sim.ParallelOptions{
+		Workers: 1, Policy: sim.Policy{Mode: sim.SkipFailed}, Journal: jnl, CellTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(sets[0].Failures) != 1 {
+		t.Fatalf("failures: %+v, want exactly one", sets[0].Failures)
+	}
+	f := sets[0].Failures[0]
+	if f.Class != "deadline" || f.Resumable || !errors.Is(f.Err, faults.ErrDeadline) {
+		t.Fatalf("cell timeout: class=%q resumable=%v err=%v, want a final deadline failure", f.Class, f.Resumable, f.Err)
+	}
+	if n := jnl.CellCount(); n != 1 {
+		t.Fatalf("journal holds %d cells, want 1 (deadline verdicts are final)", n)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	// Resume without a timeout: the journalled verdict replays; the cell
+	// must not run again just because the budget was lifted.
+	jnl2 := openJournal(t, dir)
+	defer jnl2.Close()
+	var constructed atomic.Uint64
+	counting := []sim.PredictorSpec{{Name: "taken", New: func() bp.Predictor {
+		constructed.Add(1)
+		return takenPredictor{}
+	}}}
+	sets2, err := sim.SweepParallel(srcs, counting, sim.Config{}, sim.ParallelOptions{
+		Workers: 1, Policy: sim.Policy{Mode: sim.SkipFailed}, Journal: jnl2,
+	})
+	if err != nil {
+		t.Fatalf("replay sweep: %v", err)
+	}
+	if n := constructed.Load(); n != 0 {
+		t.Errorf("replay constructed %d predictors, want 0", n)
+	}
+	f2 := sets2[0].Failures[0]
+	if f2.Class != "deadline" || !errors.Is(f2.Err, faults.ErrDeadline) {
+		t.Errorf("replayed failure: class=%q err=%v, want the deadline verdict back", f2.Class, f2.Err)
+	}
+}
+
+// TestDrainSources covers the sequential (-j 1) drain path: a closed drain
+// fails every source as a resumable drained fault without opening it, and an
+// open drain is a no-op wrapper.
+func TestDrainSources(t *testing.T) {
+	srcs := genSources(t, 2000)
+	newP := func() bp.Predictor { return takenPredictor{} }
+	cfg := sim.Config{}
+	plain, err := sim.RunSetPolicy(srcs, newP, cfg, 1, sim.Policy{Mode: sim.SkipFailed})
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	closed := make(chan struct{})
+	close(closed)
+	set, err := sim.RunSetPolicy(sim.DrainSources(srcs, closed), newP, cfg, 1, sim.Policy{Mode: sim.SkipFailed})
+	if err != nil {
+		t.Fatalf("drained run: %v", err)
+	}
+	if len(set.Failures) != len(srcs) {
+		t.Fatalf("drained run: %d failures, want %d", len(set.Failures), len(srcs))
+	}
+	for _, f := range set.Failures {
+		if f.Class != "drained" || !f.Resumable || f.Attempts != 1 {
+			t.Errorf("drained source %s: class=%q resumable=%v attempts=%d, want one permanent drained attempt", f.Trace, f.Class, f.Resumable, f.Attempts)
+		}
+	}
+	for i, r := range set.Results {
+		if r != nil {
+			t.Errorf("drained run simulated %s", srcs[i].Name)
+		}
+	}
+
+	open := make(chan struct{})
+	same, err := sim.RunSetPolicy(sim.DrainSources(srcs, open), newP, cfg, 1, sim.Policy{Mode: sim.SkipFailed})
+	if err != nil {
+		t.Fatalf("open-drain run: %v", err)
+	}
+	if !bytes.Equal(setJSON(t, plain), setJSON(t, same)) {
+		t.Error("an open drain changed the results")
+	}
+	if got := sim.DrainSources(srcs, nil); len(got) != len(srcs) {
+		t.Errorf("nil drain: %d sources, want %d unchanged", len(got), len(srcs))
+	}
+}
+
+// TestCellKey pins the journal identity: digest preferred over name, and
+// every window parameter participates.
+func TestCellKey(t *testing.T) {
+	src := sim.TraceSource{Name: "t0"}
+	cfg := sim.Config{WarmupInstructions: 5, SimInstructions: 9}
+	if got, want := sim.CellKey(src, "gshare:h=12", cfg), "t0|gshare:h=12|w=5|s=9"; got != want {
+		t.Errorf("CellKey = %q, want %q", got, want)
+	}
+	src.Digest = "abc123"
+	if got, want := sim.CellKey(src, "gshare:h=12", cfg), "abc123|gshare:h=12|w=5|s=9"; got != want {
+		t.Errorf("CellKey with digest = %q, want %q", got, want)
+	}
+	other := sim.CellKey(src, "gshare:h=12", sim.Config{WarmupInstructions: 5})
+	if other == sim.CellKey(src, "gshare:h=12", cfg) {
+		t.Error("CellKey ignores the simulation window")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"mbplib/internal/bp"
 	"mbplib/internal/faults"
+	"mbplib/internal/utils"
 )
 
 // TraceSource lazily opens one trace of a set. Open is called from a worker
@@ -18,6 +19,11 @@ import (
 type TraceSource struct {
 	Name string
 	Open func() (bp.Reader, io.Closer, error)
+	// Digest optionally identifies the trace contents (conventionally the
+	// hex SHA-256 of the file, journal.DigestFile). The sweep journal keys
+	// cells by it, so journalled results survive file renames and reject
+	// silently swapped bytes. Empty falls back to Name.
+	Digest string
 }
 
 // FailureMode selects how a run set reacts to a per-trace failure.
@@ -54,13 +60,59 @@ type Policy struct {
 	// permanent, e.g. an EMFILE or a network-filesystem hiccup). Decode
 	// errors and panics are never retried: the bytes will not improve.
 	Retries int
-	// Backoff is the delay before the first retry; it doubles per attempt
-	// and is capped at maxBackoff. Zero means retry immediately.
+	// Backoff is the ceiling of the delay before the first retry; the
+	// ceiling doubles per attempt and is capped at maxBackoff, and each
+	// actual delay is drawn uniformly from [0, ceiling) — "full jitter",
+	// which decorrelates the retry storms of many workers hitting the same
+	// transient fault together. Zero means retry immediately.
 	Backoff time.Duration
+	// Seed seeds the backoff jitter. Zero derives a seed from the clock;
+	// any fixed value makes the jitter schedule reproducible for tests.
+	Seed uint64
 }
 
 // maxBackoff caps the exponential retry delay.
 const maxBackoff = 2 * time.Second
+
+// backoffState is the full-jitter retry schedule of one open-retry loop:
+// nextDelay draws uniformly from [0, ceiling) and doubles the ceiling up to
+// maxBackoff. Each loop owns its generator — utils.Rand is not safe for
+// concurrent use — seeded from the policy seed mixed with the trace name,
+// so workers sharing a seed still spread out.
+type backoffState struct {
+	ceil time.Duration
+	rng  *utils.Rand
+}
+
+func newBackoff(policy Policy, traceName string) *backoffState {
+	seed := policy.Seed
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return &backoffState{ceil: policy.Backoff, rng: utils.NewRand(utils.Mix(seed ^ hashName(traceName)))}
+}
+
+// nextDelay returns the next sleep and advances the doubling ceiling.
+func (b *backoffState) nextDelay() time.Duration {
+	if b.ceil <= 0 {
+		return 0
+	}
+	d := time.Duration(b.rng.Float64() * float64(b.ceil))
+	if b.ceil *= 2; b.ceil > maxBackoff {
+		b.ceil = maxBackoff
+	}
+	return d
+}
+
+// hashName is FNV-1a over a trace name, for seed mixing.
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
 
 // TraceFailure describes one trace the set could not score.
 type TraceFailure struct {
@@ -73,6 +125,14 @@ type TraceFailure struct {
 	Message string `json:"message"`
 	// Attempts is how many times the trace was tried (1 when no retries).
 	Attempts int `json:"attempts"`
+	// Seconds is wall time spent on the cell across all attempts before it
+	// failed. Wall time is not deterministic, so outputs that promise
+	// byte-identical bytes across schedules must omit or scrub it.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Resumable marks a failure that does not condemn the cell: the sweep
+	// was drained before (or while) the cell ran, and a resumed sweep will
+	// run it again. Resumable failures are never journalled as final.
+	Resumable bool `json:"resumable,omitempty"`
 	// Stack is the captured goroutine stack when Class is "panic".
 	Stack string `json:"stack,omitempty"`
 	// Err is the underlying error, for errors.Is/As; it is not serialized.
@@ -156,27 +216,25 @@ func RunSetPolicy(sources []TraceSource, newPredictor func() bp.Predictor, cfg C
 // started, a failure is a property of the trace bytes or the predictor, and
 // the bytes will not improve on a second try.
 func runOne(src TraceSource, newPredictor func() bp.Predictor, cfg Config, policy Policy) (result *Result, failure *TraceFailure) {
+	start := time.Now()
 	attempts := 0
 	defer func() {
 		if v := recover(); v != nil {
 			err := faults.NewPanicError(v, debug.Stack())
 			result = nil
-			failure = newFailure(src.Name, err, attempts)
+			failure = newFailure(src.Name, err, attempts, start)
 		}
 	}()
-	backoff := policy.Backoff
+	bo := newBackoff(policy, src.Name)
 	for {
 		attempts++
 		r, closer, err := src.Open()
 		if err != nil {
 			if attempts > policy.Retries || faults.Permanent(err) {
-				return nil, newFailure(src.Name, fmt.Errorf("opening: %w", err), attempts)
+				return nil, newFailure(src.Name, fmt.Errorf("opening: %w", err), attempts, start)
 			}
-			if backoff > 0 {
-				time.Sleep(backoff)
-				if backoff *= 2; backoff > maxBackoff {
-					backoff = maxBackoff
-				}
+			if d := bo.nextDelay(); d > 0 {
+				time.Sleep(d)
 			}
 			continue
 		}
@@ -188,25 +246,85 @@ func runOne(src TraceSource, newPredictor func() bp.Predictor, cfg Config, polic
 			return Run(r, newPredictor(), cfg)
 		}()
 		if err != nil {
-			return nil, newFailure(src.Name, err, attempts)
+			return nil, newFailure(src.Name, err, attempts, start)
 		}
 		return res, nil
 	}
 }
 
-func newFailure(trace string, err error, attempts int) *TraceFailure {
+func newFailure(trace string, err error, attempts int, start time.Time) *TraceFailure {
 	f := &TraceFailure{
-		Trace:    trace,
-		Class:    faults.Class(err),
-		Message:  err.Error(),
-		Attempts: attempts,
-		Err:      err,
+		Trace:     trace,
+		Class:     faults.Class(err),
+		Message:   err.Error(),
+		Attempts:  attempts,
+		Seconds:   time.Since(start).Seconds(),
+		Resumable: errors.Is(err, faults.ErrDrained),
+		Err:       err,
 	}
 	var pe *faults.PanicError
 	if errors.As(err, &pe) {
 		f.Stack = string(pe.Stack)
 	}
 	return f
+}
+
+// DrainSources wraps a trace set so the legacy sequential path (RunSet,
+// RunSetPolicy) observes a graceful drain: once drain closes, traces not
+// yet opened fail immediately and in-flight reads stop at the next batch,
+// all classified faults.ErrDrained (permanent, so never retried) and marked
+// Resumable — the "run them again next time" signal the CLIs turn into the
+// drained exit code. A nil drain returns the sources unchanged.
+func DrainSources(sources []TraceSource, drain <-chan struct{}) []TraceSource {
+	if drain == nil {
+		return sources
+	}
+	out := make([]TraceSource, len(sources))
+	for i, src := range sources {
+		open := src.Open
+		out[i] = TraceSource{Name: src.Name, Digest: src.Digest, Open: func() (bp.Reader, io.Closer, error) {
+			select {
+			case <-drain:
+				return nil, nil, fmt.Errorf("not started: %w", faults.ErrDrained)
+			default:
+			}
+			r, closer, err := open()
+			if err != nil {
+				return nil, nil, err
+			}
+			return &drainReader{drain: drain, r: r}, closer, nil
+		}}
+	}
+	return out
+}
+
+// drainReader fails reads with faults.ErrDrained once the channel closes.
+type drainReader struct {
+	drain <-chan struct{}
+	r     bp.Reader
+}
+
+func (d *drainReader) check() error {
+	select {
+	case <-d.drain:
+		return fmt.Errorf("interrupted: %w", faults.ErrDrained)
+	default:
+		return nil
+	}
+}
+
+func (d *drainReader) Read() (bp.Event, error) {
+	if err := d.check(); err != nil {
+		return bp.Event{}, err
+	}
+	return d.r.Read()
+}
+
+func (d *drainReader) ReadBatch(dst []bp.Event) (int, error) {
+	if err := d.check(); err != nil {
+		return 0, err
+	}
+	return bp.ReadBatch(d.r, dst)
 }
 
 // SetSummary aggregates a RunSet outcome the way championship scoreboards

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"mbplib/internal/faults"
+)
+
+// TestBackoffFullJitter pins the retry schedule: delays are uniform in
+// [0, ceiling), the ceiling doubles per attempt up to maxBackoff, and the
+// sequence is a pure function of (seed, trace name).
+func TestBackoffFullJitter(t *testing.T) {
+	p := Policy{Backoff: 10 * time.Millisecond, Seed: 42}
+	a, b := newBackoff(p, "trace-a"), newBackoff(p, "trace-a")
+	ceil := p.Backoff
+	for i := 0; i < 12; i++ {
+		da, db := a.nextDelay(), b.nextDelay()
+		if da != db {
+			t.Fatalf("draw %d: same seed and trace diverged: %v vs %v", i, da, db)
+		}
+		if da < 0 || da >= ceil {
+			t.Fatalf("draw %d: delay %v outside full-jitter range [0, %v)", i, da, ceil)
+		}
+		if ceil *= 2; ceil > maxBackoff {
+			ceil = maxBackoff
+		}
+	}
+
+	c, d := newBackoff(p, "trace-b"), newBackoff(p, "trace-a")
+	same := true
+	for i := 0; i < 12; i++ {
+		if c.nextDelay() != d.nextDelay() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different trace names drew identical jitter streams")
+	}
+}
+
+func TestBackoffZeroCeiling(t *testing.T) {
+	b := newBackoff(Policy{}, "x")
+	for i := 0; i < 3; i++ {
+		if d := b.nextDelay(); d != 0 {
+			t.Fatalf("zero Backoff produced a %v delay", d)
+		}
+	}
+}
+
+// TestMapDeadline: only a context deadline expiry becomes the typed fault;
+// cancellation passes through untouched so the scheduler's echo check
+// (errors.Is(err, context.Canceled)) still fires on replayed wraps.
+func TestMapDeadline(t *testing.T) {
+	if err := mapDeadline(context.Canceled); !errors.Is(err, context.Canceled) || errors.Is(err, faults.ErrDeadline) {
+		t.Errorf("mapDeadline(Canceled) = %v, want cancellation preserved", err)
+	}
+	err := mapDeadline(fmt.Errorf("opening: %w", context.DeadlineExceeded))
+	if !errors.Is(err, faults.ErrDeadline) {
+		t.Errorf("mapDeadline(DeadlineExceeded wrap) = %v, want faults.ErrDeadline", err)
+	}
+	if err := mapDeadline(nil); err != nil {
+		t.Errorf("mapDeadline(nil) = %v", err)
+	}
+}
+
+// TestClassErr: every named taxonomy class resurrects to a sentinel that
+// classifies back to itself; "other" and unknown classes carry none.
+func TestClassErr(t *testing.T) {
+	for _, class := range []string{"corrupt", "truncated", "limit", "panic", "deadline", "drained"} {
+		e := classErr(class)
+		if e == nil || faults.Class(e) != class {
+			t.Errorf("classErr(%q) = %v (class %q), want the matching sentinel", class, e, faults.Class(e))
+		}
+	}
+	if e := classErr("other"); e != nil {
+		t.Errorf("classErr(other) = %v, want nil", e)
+	}
+	if e := classErr("bogus"); e != nil {
+		t.Errorf("classErr(bogus) = %v, want nil", e)
+	}
+}

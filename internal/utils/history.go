@@ -109,6 +109,26 @@ func (h *GlobalHistory) Reset() {
 	}
 }
 
+// Words returns a copy of the packed history words (bit 0 of word 0 is the
+// most recent outcome), for checkpointing. The slice length is fixed by the
+// history length passed to NewGlobalHistory.
+func (h *GlobalHistory) Words() []uint64 {
+	w := make([]uint64, len(h.words))
+	copy(w, h.words)
+	return w
+}
+
+// SetWords restores a state previously captured by Words. The word count
+// must match the history length; callers restoring from external bytes are
+// expected to have validated the configuration first.
+func (h *GlobalHistory) SetWords(words []uint64) {
+	if len(words) != len(h.words) {
+		panic(fmt.Sprintf("utils: SetWords with %d words, history needs %d", len(words), len(h.words)))
+	}
+	copy(h.words, words)
+	h.maskTop()
+}
+
 // String renders the history most-recent-first as a bit string, which is
 // convenient in tests and debug output.
 func (h *GlobalHistory) String() string {
@@ -178,6 +198,10 @@ func (f *FoldedHistory) Update(newest, oldest bool) {
 // Reset clears the folded value.
 func (f *FoldedHistory) Reset() { f.value = 0 }
 
+// SetValue restores a folded value previously read with Value, masked to
+// the configured width, for checkpointing.
+func (f *FoldedHistory) SetValue(v uint64) { f.value = v & (1<<f.width - 1) }
+
 // PathHistory records the low bits of the addresses of recent branches,
 // used by path-based predictors (hashed perceptron, TAGE index hashing).
 type PathHistory struct {
@@ -226,6 +250,27 @@ func (p *PathHistory) Reset() {
 		p.buf[i] = 0
 	}
 	p.head, p.packed = 0, 0
+}
+
+// State returns a copy of the ring buffer plus the head index and packed
+// view, for checkpointing.
+func (p *PathHistory) State() (buf []uint16, head int, packed uint64) {
+	buf = make([]uint16, len(p.buf))
+	copy(buf, p.buf)
+	return buf, p.head, p.packed
+}
+
+// SetState restores a state previously captured by State. The buffer length
+// must match the configured history length and head must index into it.
+func (p *PathHistory) SetState(buf []uint16, head int, packed uint64) {
+	if len(buf) != len(p.buf) {
+		panic(fmt.Sprintf("utils: SetState with %d entries, path history needs %d", len(buf), len(p.buf)))
+	}
+	if head < 0 || head >= p.length {
+		panic(fmt.Sprintf("utils: SetState head %d out of range [0,%d)", head, p.length))
+	}
+	copy(p.buf, buf)
+	p.head, p.packed = head, packed
 }
 
 // XorFold folds a 64-bit value down to `width` bits by XOR-ing `width`-bit

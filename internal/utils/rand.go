@@ -25,6 +25,24 @@ func (r *Rand) Seed(seed uint64) {
 	r.state = seed
 }
 
+// State returns the raw generator state, for checkpointing. Restoring it
+// with SetState resumes the exact pseudo-random sequence.
+func (r *Rand) State() uint64 {
+	if r.state == 0 {
+		return 1
+	}
+	return r.state
+}
+
+// SetState restores a state previously read with State (0 is replaced by 1,
+// as in Seed).
+func (r *Rand) SetState(state uint64) {
+	if state == 0 {
+		state = 1
+	}
+	r.state = state
+}
+
 // Uint64 returns the next pseudo-random 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	if r.state == 0 {

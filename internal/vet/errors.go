@@ -13,10 +13,12 @@ import (
 // path turns a corrupt trace into a silently shortened simulation, which is
 // the worst possible failure mode for an experiment.
 //
-// One pattern is exempt on principle: fmt.Fprint/Fprintf/Fprintln into a
-// *bufio.Writer, bytes.Buffer or strings.Builder. Their write errors are
+// Two patterns are exempt on principle: fmt.Fprint/Fprintf/Fprintln into a
+// *bufio.Writer, bytes.Buffer or strings.Builder — their write errors are
 // sticky (bufio) or impossible (in-memory buffers), and the codecs check
-// the buffered writer's Flush, where a sticky error surfaces.
+// the buffered writer's Flush, where a sticky error surfaces — and direct
+// Write* method calls on a bytes.Buffer or strings.Builder receiver, whose
+// error results are documented to always be nil.
 func checkDroppedErrors(prog *Program, cfg Config) []Finding {
 	var findings []Finding
 	for _, pkg := range prog.Sorted() {
@@ -58,7 +60,7 @@ func discardedCall(info *types.Info, call *ast.CallExpr, format string) []rawFin
 	if !ok || !lastResultIsError(tv.Type) {
 		return nil
 	}
-	if isExemptPrinter(info, call) {
+	if isExemptPrinter(info, call) || isInMemoryWrite(info, call) {
 		return nil
 	}
 	return []rawFinding{{
@@ -91,7 +93,7 @@ func blankError(info *types.Info, n *ast.AssignStmt) []rawFinding {
 		}
 		for i, lhs := range n.Lhs {
 			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" && isErrorType(tuple.At(i).Type()) {
-				if !isExemptPrinter(info, call) {
+				if !isExemptPrinter(info, call) && !isInMemoryWrite(info, call) {
 					flag(n, callName(call))
 				}
 			}
@@ -145,6 +147,30 @@ func isExemptPrinter(info *types.Info, call *ast.CallExpr) bool {
 	}
 	return interfaceNamed(tv.Type, "bufio", "Writer") ||
 		interfaceNamed(tv.Type, "bytes", "Buffer") ||
+		interfaceNamed(tv.Type, "strings", "Builder")
+}
+
+// isInMemoryWrite reports whether call is one of the self-contained write
+// methods on a bytes.Buffer or strings.Builder receiver. Their error results
+// are documented to always be nil (growing the buffer panics on overflow
+// instead), so a discarded error there carries no information. WriteTo is
+// deliberately not in the set: it writes to an external io.Writer and its
+// error is real.
+func isInMemoryWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return interfaceNamed(tv.Type, "bytes", "Buffer") ||
 		interfaceNamed(tv.Type, "strings", "Builder")
 }
 

@@ -1,0 +1,56 @@
+// Package journal is the mbpvet fixture for the dropped-error rule over
+// durability code: the crash-safety journal's contract is only as strong as
+// its fsync and close paths, so a discarded error there silently converts
+// "committed" into "maybe committed". Every marked line is a violation,
+// every unmarked one a conforming counterpart the rule must stay silent on.
+package journal
+
+import (
+	"bytes"
+	"io"
+	"os"
+)
+
+// AppendSloppy models the broken append path: the data write is checked but
+// both durability points — the fsync and the rotation close — discard their
+// errors, so a full disk or dying device looks like a successful commit.
+func AppendSloppy(f *os.File, frame []byte) error {
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	f.Sync()             // want droppederr
+	defer f.Close()      // want droppederr
+	_ = f.Sync()         // want droppederr
+	n, _ := f.Seek(0, 2) // want droppederr
+	_ = n
+	return nil
+}
+
+// negative droppederr
+// AppendDurable is the conforming counterpart: the fsync error is returned,
+// and the deferred close reports through the named result without masking an
+// earlier failure — the idiom the real journal uses on segment rotation.
+func AppendDurable(f *os.File, frame []byte) (err error) {
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// EncodeFrame exercises the in-memory write exemption: bytes.Buffer and
+// strings.Builder Write* methods always return a nil error, so discarding it
+// is silent — but WriteTo drains into an external writer and stays flagged.
+func EncodeFrame(w io.Writer, key, payload []byte) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"key":`) // exempt: in-memory write cannot fail
+	buf.Write(key)             // exempt: in-memory write cannot fail
+	buf.WriteByte(',')         // exempt: in-memory write cannot fail
+	n, _ := buf.Write(payload) // exempt: in-memory write cannot fail
+	_ = n
+	buf.WriteTo(w) // want droppederr
+}

@@ -14,7 +14,7 @@ func fixtureConfig() Config {
 	return Config{
 		RegistryPath:        "fix/predictors/registry",
 		PredictorRoot:       "fix/predictors",
-		ErrorPackages:       []string{"fix/codec"},
+		ErrorPackages:       []string{"fix/codec", "fix/journal"},
 		WidthPackages:       []string{"fix/codec"},
 		GuardFuncs:          []string{"CanonicalAddress"},
 		PanicFreePackages:   []string{"fix/codec"},
