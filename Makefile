@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead journal-overhead golden
+.PHONY: check fmt vet build test race race-kernel mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead journal-overhead golden
 
-check: fmt vet build test race mbpvet fault-sweep fuzz-smoke bench-smoke
+check: fmt vet build test race race-kernel mbpvet fault-sweep fuzz-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,6 +27,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+# Kernel-vs-scalar equivalence under the race detector: every batch-kernel
+# dispatch path (single runs with warm-up/limit edges, parallel sweeps at
+# several worker counts, journalled replays) must produce byte-identical
+# results with the kernels stripped.
+race-kernel:
+	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'TestKernelRunMatchesScalar|TestSweepParallelKernelScalarEquivalence' ./internal/sim/
 
 mbpvet:
 	$(GO) run ./cmd/mbpvet ./...

@@ -141,6 +141,9 @@ func runSnapshot(out string, scale uint64, dir, predictors, sweepPreds string, s
 	fmt.Printf("wrote %s: decode %.2fx", out, snap.Read.Speedup)
 	for _, e := range snap.Sim {
 		fmt.Printf(", %s %.2fx", e.Predictor, e.Speedup)
+		if e.Kernel != nil {
+			fmt.Printf(" (kernel %.2fx)", e.Kernel.Speedup)
+		}
 	}
 	for _, m := range snap.Sweep.Parallel {
 		fmt.Printf(", sweep@%d %.2fx", m.Workers, m.Speedup)

@@ -37,9 +37,9 @@ func CompareSnapshots(committed, fresh *SimSnapshot, factor float64) []string {
 		}
 	}
 	check("read/batched", committed.Read.Batched.BranchesPerSec, fresh.Read.Batched.BranchesPerSec)
-	freshSim := map[string]Stage{}
+	freshSim := map[string]SimEntry{}
 	for _, e := range fresh.Sim {
-		freshSim[e.Predictor] = e.Stage
+		freshSim[e.Predictor] = e
 	}
 	for _, e := range committed.Sim {
 		f, ok := freshSim[e.Predictor]
@@ -47,6 +47,13 @@ func CompareSnapshots(committed, fresh *SimSnapshot, factor float64) []string {
 			continue // predictor set changed; not a regression
 		}
 		check("sim/"+e.Predictor+"/batched", e.Batched.BranchesPerSec, f.Batched.BranchesPerSec)
+		// Kernel stages compare only when both snapshots carry one: the
+		// committed side may predate batch kernels, and the fresh side may
+		// measure a predictor whose kernel was (deliberately) removed —
+		// that change shows up in review, not as a throughput regression.
+		if e.Kernel != nil && f.Kernel != nil {
+			check("sim/"+e.Predictor+"/kernel", e.Kernel.Batched.BranchesPerSec, f.Kernel.Batched.BranchesPerSec)
+		}
 	}
 	if committed.Journal != nil && fresh.Journal != nil {
 		check("journal/journalled", committed.Journal.Journalled.AggBranchesPerSec,

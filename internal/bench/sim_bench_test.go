@@ -182,3 +182,40 @@ func TestRunBatchedAllocsBounded(t *testing.T) {
 		t.Errorf("mallocs grew with event count: %d for 20k events, %d for 200k", small, large)
 	}
 }
+
+// TestKernelRunAllocsBounded is the batch-kernel sibling of
+// TestRunBatchedAllocsBounded, pinned on TAGE — the kernel with the most
+// internal scratch (per-table index/tag buffers, folded histories). A
+// batched TAGE run dispatches whole batches through TrainBatch, and its
+// steady-state heap allocation count must not scale with the event count.
+func TestKernelRunAllocsBounded(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	mallocsFor := func(branches uint64) uint64 {
+		spec := benchSpec(branches)
+		g, err := tracegen.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := registry.New("tage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.(bp.BatchPredictor); !ok {
+			t.Fatal("tage no longer implements bp.BatchPredictor; the test would measure the scalar path")
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if _, err := sim.Run(g, p, sim.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	small := mallocsFor(20_000)
+	large := mallocsFor(200_000)
+	if large > small+2000 {
+		t.Errorf("mallocs grew with event count under the TAGE kernel: %d for 20k events, %d for 200k", small, large)
+	}
+}

@@ -43,6 +43,15 @@ type Stage struct {
 type SimEntry struct {
 	Predictor string `json:"predictor"`
 	Stage
+	// Kernel records the dispatch-level batch-kernel comparison for
+	// predictors implementing bp.BatchPredictor: bp.SimulateBatch over the
+	// decoded in-memory trace with the native kernel (Batched) against the
+	// same predictor with the kernel stripped via bp.ScalarOnly (Scalar).
+	// Trace decode and simulator accounting are excluded on both sides, so
+	// the ratio isolates what the fused TrainBatch kernel buys. Absent for
+	// predictors without a kernel and for snapshots written before batch
+	// kernels existed.
+	Kernel *Stage `json:"kernel,omitempty"`
 }
 
 // SimSnapshot is the committed record of the batching optimisation
@@ -198,6 +207,83 @@ func runVariant(path, predictorSpec string, batched bool) (m SimMeasurement, eve
 	return m, events, nil
 }
 
+// loadBranches decodes the trace file's full branch stream into memory, so
+// kernel measurements time predictor arithmetic rather than decoding.
+func loadBranches(path string) ([]bp.Branch, error) {
+	f, r, err := openTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var branches []bp.Branch
+	dst := make([]bp.Event, 4096)
+	for {
+		n, err := r.ReadBatch(dst)
+		for i := 0; i < n; i++ {
+			branches = append(branches, dst[i].Branch)
+		}
+		if err == io.EOF {
+			return branches, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// kernelBatch is the dispatch batch size of the kernel measurement,
+// matching the simulator's decode-ahead batch capacity.
+const kernelBatch = 4096
+
+// measureKernel times the dispatch-level kernel comparison for one
+// predictor: bp.SimulateBatch over the pre-decoded trace, once with the
+// native bp.BatchPredictor kernel and once with the kernel stripped
+// (bp.ScalarOnly), best of rounds. Returns nil for predictors without a
+// kernel.
+func measureKernel(branches []bp.Branch, spec string, rounds int) (*Stage, error) {
+	if p, err := registry.New(spec); err != nil {
+		return nil, err
+	} else if _, ok := p.(bp.BatchPredictor); !ok {
+		return nil, nil
+	}
+	out := make([]bp.Prediction, kernelBatch)
+	variant := func(kernel bool) (SimMeasurement, uint64, error) {
+		p, err := registry.New(spec)
+		if err != nil {
+			return SimMeasurement{}, 0, err
+		}
+		if !kernel {
+			p = bp.ScalarOnly(p)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for off := 0; off < len(branches); off += kernelBatch {
+			end := off + kernelBatch
+			if end > len(branches) {
+				end = len(branches)
+			}
+			bp.SimulateBatch(p, branches[off:end], out[:end-off])
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		events := uint64(len(branches))
+		m := SimMeasurement{Seconds: elapsed.Seconds()}
+		if events > 0 && m.Seconds > 0 {
+			m.BranchesPerSec = float64(events) / m.Seconds
+			m.MallocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(events)
+		}
+		return m, events, nil
+	}
+	st, _, err := measureStage(rounds, func(batched bool) (SimMeasurement, uint64, error) {
+		return variant(batched)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // measureStage takes the best of rounds runs per variant and derives the
 // scalar-over-batched speedup.
 func measureStage(rounds int, variant func(batched bool) (SimMeasurement, uint64, error)) (Stage, uint64, error) {
@@ -249,6 +335,7 @@ func MeasureSim(path string, predictors []string, rounds int) (*SimSnapshot, err
 	}); err != nil {
 		return nil, err
 	}
+	var kernelBranches []bp.Branch
 	for _, spec := range predictors {
 		st, _, err := measureStage(rounds, func(batched bool) (SimMeasurement, uint64, error) {
 			return runVariant(path, spec, batched)
@@ -256,7 +343,22 @@ func MeasureSim(path string, predictors []string, rounds int) (*SimSnapshot, err
 		if err != nil {
 			return nil, err
 		}
-		snap.Sim = append(snap.Sim, SimEntry{Predictor: spec, Stage: st})
+		entry := SimEntry{Predictor: spec, Stage: st}
+		if p, err := registry.New(spec); err == nil {
+			if _, ok := p.(bp.BatchPredictor); ok {
+				// The branch stream is decoded once, lazily, and shared by
+				// every kernel-capable predictor's dispatch measurement.
+				if kernelBranches == nil {
+					if kernelBranches, err = loadBranches(path); err != nil {
+						return nil, err
+					}
+				}
+				if entry.Kernel, err = measureKernel(kernelBranches, spec, rounds); err != nil {
+					return nil, err
+				}
+			}
+		}
+		snap.Sim = append(snap.Sim, entry)
 	}
 	return snap, nil
 }

@@ -113,8 +113,19 @@ const (
 	CtrCellsDrained
 	// CtrDraining is 1 once a graceful drain was requested (gauge).
 	CtrDraining
+	// CtrDispatchKernel is simulated batches dispatched to a predictor's
+	// native BatchPredictor kernel (the fused TrainBatch fast path).
+	CtrDispatchKernel
+	// CtrDispatchScalar is simulated batches that went through the scalar
+	// Predict/Train/Track loop instead: the predictor has no kernel, or the
+	// batch straddles a warm-up/limit boundary and takes the careful path.
+	CtrDispatchScalar
 	numCtrs
 )
+
+// String returns the counter's snapshot key, as it appears in
+// Snapshot.Counters and the -metrics output.
+func (c Ctr) String() string { return ctrNames[c] }
 
 // ctrNames indexes Ctr for snapshots; keep in sync with the constants.
 var ctrNames = [numCtrs]string{
@@ -123,6 +134,7 @@ var ctrNames = [numCtrs]string{
 	"cache_too_big", "cache_bytes",
 	"journal_records", "journal_bytes", "checkpoints",
 	"cells_replayed", "cells_drained", "draining",
+	"dispatch_kernel", "dispatch_scalar",
 }
 
 // Hist enumerates the histograms of the pipeline.
@@ -135,11 +147,19 @@ const (
 	// HistCellNs is the per-cell duration of a sweep (one trace through one
 	// predictor).
 	HistCellNs
+	// HistBatchEvents is the event count of each simulated batch, recorded
+	// at dispatch so -metrics shows how much of a run actually moved in
+	// kernel-sized batches versus short edge batches.
+	HistBatchEvents
 	numHists
 )
 
+// String returns the histogram's snapshot key, as it appears in
+// Snapshot.Histograms and the -metrics output.
+func (h Hist) String() string { return histNames[h] }
+
 // histNames indexes Hist for snapshots; keep in sync with the constants.
-var histNames = [numHists]string{"batch_read_ns", "cell_ns"}
+var histNames = [numHists]string{"batch_read_ns", "cell_ns", "batch_events"}
 
 // Counter is a monotonically increasing (or gauge-style Store'd) uint64.
 // The zero value is ready to use; all methods are nil-safe no-ops.

@@ -1,0 +1,15 @@
+package bimodal
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/predtest"
+)
+
+// TestKernelZeroAlloc pins the batch kernel's zero-allocation steady state;
+// an allocation creeping into PredictBatch/TrainBatch would silently cost
+// the batched speedup without failing any behavioural law.
+func TestKernelZeroAlloc(t *testing.T) {
+	predtest.CheckKernelZeroAlloc(t, func() bp.Predictor { return New() }, 4096)
+}

@@ -1,0 +1,15 @@
+package perceptron
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/predtest"
+)
+
+// TestKernelZeroAlloc pins the batch kernel's zero-allocation steady state;
+// the kernel's per-table index scratch (kidx) is preallocated in New, and
+// this guard keeps it that way.
+func TestKernelZeroAlloc(t *testing.T) {
+	predtest.CheckKernelZeroAlloc(t, func() bp.Predictor { return New() }, 4096)
+}

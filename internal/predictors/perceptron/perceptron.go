@@ -34,6 +34,11 @@ type Predictor struct {
 	lastSum int
 	haveSum bool
 
+	// kidx is the batch kernel's per-table index scratch (see kernel.go):
+	// the indices computed for the weight sum are reused by the update
+	// instead of being re-hashed. Not part of the serialized state.
+	kidx []uint32
+
 	trainings uint64 // statistic: below-threshold updates
 }
 
@@ -105,6 +110,7 @@ func New(opts ...Option) *Predictor {
 		width := cfg.logSize
 		p.folded = append(p.folded, utils.NewFoldedHistory(l, width))
 	}
+	p.kidx = make([]uint32, len(p.tables))
 	return p
 }
 

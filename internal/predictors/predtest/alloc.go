@@ -1,0 +1,42 @@
+package predtest
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+)
+
+// CheckKernelZeroAlloc is the batch-kernel allocation law: once warm, both
+// halves of bp.BatchPredictor must run without heap allocation. The batched
+// speedup rests on the kernels staying arithmetic-only — a regression that
+// allocates per batch (a scratch slice grown per call, a boxed value
+// escaping into an interface) survives every behavioural law while quietly
+// eating the win, so the property is pinned directly.
+//
+// Predictors without a kernel skip; the law is about kernels, not about
+// requiring one.
+func CheckKernelZeroAlloc(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	p := newP()
+	kp, ok := p.(bp.BatchPredictor)
+	if !ok {
+		t.Skipf("%T does not implement bp.BatchPredictor", p)
+	}
+	var batch []bp.Branch
+	conformanceEvents(t, branches, func(ev bp.Event) {
+		batch = append(batch, ev.Branch)
+	})
+	out := make([]bp.Prediction, len(batch))
+	// One warm pass sizes any lazily-grown scratch and faults in the tables;
+	// everything after it is steady state.
+	kp.TrainBatch(batch, out)
+	if n := testing.AllocsPerRun(5, func() { kp.PredictBatch(batch, out) }); n != 0 {
+		t.Errorf("PredictBatch allocates %.0f times per call in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(5, func() { kp.TrainBatch(batch, out) }); n != 0 {
+		t.Errorf("TrainBatch allocates %.0f times per call in steady state, want 0", n)
+	}
+}

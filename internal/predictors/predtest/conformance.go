@@ -3,6 +3,7 @@ package predtest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"testing"
 
@@ -278,6 +279,209 @@ func CheckBatchScalarEquivalence(t *testing.T, newP func() bp.Predictor, branche
 		}
 		if !bytes.Equal(sj, bj) {
 			t.Errorf("cfg %d: batched result differs from scalar:\nscalar:  %s\nbatched: %s", i, sj, bj)
+		}
+	}
+}
+
+// chunkSizes is the batch-split pattern the batch-kernel laws drive
+// predictors with: a mix of degenerate (0, 1) and bulky splits, so a kernel
+// that carries state across a batch boundary incorrectly, or mishandles an
+// empty or single-branch batch, cannot pass by accident.
+var chunkSizes = []int{1, 0, 3, 64, 1, 1021, 7}
+
+// driveChunks feeds branches to p through bp.SimulateBatch in the cycling
+// chunkSizes pattern, recording conditional predictions into out (which
+// must have len(branches) entries).
+func driveChunks(p bp.Predictor, branches []bp.Branch, out []bp.Prediction) {
+	base, ci := 0, 0
+	for base < len(branches) {
+		n := chunkSizes[ci%len(chunkSizes)]
+		ci++
+		if n > len(branches)-base {
+			n = len(branches) - base
+		}
+		bp.SimulateBatch(p, branches[base:base+n], out[base:base+n])
+		base += n
+	}
+}
+
+// faultAfterReader yields the given events and then a non-EOF error, so the
+// failure lands mid-stream — and, for the batched pipeline, mid-batch.
+type faultAfterReader struct {
+	events []bp.Event
+	pos    int
+	err    error
+}
+
+func (r *faultAfterReader) Read() (bp.Event, error) {
+	if r.pos >= len(r.events) {
+		return bp.Event{}, r.err
+	}
+	ev := r.events[r.pos]
+	r.pos++
+	return ev, nil
+}
+
+// CheckBatchKernelConformance is the conformance law for bp.BatchPredictor:
+// the native kernel must be indistinguishable from the scalar reference
+// path. It verifies, over the mixed workload,
+//
+//   - per-branch prediction equality between the kernel (driven through
+//     bp.SimulateBatch under adversarial batch splits) and the scalar
+//     reference loop,
+//   - final checkpoint byte-equality between the two paths,
+//   - PredictBatch purity (checkpoint bytes unchanged) and agreement with
+//     Predict,
+//   - and sim-level equivalence when the trace faults mid-batch: Run and
+//     RunScalar must surface the identical reader error.
+//
+// Predictors without a native kernel skip: their SimulateBatch path is the
+// scalar loop by construction.
+func CheckBatchKernelConformance(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	if _, ok := newP().(bp.BatchPredictor); !ok {
+		t.Skip("predictor does not implement bp.BatchPredictor")
+	}
+
+	var events []bp.Event
+	conformanceEvents(t, branches, func(ev bp.Event) { events = append(events, ev) })
+	stream := make([]bp.Branch, len(events))
+	for i := range events {
+		stream[i] = events[i].Branch
+	}
+
+	kernel := newP()
+	kernelOut := make([]bp.Prediction, len(stream))
+	driveChunks(kernel, stream, kernelOut)
+
+	scalar := bp.ScalarOnly(newP())
+	scalarOut := make([]bp.Prediction, len(stream))
+	driveChunks(scalar, stream, scalarOut)
+
+	for i := range stream {
+		if stream[i].Opcode.IsConditional() && kernelOut[i] != scalarOut[i] {
+			t.Fatalf("branch %d (ip %#x): kernel predicted %v, scalar path %v", i, stream[i].IP, kernelOut[i], scalarOut[i])
+		}
+	}
+
+	if kc, ok := kernel.(bp.Checkpointer); ok {
+		var kb, sb bytes.Buffer
+		if err := kc.Checkpoint(&kb); err != nil {
+			t.Fatalf("kernel Checkpoint: %v", err)
+		}
+		if err := scalar.(bp.Checkpointer).Checkpoint(&sb); err != nil {
+			t.Fatalf("scalar Checkpoint: %v", err)
+		}
+		if !bytes.Equal(kb.Bytes(), sb.Bytes()) {
+			t.Errorf("final state diverges between kernel and scalar paths: checkpoints of %d vs %d bytes differ", kb.Len(), sb.Len())
+		}
+
+		// PredictBatch purity: serialized state identical before and after,
+		// and every prediction agrees with Predict under the same state.
+		want := make([]bool, len(stream))
+		for i := range stream {
+			want[i] = kernel.Predict(stream[i].IP)
+		}
+		var before bytes.Buffer
+		if err := kc.Checkpoint(&before); err != nil {
+			t.Fatalf("Checkpoint before PredictBatch: %v", err)
+		}
+		got := make([]bp.Prediction, len(stream))
+		kernel.(bp.BatchPredictor).PredictBatch(stream, got)
+		var after bytes.Buffer
+		if err := kc.Checkpoint(&after); err != nil {
+			t.Fatalf("Checkpoint after PredictBatch: %v", err)
+		}
+		if !bytes.Equal(before.Bytes(), after.Bytes()) {
+			t.Errorf("PredictBatch changed serialized state (%d vs %d bytes)", before.Len(), after.Len())
+		}
+		for i := range stream {
+			if bool(got[i]) != want[i] {
+				t.Fatalf("branch %d (ip %#x): PredictBatch predicted %v, Predict returns %v", i, stream[i].IP, got[i], want[i])
+			}
+		}
+	}
+
+	// Mid-batch fault: both pipelines must surface the identical error.
+	faultErr := errors.New("conformance: injected trace fault")
+	cut := len(events)/2 + 1
+	_, kerr := sim.Run(&faultAfterReader{events: events[:cut], err: faultErr}, newP(), sim.Config{})
+	_, serr := sim.RunScalar(&faultAfterReader{events: events[:cut], err: faultErr}, newP(), sim.Config{})
+	if kerr == nil || serr == nil {
+		t.Fatalf("mid-batch fault not surfaced: Run err %v, RunScalar err %v", kerr, serr)
+	}
+	if kerr.Error() != serr.Error() {
+		t.Errorf("mid-batch fault differs between pipelines:\nRun:       %v\nRunScalar: %v", kerr, serr)
+	}
+}
+
+// CheckCheckpointBatchResume is the crash-resume law for batch kernels: a
+// checkpoint cut at a point that is NOT a batch boundary of the original
+// run must restore and resume byte-identically on both the scalar and the
+// kernel path — in every combination of which path produced the checkpoint
+// and which path resumes from it. This is exactly the situation -resume
+// creates when a sweep is interrupted mid-trace. Skips unless the predictor
+// has both a native kernel and a checkpoint format.
+func CheckCheckpointBatchResume(t *testing.T, newP func() bp.Predictor, branches uint64) {
+	t.Helper()
+	probe := newP()
+	if _, ok := probe.(bp.BatchPredictor); !ok {
+		t.Skip("predictor does not implement bp.BatchPredictor")
+	}
+	if _, ok := probe.(bp.Checkpointer); !ok {
+		t.Skip("predictor does not implement bp.Checkpointer")
+	}
+
+	var events []bp.Event
+	conformanceEvents(t, branches, func(ev bp.Event) { events = append(events, ev) })
+	stream := make([]bp.Branch, len(events))
+	for i := range events {
+		stream[i] = events[i].Branch
+	}
+	// A cut that no chunk of driveChunks ends on, so the resumed first batch
+	// is a partial one.
+	cut := len(stream)/2 + 1
+
+	ckptAt := func(drive func(p bp.Predictor, s []bp.Branch, out []bp.Prediction), p bp.Predictor, s []bp.Branch) []byte {
+		out := make([]bp.Prediction, len(s))
+		drive(p, s, out)
+		var b bytes.Buffer
+		if err := p.(bp.Checkpointer).Checkpoint(&b); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		return b.Bytes()
+	}
+	scalarDrive := func(p bp.Predictor, s []bp.Branch, out []bp.Prediction) {
+		driveChunks(bp.ScalarOnly(p), s, out)
+	}
+	kernelDrive := func(p bp.Predictor, s []bp.Branch, out []bp.Prediction) {
+		driveChunks(p, s, out)
+	}
+
+	// Reference: scalar end-to-end.
+	ref := ckptAt(scalarDrive, newP(), stream)
+
+	halfScalar := ckptAt(scalarDrive, newP(), stream[:cut])
+	halfKernel := ckptAt(kernelDrive, newP(), stream[:cut])
+	if !bytes.Equal(halfScalar, halfKernel) {
+		t.Fatalf("mid-stream checkpoints differ between scalar and kernel paths (%d vs %d bytes)", len(halfScalar), len(halfKernel))
+	}
+
+	for _, tc := range []struct {
+		name  string
+		from  []byte
+		drive func(p bp.Predictor, s []bp.Branch, out []bp.Prediction)
+	}{
+		{"scalar-ckpt/kernel-resume", halfScalar, kernelDrive},
+		{"kernel-ckpt/scalar-resume", halfKernel, scalarDrive},
+		{"kernel-ckpt/kernel-resume", halfKernel, kernelDrive},
+	} {
+		p := newP()
+		if err := p.(bp.Checkpointer).Restore(bytes.NewReader(tc.from)); err != nil {
+			t.Fatalf("%s: Restore: %v", tc.name, err)
+		}
+		if got := ckptAt(tc.drive, p, stream[cut:]); !bytes.Equal(got, ref) {
+			t.Errorf("%s: resumed final checkpoint differs from the uninterrupted scalar run (%d vs %d bytes)", tc.name, len(got), len(ref))
 		}
 	}
 }

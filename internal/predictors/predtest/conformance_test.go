@@ -49,7 +49,30 @@ func TestRegistryConformance(t *testing.T) {
 			t.Run("checkpoint-round-trip", func(t *testing.T) {
 				predtest.CheckCheckpointRoundTrip(t, newP, 4000)
 			})
+			t.Run("batch-kernel", func(t *testing.T) {
+				predtest.CheckBatchKernelConformance(t, newP, 4000)
+			})
+			t.Run("checkpoint-batch-resume", func(t *testing.T) {
+				predtest.CheckCheckpointBatchResume(t, newP, 4000)
+			})
 		})
+	}
+}
+
+// TestBatchKernelPredictors pins the set of registry predictors that ship a
+// native bp.BatchPredictor kernel: the simulator silently falls back to the
+// scalar loop when the interface is lost, so a refactor that drops
+// PredictBatch/TrainBatch would cost the batched speedup without failing
+// any behavioural test.
+func TestBatchKernelPredictors(t *testing.T) {
+	for _, name := range []string{"bimodal", "gshare", "perceptron", "tage"} {
+		p, err := registry.New(name)
+		if err != nil {
+			t.Fatalf("registry.New(%q): %v", name, err)
+		}
+		if _, ok := p.(bp.BatchPredictor); !ok {
+			t.Errorf("%s no longer implements bp.BatchPredictor", name)
+		}
 	}
 }
 

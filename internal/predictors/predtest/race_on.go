@@ -1,0 +1,8 @@
+//go:build race
+
+package predtest
+
+// raceEnabled mirrors the build's -race flag; allocation-count laws are
+// skipped under the race detector, whose instrumentation allocates. See
+// race_off.go for the disabled half.
+const raceEnabled = true

@@ -1,0 +1,45 @@
+package tage
+
+import (
+	"mbplib/internal/bp"
+)
+
+// This file is the TAGE bp.BatchPredictor kernel. TAGE already memoizes its
+// table scan between Predict and Train, so the kernel's win is structural
+// rather than arithmetic: one virtual call per batch instead of three per
+// event, no per-event copy of the scan result into the lookup cache, and
+// one cache invalidation per batch instead of one per event. The update and
+// history logic is shared verbatim with the scalar path (trainLookup,
+// trackOutcome), so the two paths cannot drift.
+
+// PredictBatch implements bp.BatchPredictor: the batched read path. Every
+// entry is resolved by a fresh table scan under the state as of entry,
+// exactly what Predict would return.
+//
+//mbpvet:impure scan writes through the predictor-owned idxBuf/tagBuf scratch slices; the scratch is not serialized state and predictions are unaffected
+func (p *Predictor) PredictBatch(branches []bp.Branch, out []bp.Prediction) {
+	for i := range branches {
+		l := p.scan(branches[i].IP)
+		out[i] = bp.Prediction(l.pred)
+	}
+}
+
+// TrainBatch implements bp.BatchPredictor: the fused predict+train kernel,
+// byte-identical in effect to the scalar Predict/Train/Track sequence. The
+// lookup cache (not serialized state) is invalidated once at the end so a
+// later Predict cannot observe a stale pre-batch scan.
+func (p *Predictor) TrainBatch(branches []bp.Branch, out []bp.Prediction) {
+	if len(branches) == 0 {
+		return
+	}
+	for i := range branches {
+		b := &branches[i]
+		if b.Opcode.IsConditional() {
+			l := p.scan(b.IP)
+			out[i] = bp.Prediction(l.pred)
+			p.trainLookup(&l, b.Taken)
+		}
+		p.trackOutcome(b.Taken)
+	}
+	p.haveCache = false
+}

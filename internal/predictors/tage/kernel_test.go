@@ -1,0 +1,15 @@
+package tage
+
+import (
+	"testing"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/predictors/predtest"
+)
+
+// TestKernelZeroAlloc pins the batch kernel's zero-allocation steady state;
+// scan's idxBuf/tagBuf scratch is preallocated per predictor, and this
+// guard keeps the batched path from regressing into per-call growth.
+func TestKernelZeroAlloc(t *testing.T) {
+	predtest.CheckKernelZeroAlloc(t, func() bp.Predictor { return New() }, 4096)
+}

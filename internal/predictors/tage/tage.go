@@ -269,9 +269,13 @@ func (p *Predictor) Predict(ip uint64) bool {
 
 // Train implements bp.Predictor.
 func (p *Predictor) Train(b bp.Branch) {
-	l := p.cached(b.IP)
-	taken := b.Taken
+	p.trainLookup(p.cached(b.IP), b.Taken)
+}
 
+// trainLookup applies the full TAGE update for one resolved branch whose
+// components were scanned into l. Shared by Train (which goes through the
+// lookup cache) and the batch kernel (which scans directly).
+func (p *Predictor) trainLookup(l *lookup, taken bool) {
 	if l.provider >= 0 {
 		e := &p.tables[l.provider].entries[l.idx[l.provider]]
 		// Track whether trusting the alternate on newly allocated entries
@@ -361,15 +365,23 @@ func (p *Predictor) allocate(l *lookup, taken bool) {
 // Track implements bp.Predictor: push the outcome through the global
 // history and every folded history.
 func (p *Predictor) Track(b bp.Branch) {
-	p.ghist.Push(b.Taken)
+	p.trackOutcome(b.Taken)
+	p.haveCache = false
+}
+
+// trackOutcome pushes one outcome through the global history and every
+// folded history. Shared by Track and the batch kernel; the kernel defers
+// the lookup-cache invalidation to the end of its batch (the cache is not
+// consulted inside it), which is why the invalidation lives in Track.
+func (p *Predictor) trackOutcome(taken bool) {
+	p.ghist.Push(taken)
 	for i := range p.tables {
 		t := &p.tables[i]
 		oldest := p.ghist.Bit(t.spec.HistLen)
-		t.idxFold.Update(b.Taken, oldest)
-		t.tagFold[0].Update(b.Taken, oldest)
-		t.tagFold[1].Update(b.Taken, oldest)
+		t.idxFold.Update(taken, oldest)
+		t.tagFold[0].Update(taken, oldest)
+		t.tagFold[1].Update(taken, oldest)
 	}
-	p.haveCache = false
 }
 
 // Metadata implements bp.MetadataProvider.

@@ -29,7 +29,10 @@ func openJournal(t *testing.T, dir string) *journal.Journal {
 // that fires once after a given number of predictions — the deterministic
 // way to close a drain channel mid-cell. Checkpoint, Restore and Metadata
 // promote from the embedded predictor, so the spy is a bp.Checkpointer and
-// its results are indistinguishable from plain gshare.
+// its results are indistinguishable from plain gshare. The embedding would
+// also promote gshare's PredictBatch/TrainBatch kernel, whose dispatch
+// bypasses the overridden Predict and starves the counter — exactly the
+// wrapper hazard bp.ScalarOnly strips, so spySpec wraps with it.
 type ckptSpy struct {
 	*gshare.Predictor
 	n       *atomic.Uint64
@@ -46,7 +49,7 @@ func (s *ckptSpy) Predict(ip uint64) bool {
 
 func spySpec(n *atomic.Uint64, after uint64, trigger func()) sim.PredictorSpec {
 	return sim.PredictorSpec{Name: "gshare-spy", New: func() bp.Predictor {
-		return &ckptSpy{Predictor: gshare.New(), n: n, after: after, trigger: trigger}
+		return bp.ScalarOnly(&ckptSpy{Predictor: gshare.New(), n: n, after: after, trigger: trigger})
 	}}
 }
 

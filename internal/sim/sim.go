@@ -214,10 +214,18 @@ type runLoop struct {
 	mispredictions uint64
 	warmup         uint64
 	limit          uint64 // absolute instruction limit, 0 = none
+
+	col *obs.Collector // dispatch counters and batch-size histogram; nil = off
+
+	// Reusable kernel scratch: the branch view and prediction buffer handed
+	// to BatchPredictor kernels. Sized to the first full batch and reused,
+	// so the kernel path allocates nothing in steady state.
+	branchBuf []bp.Branch
+	predBuf   []bp.Prediction
 }
 
 func newRunLoop(cfg Config) *runLoop {
-	l := &runLoop{stats: newBranchStats(), warmup: cfg.WarmupInstructions}
+	l := &runLoop{stats: newBranchStats(), warmup: cfg.WarmupInstructions, col: cfg.Metrics}
 	if cfg.SimInstructions > 0 {
 		l.limit = cfg.WarmupInstructions + cfg.SimInstructions
 	}
@@ -229,11 +237,21 @@ func newRunLoop(cfg Config) *runLoop {
 //
 // When the warm-up window is already behind and the limit cannot be reached
 // even if every event carries the maximum instruction gap, the whole batch
-// runs through a tight loop with the warm-up and limit checks hoisted out
-// of the per-event path; batches straddling a boundary fall back to the
-// per-event checks of the scalar reference loop.
+// runs through a fast path with the warm-up and limit checks hoisted out of
+// the per-event loop — and, for predictors with a native BatchPredictor
+// kernel, through one TrainBatch call for the entire batch. Batches
+// straddling a warm-up or limit boundary (the edge batches) fall back to
+// the per-event checks of the scalar reference loop, so boundary semantics
+// are decided by exactly one piece of code on either dispatch path.
 func (l *runLoop) process(events []bp.Event, p bp.Predictor) bool {
+	l.col.Hist(obs.HistBatchEvents).Observe(uint64(len(events)))
 	if l.instr >= l.warmup && (l.limit == 0 || l.instr+uint64(len(events))*(bp.MaxInstrGap+1) < l.limit) {
+		if kp, ok := p.(bp.BatchPredictor); ok {
+			l.col.Ctr(obs.CtrDispatchKernel).Add(1)
+			l.processKernel(events, kp)
+			return false
+		}
+		l.col.Ctr(obs.CtrDispatchScalar).Add(1)
 		for i := range events {
 			ev := &events[i]
 			l.instr += ev.InstrsSinceLastBranch + 1
@@ -253,6 +271,7 @@ func (l *runLoop) process(events []bp.Event, p bp.Predictor) bool {
 		}
 		return false
 	}
+	l.col.Ctr(obs.CtrDispatchScalar).Add(1)
 	for i := range events {
 		ev := &events[i]
 		l.instr += ev.InstrsSinceLastBranch + 1
@@ -276,6 +295,44 @@ func (l *runLoop) process(events []bp.Event, p bp.Predictor) bool {
 		}
 	}
 	return false
+}
+
+// processKernel runs one full post-warm-up batch through the predictor's
+// native kernel: the events' branches are copied into a reusable
+// contiguous view, TrainBatch simulates them in one virtual call, and a
+// second pass folds the recorded predictions into the per-branch counters.
+// Splitting simulation from accounting keeps the kernel free of ipIndex
+// probes (so predictor tables stay hot in cache) while producing exactly
+// the counters the scalar loop accumulates. Only called on batches where
+// warm-up is behind and the limit is unreachable, so neither check appears
+// here.
+func (l *runLoop) processKernel(events []bp.Event, kp bp.BatchPredictor) {
+	n := len(events)
+	if cap(l.branchBuf) < n {
+		l.branchBuf = make([]bp.Branch, n)
+		l.predBuf = make([]bp.Prediction, n)
+	}
+	branches, preds := l.branchBuf[:n], l.predBuf[:n]
+	instr := l.instr
+	for i := range events {
+		branches[i] = events[i].Branch
+		instr += events[i].InstrsSinceLastBranch + 1
+	}
+	kp.TrainBatch(branches, preds)
+	stats, cond, miss := l.stats, l.condBranches, l.mispredictions
+	for i := range branches {
+		b := &branches[i]
+		idx := stats.index.lookup(b.IP)
+		if b.Opcode.IsConditional() {
+			cond++
+			m := bool(preds[i]) != b.Taken
+			if m {
+				miss++
+			}
+			stats.recordAt(idx, m)
+		}
+	}
+	l.instr, l.condBranches, l.mispredictions = instr, cond, miss
 }
 
 // result assembles the final Result from the loop state.

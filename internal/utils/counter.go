@@ -83,6 +83,57 @@ func (c *SignedCounter) SumOrSub(taken bool) {
 // is non-negative.
 func (c *SignedCounter) Predict() bool { return c.v >= 0 }
 
+// Bounds returns the saturation bounds [Min, Max] as int32s. Batch kernels
+// hoist them out of their loops (every counter of a table shares a width)
+// and update through SumOrSubBounded.
+func (c *SignedCounter) Bounds() (min, max int32) {
+	b := c.bits()
+	return -(int32(1) << (b - 1)), int32(1)<<(b-1) - 1
+}
+
+// AddClamped adds d (±1) to the counter, saturating at the caller-hoisted
+// bounds (see Bounds). Equivalent to SumOrSub(d > 0), but the outcome is
+// data rather than control: callers that update several counters with the
+// same outcome (perceptron weight rows) compute d once and keep the inner
+// loop free of data-dependent branches.
+func (c *SignedCounter) AddClamped(d, min, max int32) {
+	v := c.v + d
+	if v > max {
+		v = max
+	}
+	if v < min {
+		v = min
+	}
+	c.v = v
+}
+
+// PredictSumOrSub reads the prediction and applies the SumOrSub update in
+// one step: it returns Predict() as of entry and then moves the counter
+// toward the outcome, saturating at the caller-hoisted bounds (see Bounds).
+// Equivalent to Predict followed by SumOrSub, but written so the update is
+// branch-free on the outcome: `taken` is data, not control, and compiles to
+// conditional moves. Branch outcomes are near-random by construction — a
+// predictable branch would not need a predictor — so a data-dependent jump
+// here is the single largest stall of a table-predictor loop. This is the
+// workhorse of the batch kernels.
+func (c *SignedCounter) PredictSumOrSub(taken bool, min, max int32) bool {
+	v := c.v
+	pred := v >= 0
+	inc := int32(-1)
+	if taken {
+		inc = 1
+	}
+	v += inc
+	if v > max {
+		v = max
+	}
+	if v < min {
+		v = min
+	}
+	c.v = v
+	return pred
+}
+
 // IsSaturated reports whether the counter sits at either extreme.
 func (c *SignedCounter) IsSaturated() bool {
 	return int(c.v) == c.Min() || int(c.v) == c.Max()

@@ -265,31 +265,32 @@ func runPurityPass(pass *driver.Pass, dirs *directives, reported map[token.Pos]b
 	}
 
 	for _, named := range predictorTypes(pass.Pkg) {
-		predict := lookupMethod(named, "Predict")
-		if predict == nil {
-			continue
-		}
-		var sum methodFact
-		if m := local[predict]; m != nil {
-			sum = methodFact{
-				Writes:    m.writes,
-				WriteNote: m.writeNote,
-				DeclPos:   m.decl.Pos(),
-				ImpureOK:  dirs.isImpureAnnotated(pass.Fset, m.decl),
+		judge := func(fn *types.Func, format string) {
+			if fn == nil {
+				return
 			}
-		} else if !pass.ImportObjectFact(predict, &sum) {
-			continue // body-less or generated method: nothing to judge
+			var sum methodFact
+			if m := local[fn]; m != nil {
+				sum = methodFact{
+					Writes:    m.writes,
+					WriteNote: m.writeNote,
+					DeclPos:   m.decl.Pos(),
+					ImpureOK:  dirs.isImpureAnnotated(pass.Fset, m.decl),
+				}
+			} else if !pass.ImportObjectFact(fn, &sum) {
+				return // body-less or generated method: nothing to judge
+			}
+			if reported[sum.DeclPos] {
+				return // embedded method already judged by another pass
+			}
+			reported[sum.DeclPos] = true
+			if !sum.Writes || sum.ImpureOK {
+				return
+			}
+			pass.Reportf(sum.DeclPos, format, named.Obj().Name(), sum.WriteNote)
 		}
-		if reported[sum.DeclPos] {
-			continue // embedded Predict already judged by another pass
-		}
-		reported[sum.DeclPos] = true
-		if !sum.Writes || sum.ImpureOK {
-			continue
-		}
-		pass.Reportf(sum.DeclPos,
-			"Predict of %s mutates predictor state (%s); §IV-A requires Predict to be repeatable — fix it or document with //mbpvet:impure",
-			named.Obj().Name(), sum.WriteNote)
+		judge(lookupMethod(named, "Predict"), msgPredictImpure)
+		judge(lookupBatchPredict(named), msgPredictBatchImpure)
 	}
 }
 

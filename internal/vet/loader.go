@@ -10,12 +10,14 @@ package vet
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -138,6 +140,48 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
+// buildConstraintsMatch evaluates a parsed file's //go:build lines against
+// the host configuration, so a pair of tag-gated files (the repo's
+// `race`/`!race` constant pairs) type-checks as one coherent package
+// instead of a redeclaration. The tag universe mirrors a default `go
+// build`: GOOS, GOARCH, the gc toolchain, `unix` for unix-like GOOS, and
+// every `go1.N` release tag; custom tags like `race` read as unset, which
+// matches mbpvet's own uninstrumented build.
+func buildConstraintsMatch(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: let the build complain, not vet
+			}
+			if !expr.Eval(hostBuildTag) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hostBuildTag reports whether one build tag is satisfied on the host.
+func hostBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "dragonfly", "solaris", "illumos", "aix":
+			return true
+		}
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
 // packageDirs walks the module tree collecting directories that hold
 // non-test Go files.
 func (l *loader) packageDirs() ([]string, error) {
@@ -220,6 +264,9 @@ func (l *loader) load(path string) (*Package, error) {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("vet: parsing %s: %w", name, err)
+		}
+		if !buildConstraintsMatch(f) {
+			continue
 		}
 		files = append(files, f)
 	}

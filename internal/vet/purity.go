@@ -25,6 +25,19 @@ import (
 // case — are declared with a justified //mbpvet:impure doc-comment
 // directive on the Predict method.
 
+// The rule also covers the optional batched read path: a PredictBatch
+// method matching the bp.BatchPredictor shape is Predict-many-times in one
+// call and inherits the exact same obligation. TrainBatch is the fused
+// update kernel and is expected to mutate, so it stays out of scope.
+
+// Shared V1 message templates. The legacy whole-program driver and the
+// analyzer port must render byte-identical findings (an equivalence test
+// compares their output verbatim), so both format through these constants.
+const (
+	msgPredictImpure      = "Predict of %s mutates predictor state (%s); §IV-A requires Predict to be repeatable — fix it or document with //mbpvet:impure"
+	msgPredictBatchImpure = "PredictBatch of %s mutates predictor state (%s); the batched read path must be as repeatable as Predict (§IV-A) — fix it or document with //mbpvet:impure"
+)
+
 // methodInfo is the analysis state of one function or method declaration.
 type methodInfo struct {
 	pkg  *Package
@@ -76,24 +89,26 @@ func checkPurity(prog *Program, dirs *directives) []Finding {
 	seen := make(map[*types.Func]bool)
 	for _, pkg := range prog.Sorted() {
 		for _, named := range predictorTypes(pkg.Types) {
-			predict := lookupMethod(named, "Predict")
-			if predict == nil || seen[predict] {
-				continue
+			judge := func(fn *types.Func, format string) {
+				if fn == nil || seen[fn] {
+					return
+				}
+				seen[fn] = true
+				info := a.methods[fn]
+				if info == nil || !info.writes {
+					return
+				}
+				if dirs.isImpureAnnotated(prog.Fset, info.decl) {
+					return
+				}
+				findings = append(findings, Finding{
+					Pos:  prog.Fset.Position(info.decl.Pos()),
+					Rule: RulePurity,
+					Msg:  fmt.Sprintf(format, named.Obj().Name(), info.writeNote),
+				})
 			}
-			seen[predict] = true
-			info := a.methods[predict]
-			if info == nil || !info.writes {
-				continue
-			}
-			if dirs.isImpureAnnotated(prog.Fset, info.decl) {
-				continue
-			}
-			findings = append(findings, Finding{
-				Pos:  prog.Fset.Position(info.decl.Pos()),
-				Rule: RulePurity,
-				Msg: fmt.Sprintf("Predict of %s mutates predictor state (%s); §IV-A requires Predict to be repeatable — fix it or document with //mbpvet:impure",
-					named.Obj().Name(), info.writeNote),
-			})
+			judge(lookupMethod(named, "Predict"), msgPredictImpure)
+			judge(lookupBatchPredict(named), msgPredictBatchImpure)
 		}
 	}
 	return findings
@@ -167,6 +182,39 @@ func lookupMethod(named *types.Named, name string) *types.Func {
 		}
 	}
 	return nil
+}
+
+// lookupBatchPredict resolves the optional batched read path of a predictor
+// type: a PredictBatch method taking exactly two slice parameters — the
+// first over the type's Train/Track branch type — and returning nothing,
+// the bp.BatchPredictor shape. Anything else named PredictBatch is an
+// unrelated method and stays out of V1's scope.
+func lookupBatchPredict(named *types.Named) *types.Func {
+	fn := lookupMethod(named, "PredictBatch")
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 0 {
+		return nil
+	}
+	branches, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	if _, ok := sig.Params().At(1).Type().Underlying().(*types.Slice); !ok {
+		return nil
+	}
+	train := lookupMethod(named, "Train")
+	if train == nil {
+		return nil
+	}
+	tsig, ok := train.Type().(*types.Signature)
+	if !ok || tsig.Params().Len() != 1 ||
+		!types.Identical(branches.Elem(), tsig.Params().At(0).Type()) {
+		return nil
+	}
+	return fn
 }
 
 // index records every function declaration of the module.
@@ -382,9 +430,10 @@ func (s *methodScan) visitCall(call *ast.CallExpr) {
 			}
 			// Unresolvable callee: interface dispatch or non-module package.
 			if types.IsInterface(sig.Recv().Type()) {
-				// The Predict contract is enforced on every implementation,
-				// so trusting sub-predictor Predict calls is sound.
-				if callee.Name() == "Predict" {
+				// The Predict/PredictBatch contracts are enforced on every
+				// implementation, so trusting sub-predictor read calls is
+				// sound.
+				if callee.Name() == "Predict" || callee.Name() == "PredictBatch" {
 					return
 				}
 				s.note(call, "call to interface method %s on receiver state", callee.Name())

@@ -90,3 +90,30 @@ func (g *Grower) Predict(ip uint64) bool { // want purity
 
 func (g *Grower) Train(b bp.Branch) {}
 func (g *Grower) Track(b bp.Branch) {}
+
+// Batcher ships the optional batched read path but shifts its history
+// register inside PredictBatch, which V1 must flag exactly like a mutating
+// Predict — the batched read is Predict-many-times in one call.
+type Batcher struct {
+	table []int8
+	ghist uint64
+}
+
+// NewBatcher returns the batched-read violator.
+func NewBatcher() *Batcher { return &Batcher{table: make([]int8, 1024)} }
+
+func (p *Batcher) Predict(ip uint64) bool {
+	return p.table[(ip^p.ghist)&1023] >= 0
+}
+
+func (p *Batcher) PredictBatch(branches []bp.Branch, out []bool) { // want purity
+	for i := range branches {
+		out[i] = p.Predict(branches[i].IP)
+		p.ghist <<= 1
+	}
+}
+
+func (p *Batcher) TrainBatch(branches []bp.Branch, out []bool) {}
+
+func (p *Batcher) Train(b bp.Branch) {}
+func (p *Batcher) Track(b bp.Branch) {}

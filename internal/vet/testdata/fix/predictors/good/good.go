@@ -48,3 +48,42 @@ func (p *Predictor) Train(b bp.Branch) {
 }
 
 func (p *Predictor) Track(b bp.Branch) {}
+
+// negative purity
+// Kernel ships the optional batched read and update paths: PredictBatch
+// only reads receiver state, while TrainBatch mutates it — which is the
+// fused kernel's contract, not a V1 violation.
+type Kernel struct {
+	table []counter
+}
+
+// NewKernel returns a conforming batch-kernel predictor.
+func NewKernel() *Kernel { return &Kernel{table: make([]counter, 1<<6)} }
+
+func (k *Kernel) Predict(ip uint64) bool {
+	return k.table[ip&63].get() >= 0
+}
+
+func (k *Kernel) PredictBatch(branches []bp.Branch, out []bool) {
+	for i := range branches {
+		out[i] = k.Predict(branches[i].IP)
+	}
+}
+
+func (k *Kernel) TrainBatch(branches []bp.Branch, out []bool) {
+	for i := range branches {
+		out[i] = k.Predict(branches[i].IP)
+		k.Train(branches[i])
+	}
+}
+
+func (k *Kernel) Train(b bp.Branch) {
+	e := &k.table[b.IP&63]
+	if b.Taken {
+		e.v++
+	} else {
+		e.v--
+	}
+}
+
+func (k *Kernel) Track(b bp.Branch) {}
