@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 20s
 
-.PHONY: check fmt vet build test race race-kernel mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead journal-overhead golden
+.PHONY: check fmt vet build test race race-kernel race-daemon mbpvet vet-fix vet-sarif fault-sweep fuzz-smoke daemon-smoke bench bench-smoke bench-snapshot bench-check metrics-overhead journal-overhead golden
 
-check: fmt vet build test race race-kernel mbpvet fault-sweep fuzz-smoke bench-smoke
+check: fmt vet build test race race-kernel race-daemon mbpvet fault-sweep fuzz-smoke daemon-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -34,6 +34,20 @@ race:
 # results with the kernels stripped.
 race-kernel:
 	GOMAXPROCS=2 $(GO) test -race -count=1 -run 'TestKernelRunMatchesScalar|TestSweepParallelKernelScalarEquivalence' ./internal/sim/
+
+# Remote-vs-local sweep equivalence under the race detector on a
+# constrained scheduler: the daemon path (submit over the HTTP API, wait,
+# render) must print byte-identical output to the local mbpsweep pipeline
+# while the runner, SSE watchers and drain merger interleave on two threads.
+race-daemon:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/daemon/ ./cmd/mbpctl/ ./cmd/mbpd/
+
+# End-to-end service smoke over real processes and a real TCP port: build
+# mbpd + mbpctl, submit a generated-trace sweep, diff the result JSON
+# against a local mbpsweep run, prove the resubmit cache hit, then drain
+# with SIGTERM. See scripts/daemon_smoke.sh.
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
 
 mbpvet:
 	$(GO) run ./cmd/mbpvet ./...

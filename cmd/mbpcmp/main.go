@@ -79,7 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mbpcmp: -trace is required (see -help)")
 		return exitUsage
 	}
-	if err := cliflags.ValidateWorkers(*jobs); err != nil {
+	// The shared validation table, same order and messages as every CLI.
+	if err := cliflags.Validate(
+		cliflags.Workers(*jobs),
+	); err != nil {
 		fmt.Fprintln(stderr, "mbpcmp:", err)
 		return exitUsage
 	}

@@ -1,0 +1,398 @@
+// Command mbpctl is the remote client of the mbpd sweep daemon: it submits
+// sweep specs over the JSON HTTP API, waits on them, and renders their
+// results with the very bytes a local mbpsweep run would print — `mbpctl
+// submit` + `mbpctl wait -json` and `mbpsweep -json` on the same spec are
+// byte-identical, which is what the daemon-smoke CI gate diffs.
+//
+//	mbpctl -addr 127.0.0.1:7323 submit -traces 'traces/*.sbbt' -predictor 'gshare:t=14,h=%d' -from 4 -to 8
+//	mbpctl -addr 127.0.0.1:7323 wait -json 1b2e99a00df1
+//
+// Commands:
+//
+//	submit   submit a sweep; prints the job ID (already-finished work is a
+//	         cache hit and prints the same ID without re-simulating)
+//	status   print a job's state (with -json, the raw API body)
+//	wait     block until the job finishes, print its result, and exit with
+//	         the job's own exit code (mbpsweep's codes: 0/2/3/4)
+//	logs     stream the job's server-sent events (state transitions and
+//	         progress snapshots) to stdout until the job finishes
+//	cancel   ask the daemon to drain the job (exit code 4, resumable)
+//	health   print the daemon's health document
+//
+// The daemon address comes from -addr or the MBPD_ADDR environment
+// variable; mbpd publishes its bound address in <data-dir>/mbpd.addr.
+// HTTP-level failures map onto the sweep exit-code taxonomy via
+// internal/api: 4xx → 1 (usage), 5xx → 3 (total).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"mbplib/internal/api"
+	"mbplib/internal/cliflags"
+	"mbplib/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: mbpctl [-addr host:port] <submit|status|wait|logs|cancel|health> [args]")
+	return sweep.ExitUsage
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbpctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", os.Getenv("MBPD_ADDR"), "mbpd address (host:port or URL; default $MBPD_ADDR)")
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	if fs.NArg() == 0 {
+		return usage(stderr)
+	}
+	if *addr == "" {
+		fmt.Fprintln(stderr, "mbpctl: -addr is required (or set MBPD_ADDR)")
+		return sweep.ExitUsage
+	}
+	c := &client{base: normalizeAddr(*addr), stdout: stdout, stderr: stderr}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest)
+	case "status":
+		return c.status(rest)
+	case "wait":
+		return c.wait(rest)
+	case "logs":
+		return c.logs(rest)
+	case "cancel":
+		return c.cancel(rest)
+	case "health":
+		return c.health(rest)
+	}
+	fmt.Fprintf(stderr, "mbpctl: unknown command %q\n", cmd)
+	return usage(stderr)
+}
+
+// normalizeAddr turns a bare host:port into an http:// base URL.
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+type client struct {
+	base   string
+	stdout io.Writer
+	stderr io.Writer
+}
+
+func (c *client) url(path string) string { return c.base + api.PathPrefix + path }
+
+// fail prints the error envelope of a non-2xx response (falling back to the
+// raw body) and returns the mapped exit code.
+func (c *client) fail(resp *http.Response, body []byte) int {
+	var env api.Error
+	if err := json.Unmarshal(body, &env); err == nil && env.Err.Message != "" {
+		fmt.Fprintf(c.stderr, "mbpctl: %s\n", env.Err.Message)
+	} else {
+		fmt.Fprintf(c.stderr, "mbpctl: %s: %s\n", resp.Status, bytes.TrimSpace(body))
+	}
+	return api.ExitForStatus(resp.StatusCode)
+}
+
+func (c *client) netErr(err error) int {
+	fmt.Fprintf(c.stderr, "mbpctl: %v\n", err)
+	return sweep.ExitTotal
+}
+
+// do runs one request and returns the full body.
+func (c *client) do(method, url string, body io.Reader) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+func (c *client) submit(args []string) int {
+	fs := flag.NewFlagSet("mbpctl submit", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	var (
+		globs    = fs.String("traces", "", "glob of SBBT trace files (on the daemon's host)")
+		predSpec = fs.String("predictor", "gshare:t=18,h=%d", "predictor spec with a %d placeholder")
+		from     = fs.Int("from", 6, "first swept value")
+		to       = fs.Int("to", 30, "last swept value")
+		step     = fs.Int("step", 1, "sweep step")
+		policy   = fs.String("policy", "failfast", "per-trace failure policy: failfast or skip")
+		retries  = fs.Int("retries", 0, "retry transient trace-open failures this many times")
+		jsonOut  = fs.Bool("json", false, "print the raw submit response")
+	)
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	if *globs == "" {
+		fmt.Fprintln(c.stderr, "mbpctl: -traces is required (see -help)")
+		return sweep.ExitUsage
+	}
+	// The same validation table as the local CLIs, so obvious spec errors
+	// never leave the client machine.
+	if err := cliflags.Validate(
+		cliflags.PolicyName(*policy),
+		cliflags.Retries(*retries),
+	); err != nil {
+		fmt.Fprintln(c.stderr, "mbpctl:", err)
+		return sweep.ExitUsage
+	}
+	reqBody, err := json.Marshal(api.SubmitRequest{
+		APIVersion: api.Version,
+		Spec: api.SweepSpec{
+			Traces: *globs, Predictor: *predSpec,
+			From: *from, To: *to, Step: *step,
+			Policy: *policy, Retries: *retries,
+		},
+	})
+	if err != nil {
+		return c.netErr(err)
+	}
+	resp, body, err := c.do(http.MethodPost, c.url("/jobs"), bytes.NewReader(reqBody))
+	if err != nil {
+		return c.netErr(err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return c.fail(resp, body)
+	}
+	var sub api.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		return c.netErr(fmt.Errorf("decoding submit response: %w", err))
+	}
+	if *jsonOut {
+		c.stdout.Write(body)
+	} else {
+		// The ID alone on stdout, so scripts can capture it; detail on stderr.
+		fmt.Fprintln(c.stdout, sub.ID)
+	}
+	note := sub.State
+	if sub.Cached {
+		note += ", cached"
+	}
+	fmt.Fprintf(c.stderr, "mbpctl: job %s (%s)\n", sub.ID, note)
+	return sweep.ExitOK
+}
+
+// getJob fetches one job; exit < 0 means "keep going" (the job document is
+// valid), >= 0 is the code to return after a failure.
+func (c *client) getJob(id string) (api.Job, []byte, int) {
+	resp, body, err := c.do(http.MethodGet, c.url("/jobs/"+id), nil)
+	if err != nil {
+		return api.Job{}, nil, c.netErr(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return api.Job{}, nil, c.fail(resp, body)
+	}
+	var job api.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		return api.Job{}, nil, c.netErr(fmt.Errorf("decoding job: %w", err))
+	}
+	return job, body, -1
+}
+
+func (c *client) status(args []string) int {
+	fs := flag.NewFlagSet("mbpctl status", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	jsonOut := fs.Bool("json", false, "print the raw API body")
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(c.stderr, "usage: mbpctl status [-json] JOB")
+		return sweep.ExitUsage
+	}
+	job, body, exit := c.getJob(fs.Arg(0))
+	if exit >= 0 {
+		return exit
+	}
+	if *jsonOut {
+		c.stdout.Write(body)
+		return sweep.ExitOK
+	}
+	line := fmt.Sprintf("job %s: %s", job.ID, job.State)
+	if api.TerminalState(job.State) {
+		line += fmt.Sprintf(" (exit %d)", job.ExitCode)
+	}
+	if job.FailureClass != "" {
+		line += " class=" + job.FailureClass
+	}
+	if job.Error != "" {
+		line += ": " + job.Error
+	}
+	fmt.Fprintln(c.stdout, line)
+	return sweep.ExitOK
+}
+
+func (c *client) wait(args []string) int {
+	fs := flag.NewFlagSet("mbpctl wait", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	jsonOut := fs.Bool("json", false, "print the result as JSON (byte-identical to mbpsweep -json)")
+	poll := fs.Duration("poll", 100*time.Millisecond, "status poll interval")
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(c.stderr, "usage: mbpctl wait [-json] JOB")
+		return sweep.ExitUsage
+	}
+	id := fs.Arg(0)
+	for {
+		job, _, exit := c.getJob(id)
+		if exit >= 0 {
+			return exit
+		}
+		if api.TerminalState(job.State) {
+			return c.renderResult(job, *jsonOut)
+		}
+		time.Sleep(*poll)
+	}
+}
+
+// renderResult prints a finished job the way mbpsweep would have, fetching
+// the verbatim result bytes from the result endpoint (the Job envelope
+// re-indents the embedded JSON; the endpoint does not), then returns the
+// job's own exit code.
+func (c *client) renderResult(job api.Job, jsonOut bool) int {
+	if job.Result != nil {
+		format := "json"
+		if !jsonOut {
+			format = "text"
+		}
+		resp, body, err := c.do(http.MethodGet, c.url("/jobs/"+job.ID+"/result?format="+format), nil)
+		if err != nil {
+			return c.netErr(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return c.fail(resp, body)
+		}
+		c.stdout.Write(body)
+		if job.State == api.StateCancelled {
+			fmt.Fprintf(c.stderr, "mbpctl: job %s was cancelled; resubmit to resume\n", job.ID)
+		}
+		return job.Result.ExitCode
+	}
+	// No rendered result: the sweep failed (or was cancelled) before
+	// producing one.
+	msg := job.Error
+	if msg == "" {
+		msg = job.State
+	}
+	if job.FailureClass != "" {
+		fmt.Fprintf(c.stderr, "mbpctl: job %s %s (%s): %s\n", job.ID, job.State, job.FailureClass, msg)
+	} else {
+		fmt.Fprintf(c.stderr, "mbpctl: job %s %s: %s\n", job.ID, job.State, msg)
+	}
+	if job.ExitCode != 0 {
+		return job.ExitCode
+	}
+	return sweep.ExitTotal
+}
+
+func (c *client) logs(args []string) int {
+	fs := flag.NewFlagSet("mbpctl logs", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(c.stderr, "usage: mbpctl logs JOB")
+		return sweep.ExitUsage
+	}
+	resp, err := http.Get(c.url("/jobs/" + fs.Arg(0) + "/events"))
+	if err != nil {
+		return c.netErr(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return c.fail(resp, body)
+	}
+	// Relay the SSE stream as-is; it ends when the job reaches a terminal
+	// state.
+	if _, err := io.Copy(c.stdout, resp.Body); err != nil {
+		return c.netErr(err)
+	}
+	return sweep.ExitOK
+}
+
+func (c *client) cancel(args []string) int {
+	fs := flag.NewFlagSet("mbpctl cancel", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(c.stderr, "usage: mbpctl cancel JOB")
+		return sweep.ExitUsage
+	}
+	resp, body, err := c.do(http.MethodDelete, c.url("/jobs/"+fs.Arg(0)), nil)
+	if err != nil {
+		return c.netErr(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return c.fail(resp, body)
+	}
+	var job api.Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		return c.netErr(fmt.Errorf("decoding job: %w", err))
+	}
+	fmt.Fprintf(c.stdout, "job %s: cancel requested (%s)\n", job.ID, job.State)
+	return sweep.ExitOK
+}
+
+func (c *client) health(args []string) int {
+	fs := flag.NewFlagSet("mbpctl health", flag.ContinueOnError)
+	fs.SetOutput(c.stderr)
+	jsonOut := fs.Bool("json", false, "print the raw API body")
+	if err := fs.Parse(args); err != nil {
+		return sweep.ExitUsage
+	}
+	resp, body, err := c.do(http.MethodGet, c.url("/healthz"), nil)
+	if err != nil {
+		return c.netErr(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return c.fail(resp, body)
+	}
+	if *jsonOut {
+		c.stdout.Write(body)
+		return sweep.ExitOK
+	}
+	var h api.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		return c.netErr(fmt.Errorf("decoding health: %w", err))
+	}
+	fmt.Fprintf(c.stdout, "%s: %d queued, %d running, %d done, %d failed, %d cancelled\n",
+		h.Status, h.Queued, h.Running, h.Done, h.Failed, h.Cancelled)
+	return sweep.ExitOK
+}

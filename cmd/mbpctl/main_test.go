@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mbplib/internal/bench"
+	"mbplib/internal/daemon"
+	"mbplib/internal/sweep"
+)
+
+// startDaemon runs an in-process daemon behind an httptest server, which is
+// exactly what mbpd serves over TCP.
+func startDaemon(t *testing.T, dataDir string) *httptest.Server {
+	t.Helper()
+	d, err := daemon.New(daemon.Config{DataDir: dataDir, Jobs: 4, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		if err := d.Close(); err != nil {
+			t.Errorf("closing daemon: %v", err)
+		}
+	})
+	return srv
+}
+
+func mbpctl(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRemoteMatchesLocal is the acceptance test of the daemon path: submit +
+// wait through the HTTP API must print byte-identical output (JSON and text)
+// to the same spec run through the local mbpsweep pipeline.
+func TestRemoteMatchesLocal(t *testing.T) {
+	traceDir := t.TempDir()
+	if _, err := bench.PrepareSuite(traceDir, "cbp5-train", 2000, bench.Formats{SBBT: true}); err != nil {
+		t.Fatal(err)
+	}
+	glob := filepath.Join(traceDir, "*.sbbt*")
+	srv := startDaemon(t, t.TempDir())
+	specArgs := []string{
+		"-traces", glob, "-predictor", "gshare:t=12,h=%d",
+		"-from", "4", "-to", "6", "-policy", "skip",
+	}
+
+	code, out, errb := mbpctl(t, append([]string{"-addr", srv.URL, "submit"}, specArgs...)...)
+	if code != 0 {
+		t.Fatalf("submit exited %d: %s", code, errb)
+	}
+	id := strings.TrimSpace(out)
+	if len(id) != daemon.IDLength {
+		t.Fatalf("submit printed %q, want a %d-char job ID", out, daemon.IDLength)
+	}
+
+	// The local run: the exact pipeline behind mbpsweep (whose own tests pin
+	// that equivalence).
+	spec := sweep.Spec{
+		Traces: glob, Predictor: "gshare:t=12,h=%d",
+		From: 4, To: 6, Policy: "skip",
+	}
+	resolved, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := resolved.Run(sweep.RunOptions{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localJSON, localText bytes.Buffer
+	localCode := sweep.Render(&localJSON, io.Discard, resolved.Specs, sets, len(resolved.Sources), true)
+	sweep.Render(&localText, io.Discard, resolved.Specs, sets, len(resolved.Sources), false)
+
+	code, out, errb = mbpctl(t, "-addr", srv.URL, "wait", "-json", id)
+	if code != localCode {
+		t.Fatalf("wait -json exited %d, want %d: %s", code, localCode, errb)
+	}
+	if out != localJSON.String() {
+		t.Errorf("remote JSON differs from local run:\nlocal:  %s\nremote: %s", localJSON.String(), out)
+	}
+
+	code, out, _ = mbpctl(t, "-addr", srv.URL, "wait", id)
+	if code != localCode {
+		t.Fatalf("wait exited %d, want %d", code, localCode)
+	}
+	if out != localText.String() {
+		t.Errorf("remote text differs from local run:\nlocal:  %s\nremote: %s", localText.String(), out)
+	}
+
+	// Resubmitting the identical spec is a cache hit on the same job.
+	code, out, errb = mbpctl(t, append([]string{"-addr", srv.URL, "submit"}, specArgs...)...)
+	if code != 0 {
+		t.Fatalf("resubmit exited %d: %s", code, errb)
+	}
+	if strings.TrimSpace(out) != id {
+		t.Errorf("resubmit printed %q, want the original ID %s", out, id)
+	}
+	if !strings.Contains(errb, "cached") {
+		t.Errorf("resubmit note %q does not mention the cache hit", errb)
+	}
+
+	// status reports the terminal state and exit code.
+	code, out, _ = mbpctl(t, "-addr", srv.URL, "status", id)
+	if code != 0 || !strings.Contains(out, "done") {
+		t.Errorf("status = %d %q, want done", code, out)
+	}
+
+	// logs relays the SSE stream, which ends with the done frame.
+	code, out, _ = mbpctl(t, "-addr", srv.URL, "logs", id)
+	if code != 0 || !strings.Contains(out, "event: done") {
+		t.Errorf("logs = %d, missing done frame:\n%s", code, out)
+	}
+
+	// Cancelling a finished job is a conflict: usage-class exit.
+	code, _, errb = mbpctl(t, "-addr", srv.URL, "cancel", id)
+	if code != sweep.ExitUsage {
+		t.Errorf("cancel of done job exited %d (%s), want %d", code, errb, sweep.ExitUsage)
+	}
+
+	// health renders the counters.
+	code, out, _ = mbpctl(t, "-addr", srv.URL, "health")
+	if code != 0 || !strings.HasPrefix(out, "ok:") || !strings.Contains(out, "1 done") {
+		t.Errorf("health = %d %q", code, out)
+	}
+}
+
+// TestSubmitErrors pins spec rejection at both ends: a glob matching
+// nothing is refused synchronously by the daemon with the resolver's
+// message, and a bad -policy never leaves the client.
+func TestSubmitErrors(t *testing.T) {
+	srv := startDaemon(t, t.TempDir())
+	code, _, errb := mbpctl(t, "-addr", srv.URL, "submit",
+		"-traces", filepath.Join(t.TempDir(), "*.sbbt"),
+		"-predictor", "gshare:t=12,h=%d", "-from", "4", "-to", "6")
+	if code != sweep.ExitUsage {
+		t.Fatalf("submit with no matching traces exited %d, want %d", code, sweep.ExitUsage)
+	}
+	if !strings.Contains(errb, "no traces match") {
+		t.Errorf("stderr %q, want the resolver's message", errb)
+	}
+
+	code, _, errb = mbpctl(t, "-addr", srv.URL, "submit",
+		"-traces", "x", "-predictor", "gshare:t=12,h=%d",
+		"-from", "4", "-to", "6", "-policy", "bogus")
+	if code != sweep.ExitUsage || !strings.Contains(errb, "unknown -policy") {
+		t.Errorf("bad policy = %d %q, want client-side validation", code, errb)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	t.Setenv("MBPD_ADDR", "")
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no-command", nil, "usage:"},
+		{"no-addr", []string{"status", "x"}, "-addr is required"},
+		{"unknown-command", []string{"-addr", "127.0.0.1:1", "frobnicate"}, "unknown command"},
+		{"wait-no-job", []string{"-addr", "127.0.0.1:1", "wait"}, "usage: mbpctl wait"},
+		{"submit-no-traces", []string{"-addr", "127.0.0.1:1", "submit"}, "-traces is required"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, errb := mbpctl(t, tc.args...)
+			if code != sweep.ExitUsage {
+				t.Errorf("exit = %d, want %d", code, sweep.ExitUsage)
+			}
+			if !strings.Contains(errb, tc.want) {
+				t.Errorf("stderr %q, want %q", errb, tc.want)
+			}
+		})
+	}
+}
+
+// TestNetworkErrorIsTotal pins the exit taxonomy for a dead daemon.
+func TestNetworkErrorIsTotal(t *testing.T) {
+	code, _, errb := mbpctl(t, "-addr", "127.0.0.1:1", "status", "abcdefabcdef")
+	if code != sweep.ExitTotal {
+		t.Fatalf("exit = %d (%s), want %d", code, errb, sweep.ExitTotal)
+	}
+}
+
+// TestPollInterval keeps wait responsive: a done job returns on the first
+// poll regardless of the interval.
+func TestPollInterval(t *testing.T) {
+	traceDir := t.TempDir()
+	if _, err := bench.PrepareSuite(traceDir, "cbp5-train", 2000, bench.Formats{SBBT: true}); err != nil {
+		t.Fatal(err)
+	}
+	glob := filepath.Join(traceDir, "*.sbbt*")
+	srv := startDaemon(t, t.TempDir())
+	code, out, errb := mbpctl(t, "-addr", srv.URL, "submit",
+		"-traces", glob, "-predictor", "gshare:t=12,h=%d", "-from", "4", "-to", "4")
+	if code != 0 {
+		t.Fatalf("submit exited %d: %s", code, errb)
+	}
+	id := strings.TrimSpace(out)
+	// Generous interval; the job is tiny, so wait still returns quickly
+	// once the first poll sees the terminal state.
+	start := time.Now()
+	code, _, errb = mbpctl(t, "-addr", srv.URL, "wait", "-poll", "50ms", id)
+	if code != 0 {
+		t.Fatalf("wait exited %d: %s", code, errb)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("wait took %v", elapsed)
+	}
+}

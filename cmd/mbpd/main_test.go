@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mbplib/internal/api"
+	"mbplib/internal/bench"
+	"mbplib/internal/sweep"
+)
+
+// helperEnv re-execs this test binary as a real mbpd process, so the drain
+// test has a genuine daemon to signal.
+const helperEnv = "MBPD_HELPER_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(helperEnv); args != "" {
+		os.Exit(run(strings.Split(args, "\x1f"), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// TestFlagValidation walks the shared validation table: every bad flag is a
+// usage error before the daemon touches the data directory or the network.
+func TestFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no-data-dir", []string{"-listen", "127.0.0.1:0"}, "-data-dir is required"},
+		{"no-listen", []string{"-data-dir", dir, "-listen", ""}, "-listen is required"},
+		{"bad-listen", []string{"-data-dir", dir, "-listen", "not an address"}, "host:port"},
+		{"bad-port", []string{"-data-dir", dir, "-listen", "127.0.0.1:http"}, "non-numeric port"},
+		{"bad-jobs", []string{"-data-dir", dir, "-j", "0"}, "-j must be >= 1"},
+		{"bad-cache", []string{"-data-dir", dir, "-cache-bytes", "-5"}, "-cache-bytes must be >= 0"},
+		{"bad-queue", []string{"-data-dir", dir, "-queue", "0"}, "-queue must be >= 1"},
+		{"bad-cell-timeout", []string{"-data-dir", dir, "-cell-timeout", "-1s"}, "-cell-timeout must be >= 0"},
+		{"bad-snapshot", []string{"-data-dir", dir, "-snapshot-every", "0s"}, "-snapshot-every must be > 0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != sweep.ExitUsage {
+				t.Errorf("exit = %d, want %d", code, sweep.ExitUsage)
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr %q, want %q", errb.String(), tc.want)
+			}
+			// A usage error must leave no side effects behind.
+			if _, err := os.Stat(filepath.Join(dir, "mbpd.addr")); err == nil {
+				t.Error("usage error left an address file behind")
+			}
+		})
+	}
+}
+
+// startChild launches a real mbpd over dataDir and returns its bound
+// address once the address file appears.
+func startChild(t *testing.T, dataDir string, extra ...string) (*exec.Cmd, string, *bytes.Buffer, chan error) {
+	t.Helper()
+	args := append([]string{"-data-dir", dataDir, "-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), helperEnv+"="+strings.Join(args, "\x1f"))
+	var childErr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &childErr, &childErr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	addrFile := filepath.Join(dataDir, "mbpd.addr")
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			t.Fatalf("mbpd exited before binding: %v\n%s", err, childErr.String())
+		default:
+		}
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return cmd, strings.TrimSpace(string(data)), &childErr, done
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("mbpd never published its address\n%s", childErr.String())
+	return nil, "", nil, nil
+}
+
+// TestSIGTERMCleanDrain is the service lifecycle test: a daemon with no
+// admitted work answers healthz, then drains to a clean exit 0 on SIGTERM
+// and removes its address file.
+func TestSIGTERMCleanDrain(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-driven test")
+	}
+	dataDir := t.TempDir()
+	cmd, addr, childErr, done := startChild(t, dataDir)
+
+	resp, err := http.Get("http://" + addr + "/v1/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v\n%s", err, childErr.String())
+	}
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != api.HealthOK {
+		t.Fatalf("health = %+v, want ok", h)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("mbpd did not exit after SIGTERM\n%s", childErr.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != sweep.ExitOK {
+		t.Fatalf("exit = %d, want %d\n%s", code, sweep.ExitOK, childErr.String())
+	}
+	if !strings.Contains(childErr.String(), "draining") {
+		t.Errorf("stderr does not announce the drain:\n%s", childErr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "mbpd.addr")); !os.IsNotExist(err) {
+		t.Errorf("address file survived shutdown (err=%v)", err)
+	}
+}
+
+// TestSIGTERMInterruptedWorkExitsDrained submits a deliberately long sweep,
+// signals mid-run, and requires the drained exit code (4) plus a journal on
+// disk — the daemon-side mirror of mbpsweep's drain contract.
+func TestSIGTERMInterruptedWorkExitsDrained(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("signal-driven test")
+	}
+	traceDir := t.TempDir()
+	if _, err := bench.PrepareSuite(traceDir, "cbp5-train", 60_000, bench.Formats{SBBT: true}); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := t.TempDir()
+	cmd, addr, childErr, done := startChild(t, dataDir, "-checkpoint-every", "4096")
+
+	body, err := json.Marshal(api.SubmitRequest{
+		APIVersion: api.Version,
+		Spec: api.SweepSpec{
+			Traces:    filepath.Join(traceDir, "*.sbbt*"),
+			Predictor: "gshare:t=14,h=%d",
+			From:      4, To: 16, Policy: "skip",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub api.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	// Let the job reach its journal before signalling, so the drain has
+	// in-flight work to checkpoint.
+	seg := filepath.Join(dataDir, "jobs", sub.ID, "journal", "journal-000000.mbpj")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if fi, err := os.Stat(seg); err == nil && fi.Size() > 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal %s never saw a committed cell\n%s", seg, childErr.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("mbpd did not exit after SIGTERM\n%s", childErr.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != sweep.ExitDrained {
+		t.Fatalf("exit = %d, want %d (interrupted work)\n%s", code, sweep.ExitDrained, childErr.String())
+	}
+
+	// A fresh daemon over the same data dir still knows the job.
+	cmd2, addr2, childErr2, done2 := startChild(t, dataDir)
+	resp, err = http.Get(fmt.Sprintf("http://%s/v1/jobs/%s", addr2, sub.ID))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, childErr2.String())
+	}
+	var job api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if job.ID != sub.ID {
+		t.Fatalf("restarted daemon lost the job: %+v", job)
+	}
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done2:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("second mbpd did not exit\n%s", childErr2.String())
+	}
+}

@@ -92,25 +92,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mbprun: -traces is required (see -help)")
 		return exitUsage
 	}
-	if err := cliflags.ValidateWorkers(*jobs); err != nil {
-		fmt.Fprintln(stderr, "mbprun:", err)
-		return exitUsage
-	}
-	if err := cliflags.ValidateCacheBytes(*cacheBytes); err != nil {
-		fmt.Fprintln(stderr, "mbprun:", err)
-		return exitUsage
-	}
-	if err := cliflags.ValidateCellTimeout(*cellTime); err != nil {
-		fmt.Fprintln(stderr, "mbprun:", err)
-		return exitUsage
-	}
-	ckptSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "checkpoint-every" {
-			ckptSet = true
-		}
-	})
-	if err := cliflags.ValidateResumeOptions(*resume, ckptSet); err != nil {
+	// The whole validation table runs before any side effect (profiles,
+	// journal directories), so a usage error never leaves files behind.
+	// mbprun used to reject bad -retries inside its policy parser, after
+	// profiles had started; the shared table closed that drift.
+	if err := cliflags.Validate(
+		cliflags.Workers(*jobs),
+		cliflags.CacheBytes(*cacheBytes),
+		cliflags.CellTimeout(*cellTime),
+		cliflags.ResumeOptions(*resume, cliflags.FlagWasSet(fs, "checkpoint-every")),
+		cliflags.PolicyName(*policyName),
+		cliflags.Retries(*retries),
+	); err != nil {
 		fmt.Fprintln(stderr, "mbprun:", err)
 		return exitUsage
 	}
@@ -124,11 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mbprun:", err)
 		}
 	}()
-	policy, err := parsePolicy(*policyName, *retries, *backoff)
-	if err != nil {
-		fmt.Fprintln(stderr, "mbprun:", err)
-		return exitUsage
-	}
+	policy := parsePolicy(*policyName, *retries, *backoff)
 
 	// Validate the spec once before fanning out.
 	if _, err := registry.New(*predSpec); err != nil {
@@ -273,21 +262,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 }
 
-// parsePolicy builds the sim failure policy from the CLI flags.
-func parsePolicy(name string, retries int, backoff time.Duration) (sim.Policy, error) {
-	p := sim.Policy{Retries: retries, Backoff: backoff}
-	switch name {
-	case "failfast":
-		p.Mode = sim.FailFast
-	case "skip":
+// parsePolicy builds the sim failure policy from already-validated flags
+// (cliflags.PolicyName and cliflags.Retries ran in the validation table).
+func parsePolicy(name string, retries int, backoff time.Duration) sim.Policy {
+	p := sim.Policy{Mode: sim.FailFast, Retries: retries, Backoff: backoff}
+	if name == "skip" {
 		p.Mode = sim.SkipFailed
-	default:
-		return sim.Policy{}, fmt.Errorf("unknown -policy %q (want failfast or skip)", name)
 	}
-	if retries < 0 {
-		return sim.Policy{}, fmt.Errorf("-retries must be non-negative, got %d", retries)
-	}
-	return p, nil
+	return p
 }
 
 // printFailures renders the per-trace failure table of a degraded run.

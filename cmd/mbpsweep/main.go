@@ -29,42 +29,45 @@
 // (exit code 4); a second signal aborts immediately. -cell-timeout bounds
 // each cell's wall time; a blown deadline is a final, journalled failure.
 //
+// The same sweep can run remotely: mbpd executes submitted specs through
+// the identical internal/sweep pipeline, and `mbpctl submit`/`mbpctl wait`
+// return byte-identical result JSON to a local mbpsweep run.
+//
 // Exit codes: 0 success, 1 usage error, 2 partial failure (some traces
 // failed but every value still scored), 3 total failure, 4 drained (the
 // run was interrupted; re-run with -resume to finish the rest).
 package main
 
 import (
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
-	"sort"
-	"strings"
 	"time"
 
-	"mbplib/internal/bp"
 	"mbplib/internal/cliflags"
-	"mbplib/internal/compress"
 	"mbplib/internal/faults"
-	"mbplib/internal/predictors/registry"
 	"mbplib/internal/prof"
-	"mbplib/internal/sbbt"
 	"mbplib/internal/sim"
 	"mbplib/internal/sim/journal"
+	"mbplib/internal/sweep"
 )
 
-// Exit codes.
+// Exit codes (shared with the daemon path via internal/sweep).
 const (
-	exitOK      = 0
-	exitUsage   = 1
-	exitPartial = 2
-	exitTotal   = 3
-	exitDrained = 4
+	exitOK      = sweep.ExitOK
+	exitUsage   = sweep.ExitUsage
+	exitPartial = sweep.ExitPartial
+	exitTotal   = sweep.ExitTotal
+	exitDrained = sweep.ExitDrained
+)
+
+// Row types are shared with the daemon renderer.
+type (
+	valueRow   = sweep.ValueRow
+	failureRow = sweep.FailureRow
 )
 
 func main() {
@@ -102,6 +105,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mbpsweep: -traces is required (see -help)")
 		return exitUsage
 	}
+	// The whole validation table runs before any side effect (profiles,
+	// journal directories), so a usage error never leaves files behind.
+	if err := cliflags.Validate(
+		cliflags.Workers(*jobs),
+		cliflags.CacheBytes(*cacheBytes),
+		cliflags.CellTimeout(*cellTime),
+		cliflags.ResumeOptions(*resume, cliflags.FlagWasSet(fs, "checkpoint-every")),
+		cliflags.PolicyName(*policyName),
+		cliflags.Retries(*retries),
+	); err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
+	}
+	spec := sweep.Spec{
+		Traces: *globs, Predictor: *predSpec,
+		From: *from, To: *to, Step: *step,
+		Policy: *policyName, Retries: *retries,
+	}.Normalized()
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
+		return exitUsage
+	}
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(stderr, "mbpsweep:", err)
@@ -112,76 +137,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mbpsweep:", err)
 		}
 	}()
-	if !strings.Contains(*predSpec, "%d") {
-		fmt.Fprintf(stderr, "mbpsweep: predictor spec %q has no %%d placeholder\n", *predSpec)
-		return exitUsage
-	}
-	if *step <= 0 || *to < *from {
-		fmt.Fprintf(stderr, "mbpsweep: invalid sweep range [%d, %d] step %d\n", *from, *to, *step)
-		return exitUsage
-	}
-	if err := cliflags.ValidateWorkers(*jobs); err != nil {
-		fmt.Fprintln(stderr, "mbpsweep:", err)
-		return exitUsage
-	}
-	if err := cliflags.ValidateCacheBytes(*cacheBytes); err != nil {
-		fmt.Fprintln(stderr, "mbpsweep:", err)
-		return exitUsage
-	}
-	if err := cliflags.ValidateCellTimeout(*cellTime); err != nil {
-		fmt.Fprintln(stderr, "mbpsweep:", err)
-		return exitUsage
-	}
-	ckptSet := false
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "checkpoint-every" {
-			ckptSet = true
-		}
-	})
-	if err := cliflags.ValidateResumeOptions(*resume, ckptSet); err != nil {
-		fmt.Fprintln(stderr, "mbpsweep:", err)
-		return exitUsage
-	}
-	policy := sim.Policy{Retries: *retries, Backoff: *backoff}
-	switch *policyName {
-	case "failfast":
-		policy.Mode = sim.FailFast
-	case "skip":
-		policy.Mode = sim.SkipFailed
-	default:
-		fmt.Fprintf(stderr, "mbpsweep: unknown -policy %q (want failfast or skip)\n", *policyName)
-		return exitUsage
-	}
-	if *retries < 0 {
-		fmt.Fprintf(stderr, "mbpsweep: -retries must be non-negative, got %d\n", *retries)
-		return exitUsage
-	}
-	paths, err := filepath.Glob(*globs)
+	resolved, err := spec.Resolve()
 	if err != nil {
 		fmt.Fprintln(stderr, "mbpsweep:", err)
 		return exitUsage
 	}
-	if len(paths) == 0 {
-		fmt.Fprintf(stderr, "mbpsweep: no traces match %q\n", *globs)
+	mode, err := spec.Mode()
+	if err != nil {
+		fmt.Fprintln(stderr, "mbpsweep:", err)
 		return exitUsage
 	}
-	sort.Strings(paths)
-
-	sources := make([]sim.TraceSource, len(paths))
-	for i, path := range paths {
-		sources[i] = sim.TraceSource{Name: path, Open: func() (bp.Reader, io.Closer, error) {
-			f, err := compress.OpenFile(path)
-			if err != nil {
-				return nil, nil, err
-			}
-			r, err := sbbt.NewReader(f)
-			if err != nil {
-				f.Close()
-				return nil, nil, err
-			}
-			return r, f, nil
-		}}
-	}
+	policy := sim.Policy{Mode: mode, Retries: *retries, Backoff: *backoff}
 
 	// A resume journal keys cells by trace content digest, so a renamed or
 	// moved trace file still replays; an unreadable file falls back to its
@@ -192,31 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mbpsweep: opening resume journal:", err)
 			return exitUsage
 		}
-		for i, path := range paths {
-			if d, derr := journal.DigestFile(path); derr == nil {
-				sources[i].Digest = d
-			}
-		}
-	}
-
-	// Expand and validate every swept spec before running anything.
-	var specs []string
-	for v := *from; v <= *to; v += *step {
-		spec := fmt.Sprintf(*predSpec, v)
-		if _, err := registry.New(spec); err != nil {
-			fmt.Fprintln(stderr, "mbpsweep:", err)
-			return exitUsage
-		}
-		specs = append(specs, spec)
-	}
-	newFor := func(spec string) func() bp.Predictor {
-		return func() bp.Predictor {
-			p, err := registry.New(spec)
-			if err != nil {
-				panic(err) // validated above; specs are immutable strings
-			}
-			return p
-		}
+		resolved.AttachDigests()
 	}
 
 	// Compute: one SetResult per swept value, from either path. Results and
@@ -228,41 +170,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mbpsweep:", err)
 		}
 	}
-	cfg := sim.Config{Metrics: metrics.Collector()}
 	drain, stopSignals := cliflags.DrainOnSignal("mbpsweep", stderr)
 	defer stopSignals()
-	sets := make([]*sim.SetResult, len(specs))
-	if *jobs == 1 && jnl == nil && *cellTime == 0 {
-		// Exact legacy path; the drain wrapper fails unstarted and
-		// in-flight traces as resumable once a signal lands.
-		drained := sim.DrainSources(sources, drain)
-		for i, spec := range specs {
-			set, err := sim.RunSetPolicy(drained, newFor(spec), cfg, *workers, policy)
-			if err != nil {
-				closeMetrics()
-				fmt.Fprintf(stderr, "mbpsweep: %s: %v\n", spec, err)
-				if errors.Is(err, faults.ErrDrained) {
-					return exitDrained
-				}
-				return exitTotal
-			}
-			sets[i] = set
+	sets, err := resolved.Run(sweep.RunOptions{
+		Jobs: *jobs, LegacyWorkers: *workers,
+		CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
+		Metrics: metrics.Collector(),
+		Journal: jnl, CheckpointEvery: *ckptEvery, Drain: drain, CellTimeout: *cellTime,
+	})
+	if err != nil {
+		closeMetrics()
+		fmt.Fprintf(stderr, "mbpsweep: %v\n", err)
+		if errors.Is(err, faults.ErrDrained) {
+			return exitDrained
 		}
-	} else {
-		preds := make([]sim.PredictorSpec, len(specs))
-		for i, spec := range specs {
-			preds[i] = sim.PredictorSpec{Name: spec, New: newFor(spec)}
-		}
-		sets, err = sim.SweepParallel(sources, preds, cfg, sim.ParallelOptions{
-			Workers: *jobs, CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
-			Metrics: metrics.Collector(),
-			Journal: jnl, CheckpointEvery: *ckptEvery, Drain: drain, CellTimeout: *cellTime,
-		})
-		if err != nil {
-			closeMetrics()
-			fmt.Fprintf(stderr, "mbpsweep: %v\n", err)
-			return exitTotal
-		}
+		return exitTotal
 	}
 	closeMetrics()
 	if jnl != nil {
@@ -271,130 +193,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	return render(stdout, stderr, specs, sets, len(sources), *jsonOut)
-}
-
-// valueRow is one swept value's aggregate in the JSON output.
-type valueRow struct {
-	Predictor string  `json:"predictor"`
-	AvgMPKI   float64 `json:"avg_mpki"`
-	Scored    int     `json:"scored"`
-	Traces    int     `json:"traces"`
-}
-
-// failureRow is one failed trace in the JSON output. It deliberately omits
-// the panic stack, which is the one field that differs between sequential
-// and parallel execution (the goroutine dumps name different frames), so the
-// failures section is byte-identical for any -j.
-// Wall time is likewise omitted from JSON: it differs run to run, and the
-// JSON output is the machine-diffable format.
-type failureRow struct {
-	Trace     string `json:"trace"`
-	Class     string `json:"class"`
-	Message   string `json:"message"`
-	Attempts  int    `json:"attempts"`
-	Resumable bool   `json:"resumable,omitempty"`
-}
-
-// render prints the sweep table (or JSON) and picks the exit code. It only
-// sees per-value SetResults, so sequential and parallel schedules produce
-// identical bytes.
-func render(stdout, stderr io.Writer, specs []string, sets []*sim.SetResult, nTraces int, jsonOut bool) int {
-	bestSpec, bestMPKI := "", 0.0
-	failed := map[string]sim.TraceFailure{} // trace name -> first failure seen
-	anyScored := false
-	rows := make([]valueRow, len(specs))
-	for i, set := range sets {
-		for _, f := range set.Failures {
-			if _, ok := failed[f.Trace]; !ok {
-				failed[f.Trace] = f
-			}
-		}
-		scored, sum := 0, 0.0
-		for _, r := range set.Results {
-			if r == nil {
-				continue
-			}
-			scored++
-			sum += r.Metrics.MPKI
-		}
-		rows[i] = valueRow{Predictor: specs[i], Scored: scored, Traces: nTraces}
-		if scored == 0 {
-			continue
-		}
-		anyScored = true
-		rows[i].AvgMPKI = sum / float64(scored)
-		if bestSpec == "" || rows[i].AvgMPKI < bestMPKI {
-			bestSpec, bestMPKI = specs[i], rows[i].AvgMPKI
-		}
-	}
-	failNames := make([]string, 0, len(failed))
-	for name := range failed {
-		failNames = append(failNames, name)
-	}
-	sort.Strings(failNames)
-
-	if jsonOut {
-		failRows := make([]failureRow, 0, len(failNames))
-		for _, name := range failNames {
-			f := failed[name]
-			failRows = append(failRows, failureRow{f.Trace, f.Class, f.Message, f.Attempts, f.Resumable})
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
-			Values   []valueRow   `json:"values"`
-			Best     string       `json:"best,omitempty"`
-			BestMPKI float64      `json:"best_mpki,omitempty"`
-			Failures []failureRow `json:"failures,omitempty"`
-		}{rows, bestSpec, bestMPKI, failRows}); err != nil {
-			fmt.Fprintln(stderr, "mbpsweep:", err)
-			return exitTotal
-		}
-	} else {
-		fmt.Fprintf(stdout, "%-40s | avg MPKI (traces scored)\n", "predictor")
-		fmt.Fprintln(stdout, strings.Repeat("-", 70))
-		for _, row := range rows {
-			if row.Scored == 0 {
-				fmt.Fprintf(stdout, "%-40s | no trace scored\n", row.Predictor)
-				continue
-			}
-			fmt.Fprintf(stdout, "%-40s | %.4f (%d/%d)\n", row.Predictor, row.AvgMPKI, row.Scored, row.Traces)
-		}
-		fmt.Fprintln(stdout, strings.Repeat("-", 70))
-		if bestSpec != "" {
-			fmt.Fprintf(stdout, "best: %s (%.4f MPKI)\n", bestSpec, bestMPKI)
-		}
-		if len(failed) > 0 {
-			fmt.Fprintf(stdout, "\n%d failed trace(s), excluded from averages:\n", len(failed))
-			fmt.Fprintf(stdout, "%-40s %-10s %-8s %-9s %-9s %s\n", "trace", "class", "attempts", "time", "resumable", "error")
-			for _, name := range failNames {
-				f := failed[name]
-				resumable := "no"
-				if f.Resumable {
-					resumable = "yes"
-				}
-				fmt.Fprintf(stdout, "%-40s %-10s %-8d %-9s %-9s %s\n",
-					filepath.Base(f.Trace), f.Class, f.Attempts, fmt.Sprintf("%.2fs", f.Seconds), resumable, f.Message)
-			}
-		}
-	}
-	anyResumable := false
-	for _, f := range failed {
-		if f.Resumable {
-			anyResumable = true
-		}
-	}
-	switch {
-	case len(failed) == 0:
-		return exitOK
-	case anyResumable:
-		// Drained work is not a verdict: re-running with -resume finishes
-		// the rest, so the drained code wins over partial/total.
-		return exitDrained
-	case anyScored:
-		return exitPartial
-	default:
-		return exitTotal
-	}
+	return sweep.Render(stdout, stderr, resolved.Specs, sets, len(resolved.Sources), *jsonOut)
 }

@@ -1,0 +1,206 @@
+// Package api holds the wire types of the mbpd JSON HTTP API: the
+// request/response structs, the error envelope, and the mapping between
+// HTTP statuses, CLI exit codes and the faults taxonomy. It deliberately
+// imports nothing but the standard library — following the daemon/api/cli
+// layering of moby, the API package is the contract both sides compile
+// against, while internal/daemon owns the behaviour and cmd/mbpctl the
+// terminal rendering.
+//
+// Every response body carries an "api_version" field. Version 1 is served
+// under the /v1 path prefix; a breaking change bumps both.
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Version is the api_version value stamped into every v1 body.
+const Version = 1
+
+// PathPrefix is the URL prefix of the versioned API.
+const PathPrefix = "/v1"
+
+// Job states. A job is terminal in StateDone, StateFailed and
+// StateCancelled; Done means the sweep rendered a result (its exit code may
+// still be 2 or 3 under -policy skip), Failed means it produced none
+// (resolve error or fail-fast abort), Cancelled means a user or daemon
+// drain interrupted it (exit code 4, resumable on resubmit).
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// TerminalState reports whether a job in the given state will never change
+// again (short of a resubmission reviving a cancelled job).
+func TerminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// SweepSpec is the wire form of a sweep job: the flags of mbpsweep as JSON.
+// It mirrors internal/sweep.Spec field for field but is redeclared here so
+// the API package (and thin clients compiled against it) stay free of
+// simulator dependencies.
+type SweepSpec struct {
+	// Traces is a glob of SBBT trace files on the daemon's filesystem.
+	Traces string `json:"traces"`
+	// Predictor is a registry spec with a %d placeholder.
+	Predictor string `json:"predictor"`
+	// From, To, Step define the swept values. Step defaults to 1.
+	From int `json:"from"`
+	To   int `json:"to"`
+	Step int `json:"step,omitempty"`
+	// Policy is "failfast" (default) or "skip".
+	Policy string `json:"policy,omitempty"`
+	// Retries is the transient trace-open retry budget.
+	Retries int `json:"retries,omitempty"`
+}
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	APIVersion int       `json:"api_version,omitempty"`
+	Spec       SweepSpec `json:"spec"`
+}
+
+// SubmitResponse is the body of a successful POST /v1/jobs.
+type SubmitResponse struct {
+	APIVersion int    `json:"api_version"`
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	// Cached is true when the submitted spec hashed to a job that already
+	// finished: the daemon serves the journalled result without simulating.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// JobResult is the stored outcome of a finished job: the exit code mbpsweep
+// would have returned, plus both renderings of the result — the JSON
+// document (byte-identical to `mbpsweep -json`) and the text table
+// (byte-identical to plain mbpsweep, wall-time column aside).
+//
+// Inside a Job envelope the JSON rendering is re-indented by the outer
+// encoder; fetch GET /v1/jobs/{id}/result (optionally ?format=text) for the
+// verbatim bytes — that endpoint is what makes remote and local runs
+// byte-comparable.
+type JobResult struct {
+	ExitCode int             `json:"exit_code"`
+	JSON     json.RawMessage `json:"json,omitempty"`
+	Text     string          `json:"text,omitempty"`
+}
+
+// Job is the API view of one sweep job (GET /v1/jobs/{id}).
+type Job struct {
+	APIVersion int       `json:"api_version"`
+	ID         string    `json:"id"`
+	State      string    `json:"state"`
+	Spec       SweepSpec `json:"spec"`
+	// ExitCode is meaningful once the job is terminal.
+	ExitCode int `json:"exit_code,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// FailureClass is the faults taxonomy class of a failed or cancelled
+	// job ("drained" for cancellations, per the drain contract).
+	FailureClass string `json:"failure_class,omitempty"`
+	// Created/Started/Finished are RFC 3339 timestamps.
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// Result is present once State is "done" (and for cancelled jobs that
+	// rendered a partial, resumable report).
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// JobList is the body of GET /v1/jobs.
+type JobList struct {
+	APIVersion int   `json:"api_version"`
+	Jobs       []Job `json:"jobs"`
+}
+
+// Health is the body of GET /v1/healthz. Status is "ok" while the daemon
+// accepts jobs and "draining" after the first SIGTERM/SIGINT, when
+// submissions are refused (503) and in-flight cells are checkpointing.
+type Health struct {
+	APIVersion int    `json:"api_version"`
+	Status     string `json:"status"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Cancelled  int    `json:"cancelled"`
+}
+
+// Health statuses.
+const (
+	HealthOK       = "ok"
+	HealthDraining = "draining"
+)
+
+// Error codes carried in the error envelope.
+const (
+	CodeBadRequest  = "bad_request"  // undecodable body, wrong api_version
+	CodeInvalidSpec = "invalid_spec" // spec failed validation or resolution
+	CodeNotFound    = "not_found"    // unknown job id
+	CodeConflict    = "conflict"     // e.g. cancelling an already-done job
+	CodeQueueFull   = "queue_full"   // bounded queue at capacity
+	CodeDraining    = "draining"     // daemon refusing work during drain
+	CodeInternal    = "internal"     // everything else
+)
+
+// ErrorBody is the error half of the envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Class is the faults taxonomy class when the error maps onto one
+	// ("corrupt", "drained", "limit", ...), empty otherwise.
+	Class string `json:"class,omitempty"`
+}
+
+// Error is the envelope every non-2xx response carries.
+type Error struct {
+	APIVersion int       `json:"api_version"`
+	Err        ErrorBody `json:"error"`
+}
+
+// StatusForCode maps an error code to its HTTP status — the single place
+// the status ↔ code table lives, used by the daemon when writing envelopes.
+func StatusForCode(code string) int {
+	switch code {
+	case CodeBadRequest, CodeInvalidSpec:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeQueueFull, CodeDraining:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitForStatus maps an HTTP response status to the exit code a CLI client
+// should return, mirroring the sweep CLI exit-code taxonomy: client-side
+// misuse (4xx) is a usage error (1), server-side refusal or failure (5xx)
+// is a total failure (3). 2xx means the response body decides (a finished
+// job's own exit code passes through mbpctl wait verbatim).
+func ExitForStatus(status int) int {
+	switch {
+	case status < 300:
+		return 0
+	case status < 500:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// SSE event names on GET /v1/jobs/{id}/events. The stream emits "state" on
+// every transition, "snapshot" with an obs metrics snapshot at the
+// configured cadence while the job runs, and a final "done" carrying the
+// full Job body before the stream closes.
+const (
+	EventState    = "state"
+	EventSnapshot = "snapshot"
+	EventDone     = "done"
+)

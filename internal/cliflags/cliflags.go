@@ -5,16 +5,156 @@ package cliflags
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"mbplib/internal/obs"
 )
+
+// FlagWasSet reports whether a flag was given explicitly on the command
+// line (flag.Visit only walks set flags). ValidateResumeOptions needs the
+// distinction: an explicit -checkpoint-every without -resume is a usage
+// error, the default value is not.
+func FlagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// Check is one named flag validation: the flag it covers and the error it
+// found (nil when the value is fine). Checks are built eagerly by the
+// constructors below and evaluated by Validate, so every CLI states its
+// whole validation table in one expression instead of accreting ad-hoc if
+// blocks — the drift that let commands validate the same flag at different
+// times (or not at all) before the table existed.
+type Check struct {
+	Flag string
+	Err  error
+}
+
+// Validate runs a validation table and returns the first failure. All
+// checks are value checks with no side effects, so a command can (and
+// should) run its full table before any file, profile or journal is opened.
+func Validate(checks ...Check) error {
+	for _, c := range checks {
+		if c.Err != nil {
+			return c.Err
+		}
+	}
+	return nil
+}
+
+// Workers is the table form of ValidateWorkers (-j).
+func Workers(j int) Check { return Check{"-j", ValidateWorkers(j)} }
+
+// CacheBytes is the table form of ValidateCacheBytes (-cache-bytes).
+func CacheBytes(b int64) Check { return Check{"-cache-bytes", ValidateCacheBytes(b)} }
+
+// CellTimeout is the table form of ValidateCellTimeout (-cell-timeout).
+func CellTimeout(d time.Duration) Check { return Check{"-cell-timeout", ValidateCellTimeout(d)} }
+
+// ResumeOptions is the table form of ValidateResumeOptions
+// (-resume/-checkpoint-every).
+func ResumeOptions(resume string, checkpointEverySet bool) Check {
+	return Check{"-checkpoint-every", ValidateResumeOptions(resume, checkpointEverySet)}
+}
+
+// Retries is the table form of ValidateRetries (-retries).
+func Retries(n int) Check { return Check{"-retries", ValidateRetries(n)} }
+
+// PolicyName is the table form of ValidatePolicyName (-policy).
+func PolicyName(name string) Check { return Check{"-policy", ValidatePolicyName(name)} }
+
+// Listen is the table form of ValidateListen (-listen).
+func Listen(addr string) Check { return Check{"-listen", ValidateListen(addr)} }
+
+// DataDir is the table form of ValidateDataDir (-data-dir).
+func DataDir(dir string) Check { return Check{"-data-dir", ValidateDataDir(dir)} }
+
+// QueueDepth is the table form of ValidateQueueDepth (-queue).
+func QueueDepth(n int) Check { return Check{"-queue", ValidateQueueDepth(n)} }
+
+// SnapshotEvery is the table form of ValidateSnapshotEvery (-snapshot-every).
+func SnapshotEvery(d time.Duration) Check { return Check{"-snapshot-every", ValidateSnapshotEvery(d)} }
+
+// ValidateRetries rejects negative -retries values. Historically mbprun
+// checked this inside its policy parser while mbpsweep checked it inline
+// after parsing the policy (and after starting profiles) — the same rule,
+// enforced at two different times. The table validator runs it before any
+// side effect on every CLI.
+func ValidateRetries(n int) error {
+	if n < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", n)
+	}
+	return nil
+}
+
+// ValidatePolicyName rejects unknown -policy names before any trace opens.
+func ValidatePolicyName(name string) error {
+	switch name {
+	case "failfast", "skip":
+		return nil
+	}
+	return fmt.Errorf("unknown -policy %q (want failfast or skip)", name)
+}
+
+// ValidateListen rejects malformed -listen addresses: the value must be a
+// host:port pair with a numeric port (port 0 asks the kernel for a random
+// free port, which the daemon reports via its address file).
+func ValidateListen(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-listen %q is not a host:port address: %v", addr, err)
+	}
+	_ = host // an empty host means every interface, which is valid
+	if _, err := strconv.ParseUint(port, 10, 16); err != nil {
+		return fmt.Errorf("-listen %q has a non-numeric port %q", addr, port)
+	}
+	return nil
+}
+
+// ValidateDataDir rejects an empty -data-dir: the daemon's jobs, journals
+// and address file all live under it, so there is no sensible default to
+// scribble into.
+func ValidateDataDir(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("-data-dir is required")
+	}
+	return nil
+}
+
+// ValidateQueueDepth rejects non-positive -queue bounds: a daemon with no
+// queue capacity could never accept a job.
+func ValidateQueueDepth(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-queue must be >= 1 (got %d)", n)
+	}
+	return nil
+}
+
+// ValidateSnapshotEvery rejects non-positive -snapshot-every intervals,
+// which would spin the SSE progress loop.
+func ValidateSnapshotEvery(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("-snapshot-every must be > 0 (got %v)", d)
+	}
+	return nil
+}
 
 // ValidateWorkers rejects non-positive -j values. Commands used to clamp
 // them silently; an explicit -j 0 or -j -4 is now a usage error, caught

@@ -1,0 +1,245 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mbplib/internal/api"
+	"mbplib/internal/faults"
+	"mbplib/internal/obs"
+)
+
+// Handler returns the versioned JSON HTTP API of the daemon. All routes live
+// under api.PathPrefix (/v1); bodies and error envelopes are the types of
+// internal/api.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", d.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", d.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/healthz", d.handleHealth)
+	return mux
+}
+
+// maxBodyBytes bounds submit bodies; a sweep spec is a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+func (d *Daemon) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		d.logf("daemon: writing response: %v", err)
+	}
+}
+
+func (d *Daemon) writeErr(w http.ResponseWriter, code, class, format string, args ...any) {
+	d.writeJSON(w, api.StatusForCode(code), api.Error{
+		APIVersion: api.Version,
+		Err:        api.ErrorBody{Code: code, Message: fmt.Sprintf(format, args...), Class: class},
+	})
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req api.SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		d.writeErr(w, api.CodeBadRequest, "", "decoding request: %v", err)
+		return
+	}
+	if req.APIVersion != 0 && req.APIVersion != api.Version {
+		d.writeErr(w, api.CodeBadRequest, "", "unsupported api_version %d (this daemon speaks %d)", req.APIVersion, api.Version)
+		return
+	}
+	resolved, err := SweepSpec(req.Spec).Resolve()
+	if err != nil {
+		d.writeErr(w, api.CodeInvalidSpec, faults.Class(err), "%v", err)
+		return
+	}
+	resolved.AttachDigests()
+	view, cached, err := d.Submit(resolved)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		d.writeErr(w, api.CodeQueueFull, "", "%v (queue depth %d)", err, d.cfg.QueueDepth)
+		return
+	case errors.Is(err, ErrDraining):
+		d.writeErr(w, api.CodeDraining, "", "%v", err)
+		return
+	case err != nil:
+		d.writeErr(w, api.CodeInternal, "", "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	d.writeJSON(w, status, api.SubmitResponse{
+		APIVersion: api.Version, ID: view.ID, State: view.State, Cached: cached,
+	})
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	d.writeJSON(w, http.StatusOK, api.JobList{APIVersion: api.Version, Jobs: d.Jobs()})
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := d.lookup(id)
+	if !ok {
+		d.writeErr(w, api.CodeNotFound, "", "unknown job %q", id)
+		return
+	}
+	d.writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleResult serves a finished job's rendering verbatim — the exact bytes
+// sweep.Render produced, untouched by any re-marshalling — which is what
+// makes `mbpctl wait` byte-identical to a local mbpsweep run. ?format=text
+// selects the text table; the default is the JSON document.
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := d.lookup(id)
+	if !ok {
+		d.writeErr(w, api.CodeNotFound, "", "unknown job %q", id)
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	result := j.result
+	j.mu.Unlock()
+	if result == nil {
+		d.writeErr(w, api.CodeConflict, "", "job %s has no result (state %s)", id, state)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(result.JSON); err != nil {
+			d.logf("daemon: writing result: %v", err)
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if _, err := io.WriteString(w, result.Text); err != nil {
+			d.logf("daemon: writing result: %v", err)
+		}
+	default:
+		d.writeErr(w, api.CodeBadRequest, "", "unknown result format %q (want json or text)", format)
+	}
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	view, err := d.Cancel(id)
+	switch {
+	case err == nil:
+		d.writeJSON(w, http.StatusAccepted, view)
+	case IsConflict(err):
+		d.writeErr(w, api.CodeConflict, "", "%v", err)
+	default:
+		d.writeErr(w, api.CodeNotFound, "", "%v", err)
+	}
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	d.writeJSON(w, http.StatusOK, d.Health())
+}
+
+// handleEvents streams a job's lifecycle as server-sent events: a "state"
+// frame on every transition, "snapshot" frames with the obs metrics snapshot
+// at the configured cadence while the job runs, and a final "done" frame
+// with the full job body before the stream closes.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := d.lookup(id)
+	if !ok {
+		d.writeErr(w, api.CodeNotFound, "", "unknown job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		d.writeErr(w, api.CodeInternal, "", "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	ticker := time.NewTicker(d.cfg.SnapshotEvery)
+	defer ticker.Stop()
+	for {
+		view, changed := j.snapshot()
+		d.sendEvent(w, fl, api.EventState, view)
+		if api.TerminalState(view.State) {
+			d.sendEvent(w, fl, api.EventDone, view)
+			return
+		}
+		waiting := true
+		for waiting {
+			select {
+			case <-changed:
+				waiting = false
+			case <-ticker.C:
+				if snap := j.metricsSnapshot(); snap != nil {
+					d.sendEvent(w, fl, api.EventSnapshot, snap)
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// sendEvent writes one SSE frame and flushes it through to the client.
+func (d *Daemon) sendEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		d.logf("daemon: encoding %s event: %v", event, err)
+		return
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+		d.logf("daemon: writing %s event: %v", event, err)
+		return
+	}
+	fl.Flush()
+}
+
+// lookup finds a job by ID.
+func (d *Daemon) lookup(id string) (*job, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	return j, ok
+}
+
+// snapshot returns the job's API view together with the channel that closes
+// on its next transition, atomically — so a watcher never misses the change
+// between reading the state and starting to wait.
+func (j *job) snapshot() (api.Job, <-chan struct{}) {
+	j.mu.Lock()
+	changed := j.changed
+	j.mu.Unlock()
+	return j.view(), changed
+}
+
+// metricsSnapshot captures the running job's observability snapshot, nil
+// when the job has no collector (not yet started).
+func (j *job) metricsSnapshot() *obs.Snapshot {
+	j.mu.Lock()
+	m := j.metrics
+	j.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	s := m.Snapshot()
+	return &s
+}

@@ -134,6 +134,7 @@ func DefaultConfig(module string) Config {
 		ConcurrencyPackages: []string{
 			module + "/internal/sim",
 			module + "/internal/obs",
+			module + "/internal/daemon",
 			module + "/cmd",
 		},
 		ContextPackages: []string{
