@@ -109,4 +109,6 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzSBBTRoundTrip -fuzztime=$(FUZZTIME) ./internal/sbbt/
 	$(GO) test -run=NONE -fuzz=FuzzBT9RoundTrip -fuzztime=$(FUZZTIME) ./internal/bt9/
 	$(GO) test -run=NONE -fuzz=FuzzMLZRoundTrip -fuzztime=$(FUZZTIME) ./internal/compress/
+	$(GO) test -run=NONE -fuzz=FuzzMLZSRoundTrip -fuzztime=$(FUZZTIME) ./internal/compress/
+	$(GO) test -run=NONE -fuzz=FuzzMLZSIndexTrailer -fuzztime=$(FUZZTIME) ./internal/compress/
 	$(GO) test -run=NONE -fuzz=FuzzJournalRecord -fuzztime=$(FUZZTIME) ./internal/sim/journal/

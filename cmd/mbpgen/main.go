@@ -21,24 +21,30 @@ import (
 
 func main() {
 	var (
-		suite   = flag.String("suite", "cbp5-train", "suite to generate: "+strings.Join(tracegen.SuiteNames(), ", "))
-		dir     = flag.String("dir", "traces", "output directory")
-		scale   = flag.Uint64("scale", 200_000, "branches in a short trace (long traces are 8x)")
-		formats = flag.String("formats", "sbbt", "comma-separated: sbbt, bt9, bt9mlz, cst")
+		suite     = flag.String("suite", "cbp5-train", "suite to generate: "+strings.Join(tracegen.SuiteNames(), ", "))
+		dir       = flag.String("dir", "traces", "output directory")
+		scale     = flag.Uint64("scale", 200_000, "branches in a short trace (long traces are 8x)")
+		formats   = flag.String("formats", "sbbt", "comma-separated: sbbt, mlzs, bt9, bt9mlz, cst")
+		compressJ = flag.Int("compress-j", 1, "parallel compression workers for the mlzs format (output is identical at any width)")
 	)
 	flag.Parse()
-	if err := run(*suite, *dir, *scale, *formats); err != nil {
+	if err := run(*suite, *dir, *scale, *formats, *compressJ); err != nil {
 		fmt.Fprintln(os.Stderr, "mbpgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite, dir string, scale uint64, formats string) error {
-	var f bench.Formats
+func run(suite, dir string, scale uint64, formats string, compressJ int) error {
+	if compressJ < 1 {
+		return fmt.Errorf("-compress-j must be >= 1 (got %d)", compressJ)
+	}
+	f := bench.Formats{MLZSWorkers: compressJ}
 	for _, name := range strings.Split(formats, ",") {
 		switch strings.TrimSpace(name) {
 		case "sbbt":
 			f.SBBT = true
+		case "mlzs":
+			f.SBBTMLZS = true
 		case "bt9":
 			f.BT9Gz = true
 		case "bt9mlz":
@@ -57,7 +63,7 @@ func run(suite, dir string, scale uint64, formats string) error {
 	if err != nil {
 		return err
 	}
-	for _, paths := range [][]string{ts.SBBT, ts.BT9Gz, ts.BT9MLZ, ts.CSTGz} {
+	for _, paths := range [][]string{ts.SBBT, ts.SBBTMLZS, ts.BT9Gz, ts.BT9MLZ, ts.CSTGz} {
 		for _, p := range paths {
 			fi, err := os.Stat(p)
 			if err != nil {

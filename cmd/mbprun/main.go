@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/chunked"
 	"mbplib/internal/cliflags"
 	"mbplib/internal/compress"
 	"mbplib/internal/faults"
@@ -72,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		simInstr   = fs.Uint64("sim", 0, "instructions to simulate per trace after warm-up (0 = all)")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces on the legacy path (-j 1)")
 		jobs       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel scheduler workers (1 = exact legacy path)")
+		decodeJ    = fs.Int("decode-j", 1, "chunk-decode workers per trace for seekable (MLZS) containers")
 		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (0 disables)")
 		jsonOut    = fs.Bool("json", false, "print the summary as JSON")
 		metricsTo  = fs.String("metrics", "", "write a pipeline metrics JSON snapshot to this file ('-' = stderr)")
@@ -98,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// profiles had started; the shared table closed that drift.
 	if err := cliflags.Validate(
 		cliflags.Workers(*jobs),
+		cliflags.DecodeWorkers(*decodeJ),
 		cliflags.CacheBytes(*cacheBytes),
 		cliflags.CellTimeout(*cellTime),
 		cliflags.ResumeOptions(*resume, cliflags.FlagWasSet(fs, "checkpoint-every")),
@@ -138,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sources := make([]sim.TraceSource, len(paths))
 	for i, path := range paths {
 		sources[i] = sim.TraceSource{Name: path, Open: func() (bp.Reader, io.Closer, error) {
-			f, err := compress.OpenFile(path)
+			f, err := compress.OpenFileParallel(path, *decodeJ)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -149,6 +152,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return r, f, nil
 		}}
+		if compress.FormatForPath(path) == compress.FormatMLZS {
+			sources[i].OpenChunked = func() (sim.ChunkedTrace, error) { return chunked.Open(path) }
+		}
 	}
 	var jnl *journal.Journal
 	if *resume != "" {

@@ -85,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		step       = fs.Int("step", 1, "sweep step")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent traces per swept value on the legacy path (-j 1)")
 		jobs       = fs.Int("j", runtime.GOMAXPROCS(0), "parallel scheduler workers over the value × trace matrix (1 = exact legacy path)")
+		decodeJ    = fs.Int("decode-j", 1, "chunk-decode workers per trace for seekable (MLZS) containers")
 		cacheBytes = fs.Int64("cache-bytes", sim.DefaultCacheBytes, "decoded-trace cache budget for -j > 1 (0 disables)")
 		jsonOut    = fs.Bool("json", false, "print the sweep as JSON")
 		metricsTo  = fs.String("metrics", "", "write a pipeline metrics JSON snapshot to this file ('-' = stderr)")
@@ -109,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// journal directories), so a usage error never leaves files behind.
 	if err := cliflags.Validate(
 		cliflags.Workers(*jobs),
+		cliflags.DecodeWorkers(*decodeJ),
 		cliflags.CacheBytes(*cacheBytes),
 		cliflags.CellTimeout(*cellTime),
 		cliflags.ResumeOptions(*resume, cliflags.FlagWasSet(fs, "checkpoint-every")),
@@ -173,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	drain, stopSignals := cliflags.DrainOnSignal("mbpsweep", stderr)
 	defer stopSignals()
 	sets, err := resolved.Run(sweep.RunOptions{
-		Jobs: *jobs, LegacyWorkers: *workers,
+		Jobs: *jobs, DecodeWorkers: *decodeJ, LegacyWorkers: *workers,
 		CacheBytes: cliflags.CacheBudget(*cacheBytes), Policy: policy,
 		Metrics: metrics.Collector(),
 		Journal: jnl, CheckpointEvery: *ckptEvery, Drain: drain, CellTimeout: *cellTime,

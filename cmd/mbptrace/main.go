@@ -8,6 +8,14 @@
 //	mbptrace convert in.bt9.gz out.sbbt.mlz
 //	mbptrace convert in.sbbt out.bt9.gz
 //	mbptrace verify  t.sbbt.mlz
+//	mbptrace recompress -chunk-size 1048576 -compress-j 4 in.sbbt.mlz out.sbbt.mlzs
+//
+// recompress rewrites any supported compressed stream into the seekable
+// chunked (MLZS) container, preserving the inner bytes exactly. When the
+// inner stream is a plain (non-checksummed) SBBT trace, chunk boundaries
+// are packet-aligned so the result qualifies for chunk-granular scheduling
+// and parallel decode. The size/ratio report on stdout is deterministic;
+// the throughput line goes to stderr.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"mbplib/internal/bp"
 	"mbplib/internal/bt9"
@@ -25,36 +34,42 @@ import (
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mbptrace info|verify <trace>\n       mbptrace convert <in> <out>\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	usage := func() {
+		fmt.Fprintf(stderr, "usage: mbptrace info|verify <trace>\n"+
+			"       mbptrace convert <in> <out>\n"+
+			"       mbptrace recompress [-chunk-size N] [-compress-j N] [-level fast|best] <in> <out.mlzs>\n")
 	}
-	flag.Parse()
-	args := flag.Args()
 	if len(args) < 2 {
-		flag.Usage()
-		os.Exit(2)
+		usage()
+		return 2
 	}
 	var err error
 	switch args[0] {
 	case "info":
-		err = info(args[1])
+		err = info(args[1], stdout)
 	case "verify":
-		err = verify(args[1])
+		err = verify(args[1], stdout)
 	case "convert":
 		if len(args) != 3 {
-			flag.Usage()
-			os.Exit(2)
+			usage()
+			return 2
 		}
 		err = convert(args[1], args[2])
+	case "recompress":
+		return recompress(args[1:], stdout, stderr)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		usage()
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mbptrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mbptrace:", err)
+		return 1
 	}
+	return 0
 }
 
 // openTrace opens a trace of either format, decompressing transparently.
@@ -85,7 +100,7 @@ func openTrace(path string) (bp.Reader, io.Closer, error) {
 	return r, f, nil
 }
 
-func info(path string) error {
+func info(path string, stdout io.Writer) error {
 	r, c, err := openTrace(path)
 	if err != nil {
 		return err
@@ -114,20 +129,37 @@ func info(path string) error {
 			taken++
 		}
 	}
-	fmt.Printf("trace:                 %s\n", path)
-	fmt.Printf("instructions:          %d\n", instr)
-	fmt.Printf("branches:              %d (%.1f%% of instructions)\n", branches, 100*float64(branches)/float64(instr))
-	fmt.Printf("conditional branches:  %d\n", cond)
-	fmt.Printf("taken fraction:        %.3f\n", float64(taken)/float64(branches))
-	fmt.Printf("static branches:       %d\n", len(statics))
+	fmt.Fprintf(stdout, "trace:                 %s\n", path)
+	fmt.Fprintf(stdout, "instructions:          %d\n", instr)
+	fmt.Fprintf(stdout, "branches:              %d (%.1f%% of instructions)\n", branches, 100*float64(branches)/float64(instr))
+	fmt.Fprintf(stdout, "conditional branches:  %d\n", cond)
+	fmt.Fprintf(stdout, "taken fraction:        %.3f\n", float64(taken)/float64(branches))
+	fmt.Fprintf(stdout, "static branches:       %d\n", len(statics))
 	if s, ok := r.(bp.Sizer); ok {
-		fmt.Printf("header instructions:   %d\n", s.TotalInstructions())
-		fmt.Printf("header branches:       %d\n", s.TotalBranches())
+		fmt.Fprintf(stdout, "header instructions:   %d\n", s.TotalInstructions())
+		fmt.Fprintf(stdout, "header branches:       %d\n", s.TotalBranches())
+	}
+	if compress.FormatForPath(path) == compress.FormatMLZS {
+		st, err := compress.StatMLZSFile(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "container:             mlzs, %d chunks of %d bytes\n", st.Chunks, st.ChunkSize)
+		fmt.Fprintf(stdout, "container raw bytes:   %d (%.3fx over %d on disk)\n",
+			st.RawSize, float64(st.RawSize)/float64(st.CompressedSize), st.CompressedSize)
+		if st.Align > 0 {
+			fmt.Fprintf(stdout, "container alignment:   %d (offset %d)\n", st.Align, st.AlignOffset)
+		}
+		index := "intact"
+		if !st.Indexed {
+			index = "missing (sequential scan)"
+		}
+		fmt.Fprintf(stdout, "container index:       %s\n", index)
 	}
 	return nil
 }
 
-func verify(path string) error {
+func verify(path string, stdout io.Writer) error {
 	r, c, err := openTrace(path)
 	if err != nil {
 		return err
@@ -150,7 +182,111 @@ func verify(path string) error {
 	if s, ok := r.(bp.Sizer); ok && s.TotalBranches() != branches {
 		return fmt.Errorf("header promises %d branches, trace has %d", s.TotalBranches(), branches)
 	}
-	fmt.Printf("ok: %d branches\n", branches)
+	fmt.Fprintf(stdout, "ok: %d branches\n", branches)
+	return nil
+}
+
+// recompress rewrites a compressed stream into the seekable MLZS container.
+func recompress(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbptrace recompress", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		chunkSize = fs.Int("chunk-size", compress.DefaultMLZSChunkSize, "target decompressed bytes per chunk")
+		compressJ = fs.Int("compress-j", 1, "parallel compression workers (output is identical at any width)")
+		level     = fs.String("level", "best", "compression effort: fast or best")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "mbptrace recompress: want exactly <in> and <out> arguments")
+		return 2
+	}
+	lv := compress.LevelBest
+	switch *level {
+	case "fast":
+		lv = compress.LevelFast
+	case "best":
+	default:
+		fmt.Fprintf(stderr, "mbptrace recompress: unknown -level %q (want fast or best)\n", *level)
+		return 2
+	}
+	if *chunkSize < 1 {
+		fmt.Fprintf(stderr, "mbptrace recompress: -chunk-size must be >= 1 (got %d)\n", *chunkSize)
+		return 2
+	}
+	if *compressJ < 1 {
+		fmt.Fprintf(stderr, "mbptrace recompress: -compress-j must be >= 1 (got %d)\n", *compressJ)
+		return 2
+	}
+	opts := compress.MLZSOptions{ChunkSize: *chunkSize, Level: lv, Workers: *compressJ}
+	if err := doRecompress(fs.Arg(0), fs.Arg(1), opts, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "mbptrace:", err)
+		return 1
+	}
+	return 0
+}
+
+// doRecompress copies the decompressed inner bytes of inPath into an MLZS
+// container at outPath and reports sizes (stdout, deterministic) and
+// throughput (stderr).
+func doRecompress(inPath, outPath string, opts compress.MLZSOptions, stdout, stderr io.Writer) error {
+	in, err := compress.OpenFile(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	br := bufio.NewReaderSize(in, 1<<16)
+	// A plain SBBT inner stream gets packet-aligned chunk boundaries, the
+	// eligibility contract for chunk-granular scheduling. Checksummed SBBT
+	// interleaves CRC trailers with packets, so it stays unaligned.
+	if hdr, err := br.Peek(sbbt.HeaderSize); err == nil {
+		if h, herr := sbbt.ParseHeader(hdr); herr == nil && !h.Checksummed {
+			opts.Align = sbbt.PacketSize
+			opts.AlignOffset = sbbt.HeaderSize
+		}
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	w := compress.NewMLZSWriter(out, opts)
+	start := time.Now()
+	rawBytes, err := io.Copy(w, br)
+	if err == nil {
+		err = w.Close()
+	}
+	if err != nil {
+		out.Close()
+		os.Remove(outPath)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	inInfo, err := os.Stat(inPath)
+	if err != nil {
+		return err
+	}
+	st, err := compress.StatMLZSFile(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "input:       %s (%d bytes)\n", inPath, inInfo.Size())
+	fmt.Fprintf(stdout, "output:      %s (%d bytes)\n", outPath, st.CompressedSize)
+	fmt.Fprintf(stdout, "raw:         %d bytes in %d chunks of %d\n", rawBytes, st.Chunks, st.ChunkSize)
+	if st.Align > 0 {
+		fmt.Fprintf(stdout, "alignment:   %d (offset %d)\n", st.Align, st.AlignOffset)
+	}
+	fmt.Fprintf(stdout, "ratio:       %.3fx raw, %.3fx vs input\n",
+		float64(rawBytes)/float64(st.CompressedSize), float64(inInfo.Size())/float64(st.CompressedSize))
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		fmt.Fprintf(stderr, "recompressed %d bytes in %.2fs (%.1f MB/s raw)\n",
+			rawBytes, secs, float64(rawBytes)/secs/(1<<20))
+	}
 	return nil
 }
 
@@ -167,7 +303,7 @@ func convert(inPath, outPath string) error {
 	if err != nil {
 		return err
 	}
-	base := strings.TrimSuffix(strings.TrimSuffix(outPath, ".gz"), ".mlz")
+	base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(outPath, ".gz"), ".mlzs"), ".mlz")
 	switch {
 	case strings.HasSuffix(base, ".sbbt"):
 		err = convertToSBBT(r, out)

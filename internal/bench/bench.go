@@ -46,16 +46,20 @@ type TraceSet struct {
 	Suite string
 	Specs []tracegen.Spec
 	// Per-spec file paths (empty when the format was not requested).
-	SBBT   []string // .sbbt.mlz — the MBPlib distribution format
-	SBBTGz []string // .sbbt.gz — gzip SBBT, where decompression dominates
-	BT9Gz  []string // .bt9.gz — the original CBP5 distribution format
-	BT9MLZ []string // .bt9.mlz — the recompressed traces of Table IV
-	CSTGz  []string // .cst.gz — ChampSim-style full-instruction traces
+	SBBT     []string // .sbbt.mlz — the MBPlib distribution format
+	SBBTMLZS []string // .sbbt.mlzs — seekable chunked container (parallel decode)
+	SBBTGz   []string // .sbbt.gz — gzip SBBT, where decompression dominates
+	BT9Gz    []string // .bt9.gz — the original CBP5 distribution format
+	BT9MLZ   []string // .bt9.mlz — the recompressed traces of Table IV
+	CSTGz    []string // .cst.gz — ChampSim-style full-instruction traces
 }
 
 // Formats selects which trace files PrepareSuite materialises.
 type Formats struct {
-	SBBT, SBBTGz, BT9Gz, BT9MLZ, CSTGz bool
+	SBBT, SBBTMLZS, SBBTGz, BT9Gz, BT9MLZ, CSTGz bool
+	// MLZSWorkers is the parallel-compression width for the SBBTMLZS format
+	// (<= 1 compresses inline). Output bytes are identical at any width.
+	MLZSWorkers int
 }
 
 // PrepareSuite generates the named suite at the given scale and writes the
@@ -74,6 +78,13 @@ func PrepareSuite(dir, suite string, scale uint64, formats Formats) (*TraceSet, 
 				return nil, err
 			}
 			ts.SBBT = append(ts.SBBT, path)
+		}
+		if formats.SBBTMLZS {
+			path := filepath.Join(dir, spec.Name+".sbbt.mlzs")
+			if err := writeSBBTMLZSFile(path, spec, formats.MLZSWorkers); err != nil {
+				return nil, err
+			}
+			ts.SBBTMLZS = append(ts.SBBTMLZS, path)
 		}
 		if formats.SBBTGz {
 			path := filepath.Join(dir, spec.Name+".sbbt.gz")
@@ -114,6 +125,39 @@ func writeSBBTFile(path string, spec tracegen.Spec) error {
 		return err
 	}
 	f, err := compress.CreateFile(path, compress.LevelBest)
+	if err != nil {
+		return err
+	}
+	w, err := sbbt.NewWriter(f, instr, branches)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := tracegen.WriteSBBT(spec, w.Write); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSBBTMLZSFile renders spec as a seekable chunked (MLZS) SBBT trace at
+// path. Chunk boundaries are packet-aligned past the SBBT header, so the
+// container qualifies for chunk-granular scheduling and parallel decode.
+func writeSBBTMLZSFile(path string, spec tracegen.Spec, workers int) error {
+	instr, branches, err := tracegen.Totals(spec)
+	if err != nil {
+		return err
+	}
+	f, err := compress.CreateMLZSFile(path, compress.MLZSOptions{
+		Level:       compress.LevelBest,
+		Workers:     workers,
+		Align:       sbbt.PacketSize,
+		AlignOffset: sbbt.HeaderSize,
+	})
 	if err != nil {
 		return err
 	}

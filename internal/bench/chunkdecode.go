@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"mbplib/internal/bp"
+	"mbplib/internal/compress"
+	"mbplib/internal/sbbt"
+)
+
+// ChunkDecodeMeasurement is one decode width of the seekable-container
+// scaling curve.
+type ChunkDecodeMeasurement struct {
+	Workers        int     `json:"workers"`
+	Seconds        float64 `json:"seconds"`
+	BranchesPerSec float64 `json:"branches_per_sec"`
+	// Speedup is sequential seconds over this width's seconds.
+	Speedup float64 `json:"speedup"`
+}
+
+// ChunkDecodeStage records the parallel chunk-decode scaling of the seekable
+// (MLZS) container: a full decode drain of one high-entropy trace through
+// compress.OpenFileParallel at increasing -decode-j widths against the
+// single-worker baseline. The drain includes SBBT event decoding, so the
+// curve flattens once decompression stops being the bottleneck — the same
+// ceiling mbprun -decode-j sees.
+type ChunkDecodeStage struct {
+	Trace           string                   `json:"trace"`
+	Branches        uint64                   `json:"branches"`
+	Chunks          int                      `json:"chunks"`
+	RawBytes        int64                    `json:"raw_bytes"`
+	CompressedBytes int64                    `json:"compressed_bytes"`
+	Sequential      ChunkDecodeMeasurement   `json:"sequential"`
+	Parallel        []ChunkDecodeMeasurement `json:"parallel"`
+}
+
+// PrepareChunkTrace materialises one high-entropy sweep-spec trace as a
+// packet-aligned seekable .sbbt.mlzs container under dir, returning its path.
+// High entropy matters twice here: the chunks compress poorly, so per-chunk
+// decompression is a realistic share of the drain.
+func PrepareChunkTrace(dir string, scale uint64) (string, error) {
+	spec := SweepSpecs(1, scale)[0]
+	path := filepath.Join(dir, spec.Name+".sbbt.mlzs")
+	if err := writeSBBTMLZSFile(path, spec, 4); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// drainChunkDecode decodes every event of the seekable container at the
+// given decode width, no predictor — the container analogue of drainVariant.
+func drainChunkDecode(path string, workers int) (sec float64, branches uint64, err error) {
+	f, err := compress.OpenFileParallel(path, workers)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r, err := sbbt.NewReader(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	dst := make([]bp.Event, 4096)
+	start := time.Now()
+	for {
+		if _, err = r.ReadBatch(dst); err != nil {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	if err != io.EOF {
+		return 0, 0, err
+	}
+	return elapsed.Seconds(), r.TotalBranches(), nil
+}
+
+// MeasureChunkDecode benchmarks the parallel chunk decoder over one seekable
+// container at each width in workersList, taking the best of rounds runs per
+// width. Width 1 is always measured as the sequential baseline; workersList
+// entries <= 1 are skipped.
+func MeasureChunkDecode(path string, workersList []int, rounds int) (*ChunkDecodeStage, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	stat, err := compress.StatMLZSFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := &ChunkDecodeStage{
+		Trace:           path,
+		Chunks:          stat.Chunks,
+		RawBytes:        stat.RawSize,
+		CompressedBytes: stat.CompressedSize,
+	}
+
+	best := func(workers int) (ChunkDecodeMeasurement, error) {
+		m := ChunkDecodeMeasurement{Workers: workers}
+		for i := 0; i < rounds; i++ {
+			sec, branches, err := drainChunkDecode(path, workers)
+			if err != nil {
+				return ChunkDecodeMeasurement{}, fmt.Errorf("bench: chunk decode (%d workers): %w", workers, err)
+			}
+			st.Branches = branches
+			if m.Seconds == 0 || sec < m.Seconds {
+				m.Seconds = sec
+			}
+		}
+		if m.Seconds > 0 {
+			m.BranchesPerSec = float64(st.Branches) / m.Seconds
+		}
+		return m, nil
+	}
+
+	if st.Sequential, err = best(1); err != nil {
+		return nil, err
+	}
+	st.Sequential.Speedup = 1
+	for _, w := range workersList {
+		if w <= 1 {
+			continue
+		}
+		m, err := best(w)
+		if err != nil {
+			return nil, err
+		}
+		if m.Seconds > 0 {
+			m.Speedup = st.Sequential.Seconds / m.Seconds
+		}
+		st.Parallel = append(st.Parallel, m)
+	}
+	return st, nil
+}

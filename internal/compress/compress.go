@@ -19,6 +19,7 @@ const (
 	FormatRaw Format = iota
 	FormatGzip
 	FormatMLZ
+	FormatMLZS
 )
 
 // String returns the lower-case conventional name of the format.
@@ -30,6 +31,8 @@ func (f Format) String() string {
 		return "gzip"
 	case FormatMLZ:
 		return "mlz"
+	case FormatMLZS:
+		return "mlzs"
 	}
 	return fmt.Sprintf("Format(%d)", int(f))
 }
@@ -39,8 +42,13 @@ func Detect(prefix []byte) Format {
 	if len(prefix) >= 2 && prefix[0] == 0x1f && prefix[1] == 0x8b {
 		return FormatGzip
 	}
-	if len(prefix) >= 4 && prefix[0] == 'M' && prefix[1] == 'L' && prefix[2] == 'Z' && prefix[3] == '1' {
-		return FormatMLZ
+	if len(prefix) >= 4 && prefix[0] == 'M' && prefix[1] == 'L' && prefix[2] == 'Z' {
+		switch prefix[3] {
+		case '1':
+			return FormatMLZ
+		case 'S':
+			return FormatMLZS
+		}
 	}
 	return FormatRaw
 }
@@ -51,6 +59,8 @@ func FormatForPath(path string) Format {
 	switch {
 	case strings.HasSuffix(path, ".gz"):
 		return FormatGzip
+	case strings.HasSuffix(path, ".mlzs"):
+		return FormatMLZS
 	case strings.HasSuffix(path, ".mlz"):
 		return FormatMLZ
 	default:
@@ -78,9 +88,27 @@ func NewReader(r io.Reader) (io.Reader, error) {
 		return zr, nil
 	case FormatMLZ:
 		return NewMLZReader(br)
+	case FormatMLZS:
+		return NewMLZSReader(br, 1)
 	default:
 		return br, nil
 	}
+}
+
+// NewReaderParallel is NewReader with a decode worker count: formats with
+// independent chunks (MLZS) decompress on a pool of decodeWorkers
+// goroutines, all others fall back to the sequential path. The delivered
+// bytes are identical at any worker count.
+func NewReaderParallel(r io.Reader, decodeWorkers int) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	prefix, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("compress: sniffing stream: %w", err)
+	}
+	if Detect(prefix) == FormatMLZS {
+		return NewMLZSReader(br, decodeWorkers)
+	}
+	return NewReader(br)
 }
 
 // nopWriteCloser adapts a plain Writer to WriteCloser for the raw format.
@@ -108,6 +136,8 @@ func NewWriter(w io.Writer, format Format, level Level) (io.WriteCloser, error) 
 		return zw, nil
 	case FormatMLZ:
 		return NewMLZWriter(w, level), nil
+	case FormatMLZS:
+		return NewMLZSWriter(w, MLZSOptions{Level: level}), nil
 	default:
 		return nil, fmt.Errorf("compress: unknown format %v", format)
 	}
@@ -134,11 +164,19 @@ func (f *File) Close() error {
 
 // OpenFile opens path for reading with automatic decompression.
 func OpenFile(path string) (*File, error) {
+	return OpenFileParallel(path, 1)
+}
+
+// OpenFileParallel opens path for reading with automatic decompression,
+// decoding chunked containers (MLZS) on decodeWorkers goroutines. The
+// delivered bytes are identical to OpenFile at any worker count; closing
+// the File releases the decode goroutines.
+func OpenFileParallel(path string, decodeWorkers int) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	r, err := NewReader(f)
+	r, err := NewReaderParallel(f, decodeWorkers)
 	if err != nil {
 		f.Close() //mbpvet:ignore droppederr -- error path: the NewReader failure outranks a close failure on a read-only file
 		return nil, err
@@ -163,6 +201,19 @@ func CreateFile(path string, level Level) (*File, error) {
 		f.Close() //mbpvet:ignore droppederr -- error path: nothing was written yet, the NewWriter failure is the one to report
 		return nil, err
 	}
+	return &File{Writer: wc, closers: []io.Closer{wc, flushCloser{bw}, f}}, nil
+}
+
+// CreateMLZSFile creates path for writing as an MLZS container with
+// explicit options (chunk size, alignment, parallel compression workers),
+// for callers that need more than CreateFile's defaults. Output is buffered.
+func CreateMLZSFile(path string, opts MLZSOptions) (*File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	wc := NewMLZSWriter(bw, opts)
 	return &File{Writer: wc, closers: []io.Closer{wc, flushCloser{bw}, f}}, nil
 }
 

@@ -1,0 +1,1042 @@
+package compress
+
+// MLZS is the seekable chunked container over the MLZ codec, in the spirit
+// of s2's Index and pgzip: the raw stream is cut into independent chunks,
+// each compressed on its own (MLZ token stream, Huffman-coded token stream,
+// or stored) and framed with its decompressed size and a CRC-32C of the
+// payload, so chunks can be compressed and decompressed in parallel and
+// random-accessed without touching the rest of the file.
+//
+// Container layout:
+//
+//	header:
+//	    magic "MLZS" (4 bytes)
+//	    version 1 byte (currently 1)
+//	    chunkSize uvarint — the writer's raw-bytes-per-chunk target
+//	    align     uvarint — when non-zero, every chunk boundary lies at a
+//	                        raw offset ≡ alignOff (mod align); 0 = unaligned
+//	    alignOff  uvarint
+//	repeated chunk frames:
+//	    tag     1 byte    — 0x01 (chunk follows); 0x00 terminates the chunks
+//	    rawLen  uvarint   — decompressed size of the chunk
+//	    kind    1 byte    — 0 stored, 1 LZ, 2 Huffman (the MLZ block kinds)
+//	    dataLen uvarint   — encoded payload size
+//	    crc     4 bytes   — CRC-32C (Castagnoli) of the payload, little-endian
+//	    payload dataLen bytes
+//	index trailer (after the 0x00 tag):
+//	    count uvarint, then per chunk:
+//	        offDelta uvarint — frame offset minus the previous frame offset
+//	                           (the first delta is the absolute header length)
+//	        rawLen   uvarint
+//	footer (fixed 12 bytes, located by seeking to end-of-file):
+//	    trailerLen u32 LE | trailer CRC-32C u32 LE | end magic "SZLM"
+//
+// A sequential reader never needs the trailer: frames are self-delimiting
+// and the 0x00 tag ends the data, so the container streams through
+// NewReader exactly like the legacy MLZ format. Seekable consumers locate
+// the trailer through the footer; a damaged trailer yields a typed
+// faults.ErrCorrupt (never a wrong chunk table — it is CRC-protected), and
+// callers fall back to a sequential scan (ScanMLZSIndex) or plain
+// streaming.
+//
+// The alignment fields exist for the trace cache: an SBBT stream written
+// with align=16, alignOff=24 has every chunk boundary on a packet boundary
+// (chunk 0 additionally holds the 24-byte header), so each chunk decodes to
+// a whole number of events independently of its neighbours.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"mbplib/internal/faults"
+)
+
+// mlzsMagic opens the container; mlzsEndMagic closes the footer (reversed,
+// so neither can be mistaken for the other when sniffing either end).
+var (
+	mlzsMagic    = [4]byte{'M', 'L', 'Z', 'S'}
+	mlzsEndMagic = [4]byte{'S', 'Z', 'L', 'M'}
+)
+
+const (
+	mlzsVersion = 1
+	// DefaultMLZSChunkSize is the raw bytes per chunk when MLZSOptions does
+	// not say otherwise: 1 MiB keeps per-chunk compression ratios within a
+	// few percent of the 4 MiB stream-MLZ blocks while giving a 4-worker
+	// decode enough chunks to stay busy on even short traces.
+	DefaultMLZSChunkSize = 1 << 20
+	// mlzsChunkTag / mlzsEndTag frame the chunk sequence.
+	mlzsChunkTag = 0x01
+	mlzsEndTag   = 0x00
+	// mlzsFooterSize is the fixed byte size of the end-of-file footer.
+	mlzsFooterSize = 12
+)
+
+// mlzsCastagnoli is the CRC-32C table shared by chunk framing and trailer.
+var mlzsCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// MLZSOptions configures an MLZS writer.
+type MLZSOptions struct {
+	// ChunkSize is the raw bytes per chunk; 0 means DefaultMLZSChunkSize.
+	// Values are clamped to [1, the MLZ block size].
+	ChunkSize int
+	// Level selects the MLZ match-search effort per chunk.
+	Level Level
+	// Workers is the number of chunks compressed concurrently, pgzip-style.
+	// <= 1 compresses inline on the Write caller. Output bytes are identical
+	// at any worker count: chunks are independent and frames are written in
+	// order.
+	Workers int
+	// Align and AlignOffset, when Align > 0, restrict chunk boundaries to
+	// raw offsets ≡ AlignOffset (mod Align), so fixed-size records of the
+	// inner stream never straddle a chunk. Alignment that cannot be honoured
+	// (Align+AlignOffset exceeding the chunk size) is dropped.
+	Align       int
+	AlignOffset int
+}
+
+// normalized clamps the options to what the container can represent.
+func (o MLZSOptions) normalized() MLZSOptions {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultMLZSChunkSize
+	}
+	if o.ChunkSize > mlzBlockSize {
+		o.ChunkSize = mlzBlockSize
+	}
+	if o.Align <= 0 || o.AlignOffset < 0 || o.Align+o.AlignOffset > o.ChunkSize {
+		o.Align, o.AlignOffset = 0, 0
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// mlzsChunkInfo is one trailer entry while writing.
+type mlzsChunkInfo struct {
+	off    int64 // file offset of the chunk frame
+	rawLen int64
+}
+
+// mlzsJob is one chunk travelling through the parallel compression pool.
+type mlzsJob struct {
+	raw     []byte
+	payload []byte
+	kind    byte
+	done    chan struct{}
+}
+
+// mlzsWriter implements io.WriteCloser for the MLZS container.
+type mlzsWriter struct {
+	w     io.Writer
+	opts  MLZSOptions
+	buf   []byte // current chunk being filled
+	cut   int    // raw length the current chunk will be cut at
+	off   int64  // bytes written to w so far
+	raw   int64  // raw bytes consumed so far
+	index []mlzsChunkInfo
+	wrote bool // header emitted
+	err   error
+
+	// Parallel-compression state (opts.Workers > 1).
+	jobs    chan *mlzsJob
+	pending []*mlzsJob
+	free    chan []byte
+
+	// Inline-compression state (opts.Workers <= 1).
+	enc     mlzEncoder
+	huffBuf []byte
+}
+
+// NewMLZSWriter returns a WriteCloser that writes the MLZS container into w.
+// Close flushes the final chunk and writes the index trailer and footer but
+// does not close w.
+func NewMLZSWriter(w io.Writer, opts MLZSOptions) io.WriteCloser {
+	z := &mlzsWriter{w: w, opts: opts.normalized()}
+	if z.opts.Workers > 1 {
+		z.jobs = make(chan *mlzsJob, z.opts.Workers)
+		z.free = make(chan []byte, 2*z.opts.Workers)
+		for i := 0; i < z.opts.Workers; i++ {
+			go mlzsCompressWorker(z.jobs, z.opts.Level)
+		}
+	}
+	return z
+}
+
+// mlzsCompressWorker compresses chunks until the jobs channel closes. Each
+// worker owns its encoder state; payloads that alias encoder buffers are
+// copied into the job so the worker can move on while the frame waits to be
+// written in order.
+func mlzsCompressWorker(jobs <-chan *mlzsJob, level Level) {
+	var enc mlzEncoder
+	var huffBuf []byte
+	for j := range jobs {
+		var out []byte
+		out, j.kind, huffBuf = mlzsCompressChunk(&enc, huffBuf, j.raw, level)
+		if j.kind == blockStored {
+			j.payload = j.raw
+		} else {
+			j.payload = append(j.payload[:0], out...)
+		}
+		close(j.done)
+	}
+}
+
+// mlzsCompressChunk compresses one chunk with the MLZ machinery, choosing
+// the smallest of LZ, Huffman-coded LZ and stored. The returned payload may
+// alias enc's or huffBuf's storage.
+func mlzsCompressChunk(enc *mlzEncoder, huffBuf, raw []byte, level Level) (payload []byte, kind byte, newHuffBuf []byte) {
+	payload = enc.encode(raw, level)
+	kind = blockLZ
+	if huff, ok := huffEncode(payload, huffBuf); ok {
+		huffBuf = huff
+		payload = huff
+		kind = blockHuffman
+	}
+	if len(payload) >= len(raw) {
+		payload = raw
+		kind = blockStored
+	}
+	return payload, kind, huffBuf
+}
+
+// chunkTarget returns the raw length the chunk starting at z.raw should be
+// cut at, honouring the alignment constraint.
+func (z *mlzsWriter) chunkTarget() int {
+	target := z.opts.ChunkSize
+	if a := int64(z.opts.Align); a > 0 {
+		next := z.raw + int64(target)
+		aligned := next - (next-int64(z.opts.AlignOffset))%a
+		if aligned > z.raw {
+			return int(aligned - z.raw)
+		}
+	}
+	return target
+}
+
+func (z *mlzsWriter) Write(p []byte) (int, error) {
+	if z.err != nil {
+		return 0, z.err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		if z.cut == 0 {
+			z.cut = z.chunkTarget()
+		}
+		take := z.cut - len(z.buf)
+		if take > len(p) {
+			take = len(p)
+		}
+		z.buf = append(z.buf, p[:take]...)
+		p = p[take:]
+		if len(z.buf) == z.cut {
+			if z.err = z.flushChunk(); z.err != nil {
+				return n - len(p), z.err
+			}
+			z.cut = 0
+		}
+	}
+	return n, nil
+}
+
+// writeHeader emits the container header once.
+func (z *mlzsWriter) writeHeader() error {
+	if z.wrote {
+		return nil
+	}
+	hdr := append([]byte{}, mlzsMagic[:]...)
+	hdr = append(hdr, mlzsVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(z.opts.ChunkSize))
+	hdr = binary.AppendUvarint(hdr, uint64(z.opts.Align))
+	hdr = binary.AppendUvarint(hdr, uint64(z.opts.AlignOffset))
+	if _, err := z.w.Write(hdr); err != nil {
+		return err
+	}
+	z.off = int64(len(hdr))
+	z.wrote = true
+	return nil
+}
+
+// flushChunk hands the filled chunk to the compression pool (or compresses
+// it inline) and writes any frames that are ready, preserving chunk order.
+func (z *mlzsWriter) flushChunk() error {
+	if err := z.writeHeader(); err != nil {
+		return err
+	}
+	if len(z.buf) == 0 {
+		return nil
+	}
+	z.raw += int64(len(z.buf))
+	if z.jobs == nil {
+		payload, kind, huffBuf := mlzsCompressChunk(&z.enc, z.huffBuf, z.buf, z.opts.Level)
+		z.huffBuf = huffBuf
+		if err := z.writeFrame(int64(len(z.buf)), kind, payload); err != nil {
+			return err
+		}
+		z.buf = z.buf[:0]
+		return nil
+	}
+	j := &mlzsJob{raw: z.buf, done: make(chan struct{})}
+	select {
+	case z.buf = <-z.free:
+		z.buf = z.buf[:0]
+	default:
+		z.buf = make([]byte, 0, z.opts.ChunkSize)
+	}
+	z.jobs <- j
+	z.pending = append(z.pending, j)
+	// Bound in-flight chunks: drain the oldest once the window is full.
+	if len(z.pending) >= 2*z.opts.Workers {
+		return z.drainOne()
+	}
+	return nil
+}
+
+// drainOne waits for the oldest in-flight chunk and writes its frame.
+func (z *mlzsWriter) drainOne() error {
+	j := z.pending[0]
+	z.pending = z.pending[1:]
+	<-j.done
+	err := z.writeFrame(int64(len(j.raw)), j.kind, j.payload)
+	select {
+	case z.free <- j.raw:
+	default:
+	}
+	return err
+}
+
+// writeFrame emits one chunk frame and records its trailer entry.
+func (z *mlzsWriter) writeFrame(rawLen int64, kind byte, payload []byte) error {
+	z.index = append(z.index, mlzsChunkInfo{off: z.off, rawLen: rawLen})
+	var hdr [2*binary.MaxVarintLen64 + 6]byte
+	hdr[0] = mlzsChunkTag
+	n := 1
+	n += binary.PutUvarint(hdr[n:], uint64(rawLen))
+	hdr[n] = kind
+	n++
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(payload, mlzsCastagnoli))
+	n += 4
+	if _, err := z.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := z.w.Write(payload); err != nil {
+		return err
+	}
+	z.off += int64(n) + int64(len(payload))
+	return nil
+}
+
+// Close flushes the final chunk, drains the pool, and writes the end tag,
+// index trailer and footer.
+func (z *mlzsWriter) Close() error {
+	if z.err != nil {
+		return z.err
+	}
+	fail := func(err error) error {
+		z.err = err
+		z.stopWorkers()
+		return err
+	}
+	if err := z.flushChunk(); err != nil {
+		return fail(err)
+	}
+	if err := z.writeHeader(); err != nil { // empty stream still gets a frame
+		return fail(err)
+	}
+	for len(z.pending) > 0 {
+		if err := z.drainOne(); err != nil {
+			return fail(err)
+		}
+	}
+	z.stopWorkers()
+	if _, err := z.w.Write([]byte{mlzsEndTag}); err != nil {
+		return fail(err)
+	}
+	trailer := binary.AppendUvarint(nil, uint64(len(z.index)))
+	prev := int64(0)
+	for _, ci := range z.index {
+		trailer = binary.AppendUvarint(trailer, uint64(ci.off-prev))
+		prev = ci.off
+		trailer = binary.AppendUvarint(trailer, uint64(ci.rawLen))
+	}
+	if _, err := z.w.Write(trailer); err != nil {
+		return fail(err)
+	}
+	var footer [mlzsFooterSize]byte
+	binary.LittleEndian.PutUint32(footer[0:4], uint32(len(trailer)))
+	binary.LittleEndian.PutUint32(footer[4:8], crc32.Checksum(trailer, mlzsCastagnoli))
+	copy(footer[8:], mlzsEndMagic[:])
+	if _, err := z.w.Write(footer[:]); err != nil {
+		return fail(err)
+	}
+	z.err = errors.New("compress: writer closed")
+	return nil
+}
+
+func (z *mlzsWriter) stopWorkers() {
+	if z.jobs != nil {
+		// Unblock the workers; frames already handed out are drained first
+		// by Close, and on error paths the payloads are simply discarded.
+		for _, j := range z.pending {
+			<-j.done
+		}
+		z.pending = nil
+		close(z.jobs)
+		z.jobs = nil
+	}
+}
+
+// byteSource is the reader shape the frame parser needs.
+type byteSource interface {
+	io.Reader
+	io.ByteReader
+}
+
+// mlzsHeader is the decoded container header.
+type mlzsHeader struct {
+	chunkSize int64
+	align     int64
+	alignOff  int64
+	length    int64 // encoded header length in bytes
+}
+
+// countingByteSource tracks how many bytes were consumed, so header and
+// frame offsets can be recovered from a pure stream scan.
+type countingByteSource struct {
+	r byteSource
+	n int64
+}
+
+func (c *countingByteSource) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingByteSource) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+// parseMLZSHeader consumes and validates the container header, including the
+// 4-byte magic.
+func parseMLZSHeader(r *countingByteSource) (mlzsHeader, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return mlzsHeader{}, fmt.Errorf("compress: reading MLZS magic: %w", faults.ErrTruncated)
+		}
+		return mlzsHeader{}, fmt.Errorf("compress: reading MLZS magic: %w", err)
+	}
+	if magic != mlzsMagic {
+		return mlzsHeader{}, fmt.Errorf("compress: not an MLZS container: %w", faults.ErrCorrupt)
+	}
+	version, err := r.ReadByte()
+	if err != nil {
+		return mlzsHeader{}, fmt.Errorf("compress: MLZS header: %w", classifyVarintErr(err))
+	}
+	if version != mlzsVersion {
+		return mlzsHeader{}, fmt.Errorf("compress: unsupported MLZS version %d (want %d): %w", version, mlzsVersion, faults.ErrCorrupt)
+	}
+	var h mlzsHeader
+	fields := []*int64{&h.chunkSize, &h.align, &h.alignOff}
+	for _, f := range fields {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return mlzsHeader{}, fmt.Errorf("compress: MLZS header: %w", classifyVarintErr(err))
+		}
+		if v > mlzBlockSize {
+			return mlzsHeader{}, fmt.Errorf("compress: MLZS header field %d exceeds %d: %w", v, mlzBlockSize, faults.ErrLimit)
+		}
+		*f = int64(v)
+	}
+	if h.chunkSize == 0 {
+		return mlzsHeader{}, fmt.Errorf("compress: MLZS header declares zero chunk size: %w", faults.ErrCorrupt)
+	}
+	h.length = r.n
+	return h, nil
+}
+
+// mlzsFrame is one parsed chunk frame header.
+type mlzsFrame struct {
+	rawLen  int64
+	kind    byte
+	dataLen int64
+	crc     uint32
+}
+
+// readMLZSFrameHeader parses the next frame header. done reports the 0x00
+// end tag; chunk is the frame's index, used only for error texts (which the
+// streaming and seekable paths share, so failures read identically).
+func readMLZSFrameHeader(r byteSource, chunk int) (fr mlzsFrame, done bool, err error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return fr, false, fmt.Errorf("compress: MLZS container ends without terminator: %w", faults.ErrTruncated)
+		}
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d header: %w", chunk, classifyVarintErr(err))
+	}
+	switch tag {
+	case mlzsEndTag:
+		return fr, true, nil
+	case mlzsChunkTag:
+	default:
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d: bad frame tag %#02x: %w", chunk, tag, faults.ErrCorrupt)
+	}
+	rawLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d header: %w", chunk, classifyVarintErr(err))
+	}
+	if rawLen > mlzBlockSize {
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d raw length %d exceeds %d: %w", chunk, rawLen, mlzBlockSize, faults.ErrLimit)
+	}
+	kind, err := r.ReadByte()
+	if err != nil {
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d header: %w", chunk, classifyVarintErr(err))
+	}
+	dataLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d header: %w", chunk, classifyVarintErr(err))
+	}
+	if dataLen > mlzBlockSize {
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d data length %d exceeds %d: %w", chunk, dataLen, mlzBlockSize, faults.ErrLimit)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return fr, false, fmt.Errorf("compress: MLZS chunk %d header: %w", chunk, faults.ErrTruncated)
+	}
+	fr.rawLen, fr.kind, fr.dataLen = int64(rawLen), kind, int64(dataLen)
+	fr.crc = binary.LittleEndian.Uint32(crcBuf[:])
+	return fr, false, nil
+}
+
+// mlzsDecodePayload verifies the CRC and decompresses one chunk payload into
+// dst (whose capacity is grown as needed), returning dst sized to rawLen.
+// Error texts are shared by every decode path.
+func mlzsDecodePayload(huff *huffDecoder, dst []byte, fr mlzsFrame, payload []byte, chunk int) ([]byte, error) {
+	if got := crc32.Checksum(payload, mlzsCastagnoli); got != fr.crc {
+		return nil, fmt.Errorf("compress: MLZS chunk %d checksum mismatch (got %#08x, want %#08x): %w", chunk, got, fr.crc, faults.ErrCorrupt)
+	}
+	if cap(dst) < int(fr.rawLen) {
+		dst = make([]byte, 0, fr.rawLen)
+	}
+	switch fr.kind {
+	case blockStored:
+		if fr.dataLen != fr.rawLen {
+			return nil, fmt.Errorf("compress: corrupt MLZS chunk %d: stored size mismatch: %w", chunk, faults.ErrCorrupt)
+		}
+		dst = dst[:fr.rawLen]
+		copy(dst, payload)
+		return dst, nil
+	case blockHuffman:
+		lz, err := huff.decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("compress: MLZS chunk %d: %w", chunk, err)
+		}
+		out, err := mlzDecodeBlock(dst[:0], lz, int(fr.rawLen))
+		if err != nil {
+			return nil, fmt.Errorf("compress: MLZS chunk %d: %w", chunk, err)
+		}
+		return out, nil
+	case blockLZ:
+		out, err := mlzDecodeBlock(dst[:0], payload, int(fr.rawLen))
+		if err != nil {
+			return nil, fmt.Errorf("compress: MLZS chunk %d: %w", chunk, err)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("compress: unknown MLZS chunk kind %d: %w", fr.kind, faults.ErrCorrupt)
+}
+
+// mlzsSeqReader is the sequential streaming decoder: one chunk at a time on
+// the Read caller, no goroutines. It is the shape compress.NewReader
+// returns, so old stream-oriented consumers work unchanged.
+type mlzsSeqReader struct {
+	r       *countingByteSource
+	chunk   int
+	block   []byte
+	pos     int
+	payload []byte
+	huff    huffDecoder
+	done    bool
+	err     error
+}
+
+// NewMLZSReader returns a Reader decompressing an MLZS container from r,
+// decoding chunks with the given number of workers (<= 1 decodes inline on
+// the Read caller). The 4-byte magic must not have been consumed yet. The
+// delivered byte stream — including the position and text of any error — is
+// identical at every worker count. The parallel reader implements io.Closer;
+// closing it releases its goroutines early (reading to EOF or an error also
+// does).
+func NewMLZSReader(r io.Reader, workers int) (io.Reader, error) {
+	src, ok := r.(byteSource)
+	if !ok {
+		src = &byteReader{r: r}
+	}
+	cs := &countingByteSource{r: src}
+	if _, err := parseMLZSHeader(cs); err != nil {
+		return nil, err
+	}
+	if workers <= 1 {
+		return &mlzsSeqReader{r: cs}, nil
+	}
+	return newMLZSParallelReader(cs, workers), nil
+}
+
+func (z *mlzsSeqReader) Read(p []byte) (int, error) {
+	for {
+		if z.err != nil {
+			return 0, z.err
+		}
+		if z.pos < len(z.block) {
+			n := copy(p, z.block[z.pos:])
+			z.pos += n
+			return n, nil
+		}
+		if z.done {
+			return 0, io.EOF
+		}
+		if err := z.nextChunk(); err != nil {
+			z.err = err
+			return 0, err
+		}
+	}
+}
+
+func (z *mlzsSeqReader) nextChunk() error {
+	fr, done, err := readMLZSFrameHeader(z.r, z.chunk)
+	if err != nil {
+		return err
+	}
+	if done {
+		z.done = true
+		return io.EOF
+	}
+	if cap(z.payload) < int(fr.dataLen) {
+		z.payload = make([]byte, fr.dataLen)
+	}
+	payload := z.payload[:fr.dataLen]
+	if _, err := io.ReadFull(z.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("compress: MLZS chunk %d payload: %w", z.chunk, faults.ErrTruncated)
+		}
+		return fmt.Errorf("compress: MLZS chunk %d payload: %w", z.chunk, err)
+	}
+	block, err := mlzsDecodePayload(&z.huff, z.block, fr, payload, z.chunk)
+	if err != nil {
+		return err
+	}
+	z.block, z.pos = block, 0
+	z.chunk++
+	return nil
+}
+
+// mlzsDecJob is one chunk travelling through the parallel decode pool.
+type mlzsDecJob struct {
+	chunk   int
+	fr      mlzsFrame
+	payload []byte
+	block   []byte
+	err     error
+	done    chan struct{}
+}
+
+// mlzsParallelReader decodes chunks on a worker pool while delivering bytes
+// strictly in chunk order: a demux goroutine parses frames and reads
+// payloads sequentially, workers CRC-check and decompress concurrently, and
+// Read consumes the jobs in submission order — so output bytes, error
+// position and error text are identical to the sequential reader.
+type mlzsParallelReader struct {
+	order chan *mlzsDecJob
+	quit  chan struct{}
+	free  chan *mlzsDecJob
+	cur   *mlzsDecJob
+	pos   int
+	err   error
+}
+
+func newMLZSParallelReader(cs *countingByteSource, workers int) *mlzsParallelReader {
+	z := &mlzsParallelReader{
+		order: make(chan *mlzsDecJob, 2*workers+2),
+		quit:  make(chan struct{}),
+		free:  make(chan *mlzsDecJob, 2*workers+2),
+	}
+	jobs := make(chan *mlzsDecJob, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			var huff huffDecoder
+			for j := range jobs {
+				if j.err == nil {
+					j.block, j.err = mlzsDecodePayload(&huff, j.block, j.fr, j.payload, j.chunk)
+				}
+				close(j.done)
+			}
+		}()
+	}
+	go z.demux(cs, jobs)
+	return z
+}
+
+// demux parses frames in order and feeds the worker pool. A parse error (or
+// the end tag) is delivered as a final sentinel job so it surfaces after
+// every preceding chunk's bytes, exactly where the sequential reader would
+// report it.
+func (z *mlzsParallelReader) demux(cs *countingByteSource, jobs chan<- *mlzsDecJob) {
+	defer close(jobs)
+	for chunk := 0; ; chunk++ {
+		j := z.newJob(chunk)
+		fr, done, err := readMLZSFrameHeader(cs, chunk)
+		if err == nil && !done {
+			j.fr = fr
+			if cap(j.payload) < int(fr.dataLen) {
+				j.payload = make([]byte, fr.dataLen)
+			}
+			j.payload = j.payload[:fr.dataLen]
+			if _, rerr := io.ReadFull(cs, j.payload); rerr != nil {
+				if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+					rerr = fmt.Errorf("compress: MLZS chunk %d payload: %w", chunk, faults.ErrTruncated)
+				} else {
+					rerr = fmt.Errorf("compress: MLZS chunk %d payload: %w", chunk, rerr)
+				}
+				err = rerr
+			}
+		}
+		terminal := done || err != nil
+		if terminal {
+			j.err = err // nil on the clean end tag: Read maps it to io.EOF
+			if err == nil {
+				j.err = io.EOF
+			}
+			close(j.done) // sentinel skips the pool
+		} else {
+			select {
+			case jobs <- j:
+			case <-z.quit:
+				return
+			}
+		}
+		select {
+		case z.order <- j:
+		case <-z.quit:
+			return
+		}
+		if terminal {
+			return
+		}
+	}
+}
+
+// newJob recycles a delivered job or allocates a fresh one.
+func (z *mlzsParallelReader) newJob(chunk int) *mlzsDecJob {
+	select {
+	case j := <-z.free:
+		j.chunk, j.err = chunk, nil
+		j.done = make(chan struct{})
+		return j
+	default:
+		return &mlzsDecJob{chunk: chunk, done: make(chan struct{})}
+	}
+}
+
+func (z *mlzsParallelReader) Read(p []byte) (int, error) {
+	for {
+		if z.err != nil {
+			return 0, z.err
+		}
+		if z.cur != nil && z.pos < len(z.cur.block) {
+			n := copy(p, z.cur.block[z.pos:])
+			z.pos += n
+			return n, nil
+		}
+		if z.cur != nil {
+			select {
+			case z.free <- z.cur:
+			default:
+			}
+			z.cur = nil
+		}
+		j, ok := <-z.order
+		if !ok {
+			z.err = io.EOF
+			return 0, z.err
+		}
+		<-j.done
+		if j.err != nil {
+			z.err = j.err
+			return 0, z.err
+		}
+		z.cur, z.pos = j, 0
+	}
+}
+
+// Close tears the pipeline down early; Read afterwards reports the sticky
+// error (or EOF). Reading to the end of the stream already releases the
+// goroutines, so Close is only needed for abandoned readers.
+func (z *mlzsParallelReader) Close() error {
+	select {
+	case <-z.quit:
+	default:
+		close(z.quit)
+	}
+	if z.err == nil {
+		z.err = io.EOF
+	}
+	return nil
+}
+
+// MLZSChunk locates one chunk of a container.
+type MLZSChunk struct {
+	// Off is the file offset of the chunk's frame.
+	Off int64
+	// RawOff and RawLen place the chunk in the decompressed stream.
+	RawOff int64
+	RawLen int64
+}
+
+// MLZSIndex is the decoded chunk table of a container.
+type MLZSIndex struct {
+	// ChunkSize, Align and AlignOffset echo the writer's options from the
+	// container header.
+	ChunkSize   int64
+	Align       int64
+	AlignOffset int64
+	// HeaderLen is the encoded header length (the offset of chunk 0's frame).
+	HeaderLen int64
+	Chunks    []MLZSChunk
+	// RawSize is the total decompressed size.
+	RawSize int64
+}
+
+// NumChunks returns the number of chunks in the container.
+func (ix *MLZSIndex) NumChunks() int { return len(ix.Chunks) }
+
+// Aligned reports whether every chunk boundary lies at a raw offset
+// ≡ off (mod align) — the contract record-granular consumers (the trace
+// cache) check before decoding chunks independently.
+func (ix *MLZSIndex) Aligned(align, off int64) bool {
+	return ix.Align == align && ix.AlignOffset == off && ix.Align > 0
+}
+
+// ReadMLZSIndex locates and decodes the index trailer of an MLZS container
+// through the fixed footer at the end of the file. Damage anywhere on that
+// path — missing footer, trailer CRC mismatch, implausible offsets — yields
+// a typed error (never a wrong table); callers that can still stream fall
+// back to ScanMLZSIndex or a plain sequential read.
+func ReadMLZSIndex(ra io.ReaderAt, size int64) (*MLZSIndex, error) {
+	if size < mlzsFooterSize+6 {
+		return nil, fmt.Errorf("compress: MLZS index: %d-byte file cannot hold a footer: %w", size, faults.ErrTruncated)
+	}
+	var footer [mlzsFooterSize]byte
+	if _, err := ra.ReadAt(footer[:], size-mlzsFooterSize); err != nil {
+		return nil, fmt.Errorf("compress: MLZS index: reading footer: %w", err)
+	}
+	if [4]byte(footer[8:12]) != mlzsEndMagic {
+		return nil, fmt.Errorf("compress: MLZS index: missing footer magic: %w", faults.ErrCorrupt)
+	}
+	trailerLen := int64(binary.LittleEndian.Uint32(footer[0:4]))
+	wantCRC := binary.LittleEndian.Uint32(footer[4:8])
+	if trailerLen > size-mlzsFooterSize {
+		return nil, fmt.Errorf("compress: MLZS index: trailer length %d exceeds file: %w", trailerLen, faults.ErrCorrupt)
+	}
+	trailer := make([]byte, trailerLen)
+	if _, err := ra.ReadAt(trailer, size-mlzsFooterSize-trailerLen); err != nil {
+		return nil, fmt.Errorf("compress: MLZS index: reading trailer: %w", err)
+	}
+	if got := crc32.Checksum(trailer, mlzsCastagnoli); got != wantCRC {
+		return nil, fmt.Errorf("compress: MLZS index: trailer checksum mismatch (got %#08x, want %#08x): %w", got, wantCRC, faults.ErrCorrupt)
+	}
+	hdrBuf := make([]byte, 64)
+	if n, err := ra.ReadAt(hdrBuf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("compress: MLZS index: reading header: %w", err)
+	} else {
+		hdrBuf = hdrBuf[:n]
+	}
+	cs := &countingByteSource{r: bytes.NewReader(hdrBuf)}
+	h, err := parseMLZSHeader(cs)
+	if err != nil {
+		return nil, err
+	}
+	ix := &MLZSIndex{ChunkSize: h.chunkSize, Align: h.align, AlignOffset: h.alignOff, HeaderLen: h.length}
+	tr := bytes.NewReader(trailer)
+	count, err := binary.ReadUvarint(tr)
+	if err != nil {
+		return nil, fmt.Errorf("compress: MLZS index: %w", classifyVarintErr(err))
+	}
+	// Each chunk costs at least 7 frame bytes, so a count beyond the file
+	// size is hostile; reject before allocating for it.
+	if count > uint64(size) {
+		return nil, fmt.Errorf("compress: MLZS index declares %d chunks in a %d-byte file: %w", count, size, faults.ErrLimit)
+	}
+	ix.Chunks = make([]MLZSChunk, 0, count)
+	off, rawOff := int64(0), int64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(tr)
+		if err != nil {
+			return nil, fmt.Errorf("compress: MLZS index: %w", classifyVarintErr(err))
+		}
+		rawLen, err := binary.ReadUvarint(tr)
+		if err != nil {
+			return nil, fmt.Errorf("compress: MLZS index: %w", classifyVarintErr(err))
+		}
+		off += int64(delta)
+		if delta == 0 || off >= size || rawLen == 0 || rawLen > mlzBlockSize {
+			return nil, fmt.Errorf("compress: MLZS index: implausible chunk %d (offset %d, raw %d): %w", i, off, rawLen, faults.ErrCorrupt)
+		}
+		ix.Chunks = append(ix.Chunks, MLZSChunk{Off: off, RawOff: rawOff, RawLen: int64(rawLen)})
+		rawOff += int64(rawLen)
+	}
+	if tr.Len() != 0 {
+		return nil, fmt.Errorf("compress: MLZS index: %d trailing trailer bytes: %w", tr.Len(), faults.ErrCorrupt)
+	}
+	ix.RawSize = rawOff
+	return ix, nil
+}
+
+// ScanMLZSIndex rebuilds the chunk table by scanning frames sequentially,
+// for containers whose trailer is damaged or still being written. Payloads
+// are skipped, not decompressed or CRC-verified.
+func ScanMLZSIndex(r io.Reader) (*MLZSIndex, error) {
+	src, ok := r.(byteSource)
+	if !ok {
+		src = &byteReader{r: r}
+	}
+	cs := &countingByteSource{r: src}
+	h, err := parseMLZSHeader(cs)
+	if err != nil {
+		return nil, err
+	}
+	ix := &MLZSIndex{ChunkSize: h.chunkSize, Align: h.align, AlignOffset: h.alignOff, HeaderLen: h.length}
+	rawOff := int64(0)
+	for chunk := 0; ; chunk++ {
+		off := cs.n
+		fr, done, err := readMLZSFrameHeader(cs, chunk)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			ix.RawSize = rawOff
+			return ix, nil
+		}
+		if _, err := io.CopyN(io.Discard, cs, fr.dataLen); err != nil {
+			return nil, fmt.Errorf("compress: MLZS chunk %d payload: %w", chunk, faults.ErrTruncated)
+		}
+		ix.Chunks = append(ix.Chunks, MLZSChunk{Off: off, RawOff: rawOff, RawLen: fr.rawLen})
+		rawOff += fr.rawLen
+	}
+}
+
+// MLZSChunkDecoder decodes chunks of one container through an io.ReaderAt,
+// reusing its buffers across calls. It is not safe for concurrent use; give
+// each goroutine its own decoder (the underlying ReaderAt may be shared —
+// os.File ReadAt is concurrency-safe).
+type MLZSChunkDecoder struct {
+	ra      io.ReaderAt
+	ix      *MLZSIndex
+	huff    huffDecoder
+	frame   []byte
+	scratch []byte
+}
+
+// NewMLZSChunkDecoder returns a decoder for the indexed container in ra.
+func NewMLZSChunkDecoder(ra io.ReaderAt, ix *MLZSIndex) *MLZSChunkDecoder {
+	return &MLZSChunkDecoder{ra: ra, ix: ix}
+}
+
+// Decode returns the decompressed bytes of chunk i. The result aliases the
+// decoder's internal buffer and is valid until the next Decode call. The
+// frame is re-validated against the index (tag, raw length, CRC), so a
+// stale or hostile index yields a typed error rather than wrong bytes.
+func (d *MLZSChunkDecoder) Decode(i int) ([]byte, error) {
+	if i < 0 || i >= len(d.ix.Chunks) {
+		return nil, fmt.Errorf("compress: MLZS chunk %d out of range [0, %d): %w", i, len(d.ix.Chunks), faults.ErrCorrupt)
+	}
+	ci := d.ix.Chunks[i]
+	// One frame header is at most 1 + 10 + 1 + 10 + 4 bytes; over-read and
+	// parse from memory, then fetch the payload precisely.
+	const maxFrameHeader = 26
+	if cap(d.frame) < maxFrameHeader {
+		d.frame = make([]byte, maxFrameHeader)
+	}
+	hdr := d.frame[:maxFrameHeader]
+	n, err := d.ra.ReadAt(hdr, ci.Off)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("compress: MLZS chunk %d: %w", i, err)
+	}
+	cs := &countingByteSource{r: bytes.NewReader(hdr[:n])}
+	fr, done, err := readMLZSFrameHeader(cs, i)
+	if err != nil {
+		return nil, err
+	}
+	if done || fr.rawLen != ci.RawLen {
+		return nil, fmt.Errorf("compress: MLZS chunk %d frame disagrees with index: %w", i, faults.ErrCorrupt)
+	}
+	if cap(d.scratch) < int(fr.dataLen) {
+		d.scratch = make([]byte, fr.dataLen)
+	}
+	payload := d.scratch[:fr.dataLen]
+	if _, err := io.ReadFull(io.NewSectionReader(d.ra, ci.Off+cs.n, fr.dataLen), payload); err != nil {
+		return nil, fmt.Errorf("compress: MLZS chunk %d payload: %w", i, faults.ErrTruncated)
+	}
+	block, err := mlzsDecodePayload(&d.huff, nil, fr, payload, i)
+	if err != nil {
+		return nil, err
+	}
+	return block, nil
+}
+
+// MLZSStat summarises a container file for tooling (mbptrace info).
+type MLZSStat struct {
+	Chunks         int
+	ChunkSize      int64
+	Align          int64
+	AlignOffset    int64
+	RawSize        int64
+	CompressedSize int64
+	// Indexed reports whether the trailer was intact; false means the stat
+	// came from a sequential scan.
+	Indexed bool
+}
+
+// StatMLZSFile reads the container summary of an MLZS file, falling back to
+// a sequential frame scan when the index trailer is damaged.
+func StatMLZSFile(path string) (*MLZSStat, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //mbpvet:ignore droppederr -- read side: nothing to lose on a read-only close
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	stat := &MLZSStat{CompressedSize: fi.Size()}
+	ix, err := ReadMLZSIndex(f, fi.Size())
+	if err != nil {
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			return nil, serr
+		}
+		ix, err = ScanMLZSIndex(bufio.NewReaderSize(f, 1<<16))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		stat.Indexed = true
+	}
+	stat.Chunks = ix.NumChunks()
+	stat.ChunkSize = ix.ChunkSize
+	stat.Align = ix.Align
+	stat.AlignOffset = ix.AlignOffset
+	stat.RawSize = ix.RawSize
+	return stat, nil
+}

@@ -289,6 +289,100 @@ func TestSweepMLZBitFlips(t *testing.T) {
 	}
 }
 
+func compressMLZS(t *testing.T, raw []byte, chunkSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := compress.NewMLZSWriter(&buf, compress.MLZSOptions{ChunkSize: chunkSize, Level: compress.LevelBest})
+	if _, err := w.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openMLZS stacks the auto-detecting decompressor (which recognises the
+// chunked container) under the SBBT reader.
+func openMLZS(r io.Reader) (bp.Reader, error) { return openMLZ(r) }
+
+// TestSweepMLZSTruncation cuts the chunked container at every byte offset:
+// header, chunk frames, payloads, CRCs, index trailer and footer. The
+// streaming reader stops at the end tag, so cuts confined to the trailer are
+// invisible to it — the contract is "typed error, or verified-intact stream".
+func TestSweepMLZSTruncation(t *testing.T) {
+	evs := seedEvents(300)
+	data := compressMLZS(t, seedSBBT(t, evs), 512)
+	for off := 0; off < len(data); off++ {
+		err := drainVerify(t, faults.NewInjector(bytes.NewReader(data), faults.Truncate(int64(off))), openMLZS, evs)
+		if err == nil {
+			continue // cut past everything the consumer reads; stream intact
+		}
+		requireTyped(t, "truncation", err)
+	}
+}
+
+// TestSweepMLZSBitFlips flips every bit of every byte of the container.
+// Per-chunk CRC-32C catches any payload or frame damage the decoder would
+// otherwise propagate; trailer flips are unread by the streaming path.
+func TestSweepMLZSBitFlips(t *testing.T) {
+	evs := seedEvents(300)
+	data := compressMLZS(t, seedSBBT(t, evs), 512)
+	for off := 0; off < len(data); off++ {
+		for bit := uint8(0); bit < 8; bit++ {
+			err := drainVerify(t, faults.NewInjector(bytes.NewReader(data), faults.BitFlip(int64(off), bit)), openMLZS, evs)
+			if err == nil {
+				continue // flip in dont-care bits; stream verified intact
+			}
+			requireTyped(t, "bit flip", err)
+		}
+	}
+}
+
+// TestSweepMLZSChunkIsolation is the chunk-granular half of the MLZS sweep:
+// for every single-byte flip, the random-access path (index + chunk decoder)
+// must either reject the index with a typed error or confine the damage —
+// every chunk whose decode succeeds must decode to exactly its original
+// bytes, and at most the damaged region's chunk may fail (with a typed
+// error). This is the property the chunk-granular tracecache relies on: a
+// corrupt chunk poisons only itself.
+func TestSweepMLZSChunkIsolation(t *testing.T) {
+	raw := seedSBBT(t, seedEvents(300))
+	data := compressMLZS(t, raw, 512)
+	ix, err := compress.ReadMLZSIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		mix, err := compress.ReadMLZSIndex(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			requireTyped(t, "index", err)
+			continue
+		}
+		dec := compress.NewMLZSChunkDecoder(bytes.NewReader(mut), mix)
+		failed := 0
+		for i := 0; i < mix.NumChunks(); i++ {
+			chunk, derr := dec.Decode(i)
+			if derr != nil {
+				requireTyped(t, "chunk decode", derr)
+				failed++
+				continue
+			}
+			if i < ix.NumChunks() {
+				c := ix.Chunks[i]
+				if int64(len(chunk)) == c.RawLen && !bytes.Equal(chunk, raw[c.RawOff:c.RawOff+c.RawLen]) {
+					t.Fatalf("flip at %d: chunk %d decoded successfully to wrong bytes", off, i)
+				}
+			}
+		}
+		if failed > 1 {
+			t.Fatalf("flip at %d: %d chunks failed, damage not confined to one chunk", off, failed)
+		}
+	}
+}
+
 // TestSweepHostileHeaders: implausible header-declared sizes are rejected
 // with ErrLimit before the reader allocates for them.
 func TestSweepHostileHeaders(t *testing.T) {
@@ -315,6 +409,7 @@ func TestSweepShortReads(t *testing.T) {
 		{"sbbt", seedSBBT(t, evs), openSBBT},
 		{"bt9", seedBT9(t, evs), openBT9},
 		{"mlz", compressMLZ(t, seedSBBT(t, evs)), openMLZ},
+		{"mlzs", compressMLZS(t, seedSBBT(t, evs), 512), openMLZS},
 	} {
 		r, err := tc.open(faults.ShortReads(bytes.NewReader(tc.data), 3))
 		if err != nil {

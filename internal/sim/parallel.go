@@ -321,6 +321,12 @@ func runPair(ctx context.Context, cache *tracecache.Cache, src TraceSource, pred
 	if opts.Journal != nil {
 		jc = &cellJournal{j: opts.Journal, key: CellKey(src, pred.Name, cfg), every: opts.CheckpointEvery, col: cfg.Metrics}
 	}
+	if src.OpenChunked != nil && cache != nil {
+		if res, fail, ok := runChunked(ctx, cache, src, pred, cfg, opts, jc, start); ok {
+			return res, fail
+		}
+		// Not an eligible container: fall through to the streaming path.
+	}
 	entry, err := cache.Acquire(ctx, src.Name, func() (bp.Reader, io.Closer, int, error) {
 		return openWithRetry(ctx, src, policy)
 	})

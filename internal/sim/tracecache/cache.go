@@ -31,6 +31,7 @@ import (
 	"context"
 	"io"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"unsafe"
 
@@ -166,12 +167,62 @@ func (c *Cache) collector() *obs.Collector {
 // while waiting for another goroutine's load.
 func (c *Cache) Acquire(ctx context.Context, name string, open OpenFunc) (*Entry, error) {
 	if c == nil {
-		e := &Entry{ready: make(chan struct{}), attempts: 1, tooBig: true}
-		close(e.ready)
-		return e, nil
+		return disabledEntry(), nil
 	}
+	e, created, err := c.acquireEntry(ctx, name)
+	if err != nil || !created {
+		return e, err
+	}
+	e.load(ctx, open)
+	return e, nil
+}
+
+// ChunkLoadFunc decodes one chunk of a trace for AcquireChunk, returning
+// its events in order. On a decode failure the events preceding the fault
+// are still returned (the "error after n" contract), so limited runs that
+// stop before the corruption point replay byte-identically to streaming.
+type ChunkLoadFunc func() ([]bp.Event, error)
+
+// AcquireChunk is Acquire at chunk granularity: it returns the decoded form
+// of one chunk of the named trace, loading it through load on first use.
+// Each chunk is an independent cache entry — pinned, evicted, and poisoned
+// on its own under the shared byte budget, with single-flight per chunk —
+// so one huge trace no longer has to fit the budget whole, and damage to
+// one chunk fails only the cells that read that chunk. The entry contract
+// matches Acquire: the caller must Release exactly once; Err is io.EOF
+// after a clean chunk decode or the typed fault that ended it; TooBig means
+// the chunk must be decoded directly by the caller.
+func (c *Cache) AcquireChunk(ctx context.Context, name string, chunk int, load ChunkLoadFunc) (*Entry, error) {
+	if c == nil {
+		return disabledEntry(), nil
+	}
+	// Trace names are file paths, which never contain NUL, so the composite
+	// key cannot collide with a whole-trace entry or another chunk's.
+	key := name + "\x00" + strconv.Itoa(chunk)
+	e, created, err := c.acquireEntry(ctx, key)
+	if err != nil || !created {
+		return e, err
+	}
+	e.loadChunk(load)
+	return e, nil
+}
+
+// disabledEntry is the verdict a nil (disabled) cache hands every caller.
+func disabledEntry() *Entry {
+	e := &Entry{ready: make(chan struct{}), attempts: 1, tooBig: true}
+	close(e.ready)
+	return e
+}
+
+// acquireEntry is the single-flight core shared by Acquire and
+// AcquireChunk: it returns the pinned entry for key, reporting created when
+// this caller owns the load (the entry's ready channel is still open and
+// the caller must run a load* method, which publishes by closing it). When
+// created is false the entry is complete or being loaded by someone else;
+// a non-nil error means ctx was cancelled while waiting for that load.
+func (c *Cache) acquireEntry(ctx context.Context, key string) (e *Entry, created bool, err error) {
 	c.mu.Lock()
-	if e, ok := c.entries[name]; ok {
+	if e, ok := c.entries[key]; ok {
 		e.refs++
 		c.stats.Hits++
 		c.col.Ctr(obs.CtrCacheHits).Add(1)
@@ -189,20 +240,19 @@ func (c *Cache) Acquire(ctx context.Context, name string, open OpenFunc) (*Entry
 		select {
 		case <-e.ready:
 			col.Stage(obs.StageCacheWait).Since(tWait)
-			return e, nil
+			return e, false, nil
 		case <-ctx.Done():
 			col.Stage(obs.StageCacheWait).Since(tWait)
 			c.Release(e)
-			return nil, ctx.Err()
+			return nil, false, ctx.Err()
 		}
 	}
-	e := &Entry{c: c, name: name, ready: make(chan struct{}), refs: 1}
-	c.entries[name] = e
+	e = &Entry{c: c, name: key, ready: make(chan struct{}), refs: 1}
+	c.entries[key] = e
 	c.stats.Misses++
 	c.col.Ctr(obs.CtrCacheMisses).Add(1)
 	c.mu.Unlock()
-	e.load(ctx, open)
-	return e, nil
+	return e, true, nil
 }
 
 // Release unpins an entry obtained from Acquire. Once an entry's last
@@ -292,6 +342,55 @@ func (e *Entry) load(ctx context.Context, open OpenFunc) {
 			return
 		}
 	}
+}
+
+// loadChunk decodes one chunk into e and publishes the outcome by closing
+// ready. It runs on the AcquireChunk caller that created the entry. The
+// failure semantics mirror load: a typed decode fault is cached together
+// with the events preceding it (the fault poisons exactly this chunk), a
+// transient failure is volatile so a later AcquireChunk retries, and a
+// chunk that cannot fit the budget yields a too-big verdict.
+func (e *Entry) loadChunk(load ChunkLoadFunc) {
+	defer close(e.ready)
+	e.attempts = 1
+	evs, err := loadChunkSafe(load)
+	if len(evs) > 0 {
+		ok, contention := e.c.reserve(e, int64(len(evs))*eventBytes)
+		if !ok {
+			e.markTooBig(contention)
+			return
+		}
+		// Split to the simulator's batch granularity so downstream batch
+		// consumers see the same shape Acquire entries have.
+		for off := 0; off < len(evs); off += batchEvents {
+			end := off + batchEvents
+			if end > len(evs) {
+				end = len(evs)
+			}
+			e.batches = append(e.batches, evs[off:end])
+		}
+	}
+	if err != nil {
+		if !faults.Permanent(err) {
+			e.fail(err, true)
+			return
+		}
+		e.err = err
+		return
+	}
+	e.err = io.EOF
+}
+
+// loadChunkSafe converts a chunk-decoder panic into a typed error, the same
+// containment readBatchSafe applies to streaming decoders.
+func loadChunkSafe(load ChunkLoadFunc) (evs []bp.Event, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			evs = nil
+			err = faults.NewPanicError(v, debug.Stack())
+		}
+	}()
+	return load()
 }
 
 // readBatchSafe converts a decoder panic into a typed error, the same

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mbplib/internal/bp"
+	"mbplib/internal/chunked"
 	"mbplib/internal/compress"
 	"mbplib/internal/obs"
 	"mbplib/internal/predictors/registry"
@@ -150,6 +151,12 @@ func (s Spec) Resolve() (*Resolved, error) {
 	r := &Resolved{Spec: s, Specs: specs, Sources: make([]sim.TraceSource, len(paths))}
 	for i, path := range paths {
 		r.Sources[i] = sim.TraceSource{Name: path, Open: openSBBT(path)}
+		if compress.FormatForPath(path) == compress.FormatMLZS {
+			// Seekable containers additionally offer chunk-granular access;
+			// the scheduler verifies eligibility (alignment, intact index)
+			// per open and silently streams when it is not met.
+			r.Sources[i].OpenChunked = openChunked(path)
+		}
 	}
 	r.Preds = make([]sim.PredictorSpec, len(specs))
 	for i, spec := range specs {
@@ -161,8 +168,14 @@ func (s Spec) Resolve() (*Resolved, error) {
 // openSBBT is the canonical trace-open closure shared by the sweep CLIs:
 // transparent decompression, then the SBBT reader.
 func openSBBT(path string) func() (bp.Reader, io.Closer, error) {
+	return openSBBTWorkers(path, 1)
+}
+
+// openSBBTWorkers is openSBBT with a decode worker count: chunked (MLZS)
+// containers decompress on a worker pool, byte-identically to sequential.
+func openSBBTWorkers(path string, decodeWorkers int) func() (bp.Reader, io.Closer, error) {
 	return func() (bp.Reader, io.Closer, error) {
-		f, err := compress.OpenFile(path)
+		f, err := compress.OpenFileParallel(path, decodeWorkers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -173,6 +186,11 @@ func openSBBT(path string) func() (bp.Reader, io.Closer, error) {
 		}
 		return r, f, nil
 	}
+}
+
+// openChunked is the chunk-granular open closure for seekable containers.
+func openChunked(path string) func() (sim.ChunkedTrace, error) {
+	return func() (sim.ChunkedTrace, error) { return chunked.Open(path) }
 }
 
 // newFor builds the per-cell predictor constructor for one validated spec.
@@ -230,6 +248,11 @@ type RunOptions struct {
 	// selects the exact legacy sequential path (RunSetPolicy per value).
 	// <= 0 means GOMAXPROCS.
 	Jobs int
+	// DecodeWorkers is the -decode-j chunk-decode width inside each trace
+	// open: seekable (MLZS) containers decompress on this many goroutines,
+	// byte-identically to sequential decode. <= 1 decodes sequentially. An
+	// execution option only — it never enters Key().
+	DecodeWorkers int
 	// LegacyWorkers is the -workers fan-out inside each value on the legacy
 	// path only.
 	LegacyWorkers int
@@ -256,10 +279,19 @@ type RunOptions struct {
 // the same "spec: cause" text the sequential CLI always produced.
 func (r *Resolved) Run(opts RunOptions) ([]*sim.SetResult, error) {
 	cfg := sim.Config{Metrics: opts.Metrics}
+	sources := r.Sources
+	if opts.DecodeWorkers > 1 {
+		// Swap in parallel-decode open closures. Results are byte-identical,
+		// so the sweep identity (Key) is untouched.
+		sources = append([]sim.TraceSource(nil), r.Sources...)
+		for i := range sources {
+			sources[i].Open = openSBBTWorkers(sources[i].Name, opts.DecodeWorkers)
+		}
+	}
 	if opts.Jobs == 1 && opts.Journal == nil && opts.CellTimeout == 0 {
 		// Exact legacy path; the drain wrapper fails unstarted and in-flight
 		// traces as resumable once a signal lands.
-		drained := sim.DrainSources(r.Sources, opts.Drain)
+		drained := sim.DrainSources(sources, opts.Drain)
 		sets := make([]*sim.SetResult, len(r.Specs))
 		for i, spec := range r.Specs {
 			set, err := sim.RunSetPolicy(drained, r.Preds[i].New, cfg, opts.LegacyWorkers, opts.Policy)
@@ -270,7 +302,7 @@ func (r *Resolved) Run(opts RunOptions) ([]*sim.SetResult, error) {
 		}
 		return sets, nil
 	}
-	return sim.SweepParallel(r.Sources, r.Preds, cfg, sim.ParallelOptions{
+	return sim.SweepParallel(sources, r.Preds, cfg, sim.ParallelOptions{
 		Workers: opts.Jobs, CacheBytes: opts.CacheBytes, Policy: opts.Policy,
 		Metrics: opts.Metrics,
 		Journal: opts.Journal, CheckpointEvery: opts.CheckpointEvery,
